@@ -1,0 +1,44 @@
+"""Shared workloads for the benchmark suite.
+
+Benchmarks are sized to run the full paper-reproduction sweep in minutes on
+a laptop; every fixture is deterministic.  Each benchmark prints the table
+or series corresponding to its paper figure and asserts the claim's
+*shape* (who wins, by roughly what factor) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.behavior import generate_behavior
+from repro.datagen.products import ProductDomainConfig, build_product_domain
+from repro.datagen.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The movie/music world used by entity-based experiments."""
+    return build_world(WorldConfig(n_people=300, n_movies=200, n_songs=100, seed=7))
+
+
+@pytest.fixture(scope="session")
+def bench_product_domain():
+    """The product domain used by text-rich experiments.
+
+    Sized so each of the ~11 product types has enough catalog rows for
+    distant supervision to work with (the regime the paper's automated
+    pipeline assumes).
+    """
+    return build_product_domain(ProductDomainConfig(n_products=520, seed=21))
+
+
+@pytest.fixture(scope="session")
+def bench_behavior(bench_product_domain):
+    """Behavior log over the benchmark product domain."""
+    return generate_behavior(
+        bench_product_domain,
+        n_search_sessions=1500,
+        n_coview_sessions=600,
+        n_copurchase_sessions=400,
+        seed=31,
+    )

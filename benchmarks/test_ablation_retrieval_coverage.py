@@ -1,0 +1,84 @@
+"""Ablation — KG coverage in retrieval-augmented QA (DESIGN.md Sec. 5).
+
+The knowledge-enhanced LM of Sec. 4 is only as good as the triples it can
+retrieve.  The sweep serves QA from KGs of decreasing coverage (full ->
+head-only) with LM fallback: accuracy must degrade gracefully toward the
+pure-LM floor, quantifying how much of the dual system's value comes from
+torso/tail triples — the knowledge the paper says "may best reside as
+triples".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.datagen.text import generate_text_corpus
+from repro.evalx.tables import ResultTable
+from repro.neural.evaluate import evaluate_qa
+from repro.neural.qa import LMQA, RetrievalAugmentedQA, build_question_set
+from repro.neural.slm import SimulatedLM
+
+
+def _partial_kg(world, bands) -> KnowledgeGraph:
+    """A KG restricted to entities of the given popularity bands."""
+    graph = KnowledgeGraph(ontology=world.truth.ontology, name=f"kg_{'_'.join(bands)}")
+    keep = set()
+    for band in bands:
+        keep.update(world.popularity.items_in_band(band))
+    for entity in world.truth.entities():
+        if entity.entity_id in keep:
+            graph.add_entity(
+                entity.entity_id, entity.name, entity.entity_class, aliases=entity.aliases
+            )
+    for triple in world.truth.triples():
+        if triple.subject in keep:
+            if isinstance(triple.object, str) and world.truth.has_entity(triple.object):
+                if triple.object not in keep:
+                    continue
+            graph.add_triple(triple)
+    return graph
+
+
+def _run(world):
+    corpus = generate_text_corpus(
+        world, n_sentences=8000, noise_rate=0.15, popularity_weighted=True, seed=25
+    )
+    model = SimulatedLM(seed=26).fit(corpus)
+    questions = build_question_set(world, per_band=50, seed=27)
+
+    regimes = {
+        "kg_full": ("head", "torso", "tail"),
+        "kg_head_torso": ("head", "torso"),
+        "kg_head_only": ("head",),
+    }
+    table = ResultTable(
+        title="Ablation - retrieval coverage in knowledge-enhanced QA",
+        columns=["regime", "accuracy", "miss_rate"],
+    )
+    results = {}
+    for regime, bands in regimes.items():
+        graph = _partial_kg(world, bands)
+        report = evaluate_qa(RetrievalAugmentedQA(graph, model), questions)
+        results[regime] = report
+        table.add_row(regime, report.accuracy, report.miss_rate)
+    lm_report = evaluate_qa(LMQA(model), questions)
+    results["lm_only"] = lm_report
+    table.add_row("lm_only(floor)", lm_report.accuracy, lm_report.miss_rate)
+    table.show()
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_retrieval_coverage(benchmark, bench_world):
+    results = benchmark.pedantic(lambda: _run(bench_world), rounds=1, iterations=1)
+    # Accuracy decays monotonically with coverage...
+    assert (
+        results["kg_full"].accuracy
+        >= results["kg_head_torso"].accuracy
+        >= results["kg_head_only"].accuracy
+    )
+    # ...but never below the pure-LM floor (retrieval only adds).
+    assert results["kg_head_only"].accuracy >= results["lm_only"].accuracy - 0.02
+    # Torso+tail triples carry substantial value over head-only retrieval.
+    assert results["kg_full"].accuracy > results["kg_head_only"].accuracy + 0.15

@@ -1,0 +1,53 @@
+"""Ablation — what exactly makes TXtract win (DESIGN.md Sec. 5).
+
+Decomposes the TXtract gain: no type context (pooled OpenTag), gold type
+context, and predicted type context (the multi-task head standing in when
+the catalog type is missing).  The conditioning signal, not the model
+capacity, should carry the improvement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalx.tables import ResultTable
+from repro.products.opentag import OpenTagModel, train_test_split
+from repro.products.txtract import TXtractModel
+
+
+def _run(domain):
+    attributes = tuple(domain.attributes())
+    train, test = train_test_split(domain.products, test_fraction=0.3, seed=7)
+
+    pooled = OpenTagModel(attributes=attributes, n_epochs=5, seed=4).fit(train)
+    gold_type = TXtractModel(attributes=attributes, n_epochs=5, seed=4).fit(train)
+    predicted_type = TXtractModel(
+        attributes=attributes, n_epochs=5, seed=4, use_predicted_type=True
+    ).fit(train)
+
+    rows = {
+        "no_type_context": pooled.micro_f1(test),
+        "gold_type_context": gold_type.micro_f1(test),
+        "predicted_type_context": predicted_type.micro_f1(test),
+    }
+    table = ResultTable(
+        title="Ablation - type conditioning in TXtract",
+        columns=["variant", "micro_f1"],
+    )
+    for variant, f1 in rows.items():
+        table.add_row(variant, f1)
+    table.show()
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_type_conditioning(benchmark, bench_product_domain):
+    rows = benchmark.pedantic(
+        lambda: _run(bench_product_domain), rounds=1, iterations=1
+    )
+    # Gold type context beats no context (the headline TXtract effect).
+    assert rows["gold_type_context"] > rows["no_type_context"]
+    # The multi-task predicted type retains most of the gain.
+    gain = rows["gold_type_context"] - rows["no_type_context"]
+    retained = rows["predicted_type_context"] - rows["no_type_context"]
+    assert retained > 0.3 * gain

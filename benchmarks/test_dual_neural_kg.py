@@ -1,0 +1,167 @@
+"""T-DUAL — Dual neural KG serving strategies (paper Sec. 4, "the future").
+
+Paper vision reproduced as a measurement:
+
+* a KG-backed strategy fixes the LM's torso/tail blindness;
+* knowledge infusion teaches the LM head knowledge (model fine-tuning);
+* *recent* knowledge (born after the LM's training cutoff) is only
+  servable from triples — the GPT-4 freshness-lag observation;
+* the dual router (familiarity-gated LM + triple verification + KG
+  fallback) dominates both pure strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.triple import Triple
+from repro.datagen import names as name_vocab
+from repro.datagen.text import generate_text_corpus
+from repro.evalx.tables import ResultTable
+from repro.neural.evaluate import evaluate_qa
+from repro.neural.infusion import infuse_head_knowledge
+from repro.neural.qa import (
+    DualRouterQA,
+    KGQA,
+    LMQA,
+    Question,
+    RetrievalAugmentedQA,
+    build_question_set,
+)
+from repro.neural.slm import SimulatedLM
+
+import numpy as np
+
+
+def _add_recent_knowledge(world, n_new_movies=25, seed=77):
+    """Facts born after the LM's training cutoff: new movies in the KG.
+
+    Returns the questions that only post-cutoff knowledge can answer.
+    """
+    rng = np.random.default_rng(seed)
+    graph = world.truth
+    people = [entity.entity_id for entity in graph.entities("Person")]
+    questions = []
+    for index in range(n_new_movies):
+        entity_id = f"MNEW{index:04d}"
+        title = f"{name_vocab.movie_title(rng)} Reborn {index}"
+        graph.add_entity(entity_id, title, "Movie")
+        director = people[int(rng.integers(0, len(people)))]
+        year = 2024
+        graph.add_triple(Triple(entity_id, "directed_by", director))
+        graph.add_triple(Triple(entity_id, "release_year", year))
+        questions.append(
+            Question(
+                subject_id=entity_id,
+                subject_name=title,
+                predicate="directed_by",
+                gold=(graph.entity(director).name.lower(),),
+                band="recent",
+            )
+        )
+    return questions
+
+
+def _run(shared_world):
+    # Work on a private copy: this experiment mutates the world (time
+    # passes and new facts are born), which must not leak into other
+    # benchmarks sharing the session fixture.
+    from repro.datagen.world import World
+
+    world = World(
+        truth=shared_world.truth.copy(),
+        popularity=shared_world.popularity,
+        config=shared_world.config,
+    )
+    # Train the LM on the pre-cutoff corpus...
+    corpus = generate_text_corpus(
+        world, n_sentences=10000, noise_rate=0.15, popularity_weighted=True, seed=15
+    )
+    model = SimulatedLM(seed=16).fit(corpus)
+    questions = build_question_set(world, per_band=60, seed=17)
+    # ...then the world moves on: recent facts enter the KG only.
+    recent_questions = _add_recent_knowledge(world)
+
+    strategies = {
+        "lm_only": LMQA(model),
+        "kg_only": KGQA(world.truth),
+        "retrieval_augmented": RetrievalAugmentedQA(world.truth, model),
+        "dual_router": DualRouterQA(world.truth, model),
+    }
+    table = ResultTable(
+        title="Sec. 4 - serving strategies over triples + parametric knowledge",
+        columns=["strategy", "overall_acc", "recent_acc", "halluc_rate"],
+        note="paper: torso/tail + recent knowledge must live as triples; blend wins",
+    )
+    results = {}
+    for strategy_name, system in strategies.items():
+        overall = evaluate_qa(system, questions)
+        recent = evaluate_qa(system, recent_questions)
+        results[strategy_name] = (overall, recent)
+        table.add_row(
+            strategy_name, overall.accuracy, recent.accuracy, overall.hallucination_rate
+        )
+
+    # Infusion: teach the LM head knowledge, re-measure the LM-only row.
+    infuse_head_knowledge(model, world, repetitions=8, seed=18)
+    infused = evaluate_qa(LMQA(model), [q for q in questions if q.band == "head"])
+    table.add_row("lm_after_head_infusion(head-only)", infused.accuracy, 0.0, infused.hallucination_rate)
+
+    # Taxonomy knowledge: "what LLMs are good at capturing" — type
+    # statements recur systematically, so parametric recall is reliable
+    # even though individual tail facts are not.
+    from repro.datagen.products import TAXONOMY_SPEC
+    from repro.datagen.text import generate_taxonomy_corpus
+
+    taxonomy_pairs = [
+        (leaf.lower(), product_type.lower())
+        for _dept, types in TAXONOMY_SPEC.items()
+        for product_type, leaves in types.items()
+        for leaf in leaves
+    ]
+    model.fit(generate_taxonomy_corpus(taxonomy_pairs, repetitions=15, seed=19))
+    taxonomy_correct = sum(
+        1
+        for child, parent in taxonomy_pairs
+        if model.answer(child, "hypernym").text == parent
+    )
+    taxonomy_accuracy = taxonomy_correct / len(taxonomy_pairs)
+    table.add_row("lm_taxonomy_qa", taxonomy_accuracy, 0.0, 0.0)
+    table.show()
+    results["infused_head"] = infused
+    results["taxonomy_accuracy"] = taxonomy_accuracy
+    return results
+
+
+@pytest.mark.benchmark(group="dual")
+def test_dual_neural_kg(benchmark, bench_world):
+    results = benchmark.pedantic(lambda: _run(bench_world), rounds=1, iterations=1)
+    lm_overall, lm_recent = results["lm_only"]
+    kg_overall, kg_recent = results["kg_only"]
+    ra_overall, _ = results["retrieval_augmented"]
+    dual_overall, dual_recent = results["dual_router"]
+
+    # Shape 1: the LM cannot answer recent (post-cutoff) questions;
+    # triple-backed strategies can.
+    assert lm_recent.accuracy < 0.1
+    assert kg_recent.accuracy > 0.9
+    assert dual_recent.accuracy > 0.9
+
+    # Shape 2: blending beats the pure LM by a wide margin.
+    assert ra_overall.accuracy > lm_overall.accuracy + 0.2
+    assert dual_overall.accuracy > lm_overall.accuracy + 0.2
+
+    # Shape 3: the dual router is at least as good as pure KG serving
+    # (it can only add correct LM answers on familiar knowledge).
+    assert dual_overall.accuracy >= kg_overall.accuracy - 0.02
+
+    # Shape 4: hallucination collapses once triples verify the LM.
+    assert dual_overall.hallucination_rate < lm_overall.hallucination_rate
+
+    # Shape 5: infusion lifts head accuracy (the fine-tuning direction).
+    assert results["infused_head"].accuracy > 0.6
+
+    # Shape 6: the LM is reliable on (frequently restated) taxonomy
+    # knowledge — "tail taxonomy may best reside at the LLM side".
+    assert results["taxonomy_accuracy"] > 0.8
+    assert results["taxonomy_accuracy"] > lm_overall.accuracy + 0.3

@@ -1,0 +1,102 @@
+"""FIG2 — Entity linkage quality vs label budget (paper Figure 2).
+
+Paper claim: random-forest linkage of movies and people between a
+Freebase-like and an IMDb-like source reaches ~99% precision/recall with a
+large label budget, and active learning reaches the same quality with
+orders of magnitude fewer labels.
+
+This bench sweeps the label budget for passive (random) and active
+(uncertainty) labeling on both entity classes and prints the two curves of
+Figure 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.sources import default_source_pair
+from repro.evalx.tables import ResultTable
+from repro.integrate.active_linkage import label_budget_curve, labels_to_reach
+from repro.integrate.linkage import EntityLinker, build_linkage_task
+from repro.integrate.schema_alignment import oracle_alignment
+from repro.ml.active import random_sampling, uncertainty_sampling
+
+BUDGETS = (25, 50, 100, 200, 400, 800)
+TARGET_F1 = 0.9
+
+
+def _tasks(world):
+    curated, second = default_source_pair(world, seed=11)
+    curated_alignment = oracle_alignment(curated)
+    second_alignment = oracle_alignment(second)
+    return {
+        entity_class: build_linkage_task(
+            curated, second, entity_class, curated_alignment, second_alignment
+        )
+        for entity_class in ("Movie", "Person")
+    }
+
+
+def _run(world):
+    tasks = _tasks(world)
+    table = ResultTable(
+        title="Figure 2 - linkage quality vs labels (RF, Freebase-like vs IMDb-like)",
+        columns=["class", "strategy", "budget", "precision", "recall", "f1"],
+        note="paper: >99% P/R with enough labels; active learning needs ~100x fewer",
+    )
+    curves = {}
+    for entity_class, task in tasks.items():
+        for strategy_name, strategy in (
+            ("random", random_sampling),
+            ("active", uncertainty_sampling),
+        ):
+            points = label_budget_curve(
+                task,
+                BUDGETS,
+                strategy=strategy,
+                linker_factory=lambda: EntityLinker(n_estimators=15, seed=3),
+                seed=3,
+            )
+            curves[(entity_class, strategy_name)] = points
+            for point in points:
+                table.add_row(
+                    entity_class,
+                    strategy_name,
+                    point.budget,
+                    point.precision,
+                    point.recall,
+                    point.f1,
+                )
+    table.show()
+    return tasks, curves
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_entity_linkage(benchmark, bench_world):
+    tasks, curves = benchmark.pedantic(
+        lambda: _run(bench_world), rounds=1, iterations=1
+    )
+
+    # Shape 1: with the full budget, RF linkage is near-perfect on movies.
+    final_movie = curves[("Movie", "active")][-1]
+    assert final_movie.precision > 0.95
+    assert final_movie.recall > 0.9
+
+    # Shape 2: people (homonyms) also reach production quality.
+    final_person = curves[("Person", "active")][-1]
+    assert final_person.f1 > 0.85
+
+    # Shape 3: active learning reaches the target with fewer labels than
+    # passive labeling on at least one class, and never needs more.
+    strictly_better = False
+    for entity_class in ("Movie", "Person"):
+        active_needed = labels_to_reach(curves[(entity_class, "active")], TARGET_F1)
+        passive_needed = labels_to_reach(curves[(entity_class, "random")], TARGET_F1)
+        if passive_needed is None:
+            strictly_better = strictly_better or active_needed is not None
+            continue
+        assert active_needed is not None
+        assert active_needed <= passive_needed
+        if active_needed < passive_needed:
+            strictly_better = True
+    assert strictly_better

@@ -1,0 +1,159 @@
+"""FIG3 — Extraction quality from semi-structured websites (paper Fig. 3).
+
+Paper claim: wrapper induction achieves the highest accuracy (>95%) but
+requires annotations on every website; distantly supervised ClosedIE
+(Ceres) exceeds 90% with no per-site annotation; OpenIE increases the
+volume of extracted knowledge but at much lower accuracy; zero-shot
+extraction works on unseen domains but "remains in exploratory stages".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.web import generate_web_corpus
+from repro.evalx.tables import ResultTable
+from repro.extract.distant import CeresExtractor, DistantSupervisor, SeedKnowledge
+from repro.extract.openie import OpenIEExtractor
+from repro.extract.wrapper import WrapperInducer, annotate_by_truth
+from repro.extract.zeroshot import ZeroShotExtractor
+
+ATTRIBUTES = (
+    "directed_by",
+    "release_year",
+    "genre",
+    "runtime",
+    "birth_year",
+    "birth_place",
+    "performed_by",
+)
+N_ANNOTATED_PER_SITE = 4
+
+
+def _run(world):
+    sites = generate_web_corpus(world, n_sites=6, pages_per_site=30, seed=100)
+    seed_knowledge = SeedKnowledge.from_graph(world.truth, attributes=ATTRIBUTES)
+    rows = {}
+
+    # --- wrapper induction: per-site annotations ------------------------
+    correct = total = extracted_count = 0
+    for site in sites:
+        annotated, held_out = site.split(N_ANNOTATED_PER_SITE)
+        wrapper = WrapperInducer(site_name=site.name).induce(
+            [(page.root, annotate_by_truth(page.root, page.closed_truth)) for page in annotated]
+        )
+        for page in held_out:
+            extracted = wrapper.extract(page.root)
+            for attribute, value in extracted.items():
+                total += 1
+                extracted_count += 1
+                if page.closed_truth.get(attribute) == value:
+                    correct += 1
+    rows["wrapper_induction"] = {
+        "accuracy": correct / total,
+        "n_extractions": extracted_count,
+        "annotated_sites": len(sites),
+    }
+
+    # --- ClosedIE (Ceres-style distant supervision) ----------------------
+    correct = total = extracted_count = 0
+    for site in sites:
+        train, test = site.split(20)
+        extractor = CeresExtractor(site_name=site.name).fit(
+            [page.root for page in train], DistantSupervisor(seed_knowledge)
+        )
+        for page in test:
+            for attribute, (value, _conf) in extractor.extract(page.root).items():
+                total += 1
+                extracted_count += 1
+                if page.closed_truth.get(attribute, "").lower() == value.lower():
+                    correct += 1
+    rows["closedie_ceres"] = {
+        "accuracy": correct / total,
+        "n_extractions": extracted_count,
+        "annotated_sites": 0,
+    }
+
+    # --- OpenIE (OpenCeres-style) ----------------------------------------
+    open_extractor = OpenIEExtractor()
+    correct = total = 0
+    for site in sites:
+        for page in site.pages:
+            truth_values = {value.lower() for value in page.closed_truth.values()}
+            open_pairs = {
+                (label.lower(), value.lower()) for label, value in page.open_truth.items()
+            }
+            for pair in open_extractor.extract(page.root):
+                total += 1
+                key = (pair.attribute.lower(), pair.value.lower())
+                if key in open_pairs or pair.value.lower() in truth_values:
+                    correct += 1
+    rows["openie_openceres"] = {
+        "accuracy": correct / total,
+        "n_extractions": total,
+        "annotated_sites": 0,
+    }
+
+    # --- zero-shot GNN (ZeroShotCeres-style) ------------------------------
+    train_sites, test_sites = sites[:4], sites[4:]
+    training_pages = []
+    for site in train_sites:
+        for page in site.pages:
+            values = set(page.closed_truth.values()) | set(page.open_truth.values())
+            training_pages.append((page.root, values, page.topic_name))
+    zero_shot = ZeroShotExtractor(n_iterations=200, seed=2).fit(training_pages)
+    correct = total = 0
+    from repro.datagen.web import LABEL_STYLES
+
+    for site in test_sites:
+        style = site.config.label_style
+        for page in site.pages:
+            # Strict pair-level truth: the on-page label AND the value.
+            truth_pairs = set()
+            for attribute, value in page.closed_truth.items():
+                labels = LABEL_STYLES[attribute]
+                truth_pairs.add((labels[style % len(labels)].lower(), value.lower()))
+            for label, value in page.open_truth.items():
+                truth_pairs.add((label.lower(), value.lower()))
+            for pair in zero_shot.extract(page.root):
+                total += 1
+                if (pair.attribute.lower(), pair.value.lower()) in truth_pairs:
+                    correct += 1
+    rows["zeroshot_gnn"] = {
+        "accuracy": correct / total if total else 0.0,
+        "n_extractions": total,
+        "annotated_sites": 0,
+    }
+
+    table = ResultTable(
+        title="Figure 3 - extraction from semi-structured websites",
+        columns=["method", "accuracy", "n_extractions", "annotated_sites"],
+        note="paper: wrappers >95% but per-site annotation; ClosedIE >90%; OpenIE noisy",
+    )
+    for method, stats in rows.items():
+        table.add_row(method, stats["accuracy"], stats["n_extractions"], stats["annotated_sites"])
+    table.show()
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_semistructured_extraction(benchmark, bench_world):
+    rows = benchmark.pedantic(lambda: _run(bench_world), rounds=1, iterations=1)
+
+    # Shape 1: wrapper induction is the most accurate but needs per-site
+    # annotations (annotated_sites == all sites).
+    assert rows["wrapper_induction"]["accuracy"] > 0.9
+    assert rows["wrapper_induction"]["annotated_sites"] == 6
+
+    # Shape 2: ClosedIE reaches the production band with zero annotation.
+    assert rows["closedie_ceres"]["accuracy"] > 0.9
+    assert rows["closedie_ceres"]["annotated_sites"] == 0
+
+    # Shape 3: OpenIE extracts more than ClosedIE but at lower accuracy.
+    assert rows["openie_openceres"]["n_extractions"] > rows["closedie_ceres"]["n_extractions"]
+    assert rows["openie_openceres"]["accuracy"] < rows["closedie_ceres"]["accuracy"] - 0.1
+
+    # Shape 4: zero-shot transfers to unseen sites/domains but stays below
+    # the in-site ClosedIE quality (exploratory stage).
+    assert rows["zeroshot_gnn"]["n_extractions"] > 0
+    assert 0.3 < rows["zeroshot_gnn"]["accuracy"] <= rows["closedie_ceres"]["accuracy"]

@@ -1,0 +1,64 @@
+"""FIG5 — Manual vs automated extraction pipelines (paper Figure 5).
+
+Paper claim: the Fig. 5(a) production pipeline reaches high quality through
+manual labeling, manual tuning, and hand-written post-processing; the
+Fig. 5(b) automated pipeline (distant supervision + AutoML + ML cleaning)
+keeps comparable quality while cutting the manual effort dramatically
+("from a couple of months to a couple of weeks").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalx.tables import ResultTable
+from repro.products.pipelines import AutomatedPipeline, ProductionPipeline
+
+TASKS = (
+    ("Coffee", ("flavor", "roast", "caffeine", "size")),
+    ("Shampoo", ("scent", "hair_type", "size")),
+    ("Snacks", ("flavor", "dietary", "size")),
+)
+
+
+def _run(domain):
+    table = ResultTable(
+        title="Figure 5 - production (5a) vs automated (5b) pipelines",
+        columns=["type", "pipeline", "f1", "precision", "recall", "manual_hours", "published"],
+        note="paper: comparable quality, manual time cut from months to weeks",
+    )
+    results = []
+    for product_type, attributes in TASKS:
+        production = ProductionPipeline(attributes=attributes, seed=2).run(
+            domain, product_type
+        )
+        automated = AutomatedPipeline(attributes=attributes, seed=2).run(
+            domain, product_type
+        )
+        results.append((production, automated))
+        for result in (production, automated):
+            table.add_row(
+                product_type,
+                result.pipeline,
+                result.f1,
+                result.precision,
+                result.recall,
+                round(result.manual_hours, 2),
+                result.published,
+            )
+    table.show()
+    return results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_pipeline_cost(benchmark, bench_product_domain):
+    results = benchmark.pedantic(
+        lambda: _run(bench_product_domain), rounds=1, iterations=1
+    )
+    for production, automated in results:
+        # Shape 1: the production pipeline reaches the quality bar.
+        assert production.f1 > 0.85
+        # Shape 2: automation keeps quality within striking distance.
+        assert automated.f1 > production.f1 - 0.2
+        # Shape 3: manual hours drop by a large factor (months -> weeks).
+        assert automated.manual_hours * 4 < production.manual_hours

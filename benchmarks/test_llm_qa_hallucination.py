@@ -1,0 +1,62 @@
+"""T-LLMQA — LLM factual QA behavior by popularity band (paper Sec. 4).
+
+Paper claims (from the cited study [42], reproduced in shape against the
+simulated LM):
+
+* for DBpedia-answerable questions, ChatGPT hallucinates ~20% and cannot
+  answer ~50%;
+* accuracy drops from ~50% on head entities to ~15% on tail entities
+  (bottom 33% popularity);
+* "surprisingly", hallucination stays high (~21%) even for head entities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.text import generate_text_corpus
+from repro.evalx.tables import ResultTable
+from repro.neural.evaluate import evaluate_by_band
+from repro.neural.qa import LMQA, build_question_set
+from repro.neural.slm import SimulatedLM
+
+
+def _run(world):
+    corpus = generate_text_corpus(
+        world, n_sentences=12000, noise_rate=0.15, popularity_weighted=True, seed=5
+    )
+    model = SimulatedLM(seed=9).fit(corpus)
+    questions = build_question_set(world, per_band=80, seed=2)
+    reports = evaluate_by_band(LMQA(model), questions)
+
+    table = ResultTable(
+        title="Sec. 4 - simulated-LM QA by popularity band",
+        columns=["band", "n", "accuracy", "hallucination_rate", "miss_rate"],
+        note="paper: ~20% hallucination, ~50% missing; head ~50% acc vs tail ~15%; head halluc ~21%",
+    )
+    for band in ("head", "torso", "tail", "all"):
+        report = reports[band]
+        table.add_row(
+            band, report.n_questions, report.accuracy, report.hallucination_rate, report.miss_rate
+        )
+    table.show()
+    return reports
+
+
+@pytest.mark.benchmark(group="llmqa")
+def test_llm_qa_hallucination(benchmark, bench_world):
+    reports = benchmark.pedantic(lambda: _run(bench_world), rounds=1, iterations=1)
+
+    # Shape 1: accuracy decays monotonically head -> torso -> tail, with a
+    # large head/tail gap (paper: ~50% vs ~15%).
+    assert reports["head"].accuracy > reports["torso"].accuracy >= reports["tail"].accuracy - 0.02
+    assert reports["head"].accuracy > 0.4
+    assert reports["tail"].accuracy < 0.3
+
+    # Shape 2: a large fraction of questions go unanswered (paper ~50%).
+    assert 0.25 < reports["all"].miss_rate < 0.65
+
+    # Shape 3: hallucination is material overall (paper ~20%)...
+    assert 0.1 < reports["all"].hallucination_rate < 0.35
+    # ...and does NOT vanish for head entities (paper's 21% surprise).
+    assert reports["head"].hallucination_rate > 0.08

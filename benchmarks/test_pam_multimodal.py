@@ -1,0 +1,50 @@
+"""T-PAM — Multi-modal product extraction (paper Sec. 3.4).
+
+Paper claim: PAM "can improve over text extraction by 11% on F-measure",
+because images "supplement information not existing in product profiles",
+and its type-adapted generative decoder extracts "values not observed in
+training data" (here: values with no text mention at all).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalx.tables import ResultTable
+from repro.products.opentag import train_test_split
+from repro.products.pam import PAMExtractor
+
+
+def _run(domain):
+    attributes = tuple(domain.attributes())
+    train, test = train_test_split(domain.products, test_fraction=0.3, seed=6)
+    model = PAMExtractor(attributes=attributes, n_epochs=6, seed=3).fit(train)
+
+    text_f1 = model.micro_f1(test, multimodal=False)
+    multimodal_f1 = model.micro_f1(test, multimodal=True)
+    unseen_recall = model.unseen_value_recall(test)
+    relative_gain = (multimodal_f1 - text_f1) / text_f1 if text_f1 else 0.0
+
+    table = ResultTable(
+        title="Sec. 3.4 - PAM multi-modal vs text-only extraction",
+        columns=["regime", "micro_f1", "unseen_value_recall"],
+        note="paper: +11% F over text-only; generative decoding recovers unseen values",
+    )
+    table.add_row("text_only", text_f1, 0.0)
+    table.add_row("multimodal", multimodal_f1, unseen_recall)
+    print(f"relative F gain: {relative_gain:+.1%}")
+    table.show()
+    return text_f1, multimodal_f1, unseen_recall, relative_gain
+
+
+@pytest.mark.benchmark(group="pam")
+def test_pam_multimodal(benchmark, bench_product_domain):
+    text_f1, multimodal_f1, unseen_recall, relative_gain = benchmark.pedantic(
+        lambda: _run(bench_product_domain), rounds=1, iterations=1
+    )
+    # Shape 1: the image channel strictly improves over text-only.
+    assert multimodal_f1 > text_f1
+    # Shape 2: the gain is material (paper: ~11% relative).
+    assert relative_gain > 0.03
+    # Shape 3: values never mentioned in text are recovered.
+    assert unseen_recall > 0.15

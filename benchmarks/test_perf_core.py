@@ -1,0 +1,104 @@
+"""Performance micro-benchmarks for the core substrate.
+
+Unlike the figure benchmarks (one measured run that prints a paper table),
+these use pytest-benchmark the conventional way — many timed rounds — to
+track the hot paths a KG substrate lives or dies by: triple insertion,
+indexed pattern queries, name lookup, bipartite reverse lookup, sequence
+tagging, and similarity scoring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.textrich import AttributeValue, TextRichKG
+from repro.core.triple import Triple
+from repro.ml.similarity import feature_vector
+from repro.ml.tagger import SequenceTagger
+
+
+def _filled_graph(n_entities=400, n_triples_per=4):
+    ontology = Ontology()
+    ontology.add_class("Thing")
+    graph = KnowledgeGraph(ontology=ontology)
+    for index in range(n_entities):
+        graph.add_entity(f"e{index}", f"Entity {index % 97}", "Thing")
+    for index in range(n_entities):
+        for offset in range(n_triples_per):
+            graph.add(f"e{index}", f"p{offset}", f"e{(index + offset + 1) % n_entities}")
+    return graph
+
+
+@pytest.fixture(scope="module")
+def filled_graph():
+    return _filled_graph()
+
+
+@pytest.fixture(scope="module")
+def filled_textrich():
+    kg = TextRichKG()
+    for index in range(400):
+        topic = f"t{index}"
+        kg.add_topic(topic, f"Title {index}", "Thing")
+        kg.add_value(topic, AttributeValue(attribute="flavor", value=f"v{index % 23}"))
+        kg.add_value(topic, AttributeValue(attribute="size", value=f"s{index % 7}"))
+    return kg
+
+
+@pytest.fixture(scope="module")
+def trained_tagger():
+    sentences = [["rich", f"val{i % 19}", "flavor", "in", "every", "bite"] for i in range(120)]
+    tags = [["O", "B-flavor", "O", "O", "O", "O"] for _ in range(120)]
+    return SequenceTagger(n_epochs=3).fit(sentences, tags)
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_triple_insertion(benchmark):
+    def build():
+        return _filled_graph(n_entities=150, n_triples_per=3)
+
+    graph = benchmark(build)
+    assert len(graph) == 450
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_spo_query(benchmark, filled_graph):
+    result = benchmark(lambda: filled_graph.query(subject="e10", predicate="p1"))
+    assert len(result) == 1
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_pos_query(benchmark, filled_graph):
+    result = benchmark(lambda: filled_graph.query(predicate="p2", obj="e5"))
+    assert result
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_name_lookup(benchmark, filled_graph):
+    result = benchmark(lambda: filled_graph.find_by_name("entity 42"))
+    assert result
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_bipartite_reverse_lookup(benchmark, filled_textrich):
+    result = benchmark(lambda: filled_textrich.topics_with_value("flavor", "v7"))
+    assert result
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_tagger_decode(benchmark, trained_tagger):
+    tokens = ["rich", "val7", "flavor", "in", "every", "bite"]
+    tags = benchmark(lambda: trained_tagger.predict(tokens))
+    assert tags[1] == "B-flavor"
+
+
+@pytest.mark.benchmark(group="perf-core")
+def test_perf_similarity_features(benchmark):
+    left = {"name": "The Crimson Harbor", "release_year": 1987, "genre": "drama"}
+    right = {"name": "Crimson Harbor, The", "release_year": 1988, "genre": "drama"}
+    features = benchmark(
+        lambda: feature_vector(left, right, ["name", "release_year", "genre"])
+    )
+    assert len(features) == 4

@@ -1,0 +1,238 @@
+"""T-SUCCESS — The Sec. 5 production-readiness matrix, measured.
+
+Paper claim: industry success requires a technique to be *ready*
+(production quality, 90-99% for knowledge correctness) and *essential*
+(significant productivity scale-up).  Successes: knowledge-based QA,
+entity linkage, ClosedIE, knowledge cleaning.  Not-yet: automatic schema
+alignment, knowledge fusion (limited need), link prediction, OpenIE.
+
+This bench *measures* the quality of each implemented technique on shared
+workloads, assigns the leverage each technique offers (documented
+constants), and checks that the resulting matrix reproduces the paper's
+split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import CycleStage, TechniqueProfile, TechniqueRegistry
+from repro.datagen.sources import default_source_pair
+from repro.datagen.text import generate_text_corpus
+from repro.datagen.web import generate_site, WebsiteConfig
+from repro.evalx.tables import ResultTable
+from repro.extract.distant import CeresExtractor, DistantSupervisor, SeedKnowledge
+from repro.extract.openie import OpenIEExtractor
+from repro.fuse.linkpred import TransEModel
+from repro.integrate.fusion import AccuFusion, claims_from_sources
+from repro.integrate.linkage import EntityLinker, build_linkage_task
+from repro.integrate.schema_alignment import (
+    SchemaMatcher,
+    alignment_as_map,
+    oracle_alignment,
+)
+from repro.neural.qa import KGQA, build_question_set
+from repro.neural.evaluate import evaluate_qa
+from repro.products.autoknow import AutoKnow
+
+#: Productivity leverage per technique (multiplicative reduction in manual
+#: work), from the paper's qualitative discussion: linkage/ClosedIE/QA and
+#: cleaning unlock web/catalog scale (>>10x); fusion's need "is still
+#: limited" among a few authoritative sources; manual schema alignment of
+#: a few sources is cheap, so automating it saves little.
+LEVERAGE = {
+    "knowledge_based_qa": 1000.0,
+    "entity_linkage": 1000.0,
+    "closedie_extraction": 1000.0,
+    "knowledge_cleaning": 100.0,
+    "automatic_schema_alignment": 3.0,
+    "knowledge_fusion": 3.0,
+    "link_prediction": 100.0,
+    "value_imputation": 100.0,
+    "openie": 1000.0,
+}
+
+
+def _measure_entity_linkage(world) -> float:
+    curated, second = default_source_pair(world, seed=11)
+    task = build_linkage_task(
+        curated, second, "Movie", oracle_alignment(curated), oracle_alignment(second)
+    )
+    linker = EntityLinker(n_estimators=15, seed=1).fit(task.features, task.labels)
+    return task.evaluate(list(linker.predict(task.features, pairs=task.pairs))).f1
+
+
+def _measure_closedie(world) -> float:
+    site = generate_site(
+        world, WebsiteConfig(name="m.example.com", domain="Movie", n_pages=40, seed=71)
+    )
+    seed_knowledge = SeedKnowledge.from_graph(
+        world.truth, attributes=("directed_by", "release_year", "genre", "runtime")
+    )
+    train, test = site.split(25)
+    extractor = CeresExtractor(site_name=site.name).fit(
+        [page.root for page in train], DistantSupervisor(seed_knowledge)
+    )
+    correct = total = 0
+    for page in test:
+        for attribute, (value, _conf) in extractor.extract(page.root).items():
+            total += 1
+            if page.closed_truth.get(attribute, "").lower() == value.lower():
+                correct += 1
+    return correct / total if total else 0.0
+
+
+def _measure_openie(world) -> float:
+    site = generate_site(
+        world, WebsiteConfig(name="o.example.com", domain="Movie", n_pages=25, seed=72)
+    )
+    extractor = OpenIEExtractor()
+    correct = total = 0
+    for page in site.pages:
+        truth_values = {value.lower() for value in page.closed_truth.values()}
+        open_pairs = {
+            (label.lower(), value.lower()) for label, value in page.open_truth.items()
+        }
+        for pair in extractor.extract(page.root):
+            total += 1
+            if (pair.attribute.lower(), pair.value.lower()) in open_pairs or pair.value.lower() in truth_values:
+                correct += 1
+    return correct / total if total else 0.0
+
+
+def _measure_schema_alignment(world) -> float:
+    _curated, second = default_source_pair(world, seed=11)
+    oracle = oracle_alignment(second)
+    reference_values = {}
+    for entity in world.truth.entities():
+        record = world.record_for(entity.entity_id)
+        for attribute, value in record.items():
+            if attribute in ("id", "class", "stars"):
+                continue
+            reference_values.setdefault(attribute, []).append(
+                value[0] if isinstance(value, list) else value
+            )
+    canonical = [attr for attr in reference_values if attr != "name"] + ["name"]
+    proposed = alignment_as_map(
+        SchemaMatcher().align(second, canonical, reference_values=reference_values)
+    )
+    fields = [field for field in second.field_names() if field not in ("first_name", "last_name")]
+    correct = sum(1 for field in fields if proposed.get(field) == oracle.get(field))
+    return correct / len(fields) if fields else 0.0
+
+
+def _measure_fusion(world) -> float:
+    from repro.datagen.sources import conflicting_sources
+
+    sources = conflicting_sources(world, n_sources=5, seed=73)
+    claims = claims_from_sources(sources, attributes=("release_year", "genre"))
+    results = AccuFusion().fuse(claims)
+    correct = total = 0
+    for result in results:
+        truth = world.truth.objects(result.subject, result.attribute)
+        if not truth:
+            continue
+        total += 1
+        if str(result.value).lower() in {str(v).lower() for v in truth}:
+            correct += 1
+    return correct / total if total else 0.0
+
+
+def _measure_link_prediction(world) -> float:
+    """Top-1 inference precision — the add-knowledge use case."""
+    model = TransEModel(dim=20, n_epochs=60, seed=3).fit(world.truth)
+    positives = [
+        (triple.subject, str(triple.object))
+        for triple in world.truth.query(predicate="directed_by")
+    ][:40]
+    hits = trials = 0
+    for subject, true_object in positives:
+        ranked = model.rank_objects(subject, "directed_by", top_k=1)
+        if ranked:
+            trials += 1
+            hits += ranked[0][0] == true_object
+    return hits / trials if trials else 0.0
+
+
+def _measure_kbqa(world) -> float:
+    questions = build_question_set(world, per_band=40, seed=74)
+    return evaluate_qa(KGQA(world.truth), questions).accuracy
+
+
+def _measure_cleaning(domain, behavior) -> float:
+    autoknow = AutoKnow(n_epochs=3, seed=5)
+    report = autoknow.run(domain, behavior=behavior)
+    return report.final_accuracy
+
+
+def _measure_imputation(domain) -> float:
+    from repro.products.imputation import ValueImputer
+
+    imputer = ValueImputer(min_confidence=0.8).fit(domain)
+    return imputer.evaluate(domain)["accuracy"]
+
+
+def _run(world, domain, behavior):
+    registry = TechniqueRegistry()
+    measured = {
+        "entity_linkage": (_measure_entity_linkage(world), CycleStage.REPEATABILITY),
+        "closedie_extraction": (_measure_closedie(world), CycleStage.SCALABILITY),
+        "openie": (_measure_openie(world), CycleStage.FEASIBILITY),
+        "automatic_schema_alignment": (
+            _measure_schema_alignment(world),
+            CycleStage.FEASIBILITY,
+        ),
+        "knowledge_fusion": (_measure_fusion(world), CycleStage.QUALITY),
+        "link_prediction": (_measure_link_prediction(world), CycleStage.FEASIBILITY),
+        "value_imputation": (_measure_imputation(domain), CycleStage.FEASIBILITY),
+        "knowledge_based_qa": (_measure_kbqa(world), CycleStage.UBIQUITY),
+        "knowledge_cleaning": (_measure_cleaning(domain, behavior), CycleStage.SCALABILITY),
+    }
+    for name, (quality, stage) in measured.items():
+        registry.register(
+            TechniqueProfile(name=name, stage=stage, quality=quality, leverage=LEVERAGE[name])
+        )
+    table = ResultTable(
+        title="Sec. 5 - production-readiness matrix (measured)",
+        columns=["technique", "stage", "quality", "leverage", "ready", "essential", "production_ready"],
+        note="ready: quality >= 0.90; essential: leverage >= 10x",
+    )
+    for row in registry.matrix():
+        table.add_row(
+            row["technique"],
+            row["stage"],
+            row["quality"],
+            row["leverage"],
+            row["ready"],
+            row["essential"],
+            row["production_ready"],
+        )
+    table.show()
+    return registry
+
+
+@pytest.mark.benchmark(group="success")
+def test_production_readiness(benchmark, bench_world, bench_product_domain, bench_behavior):
+    registry = benchmark.pedantic(
+        lambda: _run(bench_world, bench_product_domain, bench_behavior),
+        rounds=1,
+        iterations=1,
+    )
+    successes = set(registry.successes())
+    not_yet = set(registry.not_yet())
+
+    # The paper's Sec. 5 split, reproduced from measurements.
+    assert {
+        "entity_linkage",
+        "closedie_extraction",
+        "knowledge_cleaning",
+        "knowledge_based_qa",
+    } <= successes
+    assert {
+        "openie",
+        "link_prediction",
+        "value_imputation",
+        "knowledge_fusion",
+        "automatic_schema_alignment",
+    } <= not_yet

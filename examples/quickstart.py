@@ -1,0 +1,79 @@
+"""Quickstart: build a tiny knowledge graph, query it, and look around.
+
+Run:  python examples/quickstart.py
+
+Covers the core vocabulary of the library — ontologies, entities, triples,
+pattern queries, and path queries — on a hand-built music/movie graph like
+the paper's Figure 1(a).
+"""
+
+from repro.core import KnowledgeGraph, Ontology, Triple
+from repro.core.query import PathQuery, TriplePattern, conjunctive_query
+
+
+def main() -> None:
+    # 1. An ontology with "clear semantics" (Sec. 2): classes + relations.
+    ontology = Ontology(name="music_and_movies")
+    ontology.add_class("Person")
+    ontology.add_class("CreativeWork")
+    ontology.add_class("Movie", parent="CreativeWork")
+    ontology.add_class("Song", parent="CreativeWork")
+    ontology.add_relation("directed_by", "Movie", "Person", functional=True)
+    ontology.add_relation("stars", "Movie", "Person")
+    ontology.add_relation("performed_by", "Song", "Person")
+    ontology.add_relation("featured_in", "Song", "Movie")
+    ontology.add_relation("release_year", "Movie", "number", functional=True)
+
+    # 2. An entity-based KG: one node per real-world entity.
+    kg = KnowledgeGraph(ontology=ontology, name="quickstart")
+    kg.add_entity("p:lady_gaga", "Lady Gaga", "Person")
+    kg.add_entity("p:cooper", "Bradley Cooper", "Person")
+    kg.add_entity("m:asib", "A Star Is Born", "Movie")
+    kg.add_entity("s:shallow", "Shallow", "Song")
+
+    kg.add("m:asib", "directed_by", "p:cooper", validate=True)
+    kg.add("m:asib", "stars", "p:cooper", validate=True)
+    kg.add("m:asib", "stars", "p:lady_gaga", validate=True)
+    kg.add("m:asib", "release_year", 2018, validate=True)
+    kg.add("s:shallow", "performed_by", "p:lady_gaga", validate=True)
+    kg.add("s:shallow", "featured_in", "m:asib", validate=True)
+
+    print("KG stats:", kg.stats())
+
+    # 3. Pattern queries: who starred in A Star Is Born?
+    for triple in kg.query(subject="m:asib", predicate="stars"):
+        print("stars:", kg.entity(str(triple.object)).name)
+
+    # 4. Conjunctive query with variables: actors who also sing in
+    #    the movies they star in (the cross-domain connection of Fig. 1a).
+    solutions = conjunctive_query(
+        kg,
+        [
+            TriplePattern("?movie", "stars", "?person"),
+            TriplePattern("?song", "performed_by", "?person"),
+            TriplePattern("?song", "featured_in", "?movie"),
+        ],
+    )
+    for solution in solutions:
+        print(
+            "actor-singer:",
+            kg.entity(solution["?person"]).name,
+            "| song:",
+            kg.entity(solution["?song"]).name,
+        )
+
+    # 5. Path queries: how are Lady Gaga and Bradley Cooper connected?
+    paths = PathQuery(kg, max_length=2).paths("p:lady_gaga", "p:cooper")
+    for path in paths:
+        hops = " -> ".join(f"{relation}{'+' if direction > 0 else '-'}" for relation, direction, _ in path)
+        print("connection:", hops)
+
+    # 6. The knowledge panel — the application that launched industry KGs.
+    from repro.core.panel import render_panel
+
+    print()
+    print(render_panel(kg, "m:asib").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The sandbox has no network and no ``wheel`` distribution, so PEP 517
+editable installs (which require ``bdist_wheel``) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # the experiment registry
+    python -m repro run FIG2             # run one experiment's benchmark
+    python -m repro run all              # run the whole benchmark suite
+    python -m repro info T-LLMQA         # claim + bench path for one id
+
+``run`` shells out to pytest with ``--benchmark-only`` so the output is
+identical to running the benchmark directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from typing import List, Optional, Sequence
+
+from repro.evalx.registry import EXPERIMENTS
+
+
+def _repo_root() -> str:
+    """The repository root: where DESIGN.md and benchmarks/ live."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro -> src -> repo root
+    return os.path.dirname(os.path.dirname(here))
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """Print the experiment registry."""
+    width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
+    for experiment_id, experiment in sorted(EXPERIMENTS.items()):
+        print(f"{experiment_id:<{width}}  {experiment.paper_reference:<24} {experiment.bench_module}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print one experiment's claim and bench target."""
+    experiment = EXPERIMENTS.get(args.experiment_id.upper())
+    if experiment is None:
+        print(f"unknown experiment id {args.experiment_id!r}; try `list`", file=sys.stderr)
+        return 2
+    print(f"id:        {experiment.experiment_id}")
+    print(f"reference: {experiment.paper_reference}")
+    print(f"stage:     {experiment.stage.name.lower()} ({experiment.stage.describe()})")
+    print(f"bench:     {experiment.bench_module}")
+    print(f"claim:     {experiment.claim}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment's benchmark (or the full suite) via pytest."""
+    root = _repo_root()
+    if args.experiment_id.lower() == "all":
+        target = os.path.join(root, "benchmarks")
+    else:
+        experiment = EXPERIMENTS.get(args.experiment_id.upper())
+        if experiment is None:
+            print(f"unknown experiment id {args.experiment_id!r}; try `list`", file=sys.stderr)
+            return 2
+        target = os.path.join(root, experiment.bench_module)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        target,
+        "--benchmark-only",
+        "-q",
+        "-s",
+    ]
+    print("+ " + " ".join(command))
+    return subprocess.call(command, cwd=root)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Generations of Knowledge Graphs' (VLDB 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    list_parser.set_defaults(func=cmd_list)
+
+    info_parser = subparsers.add_parser("info", help="describe one experiment")
+    info_parser.add_argument("experiment_id")
+    info_parser.set_defaults(func=cmd_info)
+
+    run_parser = subparsers.add_parser("run", help="run an experiment's benchmark")
+    run_parser.add_argument("experiment_id", help="an experiment id, or 'all'")
+    run_parser.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Core knowledge-graph data model.
+
+This subpackage realizes the paper's two structural generations:
+
+* :class:`~repro.core.graph.KnowledgeGraph` — the entity-based KG of Sec. 2
+  (nodes are identified entities, edges are ontology relations);
+* :class:`~repro.core.textrich.TextRichKG` — the text-rich, mostly bipartite
+  KG of Sec. 3 (topic entities connected to free-text attribute values).
+
+Both share the triple/ontology/provenance vocabulary defined here, plus a
+pattern/path query engine and the construction-pipeline framework that the
+Fig. 4 architectures are assembled from.
+"""
+
+from repro.core.triple import Provenance, Triple
+from repro.core.ontology import Ontology, OntologyError, Relation
+from repro.core.graph import Entity, KnowledgeGraph
+from repro.core.textrich import AttributeValue, TextRichKG
+from repro.core.query import PathQuery, TriplePattern, match_pattern
+from repro.core.pipeline import ConstructionPipeline, PipelineContext, PipelineStage, StageReport
+from repro.core.lifecycle import CycleStage
+from repro.core.io import load_graph, load_text_rich, save_graph, save_text_rich
+from repro.core.panel import KnowledgePanel, render_panel
+
+__all__ = [
+    "Provenance",
+    "Triple",
+    "Ontology",
+    "OntologyError",
+    "Relation",
+    "Entity",
+    "KnowledgeGraph",
+    "AttributeValue",
+    "TextRichKG",
+    "PathQuery",
+    "TriplePattern",
+    "match_pattern",
+    "ConstructionPipeline",
+    "PipelineContext",
+    "PipelineStage",
+    "StageReport",
+    "CycleStage",
+    "load_graph",
+    "load_text_rich",
+    "save_graph",
+    "save_text_rich",
+    "KnowledgePanel",
+    "render_panel",
+]

@@ -1,0 +1,333 @@
+"""The entity-based knowledge graph (first generation, Sec. 2).
+
+Nodes have one-to-one correspondence with real-world entities; every entity
+carries an identifier, a class from the ontology, a canonical name, and
+aliases.  Triples are indexed three ways (SPO / POS / OSP) so that any
+pattern with one or two wildcards is answered without a scan — the classic
+triple-store layout.
+
+Provenance is kept per (triple, source) pair, which is what the fusion and
+trust machinery of Sec. 2.4 consumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.ontology import Ontology
+from repro.core.triple import AttributedTriple, Provenance, Triple, Value
+
+
+@dataclass
+class Entity:
+    """A node with real-world identity.
+
+    "Most entities in entity-based KG are *named* entities, each
+    corresponding to a real-world entity" (Sec. 2).
+    """
+
+    entity_id: str
+    name: str
+    entity_class: str
+    aliases: Set[str] = field(default_factory=set)
+
+    def all_names(self) -> Set[str]:
+        """Canonical name plus aliases."""
+        return {self.name} | self.aliases
+
+
+class KnowledgeGraph:
+    """An indexed, provenance-aware entity-based KG."""
+
+    def __init__(self, ontology: Optional[Ontology] = None, name: str = "kg"):
+        self.name = name
+        self.ontology = ontology or Ontology()
+        self._entities: Dict[str, Entity] = {}
+        self._triples: Set[Triple] = set()
+        self._provenance: Dict[Triple, List[Provenance]] = defaultdict(list)
+        # Indexes: subject -> predicate -> set(object), etc.
+        self._spo: Dict[str, Dict[str, Set[Value]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[str, Dict[Value, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Value, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._name_index: Dict[str, Set[str]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # entities
+
+    def add_entity(
+        self,
+        entity_id: str,
+        name: str,
+        entity_class: str,
+        aliases: Iterable[str] = (),
+    ) -> Entity:
+        """Register an entity node.
+
+        The class must exist in the ontology; duplicate ids are rejected
+        because entity-based KGs require one node per real-world entity.
+        """
+        if entity_id in self._entities:
+            raise ValueError(f"duplicate entity id: {entity_id!r}")
+        if not self.ontology.has_class(entity_class):
+            raise ValueError(f"unknown entity class: {entity_class!r}")
+        entity = Entity(
+            entity_id=entity_id,
+            name=name,
+            entity_class=entity_class,
+            aliases=set(aliases),
+        )
+        self._entities[entity_id] = entity
+        for alias in entity.all_names():
+            self._name_index[alias.lower()].add(entity_id)
+        return entity
+
+    def entity(self, entity_id: str) -> Entity:
+        """Look up an entity by id."""
+        if entity_id not in self._entities:
+            raise KeyError(f"unknown entity: {entity_id!r}")
+        return self._entities[entity_id]
+
+    def has_entity(self, entity_id: str) -> bool:
+        """True when the id names a registered entity."""
+        return entity_id in self._entities
+
+    def entities(self, entity_class: Optional[str] = None) -> Iterator[Entity]:
+        """Iterate entities, optionally restricted to a class subtree."""
+        for entity in sorted(self._entities.values(), key=lambda e: e.entity_id):
+            if entity_class is None or self.ontology.is_subclass_of(
+                entity.entity_class, entity_class
+            ):
+                yield entity
+
+    def find_by_name(self, name: str) -> List[Entity]:
+        """Entities whose canonical name or alias matches (case-insensitive).
+
+        Multiple hits are expected: "different entities may share the same
+        name (thus entity disambiguation)" (Sec. 2.2).
+        """
+        ids = self._name_index.get(name.lower(), set())
+        return [self._entities[entity_id] for entity_id in sorted(ids)]
+
+    def add_alias(self, entity_id: str, alias: str) -> None:
+        """Record an additional surface form for an entity."""
+        entity = self.entity(entity_id)
+        entity.aliases.add(alias)
+        self._name_index[alias.lower()].add(entity_id)
+
+    # ------------------------------------------------------------------
+    # triples
+
+    def add_triple(
+        self,
+        triple: Triple,
+        provenance: Optional[Provenance] = None,
+        validate: bool = False,
+    ) -> bool:
+        """Insert a triple; returns True when the triple is new.
+
+        Provenance accumulates across repeated insertions of the same
+        triple from different sources — that multiplicity is the fusion
+        signal.  With ``validate=True`` the ontology must accept the triple
+        (entity-based rigidity); by default validation is advisory.
+        """
+        if triple.subject not in self._entities:
+            raise ValueError(f"unknown subject entity: {triple.subject!r}")
+        if validate:
+            subject_class = self._entities[triple.subject].entity_class
+            problems = self.ontology.validate_triple(triple, subject_class)
+            if problems:
+                raise ValueError(f"triple rejected: {'; '.join(problems)}")
+        is_new = triple not in self._triples
+        if is_new:
+            self._triples.add(triple)
+            self._spo[triple.subject][triple.predicate].add(triple.object)
+            self._pos[triple.predicate][triple.object].add(triple.subject)
+            self._osp[triple.object][triple.subject].add(triple.predicate)
+        if provenance is not None:
+            self._provenance[triple].append(provenance)
+        return is_new
+
+    def add(self, subject: str, predicate: str, obj: Value, **kwargs) -> bool:
+        """Convenience wrapper around :meth:`add_triple`."""
+        return self.add_triple(Triple(subject, predicate, obj), **kwargs)
+
+    def remove_triple(self, triple: Triple) -> bool:
+        """Delete a triple and its provenance; True when it existed."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._provenance.pop(triple, None)
+        self._spo[triple.subject][triple.predicate].discard(triple.object)
+        self._pos[triple.predicate][triple.object].discard(triple.subject)
+        self._osp[triple.object][triple.subject].discard(triple.predicate)
+        return True
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate all triples in deterministic order."""
+        return iter(sorted(self._triples))
+
+    def provenance(self, triple: Triple) -> List[Provenance]:
+        """All provenance records attached to a triple."""
+        return list(self._provenance.get(triple, []))
+
+    def attributed_triples(self) -> Iterator[AttributedTriple]:
+        """Iterate (triple, provenance) pairs; triples without provenance get
+        a default record naming the graph itself."""
+        for triple in self.triples():
+            records = self._provenance.get(triple)
+            if not records:
+                yield AttributedTriple(triple, Provenance(source=self.name))
+            else:
+                for record in records:
+                    yield AttributedTriple(triple, record)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def query(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Optional[Value] = None,
+    ) -> List[Triple]:
+        """Match a triple pattern; ``None`` components are wildcards.
+
+        Uses whichever index binds the most components, so no full scan is
+        needed unless all three components are wildcards.
+        """
+        if subject is not None and predicate is not None:
+            objects = self._spo.get(subject, {}).get(predicate, set())
+            if obj is not None:
+                objects = objects & {obj}
+            return sorted(Triple(subject, predicate, o) for o in objects)
+        if subject is not None:
+            results = []
+            for pred, objects in self._spo.get(subject, {}).items():
+                for candidate in objects:
+                    if obj is None or candidate == obj:
+                        results.append(Triple(subject, pred, candidate))
+            return sorted(results)
+        if predicate is not None:
+            results = []
+            if obj is not None:
+                for subj in self._pos.get(predicate, {}).get(obj, set()):
+                    results.append(Triple(subj, predicate, obj))
+            else:
+                for candidate, subjects in self._pos.get(predicate, {}).items():
+                    for subj in subjects:
+                        results.append(Triple(subj, predicate, candidate))
+            return sorted(results)
+        if obj is not None:
+            results = []
+            for subj, predicates in self._osp.get(obj, {}).items():
+                for pred in predicates:
+                    results.append(Triple(subj, pred, obj))
+            return sorted(results)
+        return list(self.triples())
+
+    def objects(self, subject: str, predicate: str) -> List[Value]:
+        """All objects of (subject, predicate, ?)."""
+        return sorted(self._spo.get(subject, {}).get(predicate, set()), key=str)
+
+    def one_object(self, subject: str, predicate: str) -> Optional[Value]:
+        """A single object if exactly one exists, else None."""
+        objects = self._spo.get(subject, {}).get(predicate, set())
+        if len(objects) == 1:
+            return next(iter(objects))
+        return None
+
+    def subjects(self, predicate: str, obj: Value) -> List[str]:
+        """All subjects of (?, predicate, object)."""
+        return sorted(self._pos.get(predicate, {}).get(obj, set()))
+
+    def neighbors(self, entity_id: str) -> List[Tuple[str, str, bool]]:
+        """Adjacent entity nodes as ``(relation, other_id, outgoing)``.
+
+        Only object-valued edges whose object is itself an entity count —
+        the "connected graph" structure of Fig. 1(a).
+        """
+        result: List[Tuple[str, str, bool]] = []
+        for predicate, objects in self._spo.get(entity_id, {}).items():
+            for obj in objects:
+                if isinstance(obj, str) and obj in self._entities:
+                    result.append((predicate, obj, True))
+        for subject, predicates in self._osp.get(entity_id, {}).items():
+            for predicate in predicates:
+                if subject in self._entities:
+                    result.append((predicate, subject, False))
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # graph surgery (entity linkage applies this)
+
+    def merge_entities(self, keep_id: str, drop_id: str) -> int:
+        """Collapse ``drop_id`` into ``keep_id``; returns triples rewritten.
+
+        This is how entity linkage decisions materialize: "we have a
+        distinct node in the KG to represent a real-world entity" (Sec. 2.2).
+        Aliases and provenance move over; duplicate triples collapse.
+        """
+        keep = self.entity(keep_id)
+        drop = self.entity(drop_id)
+        rewritten = 0
+        for triple in [t for t in self._triples if t.subject == drop_id]:
+            records = self._provenance.get(triple, [])
+            self.remove_triple(triple)
+            replacement = triple.replace_subject(keep_id)
+            self.add_triple(replacement)
+            for record in records:
+                self._provenance[replacement].append(record)
+            rewritten += 1
+        for triple in [t for t in self._triples if t.object == drop_id]:
+            records = self._provenance.get(triple, [])
+            self.remove_triple(triple)
+            replacement = triple.replace_object(keep_id)
+            self.add_triple(replacement)
+            for record in records:
+                self._provenance[replacement].append(record)
+            rewritten += 1
+        for alias in drop.all_names():
+            keep.aliases.add(alias)
+            self._name_index[alias.lower()].discard(drop_id)
+            self._name_index[alias.lower()].add(keep_id)
+        keep.aliases.discard(keep.name)
+        del self._entities[drop_id]
+        return rewritten
+
+    # ------------------------------------------------------------------
+    # stats
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics (the paper sizes KGs in triples — Sec. 2.4/2.5)."""
+        entity_object_edges = 0
+        for triple in self._triples:
+            if isinstance(triple.object, str) and triple.object in self._entities:
+                entity_object_edges += 1
+        return {
+            "n_entities": len(self._entities),
+            "n_triples": len(self._triples),
+            "n_entity_edges": entity_object_edges,
+            "n_attribute_triples": len(self._triples) - entity_object_edges,
+            "n_classes": self.ontology.stats()["n_classes"],
+        }
+
+    def copy(self) -> "KnowledgeGraph":
+        """Deep-enough copy: entities, triples, and provenance."""
+        clone = KnowledgeGraph(ontology=self.ontology, name=self.name)
+        for entity in self._entities.values():
+            clone.add_entity(
+                entity.entity_id, entity.name, entity.entity_class, aliases=entity.aliases
+            )
+        for triple in self._triples:
+            clone.add_triple(triple)
+            for record in self._provenance.get(triple, []):
+                clone._provenance[triple].append(record)
+        return clone

@@ -1,0 +1,261 @@
+"""Serialization: save/load knowledge graphs as JSON-lines files.
+
+A production KG outlives one process.  The format is line-oriented so
+dumps diff/merge cleanly and stream through standard tooling:
+
+* line 1 — a header record (``kind``, ``name``, format version);
+* class / relation / entity / topic / triple / value records follow, one
+  JSON object per line, each tagged with ``"t"`` (record type).
+
+Both generations round-trip: :class:`~repro.core.graph.KnowledgeGraph`
+(including provenance) and :class:`~repro.core.textrich.TextRichKG`
+(including value edges).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.textrich import AttributeValue, TextRichKG
+from repro.core.triple import Provenance, Triple
+
+FORMAT_VERSION = 1
+
+
+class FormatError(ValueError):
+    """Raised when a file does not parse as a serialized KG."""
+
+
+# ----------------------------------------------------------------------
+# ontology records
+
+
+def _ontology_records(ontology: Ontology) -> Iterator[dict]:
+    # Parents-first ordering so load can add classes in one pass.
+    emitted = set()
+    pending = list(ontology.classes())
+    while pending:
+        remaining = []
+        for class_name in pending:
+            parent = ontology.parent(class_name)
+            if parent is None or parent in emitted:
+                yield {"t": "class", "name": class_name, "parent": parent}
+                emitted.add(class_name)
+            else:
+                remaining.append(class_name)
+        if len(remaining) == len(pending):  # pragma: no cover - defensive
+            raise FormatError("cycle detected while serializing ontology")
+        pending = remaining
+    for relation in ontology.relations():
+        yield {
+            "t": "relation",
+            "name": relation.name,
+            "domain": relation.domain,
+            "range": relation.range_class,
+            "functional": relation.functional,
+        }
+
+
+def _load_ontology_record(ontology: Ontology, record: dict) -> None:
+    if record["t"] == "class":
+        if not ontology.has_class(record["name"]):
+            ontology.add_class(record["name"], parent=record.get("parent"))
+    elif record["t"] == "relation":
+        if not ontology.has_relation(record["name"]):
+            ontology.add_relation(
+                record["name"],
+                record["domain"],
+                record["range"],
+                functional=record.get("functional", False),
+            )
+
+
+# ----------------------------------------------------------------------
+# entity-based KG
+
+
+def save_graph(graph: KnowledgeGraph, path: str) -> int:
+    """Write a :class:`KnowledgeGraph` to ``path``; returns lines written."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        lines += _write(handle, {"t": "header", "kind": "entity_kg", "name": graph.name, "v": FORMAT_VERSION})
+        for record in _ontology_records(graph.ontology):
+            lines += _write(handle, record)
+        for entity in graph.entities():
+            lines += _write(
+                handle,
+                {
+                    "t": "entity",
+                    "id": entity.entity_id,
+                    "name": entity.name,
+                    "class": entity.entity_class,
+                    "aliases": sorted(entity.aliases),
+                },
+            )
+        for triple in graph.triples():
+            record = {
+                "t": "triple",
+                "s": triple.subject,
+                "p": triple.predicate,
+                "o": triple.object,
+            }
+            provenance = graph.provenance(triple)
+            if provenance:
+                record["prov"] = [
+                    {"source": p.source, "extractor": p.extractor, "confidence": p.confidence}
+                    for p in provenance
+                ]
+            lines += _write(handle, record)
+    return lines
+
+
+def load_graph(path: str) -> KnowledgeGraph:
+    """Read a :class:`KnowledgeGraph` written by :func:`save_graph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = _read_header(handle, expected_kind="entity_kg")
+        ontology = Ontology()
+        graph = KnowledgeGraph(ontology=ontology, name=header.get("name", "kg"))
+        for record in _records(handle):
+            kind = record["t"]
+            if kind in ("class", "relation"):
+                _load_ontology_record(ontology, record)
+            elif kind == "entity":
+                graph.add_entity(
+                    record["id"],
+                    record["name"],
+                    record["class"],
+                    aliases=record.get("aliases", ()),
+                )
+            elif kind == "triple":
+                triple = Triple(record["s"], record["p"], record["o"])
+                provenance_records = record.get("prov") or [None]
+                for prov in provenance_records:
+                    graph.add_triple(
+                        triple,
+                        provenance=None
+                        if prov is None
+                        else Provenance(
+                            source=prov["source"],
+                            extractor=prov.get("extractor"),
+                            confidence=prov.get("confidence", 1.0),
+                        ),
+                    )
+            else:
+                raise FormatError(f"unknown record type {kind!r}")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# text-rich KG
+
+
+def save_text_rich(kg: TextRichKG, path: str) -> int:
+    """Write a :class:`TextRichKG` to ``path``; returns lines written."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        lines += _write(handle, {"t": "header", "kind": "text_rich_kg", "name": kg.name, "v": FORMAT_VERSION})
+        for record in _ontology_records(kg.taxonomy):
+            lines += _write(handle, record)
+        for topic in kg.topics():
+            lines += _write(
+                handle,
+                {
+                    "t": "topic",
+                    "id": topic.entity_id,
+                    "title": topic.title,
+                    "type": topic.entity_type,
+                    "description": topic.description,
+                },
+            )
+            for value in kg.values(topic.entity_id):
+                lines += _write(
+                    handle,
+                    {
+                        "t": "value",
+                        "topic": topic.entity_id,
+                        "attr": value.attribute,
+                        "value": value.value,
+                        "confidence": value.confidence,
+                        "source": value.source,
+                    },
+                )
+        for relation, left, right in kg.value_edges():
+            lines += _write(
+                handle, {"t": "value_edge", "rel": relation, "l": left, "r": right}
+            )
+    return lines
+
+
+def load_text_rich(path: str) -> TextRichKG:
+    """Read a :class:`TextRichKG` written by :func:`save_text_rich`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = _read_header(handle, expected_kind="text_rich_kg")
+        taxonomy = Ontology()
+        kg = TextRichKG(taxonomy=taxonomy, name=header.get("name", "text_rich_kg"))
+        for record in _records(handle):
+            kind = record["t"]
+            if kind in ("class", "relation"):
+                _load_ontology_record(taxonomy, record)
+            elif kind == "topic":
+                kg.add_topic(
+                    record["id"],
+                    record["title"],
+                    record["type"],
+                    description=record.get("description", ""),
+                )
+            elif kind == "value":
+                kg.add_value(
+                    record["topic"],
+                    AttributeValue(
+                        attribute=record["attr"],
+                        value=record["value"],
+                        confidence=record.get("confidence", 1.0),
+                        source=record.get("source", "catalog"),
+                    ),
+                )
+            elif kind == "value_edge":
+                kg.add_value_edge(record["rel"], record["l"], record["r"])
+            else:
+                raise FormatError(f"unknown record type {kind!r}")
+    return kg
+
+
+# ----------------------------------------------------------------------
+# plumbing
+
+
+def _write(handle: TextIO, record: dict) -> int:
+    handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
+    handle.write("\n")
+    return 1
+
+
+def _read_header(handle: TextIO, expected_kind: str) -> dict:
+    first = handle.readline()
+    if not first.strip():
+        raise FormatError("empty file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as error:
+        raise FormatError(f"header is not JSON: {error}") from error
+    if header.get("t") != "header" or header.get("kind") != expected_kind:
+        raise FormatError(
+            f"expected a {expected_kind!r} header, got {header.get('kind')!r}"
+        )
+    if header.get("v", 0) > FORMAT_VERSION:
+        raise FormatError(f"file format v{header['v']} is newer than supported v{FORMAT_VERSION}")
+    return header
+
+
+def _records(handle: TextIO) -> Iterator[dict]:
+    for line_number, line in enumerate(handle, start=2):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            yield json.loads(stripped)
+        except json.JSONDecodeError as error:
+            raise FormatError(f"line {line_number} is not JSON: {error}") from error

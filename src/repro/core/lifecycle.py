@@ -1,0 +1,119 @@
+"""The innovation-to-practice cycle (Sec. 1.2).
+
+The paper frames every technique by the stage it unlocked:
+
+    feasibility -> quality -> repeatability -> scalability -> ubiquity
+
+This module encodes the cycle so techniques across the library can be
+annotated and the Sec. 5 production-readiness matrix can be computed rather
+than asserted (see ``benchmarks/test_production_readiness.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class CycleStage(enum.IntEnum):
+    """Ordered stages; later stages imply larger business impact."""
+
+    FEASIBILITY = 1
+    QUALITY = 2
+    REPEATABILITY = 3
+    SCALABILITY = 4
+    UBIQUITY = 5
+
+    def describe(self) -> str:
+        """The paper's one-line characterization of the stage."""
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    CycleStage.FEASIBILITY: "a prototype shows the feasibility of a crazy idea",
+    CycleStage.QUALITY: "the solution reaches production quality",
+    CycleStage.REPEATABILITY: "pipelines repeat the success across domains",
+    CycleStage.SCALABILITY: "new solutions remove manual work from the loop",
+    CycleStage.UBIQUITY: "long-tail cases are covered; assumptions removed",
+}
+
+#: Quality bar for knowledge correctness in production, "normally 90% to
+#: 99%" (Sec. 5).  We adopt the lower bound as the gate.
+PRODUCTION_QUALITY_BAR = 0.90
+
+
+@dataclass
+class TechniqueProfile:
+    """A technique with its measured quality and productivity leverage.
+
+    Sec. 5 names two necessary conditions for industry success:
+    *ready* (production quality) and *essential* (significant productivity
+    scale-up).  ``leverage`` is the multiplicative reduction in manual work
+    the technique enables (1.0 = none).
+    """
+
+    name: str
+    stage: CycleStage
+    quality: Optional[float] = None
+    leverage: float = 1.0
+    notes: str = ""
+
+    @property
+    def is_ready(self) -> bool:
+        """Quality condition: measured accuracy at or above the bar."""
+        return self.quality is not None and self.quality >= PRODUCTION_QUALITY_BAR
+
+    @property
+    def is_essential(self) -> bool:
+        """Productivity condition: at least an order-of-magnitude leverage."""
+        return self.leverage >= 10.0
+
+    @property
+    def production_ready(self) -> bool:
+        """Both Sec. 5 conditions hold."""
+        return self.is_ready and self.is_essential
+
+
+@dataclass
+class TechniqueRegistry:
+    """Collects :class:`TechniqueProfile` rows for the Sec. 5 matrix."""
+
+    profiles: Dict[str, TechniqueProfile] = field(default_factory=dict)
+
+    def register(self, profile: TechniqueProfile) -> None:
+        """Add or replace a technique row."""
+        self.profiles[profile.name] = profile
+
+    def record_quality(self, name: str, quality: float) -> None:
+        """Update the measured quality of a registered technique."""
+        if name not in self.profiles:
+            raise KeyError(f"unknown technique: {name!r}")
+        self.profiles[name].quality = quality
+
+    def matrix(self) -> List[Dict[str, object]]:
+        """Rows of the production-readiness matrix, sorted by name."""
+        rows = []
+        for profile in sorted(self.profiles.values(), key=lambda p: p.name):
+            rows.append(
+                {
+                    "technique": profile.name,
+                    "stage": profile.stage.name.lower(),
+                    "quality": profile.quality,
+                    "leverage": profile.leverage,
+                    "ready": profile.is_ready,
+                    "essential": profile.is_essential,
+                    "production_ready": profile.production_ready,
+                }
+            )
+        return rows
+
+    def successes(self) -> List[str]:
+        """Techniques satisfying both conditions (Sec. 5 'industry successes')."""
+        return [name for name, profile in sorted(self.profiles.items()) if profile.production_ready]
+
+    def not_yet(self) -> List[str]:
+        """Techniques missing at least one condition ('not-yet successful')."""
+        return [
+            name for name, profile in sorted(self.profiles.items()) if not profile.production_ready
+        ]

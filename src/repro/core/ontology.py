@@ -1,0 +1,275 @@
+"""Ontology and taxonomy.
+
+"The data instances in a KG follow the ontology as the schema ... The
+ontology describes entity classes, often organized in a hierarchical
+structure and also called taxonomy, and meaningful relationships between
+classes." (Sec. 1)
+
+Entity-based KGs (Sec. 2) use a *manually defined, clean* ontology — a small
+number of classes and relations with crisp domains and ranges.  Text-rich
+KGs (Sec. 3) use a much larger, noisier taxonomy, with overlapping types and
+free-text attributes; the same class supports both by allowing classes and
+relations to be added dynamically and by making validation advisory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.core.triple import Triple
+
+
+class OntologyError(ValueError):
+    """Raised when a schema operation violates ontology consistency."""
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A typed relationship between a domain class and a range.
+
+    ``range_class`` is an entity class name for object relations, or one of
+    the literal markers ``"string"`` / ``"number"`` for attribute relations.
+    """
+
+    name: str
+    domain: str
+    range_class: str
+    functional: bool = False
+
+    @property
+    def is_attribute(self) -> bool:
+        """True when the range is a literal rather than an entity class."""
+        return self.range_class in ("string", "number")
+
+
+class Ontology:
+    """Classes organized in a hierarchy plus relations between classes."""
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        self._parents: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+        self._relations: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # classes / taxonomy
+
+    def add_class(self, class_name: str, parent: Optional[str] = None) -> None:
+        """Register a class, optionally under a parent class.
+
+        Re-adding an existing class with the same parent is a no-op;
+        re-parenting must go through :meth:`move_class`.
+        """
+        if not class_name:
+            raise OntologyError("class name must be non-empty")
+        if parent is not None and parent not in self._parents:
+            raise OntologyError(f"unknown parent class: {parent!r}")
+        if class_name in self._parents:
+            if self._parents[class_name] != parent:
+                raise OntologyError(
+                    f"class {class_name!r} already exists under "
+                    f"{self._parents[class_name]!r}; use move_class to re-parent"
+                )
+            return
+        self._parents[class_name] = parent
+        self._children.setdefault(class_name, [])
+        if parent is not None:
+            self._children.setdefault(parent, []).append(class_name)
+
+    def move_class(self, class_name: str, new_parent: Optional[str]) -> None:
+        """Re-parent a class (taxonomy enrichment uses this)."""
+        if class_name not in self._parents:
+            raise OntologyError(f"unknown class: {class_name!r}")
+        if new_parent is not None:
+            if new_parent not in self._parents:
+                raise OntologyError(f"unknown parent class: {new_parent!r}")
+            if new_parent == class_name or class_name in self.ancestors(new_parent):
+                raise OntologyError("re-parenting would create a cycle")
+        old_parent = self._parents[class_name]
+        if old_parent is not None:
+            self._children[old_parent].remove(class_name)
+        self._parents[class_name] = new_parent
+        if new_parent is not None:
+            self._children[new_parent].append(class_name)
+
+    def has_class(self, class_name: str) -> bool:
+        """True when the class is registered."""
+        return class_name in self._parents
+
+    def parent(self, class_name: str) -> Optional[str]:
+        """Immediate parent class (``None`` at a root)."""
+        if class_name not in self._parents:
+            raise OntologyError(f"unknown class: {class_name!r}")
+        return self._parents[class_name]
+
+    def children(self, class_name: str) -> List[str]:
+        """Immediate subclasses."""
+        if class_name not in self._parents:
+            raise OntologyError(f"unknown class: {class_name!r}")
+        return list(self._children[class_name])
+
+    def ancestors(self, class_name: str) -> List[str]:
+        """Ancestor chain from immediate parent to the root."""
+        chain = []
+        current = self.parent(class_name)
+        while current is not None:
+            chain.append(current)
+            current = self._parents[current]
+        return chain
+
+    def descendants(self, class_name: str) -> List[str]:
+        """All transitive subclasses (preorder)."""
+        if class_name not in self._parents:
+            raise OntologyError(f"unknown class: {class_name!r}")
+        result: List[str] = []
+        stack = list(self._children[class_name])[::-1]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(reversed(self._children[node]))
+        return result
+
+    def is_subclass_of(self, class_name: str, candidate_ancestor: str) -> bool:
+        """True when ``class_name`` equals or descends from the candidate."""
+        if class_name == candidate_ancestor:
+            return True
+        return candidate_ancestor in self.ancestors(class_name)
+
+    def classes(self) -> Iterator[str]:
+        """Iterate over all class names."""
+        return iter(sorted(self._parents))
+
+    def roots(self) -> List[str]:
+        """Classes without a parent."""
+        return sorted(name for name, parent in self._parents.items() if parent is None)
+
+    def depth(self, class_name: str) -> int:
+        """Distance from the class to its root (root depth = 0)."""
+        return len(self.ancestors(class_name))
+
+    def lowest_common_ancestor(self, left: str, right: str) -> Optional[str]:
+        """Deepest class that is an ancestor-or-self of both arguments."""
+        left_chain = [left] + self.ancestors(left)
+        right_chain = set([right] + self.ancestors(right))
+        for candidate in left_chain:
+            if candidate in right_chain:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # relations
+
+    def add_relation(
+        self,
+        name: str,
+        domain: str,
+        range_class: str,
+        functional: bool = False,
+    ) -> Relation:
+        """Register a relation; domain (and entity ranges) must be classes."""
+        if domain not in self._parents:
+            raise OntologyError(f"unknown domain class: {domain!r}")
+        if range_class not in ("string", "number") and range_class not in self._parents:
+            raise OntologyError(f"unknown range class: {range_class!r}")
+        if name in self._relations:
+            raise OntologyError(f"relation {name!r} already defined")
+        relation = Relation(name=name, domain=domain, range_class=range_class, functional=functional)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        if name not in self._relations:
+            raise OntologyError(f"unknown relation: {name!r}")
+        return self._relations[name]
+
+    def has_relation(self, name: str) -> bool:
+        """True when the relation is registered."""
+        return name in self._relations
+
+    def relations(self) -> Iterator[Relation]:
+        """Iterate over relations sorted by name."""
+        return iter(sorted(self._relations.values(), key=lambda r: r.name))
+
+    def relations_for_class(self, class_name: str) -> List[Relation]:
+        """Relations whose domain is the class or one of its ancestors."""
+        applicable_domains = set([class_name] + self.ancestors(class_name))
+        return [
+            relation
+            for relation in self.relations()
+            if relation.domain in applicable_domains
+        ]
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def validate_triple(self, triple: Triple, subject_class: str) -> List[str]:
+        """Advisory validation: list of problems (empty means conformant).
+
+        Entity-based construction treats a non-empty result as a rejection;
+        text-rich construction merely logs it — matching the paper's framing
+        of rigid vs fluid semantics.
+        """
+        problems: List[str] = []
+        if not self.has_relation(triple.predicate):
+            problems.append(f"unknown relation {triple.predicate!r}")
+            return problems
+        relation = self._relations[triple.predicate]
+        if subject_class not in self._parents:
+            problems.append(f"unknown subject class {subject_class!r}")
+        elif not self.is_subclass_of(subject_class, relation.domain):
+            problems.append(
+                f"subject class {subject_class!r} outside domain {relation.domain!r}"
+            )
+        if relation.range_class == "number":
+            if not isinstance(triple.object, (int, float)) or isinstance(triple.object, bool):
+                problems.append(f"object {triple.object!r} is not numeric")
+        return problems
+
+    # ------------------------------------------------------------------
+    # stats
+
+    def stats(self) -> Dict[str, int]:
+        """Counts the paper quotes when sizing ontologies (Sec. 2)."""
+        max_depth = 0
+        for class_name in self._parents:
+            max_depth = max(max_depth, self.depth(class_name))
+        return {
+            "n_classes": len(self._parents),
+            "n_relations": len(self._relations),
+            "max_depth": max_depth,
+            "n_roots": len(self.roots()),
+        }
+
+    def merge_from(self, other: "Ontology") -> None:
+        """Absorb classes/relations from another ontology (union semantics)."""
+        pending: List[str] = [name for name, parent in other._parents.items()]
+        # Add classes in topological (parent-first) order.
+        added: Set[str] = set(self._parents)
+        while pending:
+            progressed = False
+            remaining = []
+            for class_name in pending:
+                parent = other._parents[class_name]
+                if class_name in added:
+                    progressed = True
+                    continue
+                if parent is None or parent in added:
+                    if class_name not in self._parents:
+                        self.add_class(class_name, parent if parent in self._parents else None)
+                    added.add(class_name)
+                    progressed = True
+                else:
+                    remaining.append(class_name)
+            if not progressed:
+                raise OntologyError("cycle detected while merging ontologies")
+            pending = remaining
+        for relation in other.relations():
+            if not self.has_relation(relation.name):
+                self.add_relation(
+                    relation.name,
+                    relation.domain,
+                    relation.range_class,
+                    functional=relation.functional,
+                )

@@ -1,0 +1,128 @@
+"""Composable construction pipelines — the Fig. 4 architectures.
+
+Figure 4 depicts KG construction as a chain of components (transformation,
+integration, extraction, cleaning, fusion...).  This module gives those
+components a uniform stage interface so the two architectures are literally
+assembled and run, and each stage's contribution (triples added, accuracy,
+manual work consumed) is reported — which is what the FIG4 and T-GROWTH
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class PipelineContext:
+    """Mutable blackboard threaded through pipeline stages.
+
+    ``artifacts`` holds named intermediate products (source records, the KG
+    under construction, extraction candidates...).  ``metrics`` accumulates
+    per-stage numbers for reporting.
+    """
+
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def require(self, key: str):
+        """Fetch an artifact, raising a clear error if a stage is missing."""
+        if key not in self.artifacts:
+            raise KeyError(
+                f"pipeline artifact {key!r} missing; an upstream stage did not run"
+            )
+        return self.artifacts[key]
+
+
+@dataclass
+class StageReport:
+    """What one stage did: timing plus the metrics it recorded."""
+
+    stage_name: str
+    seconds: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class PipelineStage:
+    """Base class for a construction stage.
+
+    Subclasses implement :meth:`run`, reading and writing the context.
+    Metrics recorded through :meth:`record` end up in the stage report.
+    """
+
+    name = "stage"
+
+    def __init__(self, name: Optional[str] = None):
+        if name is not None:
+            self.name = name
+        self._metrics: Dict[str, float] = {}
+
+    def record(self, metric: str, value: float) -> None:
+        """Record a metric for the stage report."""
+        self._metrics[metric] = float(value)
+
+    def run(self, context: PipelineContext) -> None:
+        """Execute the stage; must be overridden."""
+        raise NotImplementedError
+
+    def _take_metrics(self) -> Dict[str, float]:
+        metrics, self._metrics = self._metrics, {}
+        return metrics
+
+
+class FunctionStage(PipelineStage):
+    """Adapter turning a plain callable into a stage."""
+
+    def __init__(self, name: str, function: Callable[[PipelineContext], None]):
+        super().__init__(name=name)
+        self._function = function
+
+    def run(self, context: PipelineContext) -> None:
+        self._function(context)
+
+
+@dataclass
+class ConstructionPipeline:
+    """An ordered chain of stages with execution reporting."""
+
+    name: str
+    stages: List[PipelineStage] = field(default_factory=list)
+    reports: List[StageReport] = field(default_factory=list, init=False)
+
+    def add_stage(self, stage: PipelineStage) -> "ConstructionPipeline":
+        """Append a stage; returns self for chaining."""
+        self.stages.append(stage)
+        return self
+
+    def add_function(
+        self, name: str, function: Callable[[PipelineContext], None]
+    ) -> "ConstructionPipeline":
+        """Append a callable as a stage; returns self for chaining."""
+        return self.add_stage(FunctionStage(name, function))
+
+    def run(self, context: Optional[PipelineContext] = None) -> PipelineContext:
+        """Execute every stage in order, collecting reports."""
+        context = context or PipelineContext()
+        self.reports = []
+        for stage in self.stages:
+            started = time.perf_counter()
+            stage.run(context)
+            elapsed = time.perf_counter() - started
+            metrics = stage._take_metrics()
+            self.reports.append(
+                StageReport(stage_name=stage.name, seconds=elapsed, metrics=metrics)
+            )
+            for metric, value in metrics.items():
+                context.metrics[f"{stage.name}.{metric}"] = value
+        return context
+
+    def report_table(self) -> List[Dict[str, object]]:
+        """Stage-by-stage report rows for printing."""
+        rows = []
+        for report in self.reports:
+            row: Dict[str, object] = {"stage": report.stage_name, "seconds": round(report.seconds, 4)}
+            row.update(report.metrics)
+            rows.append(row)
+        return rows

@@ -1,0 +1,154 @@
+"""Pattern and path queries over a :class:`KnowledgeGraph`.
+
+The paper motivates KGs as "suitable to facilitate understanding in search,
+question answering, and dialogs, to power recommendation through the graph
+structure, and to display ... explanation (in paths in the graph)" (Sec. 1).
+This module supplies the query layer those applications sit on: conjunctive
+triple-pattern matching with variables, and bounded path search between
+entities.  The Sec. 2.4 Path Ranking Algorithm also reuses the path
+enumeration implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.triple import Value
+
+Binding = Dict[str, Value]
+
+
+def is_variable(term: object) -> bool:
+    """Variables are strings starting with ``?`` (e.g. ``"?movie"``)."""
+    return isinstance(term, str) and term.startswith("?")
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One pattern in a conjunctive query; any term may be a ``?variable``."""
+
+    subject: str
+    predicate: str
+    object: Value
+
+    def variables(self) -> List[str]:
+        """Variables appearing in this pattern."""
+        return [term for term in (self.subject, self.predicate, self.object) if is_variable(term)]
+
+    def bind(self, binding: Binding) -> "TriplePattern":
+        """Substitute bound variables with their values."""
+
+        def resolve(term):
+            if is_variable(term) and term in binding:
+                return binding[term]
+            return term
+
+        return TriplePattern(resolve(self.subject), resolve(self.predicate), resolve(self.object))
+
+
+def match_pattern(graph: KnowledgeGraph, pattern: TriplePattern) -> Iterator[Binding]:
+    """Yield one binding per graph triple matching the pattern."""
+    subject = None if is_variable(pattern.subject) else pattern.subject
+    predicate = None if is_variable(pattern.predicate) else pattern.predicate
+    obj = None if is_variable(pattern.object) else pattern.object
+    for triple in graph.query(subject=subject, predicate=predicate, obj=obj):
+        binding: Binding = {}
+        if subject is None:
+            binding[pattern.subject] = triple.subject
+        if predicate is None:
+            binding[pattern.predicate] = triple.predicate
+        if obj is None:
+            binding[pattern.object] = triple.object
+        yield binding
+
+
+def conjunctive_query(
+    graph: KnowledgeGraph, patterns: Sequence[TriplePattern]
+) -> List[Binding]:
+    """Join a sequence of patterns; returns all consistent variable bindings.
+
+    Patterns are evaluated left-to-right with bindings threaded through, so
+    order the most selective pattern first for speed (as in any join).
+    """
+    solutions: List[Binding] = [{}]
+    for pattern in patterns:
+        next_solutions: List[Binding] = []
+        for binding in solutions:
+            bound = pattern.bind(binding)
+            for new_binding in match_pattern(graph, bound):
+                merged = dict(binding)
+                conflict = False
+                for variable, value in new_binding.items():
+                    if variable in merged and merged[variable] != value:
+                        conflict = True
+                        break
+                    merged[variable] = value
+                if not conflict:
+                    next_solutions.append(merged)
+        solutions = next_solutions
+        if not solutions:
+            break
+    return solutions
+
+
+@dataclass
+class PathQuery:
+    """Bounded-length path search between two entities.
+
+    A path is a sequence of ``(relation, direction, node)`` steps;
+    ``direction`` is ``+1`` for an outgoing edge and ``-1`` for incoming.
+    """
+
+    graph: KnowledgeGraph
+    max_length: int = 3
+
+    def paths(
+        self, start: str, goal: str, max_paths: int = 100
+    ) -> List[List[Tuple[str, int, str]]]:
+        """All simple paths from ``start`` to ``goal`` up to ``max_length``."""
+        if not self.graph.has_entity(start) or not self.graph.has_entity(goal):
+            return []
+        results: List[List[Tuple[str, int, str]]] = []
+        stack: List[Tuple[str, List[Tuple[str, int, str]]]] = [(start, [])]
+        while stack and len(results) < max_paths:
+            node, path = stack.pop()
+            if node == goal and path:
+                results.append(path)
+                continue
+            if len(path) >= self.max_length:
+                continue
+            visited = {start} | {step[2] for step in path}
+            for relation, neighbor, outgoing in self.graph.neighbors(node):
+                if neighbor in visited and neighbor != goal:
+                    continue
+                if neighbor == goal or neighbor not in visited:
+                    direction = 1 if outgoing else -1
+                    stack.append((neighbor, path + [(relation, direction, neighbor)]))
+        return results
+
+    def relation_paths(self, start: str, goal: str, max_paths: int = 100) -> List[Tuple]:
+        """Paths reduced to their relation signatures, e.g.
+        ``(("acted_in", 1), ("acted_in", -1))`` — the feature space of PRA."""
+        signatures = []
+        for path in self.paths(start, goal, max_paths=max_paths):
+            signatures.append(tuple((relation, direction) for relation, direction, _ in path))
+        return signatures
+
+    def reachable(self, start: str, max_hops: int = 2) -> Dict[str, int]:
+        """Entities reachable from ``start`` with their hop distance."""
+        if not self.graph.has_entity(start):
+            return {}
+        distances = {start: 0}
+        frontier = [start]
+        for hop in range(1, max_hops + 1):
+            next_frontier = []
+            for node in frontier:
+                for _relation, neighbor, _outgoing in self.graph.neighbors(node):
+                    if neighbor not in distances:
+                        distances[neighbor] = hop
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        distances.pop(start)
+        return distances

@@ -1,0 +1,223 @@
+"""The text-rich knowledge graph (second generation, Sec. 3).
+
+"Instead of setting up clean and strict semantic boundaries between types,
+relationships, and entities, the majority of the nodes in text-rich KGs can
+be just non-canonical texts. ... text-rich KGs are more like bipartite
+graphs, with topic entities in the domain on one side of the graph,
+attribute values on the other side, connected by attributes." (Sec. 3)
+
+So the structure here is: topic entities (e.g. products) -> attributes ->
+free-text values, plus a (deep, noisy) taxonomy over types, plus optional
+value-to-value edges such as ``synonym`` / ``hypernym`` discovered by the
+mining of Sec. 3.1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.ontology import Ontology
+from repro.core.triple import Provenance, Triple
+
+
+@dataclass(frozen=True)
+class AttributeValue:
+    """A free-text attribute value node with optional confidence/provenance."""
+
+    attribute: str
+    value: str
+    confidence: float = 1.0
+    source: str = "catalog"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+
+
+@dataclass
+class TopicEntity:
+    """One side of the bipartite graph: a product-like topic entity."""
+
+    entity_id: str
+    title: str
+    entity_type: str
+    description: str = ""
+
+
+class TextRichKG:
+    """Bipartite topic-entity / text-value graph with a taxonomy on top."""
+
+    VALUE_RELATIONS = ("synonym", "hypernym", "antonym")
+
+    def __init__(self, taxonomy: Optional[Ontology] = None, name: str = "text_rich_kg"):
+        self.name = name
+        self.taxonomy = taxonomy or Ontology(name=f"{name}_taxonomy")
+        self._topics: Dict[str, TopicEntity] = {}
+        self._values: Dict[str, List[AttributeValue]] = defaultdict(list)
+        self._value_index: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        self._value_edges: Set[Tuple[str, str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # topic entities
+
+    def add_topic(
+        self,
+        entity_id: str,
+        title: str,
+        entity_type: str,
+        description: str = "",
+    ) -> TopicEntity:
+        """Register a topic entity.
+
+        Unlike the entity-based KG, an unknown type is tolerated (it is added
+        to the taxonomy as a root): type boundaries are fluid in this
+        generation.
+        """
+        if entity_id in self._topics:
+            raise ValueError(f"duplicate topic id: {entity_id!r}")
+        if not self.taxonomy.has_class(entity_type):
+            self.taxonomy.add_class(entity_type)
+        topic = TopicEntity(
+            entity_id=entity_id, title=title, entity_type=entity_type, description=description
+        )
+        self._topics[entity_id] = topic
+        return topic
+
+    def topic(self, entity_id: str) -> TopicEntity:
+        """Look up a topic entity."""
+        if entity_id not in self._topics:
+            raise KeyError(f"unknown topic: {entity_id!r}")
+        return self._topics[entity_id]
+
+    def has_topic(self, entity_id: str) -> bool:
+        """True when the id names a registered topic entity."""
+        return entity_id in self._topics
+
+    def topics(self, entity_type: Optional[str] = None) -> Iterator[TopicEntity]:
+        """Iterate topics, optionally restricted to a taxonomy subtree."""
+        for topic in sorted(self._topics.values(), key=lambda t: t.entity_id):
+            if entity_type is None or self.taxonomy.is_subclass_of(
+                topic.entity_type, entity_type
+            ):
+                yield topic
+
+    # ------------------------------------------------------------------
+    # attribute values (the text side of the bipartite graph)
+
+    def add_value(self, entity_id: str, value: AttributeValue) -> None:
+        """Attach a free-text attribute value to a topic entity.
+
+        Duplicate (attribute, value) pairs for the same topic are collapsed,
+        keeping the record with higher confidence.
+        """
+        if entity_id not in self._topics:
+            raise KeyError(f"unknown topic: {entity_id!r}")
+        existing = self._values[entity_id]
+        for index, record in enumerate(existing):
+            if record.attribute == value.attribute and record.value == value.value:
+                if value.confidence > record.confidence:
+                    existing[index] = value
+                return
+        existing.append(value)
+        self._value_index[(value.attribute, value.value.lower())].add(entity_id)
+
+    def values(self, entity_id: str, attribute: Optional[str] = None) -> List[AttributeValue]:
+        """Attribute values of a topic, optionally filtered by attribute."""
+        records = self._values.get(entity_id, [])
+        if attribute is None:
+            return list(records)
+        return [record for record in records if record.attribute == attribute]
+
+    def value_of(self, entity_id: str, attribute: str) -> Optional[str]:
+        """Highest-confidence value of an attribute, or None."""
+        records = self.values(entity_id, attribute)
+        if not records:
+            return None
+        return max(records, key=lambda record: record.confidence).value
+
+    def remove_value(self, entity_id: str, attribute: str, value: str) -> bool:
+        """Drop a value (knowledge cleaning applies this); True if present."""
+        records = self._values.get(entity_id, [])
+        for index, record in enumerate(records):
+            if record.attribute == attribute and record.value == value:
+                del records[index]
+                self._value_index[(attribute, value.lower())].discard(entity_id)
+                return True
+        return False
+
+    def topics_with_value(self, attribute: str, value: str) -> List[str]:
+        """Topic ids carrying a given (attribute, value) — the reverse edge
+        of the bipartite graph."""
+        return sorted(self._value_index.get((attribute, value.lower()), set()))
+
+    def distinct_values(self, attribute: str) -> List[str]:
+        """All distinct surface forms observed for an attribute."""
+        values = {
+            value
+            for (attr, value), topics in self._value_index.items()
+            if attr == attribute and topics
+        }
+        return sorted(values)
+
+    # ------------------------------------------------------------------
+    # value-to-value edges (synonym / hypernym mining output)
+
+    def add_value_edge(self, relation: str, left: str, right: str) -> None:
+        """Record a mined relationship between two value strings."""
+        if relation not in self.VALUE_RELATIONS:
+            raise ValueError(
+                f"unknown value relation {relation!r}; expected one of {self.VALUE_RELATIONS}"
+            )
+        self._value_edges.add((relation, left.lower(), right.lower()))
+
+    def has_value_edge(self, relation: str, left: str, right: str) -> bool:
+        """True when the mined edge exists; ``synonym`` is symmetric."""
+        key = (relation, left.lower(), right.lower())
+        if key in self._value_edges:
+            return True
+        if relation == "synonym":
+            return (relation, right.lower(), left.lower()) in self._value_edges
+        return False
+
+    def value_edges(self, relation: Optional[str] = None) -> List[Tuple[str, str, str]]:
+        """All mined value-to-value edges, optionally filtered by relation."""
+        edges = sorted(self._value_edges)
+        if relation is None:
+            return edges
+        return [edge for edge in edges if edge[0] == relation]
+
+    # ------------------------------------------------------------------
+    # export / stats
+
+    def to_triples(self) -> List[Triple]:
+        """Flatten to (topic, attribute, text value) triples plus type and
+        value-edge triples — the representation AutoKnow reports counts in."""
+        triples: List[Triple] = []
+        for topic in self.topics():
+            triples.append(Triple(topic.entity_id, "type", topic.entity_type))
+            for record in self._values.get(topic.entity_id, []):
+                triples.append(Triple(topic.entity_id, record.attribute, record.value))
+        for relation, left, right in sorted(self._value_edges):
+            triples.append(Triple(left, relation, right))
+        return triples
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics mirroring the AutoKnow reporting of Sec. 3.5."""
+        n_value_nodes = len(
+            {key for key, topics in self._value_index.items() if topics}
+        )
+        n_value_triples = sum(len(records) for records in self._values.values())
+        return {
+            "n_topics": len(self._topics),
+            "n_types": self.taxonomy.stats()["n_classes"],
+            "n_value_nodes": n_value_nodes,
+            "n_value_triples": n_value_triples,
+            "n_value_edges": len(self._value_edges),
+            "n_triples": n_value_triples + len(self._topics) + len(self._value_edges),
+        }
+
+    def attributes(self) -> List[str]:
+        """All attributes appearing anywhere in the graph."""
+        return sorted({attr for (attr, _value) in self._value_index})

@@ -1,0 +1,51 @@
+"""Synthetic data substrate.
+
+The paper's experiments ran on proprietary assets: Freebase/IMDb dumps,
+Amazon's product catalog and customer behavior logs, crawls of
+semi-structured websites, and commercial LLMs.  None of those are available
+offline, so this subpackage builds controlled synthetic equivalents:
+
+* a ground-truth *world* of entities (movies, people, songs) with Zipfian
+  popularity (:mod:`repro.datagen.world`, :mod:`repro.datagen.popularity`);
+* *structured sources* derived from the world with schema, entity, and value
+  heterogeneity dialed in (:mod:`repro.datagen.sources`) — the Fig. 2
+  linkage workload;
+* *semi-structured websites* rendered from templates over source records
+  (:mod:`repro.datagen.web`) — the Fig. 3 extraction workload;
+* a *product domain* with a deep noisy taxonomy, verbose profiles, noisy
+  catalog values and an image-signal channel (:mod:`repro.datagen.products`)
+  — the Sec. 3 workload;
+* *customer behavior logs* (:mod:`repro.datagen.behavior`) for taxonomy
+  enrichment.
+
+Everything is deterministic given a seed; DESIGN.md records why each
+substitution preserves the behavior the paper measures.
+"""
+
+from repro.datagen.popularity import PopularityModel, popularity_band
+from repro.datagen.world import World, WorldConfig, build_world
+from repro.datagen.sources import SourceConfig, SourceRecord, StructuredSource, derive_source
+from repro.datagen.products import ProductDomain, ProductDomainConfig, ProductRecord, build_product_domain
+from repro.datagen.behavior import BehaviorLog, generate_behavior
+from repro.datagen.web import SemiStructuredSite, WebsiteConfig, generate_site
+
+__all__ = [
+    "PopularityModel",
+    "popularity_band",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "SourceConfig",
+    "SourceRecord",
+    "StructuredSource",
+    "derive_source",
+    "ProductDomain",
+    "ProductDomainConfig",
+    "ProductRecord",
+    "build_product_domain",
+    "BehaviorLog",
+    "generate_behavior",
+    "SemiStructuredSite",
+    "WebsiteConfig",
+    "generate_site",
+]

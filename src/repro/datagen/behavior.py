@@ -1,0 +1,119 @@
+"""Synthetic customer behavior logs.
+
+"We can mine their relationships (hypernyms, synonyms, etc.) from customer
+shopping behaviors, such as search, co-view, and co-purchase. For example,
+if users searching for 'tea' often buy 'green tea', whereas users searching
+for 'green tea' seldom end up buying other types of teas, it hints that
+'green tea' is a subtype of tea." (Sec. 3.1)
+
+The generator encodes exactly that asymmetry: a query for a *broad* type
+resolves to purchases across its subtypes, while a query for a *leaf* type
+resolves almost entirely within the leaf.  Co-view sessions stay within a
+type (substitutes); co-purchase baskets bridge complementary types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen.products import COMPLEMENT_TYPES, ProductDomain, ProductRecord
+
+
+@dataclass
+class BehaviorLog:
+    """Search, co-view, and co-purchase events."""
+
+    search_purchases: List[Tuple[str, str]] = field(default_factory=list)
+    co_views: List[Tuple[str, str]] = field(default_factory=list)
+    co_purchases: List[Tuple[str, str]] = field(default_factory=list)
+
+    def purchases_for_query(self, query: str) -> List[str]:
+        """Product ids purchased after a given search query."""
+        return [product_id for q, product_id in self.search_purchases if q == query]
+
+    def queries(self) -> List[str]:
+        """Distinct search queries observed."""
+        return sorted({query for query, _product in self.search_purchases})
+
+
+def generate_behavior(
+    domain: ProductDomain,
+    n_search_sessions: int = 1500,
+    n_coview_sessions: int = 600,
+    n_copurchase_sessions: int = 400,
+    leaf_query_rate: float = 0.5,
+    noise_rate: float = 0.05,
+    seed: int = 31,
+) -> BehaviorLog:
+    """Generate a behavior log from the product domain."""
+    rng = np.random.default_rng(seed)
+    log = BehaviorLog()
+    by_leaf: Dict[str, List[ProductRecord]] = {}
+    by_type: Dict[str, List[ProductRecord]] = {}
+    for product in domain.products:
+        by_leaf.setdefault(product.leaf_type, []).append(product)
+        by_type.setdefault(product.product_type, []).append(product)
+    leaves = sorted(by_leaf)
+    types = sorted(by_type)
+
+    # --- search -> purchase -------------------------------------------------
+    for _ in range(n_search_sessions):
+        if rng.random() < noise_rate:
+            # Noise: query and purchase are unrelated.
+            query_pool = leaves + types
+            query = query_pool[int(rng.integers(0, len(query_pool)))].lower()
+            product = domain.products[int(rng.integers(0, len(domain.products)))]
+            log.search_purchases.append((query, product.product_id))
+            continue
+        if rng.random() < leaf_query_rate:
+            # Leaf query: purchases stay inside the leaf.
+            leaf = leaves[int(rng.integers(0, len(leaves)))]
+            pool = by_leaf[leaf]
+            query = leaf.lower()
+        else:
+            # Broad query: purchases spread across the type's leaves.
+            product_type = types[int(rng.integers(0, len(types)))]
+            pool = by_type[product_type]
+            query = product_type.lower()
+        product = pool[int(rng.integers(0, len(pool)))]
+        log.search_purchases.append((query, product.product_id))
+
+    # --- co-view (substitutes: same type) ------------------------------------
+    for _ in range(n_coview_sessions):
+        if rng.random() < noise_rate:
+            first = domain.products[int(rng.integers(0, len(domain.products)))]
+            second = domain.products[int(rng.integers(0, len(domain.products)))]
+        else:
+            product_type = types[int(rng.integers(0, len(types)))]
+            pool = by_type[product_type]
+            if len(pool) < 2:
+                continue
+            first_index, second_index = rng.choice(len(pool), size=2, replace=False)
+            first, second = pool[int(first_index)], pool[int(second_index)]
+        if first.product_id != second.product_id:
+            log.co_views.append((first.product_id, second.product_id))
+
+    # --- co-purchase (complements: paired types) -----------------------------
+    complement_pairs = [
+        (left, right)
+        for left, right in COMPLEMENT_TYPES
+        if left in by_type and right in by_type
+    ]
+    for _ in range(n_copurchase_sessions):
+        if rng.random() < noise_rate or not complement_pairs:
+            first = domain.products[int(rng.integers(0, len(domain.products)))]
+            second = domain.products[int(rng.integers(0, len(domain.products)))]
+        else:
+            left_type, right_type = complement_pairs[
+                int(rng.integers(0, len(complement_pairs)))
+            ]
+            left_pool, right_pool = by_type[left_type], by_type[right_type]
+            first = left_pool[int(rng.integers(0, len(left_pool)))]
+            second = right_pool[int(rng.integers(0, len(right_pool)))]
+        if first.product_id != second.product_id:
+            log.co_purchases.append((first.product_id, second.product_id))
+
+    return log

@@ -1,0 +1,123 @@
+"""Deterministic name/text vocabularies for the synthetic world.
+
+Kept in one module so every generator draws from the same surface-form
+space; entity-name collisions (two people sharing a name) are a *feature* —
+they create the disambiguation difficulty Sec. 2.2 calls out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+FIRST_NAMES: Sequence[str] = (
+    "Ava", "Ben", "Clara", "Daniel", "Elena", "Felix", "Grace", "Hugo",
+    "Iris", "James", "Karen", "Liam", "Mara", "Noah", "Olive", "Peter",
+    "Quinn", "Rosa", "Samuel", "Tessa", "Umar", "Vera", "Wesley", "Xenia",
+    "Yusuf", "Zoe", "Arthur", "Bianca", "Carlos", "Diana", "Ethan", "Fiona",
+    "Gavin", "Hanna", "Ivan", "Julia", "Kevin", "Lucia", "Marcus", "Nina",
+    "Oscar", "Paula", "Ralph", "Sofia", "Tomas", "Ursula", "Victor", "Wendy",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "Anderson", "Brooks", "Carter", "Donovan", "Ellis", "Foster", "Garcia",
+    "Hayes", "Ingram", "Jennings", "Keller", "Lawson", "Mercer", "Norton",
+    "Osborne", "Porter", "Quintero", "Reyes", "Sawyer", "Thornton", "Underwood",
+    "Vasquez", "Whitfield", "Xiong", "Yates", "Zimmerman", "Abbott", "Barnes",
+    "Calloway", "Drummond", "Everhart", "Finch", "Granger", "Holloway",
+    "Irving", "Jacobs", "Kendrick", "Lockhart", "Monroe", "Nichols",
+)
+
+MOVIE_ADJECTIVES: Sequence[str] = (
+    "Silent", "Crimson", "Endless", "Hidden", "Broken", "Golden", "Frozen",
+    "Burning", "Forgotten", "Midnight", "Electric", "Savage", "Gentle",
+    "Hollow", "Distant", "Fading", "Rising", "Falling", "Shattered", "Velvet",
+)
+
+MOVIE_NOUNS: Sequence[str] = (
+    "Horizon", "River", "Empire", "Garden", "Station", "Harbor", "Letter",
+    "Shadow", "Promise", "Voyage", "Kingdom", "Mirror", "Canyon", "Orchard",
+    "Lantern", "Compass", "Bridge", "Archive", "Summit", "Tide",
+)
+
+SONG_WORDS: Sequence[str] = (
+    "Echoes", "Gravity", "Wildfire", "Daydream", "Thunder", "Paper", "Neon",
+    "Satellite", "Monsoon", "Harvest", "Ivory", "Quicksand", "Avalanche",
+    "Firefly", "Postcard", "Serenade", "Mosaic", "Vertigo", "Oasis", "Prism",
+)
+
+CITIES: Sequence[str] = (
+    "Seattle", "Portland", "Austin", "Denver", "Boston", "Chicago", "Atlanta",
+    "Nashville", "Phoenix", "Detroit", "Toronto", "Vancouver", "Dublin",
+    "Lisbon", "Prague", "Vienna", "Oslo", "Helsinki", "Auckland", "Kyoto",
+)
+
+GENRES: Sequence[str] = (
+    "drama", "comedy", "thriller", "documentary", "romance", "science fiction",
+    "horror", "animation", "western", "musical",
+)
+
+MUSIC_GENRES: Sequence[str] = (
+    "rock", "pop", "jazz", "folk", "electronic", "classical", "hip hop",
+    "country", "blues", "soul",
+)
+
+
+def pick(rng: np.random.Generator, options: Sequence[str]) -> str:
+    """Uniform draw from a vocabulary."""
+    return options[int(rng.integers(0, len(options)))]
+
+
+def person_name(rng: np.random.Generator) -> str:
+    """A ``First Last`` person name; collisions happen by design."""
+    return f"{pick(rng, FIRST_NAMES)} {pick(rng, LAST_NAMES)}"
+
+
+def movie_title(rng: np.random.Generator) -> str:
+    """A two-to-three word movie title."""
+    if rng.random() < 0.3:
+        return f"The {pick(rng, MOVIE_ADJECTIVES)} {pick(rng, MOVIE_NOUNS)}"
+    return f"{pick(rng, MOVIE_ADJECTIVES)} {pick(rng, MOVIE_NOUNS)}"
+
+
+def song_title(rng: np.random.Generator) -> str:
+    """A one-to-two word song title."""
+    if rng.random() < 0.4:
+        return pick(rng, SONG_WORDS)
+    return f"{pick(rng, SONG_WORDS)} {pick(rng, MOVIE_NOUNS)}"
+
+
+def typo(rng: np.random.Generator, text: str) -> str:
+    """One character-level corruption: drop, swap, or duplicate."""
+    if len(text) < 3:
+        return text
+    position = int(rng.integers(1, len(text) - 1))
+    operation = int(rng.integers(0, 3))
+    if operation == 0:
+        return text[:position] + text[position + 1 :]
+    if operation == 1 and position + 1 < len(text):
+        return text[:position] + text[position + 1] + text[position] + text[position + 2 :]
+    return text[:position] + text[position] + text[position:]
+
+
+def name_variant(rng: np.random.Generator, name: str) -> str:
+    """A plausible alternative surface form of a person/title name.
+
+    Used to inject entity heterogeneity: "different data sources may
+    represent the same real-world entity with slightly different names"
+    (Sec. 2.2).
+    """
+    parts = name.split()
+    roll = rng.random()
+    if roll < 0.25 and len(parts) >= 2:
+        # Initialize the first name: "Xin Dong" -> "X. Dong".
+        return f"{parts[0][0]}. {' '.join(parts[1:])}"
+    if roll < 0.45 and len(parts) >= 2:
+        # Last-name-first ordering.
+        return f"{parts[-1]}, {' '.join(parts[:-1])}"
+    if roll < 0.65:
+        return typo(rng, name)
+    if roll < 0.8:
+        return name.lower()
+    return name.upper()

@@ -1,0 +1,494 @@
+"""The synthetic product domain — the Sec. 3 (text-rich KG) workload.
+
+Reproduces the properties the paper says make products hard:
+
+* a deep taxonomy with *overlapping* types ("fashion swimwear vs two-piece
+  swimwear") — here, leaf types under multiple departments share vocabulary;
+* fuzzy, overlapping attribute values ("mocha vs cappuccino as flavors");
+* non-named topic entities with long, verbose titles that concatenate type
+  and attributes;
+* a noisy catalog ("Catalog data could be noisy") usable for distant
+  supervision but not as gold truth;
+* ambiguous surface forms whose attribute depends on product type
+  ("vanilla" is a *flavor* for coffee but a *scent* for shampoo) — the
+  signal that makes type-aware models (TXtract) win;
+* an image channel carrying values the text omits — the PAM signal.
+
+Every product records its true attribute values, its noisy catalog values,
+its profile text with gold token spans, and its image tokens, so all of the
+Sec. 3 extraction/cleaning techniques can be trained and scored exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ontology import Ontology
+
+# ----------------------------------------------------------------------
+# domain specification
+
+#: department -> type -> leaf subtypes
+TAXONOMY_SPEC: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "Grocery": {
+        "Coffee": ("Ground Coffee", "Whole Bean Coffee", "Instant Coffee"),
+        "Tea": ("Green Tea", "Black Tea", "Herbal Tea"),
+        "Snacks": ("Chips", "Cookies", "Granola Bars"),
+        "Ice Cream": ("Dairy Ice Cream", "Sorbet", "Frozen Yogurt"),
+    },
+    "Beauty": {
+        "Shampoo": ("Moisturizing Shampoo", "Volumizing Shampoo"),
+        "Lotion": ("Body Lotion", "Face Lotion"),
+        "Lipstick": ("Matte Lipstick", "Gloss Lipstick"),
+    },
+    "Electronics": {
+        "Headphones": ("Over-Ear Headphones", "In-Ear Headphones"),
+        "Speakers": ("Bluetooth Speakers", "Bookshelf Speakers"),
+    },
+    "Home": {
+        "Candles": ("Scented Candles", "Pillar Candles"),
+        "Mugs": ("Ceramic Mugs", "Travel Mugs"),
+    },
+}
+
+#: type -> attribute -> value vocabulary.  Note deliberate cross-type
+#: ambiguity: "vanilla"/"caramel" appear as Coffee/Ice-Cream *flavor* and as
+#: Shampoo/Candle *scent*; "light"/"dark" are Coffee *roast* and
+#: Headphones/Mugs *color* tokens.
+ATTRIBUTE_SPEC: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "Coffee": {
+        "flavor": ("mocha", "hazelnut", "vanilla", "caramel", "cinnamon"),
+        "roast": ("light roast", "medium roast", "dark roast"),
+        "caffeine": ("caffeinated", "decaf"),
+        "size": ("12 oz", "16 oz", "32 oz"),
+    },
+    "Tea": {
+        "flavor": ("jasmine", "mint", "lemon", "chamomile", "vanilla"),
+        "form": ("loose leaf", "tea bags"),
+        "caffeine": ("caffeinated", "decaf"),
+        "size": ("20 count", "50 count"),
+    },
+    "Snacks": {
+        "flavor": ("bbq", "sour cream", "chocolate chip", "sea salt", "honey"),
+        "dietary": ("gluten-free", "sugar-free", "vegan"),
+        "size": ("6 oz", "10 oz"),
+    },
+    "Ice Cream": {
+        "flavor": ("vanilla", "chocolate", "strawberry", "mocha", "caramel"),
+        "dietary": ("sugar-free", "dairy-free"),
+        "size": ("1 pint", "1 quart"),
+    },
+    "Shampoo": {
+        "scent": ("lavender", "coconut", "vanilla", "eucalyptus", "citrus"),
+        "hair_type": ("curly hair", "fine hair", "oily hair"),
+        "size": ("8 fl oz", "16 fl oz"),
+    },
+    "Lotion": {
+        "scent": ("lavender", "shea", "citrus", "unscented"),
+        "skin_type": ("dry skin", "sensitive skin"),
+        "size": ("8 fl oz", "12 fl oz"),
+    },
+    "Lipstick": {
+        "color": ("ruby red", "coral", "nude", "plum"),
+        "finish": ("matte", "glossy", "satin"),
+    },
+    "Headphones": {
+        "color": ("black", "white", "light gray", "navy"),
+        "connectivity": ("wireless", "wired"),
+        "battery": ("20 hours", "40 hours"),
+    },
+    "Speakers": {
+        "color": ("black", "walnut", "white"),
+        "connectivity": ("bluetooth", "wired"),
+    },
+    "Candles": {
+        "scent": ("vanilla", "sandalwood", "pine", "caramel"),
+        "burn_time": ("40 hours", "60 hours"),
+    },
+    "Mugs": {
+        "color": ("dark blue", "white", "light green"),
+        "capacity": ("12 oz", "16 oz"),
+    },
+}
+
+#: Hard consistency rules for knowledge cleaning: (type, attribute, value)
+#: combinations that cannot be true — "spicy is unlikely to be the flavor of
+#: icecreams" (Sec. 3.2).
+FORBIDDEN_VALUES: Tuple[Tuple[str, str, str], ...] = (
+    ("Ice Cream", "flavor", "bbq"),
+    ("Ice Cream", "flavor", "sour cream"),
+    ("Coffee", "flavor", "bbq"),
+    ("Tea", "flavor", "bbq"),
+    ("Shampoo", "scent", "bbq"),
+)
+
+#: Mutually-exclusive value pairs within one product — "snack with sugar in
+#: the ingredient is unlikely to be sugar-free".
+CONTRADICTIONS: Tuple[Tuple[Tuple[str, str], Tuple[str, str]], ...] = (
+    (("dietary", "sugar-free"), ("flavor", "chocolate chip")),
+    (("dietary", "sugar-free"), ("flavor", "honey")),
+    (("caffeine", "decaf"), ("flavor", "mocha")),
+)
+
+#: Complementary type pairs for substitutes/complements mining (Sec. 3.1).
+COMPLEMENT_TYPES: Tuple[Tuple[str, str], ...] = (
+    ("Coffee", "Mugs"),
+    ("Tea", "Mugs"),
+    ("Headphones", "Speakers"),
+    ("Candles", "Lotion"),
+)
+
+BRANDS: Tuple[str, ...] = (
+    "Onus", "Verdant", "Peakline", "Hearthway", "Solstice", "Brio",
+    "Marlowe", "Tundra", "Cascade", "Juniper", "Ember", "Atlas",
+)
+
+_TITLE_FILLERS: Tuple[str, ...] = (
+    "premium", "classic", "artisan", "everyday", "signature", "deluxe",
+)
+
+#: Bullet templates.  Attributes that share vocabulary across types
+#: deliberately share *templates* too (flavor/scent both use "notes of
+#: {value}"; roast/color both use "a {value} you will love"), so local
+#: context alone cannot disambiguate — exactly the ambiguity TXtract's type
+#: conditioning is meant to resolve (Sec. 3.3).
+_SENSORY_TEMPLATES: Tuple[str, ...] = (
+    "notes of {value} in every detail",
+    "a hint of {value} throughout",
+    "classic {value} character",
+)
+_APPEARANCE_TEMPLATES: Tuple[str, ...] = (
+    "a {value} you will love",
+    "crafted with {value} in mind",
+)
+_BULLET_TEMPLATES: Dict[str, Tuple[str, ...]] = {
+    "flavor": _SENSORY_TEMPLATES,
+    "scent": _SENSORY_TEMPLATES,
+    "roast": _APPEARANCE_TEMPLATES,
+    "color": _APPEARANCE_TEMPLATES,
+    "caffeine": ("fully {value} blend", "a {value} option for any time"),
+    "size": ("generous {value} package", "comes in a {value} size"),
+    "form": ("packed as {value}", "convenient {value} format"),
+    "dietary": ("certified {value} recipe", "proudly {value}"),
+    "hair_type": ("formulated for {value}", "ideal for {value}"),
+    "skin_type": ("gentle on {value}", "made for {value}"),
+    "finish": ("smooth {value} finish", "long-lasting {value} look"),
+    "connectivity": ("easy {value} setup", "reliable {value} connection"),
+    "battery": ("up to {value} of playtime", "long {value} battery life"),
+    "burn_time": ("burns for {value}", "up to {value} burn time"),
+    "capacity": ("holds {value}", "roomy {value} capacity"),
+}
+
+#: Distractor bullet templates: they mention a *value-looking* phrase in a
+#: non-assertive context ("pairs well with caramel desserts" does not mean
+#: the product's flavor is caramel).  These are unlabeled, creating the
+#: false-positive pressure that keeps raw NER quality in the 85-95% band
+#: the paper reports (Sec. 3.2).
+_DISTRACTOR_TEMPLATES: Tuple[str, ...] = (
+    "pairs well with {value} desserts",
+    "inspired by {value} classics",
+    "a gift for {value} lovers",
+)
+
+
+# ----------------------------------------------------------------------
+# records
+
+@dataclass(frozen=True)
+class LabeledText:
+    """Tokenized text with gold attribute spans ``(start, end, attribute)``."""
+
+    tokens: Tuple[str, ...]
+    spans: Tuple[Tuple[int, int, str], ...]
+
+
+@dataclass
+class ProductRecord:
+    """One product with every layer of ground truth and noise."""
+
+    product_id: str
+    leaf_type: str
+    product_type: str
+    department: str
+    title: LabeledText
+    bullets: List[LabeledText]
+    true_values: Dict[str, str]
+    catalog_values: Dict[str, str]
+    image_tokens: List[str]
+
+    @property
+    def title_text(self) -> str:
+        """The title as a plain string."""
+        return " ".join(self.title.tokens)
+
+    def all_texts(self) -> List[LabeledText]:
+        """Title plus bullets — the 'product profile' of Sec. 3.1."""
+        return [self.title] + list(self.bullets)
+
+
+@dataclass(frozen=True)
+class ProductDomainConfig:
+    """Sizes and noise rates of the product domain."""
+
+    n_products: int = 400
+    seed: int = 21
+    catalog_missing_rate: float = 0.3
+    catalog_error_rate: float = 0.1
+    text_mention_rate: float = 0.85
+    distractor_rate: float = 0.45
+    partial_mention_rate: float = 0.15
+    title_typo_rate: float = 0.05
+    image_mention_rate: float = 0.6
+    image_distractor_count: int = 3
+
+
+@dataclass
+class ProductDomain:
+    """The full generated domain: taxonomy + products."""
+
+    taxonomy: Ontology
+    products: List[ProductRecord]
+    config: ProductDomainConfig
+
+    def by_type(self, product_type: str) -> List[ProductRecord]:
+        """Products whose (non-leaf) type matches."""
+        return [product for product in self.products if product.product_type == product_type]
+
+    def types(self) -> List[str]:
+        """All non-leaf product types present."""
+        return sorted({product.product_type for product in self.products})
+
+    def attributes(self) -> List[str]:
+        """All attributes used anywhere in the domain."""
+        attributes = set()
+        for spec in ATTRIBUTE_SPEC.values():
+            attributes.update(spec)
+        return sorted(attributes)
+
+    def attribute_values(self, attribute: str) -> List[str]:
+        """The union vocabulary of an attribute across types."""
+        values = set()
+        for spec in ATTRIBUTE_SPEC.values():
+            values.update(spec.get(attribute, ()))
+        return sorted(values)
+
+
+def build_taxonomy() -> Ontology:
+    """The deep product taxonomy of Fig. 1(b)."""
+    taxonomy = Ontology(name="product_taxonomy")
+    taxonomy.add_class("Product")
+    for department, types in TAXONOMY_SPEC.items():
+        taxonomy.add_class(department, parent="Product")
+        for product_type, leaves in types.items():
+            taxonomy.add_class(product_type, parent=department)
+            for leaf in leaves:
+                taxonomy.add_class(leaf, parent=product_type)
+    return taxonomy
+
+
+def build_product_domain(config: Optional[ProductDomainConfig] = None) -> ProductDomain:
+    """Generate the deterministic product domain."""
+    config = config or ProductDomainConfig()
+    rng = np.random.default_rng(config.seed)
+    taxonomy = build_taxonomy()
+    leaf_index: List[Tuple[str, str, str]] = []  # (department, type, leaf)
+    for department, types in TAXONOMY_SPEC.items():
+        for product_type, leaves in types.items():
+            for leaf in leaves:
+                leaf_index.append((department, product_type, leaf))
+    products: List[ProductRecord] = []
+    for index in range(config.n_products):
+        department, product_type, leaf = leaf_index[int(rng.integers(0, len(leaf_index)))]
+        products.append(_generate_product(index, department, product_type, leaf, config, rng))
+    return ProductDomain(taxonomy=taxonomy, products=products, config=config)
+
+
+def _sample_true_values(
+    product_type: str, rng: np.random.Generator, style_strength: float = 0.75
+) -> Dict[str, str]:
+    """Sample a coherent attribute assignment for one product.
+
+    A latent *style* correlates attributes (premium lines pair dark roasts
+    with mocha, budget lines pair light roasts with vanilla, ...), the
+    structure real catalogs have and the reason value imputation from
+    attribute co-occurrence works at all.
+    """
+    style = int(rng.integers(0, 2))
+    values: Dict[str, str] = {}
+    for attribute, vocabulary in ATTRIBUTE_SPEC[product_type].items():
+        allowed = [
+            value
+            for value in vocabulary
+            if (product_type, attribute, value) not in FORBIDDEN_VALUES
+        ]
+        if len(allowed) > 1 and rng.random() < style_strength:
+            half = max(1, len(allowed) // 2)
+            pool = allowed[:half] if style == 0 else allowed[half:]
+        else:
+            pool = allowed
+        values[attribute] = pool[int(rng.integers(0, len(pool)))]
+    # Enforce contradiction-free truth: replace the second member with a
+    # value that conflicts with nothing currently assigned (a replacement
+    # drawn naively could itself trigger a different contradiction).
+    for (attr_a, value_a), (attr_b, value_b) in CONTRADICTIONS:
+        if values.get(attr_a) == value_a and values.get(attr_b) == value_b:
+            blocked = {value_b}
+            for (other_a, other_va), (other_b, other_vb) in CONTRADICTIONS:
+                if other_b == attr_b and values.get(other_a) == other_va:
+                    blocked.add(other_vb)
+                if other_a == attr_b and values.get(other_b) == other_vb:
+                    blocked.add(other_va)
+            vocabulary = [
+                value
+                for value in ATTRIBUTE_SPEC[product_type][attr_b]
+                if value not in blocked
+            ]
+            if vocabulary:
+                values[attr_b] = vocabulary[int(rng.integers(0, len(vocabulary)))]
+    return values
+
+
+def _labeled_segments(segments: List[Tuple[str, Optional[str]]]) -> LabeledText:
+    """Assemble token/span structure from (text, attribute-or-None) pieces."""
+    tokens: List[str] = []
+    spans: List[Tuple[int, int, str]] = []
+    for text, attribute in segments:
+        piece_tokens = text.split()
+        if not piece_tokens:
+            continue
+        start = len(tokens)
+        tokens.extend(piece_tokens)
+        if attribute is not None:
+            spans.append((start, len(tokens), attribute))
+    return LabeledText(tokens=tuple(tokens), spans=tuple(spans))
+
+
+def _mention_form(
+    value: str, config: ProductDomainConfig, rng: np.random.Generator
+) -> str:
+    """The surface form a value takes in text.
+
+    Multi-word values are occasionally mentioned by their head word only
+    ("dark" for "dark roast") — a classic source of boundary/normalization
+    errors that pipeline post-processing has to repair (Sec. 3.2).
+    """
+    words = value.split()
+    if len(words) > 1 and rng.random() < config.partial_mention_rate:
+        return words[0]
+    return value
+
+
+def _maybe_typo(
+    token: str, config: ProductDomainConfig, rng: np.random.Generator
+) -> str:
+    if len(token) > 3 and rng.random() < config.title_typo_rate:
+        position = int(rng.integers(1, len(token) - 1))
+        return token[:position] + token[position + 1 :]
+    return token
+
+
+def _generate_product(
+    index: int,
+    department: str,
+    product_type: str,
+    leaf: str,
+    config: ProductDomainConfig,
+    rng: np.random.Generator,
+) -> ProductRecord:
+    true_values = _sample_true_values(product_type, rng)
+    mentioned = {
+        attribute: _mention_form(value, config, rng)
+        for attribute, value in true_values.items()
+        if rng.random() < config.text_mention_rate
+    }
+
+    # Title: "<Brand> <filler> <value segments> <leaf type>".
+    brand = BRANDS[int(rng.integers(0, len(BRANDS)))]
+    segments: List[Tuple[str, Optional[str]]] = [(brand, None)]
+    if rng.random() < 0.5:
+        segments.append((_TITLE_FILLERS[int(rng.integers(0, len(_TITLE_FILLERS)))], None))
+    title_attributes = [
+        attribute for attribute in sorted(mentioned) if attribute not in ("size",)
+    ]
+    rng.shuffle(title_attributes)
+    for attribute in title_attributes[:3]:
+        segments.append((_maybe_typo(mentioned[attribute], config, rng), attribute))
+    segments.append((leaf, None))
+    if "size" in mentioned:
+        segments.append((mentioned["size"], "size"))
+    title = _labeled_segments(segments)
+
+    # Bullets: one sentence per mentioned attribute.
+    bullets: List[LabeledText] = []
+    for attribute in sorted(mentioned):
+        templates = _BULLET_TEMPLATES.get(attribute)
+        if not templates:
+            continue
+        template = templates[int(rng.integers(0, len(templates)))]
+        before, _, after = template.partition("{value}")
+        bullets.append(
+            _labeled_segments(
+                [(before, None), (mentioned[attribute], attribute), (after, None)]
+            )
+        )
+    # Distractor bullet: a value-looking phrase in non-assertive context
+    # (never labeled), drawn from the cross-type vocabulary of a sensory
+    # attribute so it collides with real value surface forms.
+    if rng.random() < config.distractor_rate:
+        distractor_pool = sorted(
+            {
+                value
+                for spec in ATTRIBUTE_SPEC.values()
+                for attr in ("flavor", "scent")
+                for value in spec.get(attr, ())
+                if value != true_values.get("flavor") and value != true_values.get("scent")
+            }
+        )
+        if distractor_pool:
+            distractor = distractor_pool[int(rng.integers(0, len(distractor_pool)))]
+            template = _DISTRACTOR_TEMPLATES[int(rng.integers(0, len(_DISTRACTOR_TEMPLATES)))]
+            before, _, after = template.partition("{value}")
+            bullets.append(
+                _labeled_segments([(before, None), (distractor, None), (after, None)])
+            )
+
+    # Catalog: missing + wrong values (the distant-supervision noise source).
+    catalog_values: Dict[str, str] = {}
+    for attribute, value in true_values.items():
+        if rng.random() < config.catalog_missing_rate:
+            continue
+        if rng.random() < config.catalog_error_rate:
+            vocabulary = [
+                candidate
+                for candidate in ATTRIBUTE_SPEC[product_type][attribute]
+                if candidate != value
+            ]
+            if vocabulary:
+                catalog_values[attribute] = vocabulary[int(rng.integers(0, len(vocabulary)))]
+                continue
+        catalog_values[attribute] = value
+
+    # Image channel: tokens derived from true values (even unmentioned ones)
+    # plus distractor tokens — PAM's extra signal.
+    image_tokens: List[str] = []
+    for attribute, value in true_values.items():
+        if rng.random() < config.image_mention_rate:
+            image_tokens.append(f"img:{value.split()[0]}")
+    for _ in range(config.image_distractor_count):
+        image_tokens.append(f"img:bg{int(rng.integers(0, 10))}")
+    rng.shuffle(image_tokens)
+
+    return ProductRecord(
+        product_id=f"B{index:06d}",
+        leaf_type=leaf,
+        product_type=product_type,
+        department=department,
+        title=title,
+        bullets=bullets,
+        true_values=true_values,
+        catalog_values=catalog_values,
+        image_tokens=image_tokens,
+    )

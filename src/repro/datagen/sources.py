@@ -1,0 +1,262 @@
+"""Derived structured sources — the knowledge-integration workload.
+
+"Each of these sources organizes its data in a different way" (Sec. 2.2).
+A :class:`StructuredSource` is a view of the ground-truth world with three
+kinds of heterogeneity injected, matching the taxonomy in the paper:
+
+* **schema heterogeneity** — a per-source field-name map, optionally
+  splitting ``name`` into ``first_name``/``last_name``;
+* **entity heterogeneity** — popularity-dependent coverage plus surface-form
+  variation of names (initials, reordering, typos, case);
+* **value heterogeneity** — numeric jitter, stale values, and missing
+  fields.
+
+Each record secretly remembers the world entity it derives from
+(``world_id``), which is how oracle labels for Fig. 2 are produced without
+human annotators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen import names
+from repro.datagen.world import World
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    """Heterogeneity knobs for one derived source."""
+
+    name: str
+    entity_classes: Tuple[str, ...] = ("Movie", "Person")
+    coverage_base: float = 0.95
+    coverage_floor: float = 0.25
+    split_person_name: bool = False
+    field_map: Optional[Dict[str, str]] = None
+    name_variation_rate: float = 0.3
+    value_noise_rate: float = 0.1
+    missing_rate: float = 0.1
+    seed: int = 0
+
+
+@dataclass
+class SourceRecord:
+    """One row of a structured source.
+
+    ``world_id`` is hidden ground truth used only by oracles/evaluation —
+    a real pipeline never reads it.
+    """
+
+    record_id: str
+    source: str
+    entity_class: str
+    fields: Dict[str, object]
+    world_id: str
+
+    def get(self, field_name: str, default=None):
+        """Field accessor mirroring dict semantics."""
+        return self.fields.get(field_name, default)
+
+
+@dataclass
+class StructuredSource:
+    """A bag of records sharing one source schema."""
+
+    name: str
+    records: List[SourceRecord] = field(default_factory=list)
+    field_map: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_class(self, entity_class: str) -> List[SourceRecord]:
+        """Records of one entity class."""
+        return [record for record in self.records if record.entity_class == entity_class]
+
+    def canonical_field(self, source_field: str) -> Optional[str]:
+        """Reverse-map a source field name to the canonical attribute."""
+        for canonical, mapped in self.field_map.items():
+            if mapped == source_field:
+                return canonical
+        return None
+
+    def field_names(self) -> List[str]:
+        """All field names appearing in any record."""
+        seen = set()
+        for record in self.records:
+            seen.update(record.fields)
+        return sorted(seen)
+
+
+_CANONICAL_FIELDS = {
+    "Person": ("name", "birth_year", "birth_place"),
+    "Movie": ("name", "release_year", "genre", "runtime", "directed_by"),
+    "Song": ("name", "genre", "performed_by"),
+}
+
+
+def derive_source(world: World, config: SourceConfig) -> StructuredSource:
+    """Materialize a noisy structured source from the ground-truth world."""
+    rng = np.random.default_rng(config.seed)
+    field_map = dict(config.field_map or {})
+    source = StructuredSource(name=config.name, field_map=field_map)
+    counter = 0
+    for entity_class in config.entity_classes:
+        for entity in world.truth.entities(entity_class):
+            coverage = world.popularity.coverage_probability(
+                entity.entity_id, base=config.coverage_base, floor=config.coverage_floor
+            )
+            if rng.random() > coverage:
+                continue
+            canonical = world.record_for(entity.entity_id)
+            fields = _render_fields(canonical, entity_class, config, field_map, rng)
+            counter += 1
+            source.records.append(
+                SourceRecord(
+                    record_id=f"{config.name}:{counter:06d}",
+                    source=config.name,
+                    entity_class=entity_class,
+                    fields=fields,
+                    world_id=entity.entity_id,
+                )
+            )
+    return source
+
+
+def _render_fields(
+    canonical: Dict[str, object],
+    entity_class: str,
+    config: SourceConfig,
+    field_map: Dict[str, str],
+    rng: np.random.Generator,
+) -> Dict[str, object]:
+    fields: Dict[str, object] = {}
+    for attribute in _CANONICAL_FIELDS.get(entity_class, ()):
+        value = canonical.get(attribute)
+        if value is None:
+            continue
+        if attribute != "name" and rng.random() < config.missing_rate:
+            continue
+        if attribute == "name":
+            value = _vary_name(str(value), config, rng)
+            if entity_class == "Person" and config.split_person_name:
+                parts = str(value).replace(",", "").split()
+                fields[field_map.setdefault("first_name", "first_name")] = parts[0]
+                fields[field_map.setdefault("last_name", "last_name")] = (
+                    " ".join(parts[1:]) if len(parts) > 1 else parts[0]
+                )
+                continue
+        else:
+            value = _noise_value(value, config, rng)
+        target_field = field_map.setdefault(attribute, attribute)
+        fields[target_field] = value
+    return fields
+
+
+def _vary_name(name: str, config: SourceConfig, rng: np.random.Generator) -> str:
+    if rng.random() < config.name_variation_rate:
+        return names.name_variant(rng, name)
+    return name
+
+
+def _noise_value(value, config: SourceConfig, rng: np.random.Generator):
+    if rng.random() >= config.value_noise_rate:
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        jitter = int(rng.integers(1, 4)) * (1 if rng.random() < 0.5 else -1)
+        return type(value)(value + jitter)
+    if isinstance(value, list):
+        if len(value) > 1 and rng.random() < 0.5:
+            drop = int(rng.integers(0, len(value)))
+            return [item for index, item in enumerate(value) if index != drop]
+        return value
+    if isinstance(value, str):
+        return names.typo(rng, value)
+    return value
+
+
+def default_source_pair(world: World, seed: int = 11) -> Tuple[StructuredSource, StructuredSource]:
+    """The Fig. 2 workload: a Freebase-like and an IMDb-like source.
+
+    Both cover movies and people; the IMDb-like source splits person names,
+    renames fields, covers deeper into the tail, and is noisier.
+    """
+    freebase_like = derive_source(
+        world,
+        SourceConfig(
+            name="freebase",
+            entity_classes=("Movie", "Person"),
+            coverage_base=0.98,
+            coverage_floor=0.45,
+            name_variation_rate=0.15,
+            value_noise_rate=0.05,
+            missing_rate=0.05,
+            seed=seed,
+        ),
+    )
+    imdb_like = derive_source(
+        world,
+        SourceConfig(
+            name="imdb",
+            entity_classes=("Movie", "Person"),
+            coverage_base=0.95,
+            coverage_floor=0.6,
+            split_person_name=True,
+            field_map={
+                "name": "title",
+                "release_year": "year",
+                "directed_by": "director",
+                "runtime": "length_minutes",
+                "birth_year": "born",
+                "birth_place": "origin",
+            },
+            name_variation_rate=0.35,
+            value_noise_rate=0.12,
+            missing_rate=0.12,
+            seed=seed + 1,
+        ),
+    )
+    return freebase_like, imdb_like
+
+
+def true_match(left: SourceRecord, right: SourceRecord) -> bool:
+    """Oracle: do two records describe the same world entity?"""
+    return left.world_id == right.world_id
+
+
+def conflicting_sources(
+    world: World,
+    n_sources: int = 5,
+    base_accuracy: Sequence[float] = (0.98, 0.95, 0.9, 0.8, 0.65),
+    seed: int = 23,
+) -> List[StructuredSource]:
+    """Sources of graded reliability for data-fusion experiments (Sec. 2.2/2.4).
+
+    ``base_accuracy[i]`` is the probability source ``i`` reports a correct
+    value for any field; errors are sampled independently, which is the
+    single-truth / independent-errors regime classic fusion assumes.
+    """
+    sources = []
+    for index in range(n_sources):
+        accuracy = base_accuracy[index % len(base_accuracy)]
+        noise_rate = 1.0 - accuracy
+        sources.append(
+            derive_source(
+                world,
+                SourceConfig(
+                    name=f"src{index}",
+                    entity_classes=("Movie", "Person"),
+                    coverage_base=0.9,
+                    coverage_floor=0.5,
+                    name_variation_rate=0.0,
+                    value_noise_rate=noise_rate,
+                    missing_rate=0.05,
+                    seed=seed + index,
+                ),
+            )
+        )
+    return sources

@@ -1,0 +1,189 @@
+"""Verbalization of world facts into natural-language sentences.
+
+Two consumers share these templates:
+
+* the text-extraction channel of web-scale harvesting (Sec. 2.4 — the
+  NELL / Knowledge Vault text channel), which needs sentences mentioning
+  entity pairs;
+* the synthetic LLM training corpus (Sec. 4), which needs fact mentions
+  whose frequency follows entity popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.world import World
+
+#: predicate -> sentence templates with {s} (subject) and {o} (object).
+TEMPLATES: Dict[str, Tuple[str, ...]] = {
+    "directed_by": (
+        "{s} was directed by {o} .",
+        "{o} directed the film {s} .",
+        "{s} , a film by {o} , drew large audiences .",
+    ),
+    "stars": (
+        "{s} stars {o} .",
+        "{o} appeared in {s} .",
+        "{o} gave a memorable performance in {s} .",
+    ),
+    "release_year": (
+        "{s} was released in {o} .",
+        "{s} premiered in {o} .",
+    ),
+    "genre": (
+        "{s} is a {o} title .",
+        "critics filed {s} under {o} .",
+    ),
+    "birth_place": (
+        "{s} was born in {o} .",
+        "{s} grew up in {o} .",
+    ),
+    "birth_year": (
+        "{s} was born in the year {o} .",
+    ),
+    "performed_by": (
+        "{s} is a song by {o} .",
+        "{o} performed {s} .",
+    ),
+    "featured_in": (
+        "{s} was featured in {o} .",
+        "the soundtrack of {o} includes {s} .",
+    ),
+    "runtime": (
+        "{s} runs for {o} minutes .",
+    ),
+}
+
+#: Relation-free connective phrases: noise that separates entity pairs
+#: without asserting a KG relation (the distant-supervision trap).
+NOISE_TEMPLATES: Tuple[str, ...] = (
+    "{s} was mentioned alongside {o} in the press .",
+    "{s} and {o} trended on the same day .",
+    "fans compared {s} with {o} .",
+)
+
+
+@dataclass(frozen=True)
+class TextMention:
+    """A sentence with its hidden ground truth."""
+
+    sentence: str
+    subject_text: str
+    object_text: str
+    predicate: Optional[str]  # None for noise sentences
+
+    @property
+    def is_noise(self) -> bool:
+        """True when the sentence asserts no KG relation."""
+        return self.predicate is None
+
+
+#: Templates verbalizing taxonomy (hypernym) statements.  Type relations
+#: are stated constantly and systematically in ordinary text, which is why
+#: "taxonomy is what LLMs are good at capturing" (Sec. 4).
+TAXONOMY_TEMPLATES: Tuple[str, ...] = (
+    "{child} is a kind of {parent} .",
+    "{child} , like any {parent} , sells briskly .",
+    "shoppers browsing {parent} often pick {child} .",
+)
+
+
+def _surface(world: World, value) -> str:
+    if isinstance(value, str) and world.truth.has_entity(value):
+        return world.truth.entity(value).name
+    return str(value)
+
+
+def generate_taxonomy_corpus(
+    pairs: Sequence[Tuple[str, str]],
+    repetitions: int = 4,
+    seed: int = 99,
+) -> List[TextMention]:
+    """Verbalize (child, parent) taxonomy pairs as text mentions.
+
+    Each pair is mentioned ``repetitions`` times through varied templates —
+    the abundance that makes parametric models reliable on type relations
+    while individual tail facts stay scarce.
+    """
+    rng = np.random.default_rng(seed)
+    mentions: List[TextMention] = []
+    for child, parent in pairs:
+        for _ in range(repetitions):
+            template = TAXONOMY_TEMPLATES[int(rng.integers(0, len(TAXONOMY_TEMPLATES)))]
+            mentions.append(
+                TextMention(
+                    sentence=template.format(child=child, parent=parent),
+                    subject_text=child,
+                    object_text=parent,
+                    predicate="hypernym",
+                )
+            )
+    return mentions
+
+
+def generate_text_corpus(
+    world: World,
+    n_sentences: int = 1200,
+    noise_rate: float = 0.3,
+    popularity_weighted: bool = True,
+    seed: int = 51,
+) -> List[TextMention]:
+    """Sentences verbalizing world facts, plus relation-free noise.
+
+    With ``popularity_weighted`` the subject entity of each sentence is
+    sampled by popularity — head facts get talked about much more, the key
+    mechanism behind the Sec. 4 head/tail accuracy gap.
+    """
+    rng = np.random.default_rng(seed)
+    facts: List[Tuple[str, str, object]] = [
+        triple.as_tuple()
+        for triple in world.truth.triples()
+        if triple.predicate in TEMPLATES
+    ]
+    facts_by_subject: Dict[str, List[Tuple[str, str, object]]] = {}
+    for subject, predicate, obj in facts:
+        facts_by_subject.setdefault(subject, []).append((subject, predicate, obj))
+    subjects = sorted(facts_by_subject)
+    mentions: List[TextMention] = []
+    entity_names = [entity.name for entity in world.truth.entities()]
+    while len(mentions) < n_sentences:
+        if rng.random() < noise_rate:
+            left = entity_names[int(rng.integers(0, len(entity_names)))]
+            right = entity_names[int(rng.integers(0, len(entity_names)))]
+            if left == right:
+                continue
+            template = NOISE_TEMPLATES[int(rng.integers(0, len(NOISE_TEMPLATES)))]
+            mentions.append(
+                TextMention(
+                    sentence=template.format(s=left, o=right),
+                    subject_text=left,
+                    object_text=right,
+                    predicate=None,
+                )
+            )
+            continue
+        if popularity_weighted:
+            subject = world.popularity.sample(rng, 1)[0]
+            if subject not in facts_by_subject:
+                continue
+        else:
+            subject = subjects[int(rng.integers(0, len(subjects)))]
+        subject_facts = facts_by_subject[subject]
+        _s, predicate, obj = subject_facts[int(rng.integers(0, len(subject_facts)))]
+        templates = TEMPLATES[predicate]
+        template = templates[int(rng.integers(0, len(templates)))]
+        subject_text = _surface(world, subject)
+        object_text = _surface(world, obj)
+        mentions.append(
+            TextMention(
+                sentence=template.format(s=subject_text, o=object_text),
+                subject_text=subject_text,
+                object_text=object_text,
+                predicate=predicate,
+            )
+        )
+    return mentions

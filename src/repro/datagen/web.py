@@ -1,0 +1,315 @@
+"""Synthetic semi-structured websites — the Fig. 3 extraction workload.
+
+"On the web there are numerous semi-structured websites, where each page
+represents a topic entity, and different pages display information in
+key-value pairs at relatively consistent locations across the pages. These
+websites are typically populated from large structured data sources."
+(Sec. 2.3)
+
+A :class:`SemiStructuredSite` is exactly that: pages rendered from world
+records through one of several templates (table / definition-list / div
+layouts), with per-site label vocabularies (``Director`` vs ``Directed by``
+vs ``Helmed by``), missing fields, boilerplate chrome that looks like
+key-value pairs (the OpenIE trap), template drift, and *open* attributes
+that exist on the page but not in the seed ontology (the OpenIE prize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen import names
+from repro.datagen.world import World
+from repro.extract.dom import DomNode, element, text_node
+
+#: Per-attribute label vocabularies; index = site label style.
+LABEL_STYLES: Dict[str, Sequence[str]] = {
+    "directed_by": ("Director", "Directed by", "Helmed by"),
+    "release_year": ("Year", "Release Year", "Released"),
+    "genre": ("Genre", "Category", "Style"),
+    "runtime": ("Runtime", "Length", "Minutes"),
+    "birth_year": ("Born", "Birth Year", "Year of Birth"),
+    "birth_place": ("Birthplace", "From", "Place of Birth"),
+    "performed_by": ("Artist", "Performed by", "Singer"),
+    # Open attributes: on pages, absent from the seed ontology.
+    "budget": ("Budget", "Production Budget", "Cost"),
+    "language": ("Language", "Spoken Language", "Audio"),
+    "occupation": ("Occupation", "Profession", "Known for"),
+}
+
+#: Which canonical (closed) attributes each domain's pages may carry.
+CLOSED_ATTRIBUTES: Dict[str, Tuple[str, ...]] = {
+    "Movie": ("directed_by", "release_year", "genre", "runtime"),
+    "Person": ("birth_year", "birth_place"),
+    "Song": ("performed_by", "genre"),
+}
+
+#: Open attributes (page-only knowledge) per domain.
+OPEN_ATTRIBUTES: Dict[str, Tuple[str, ...]] = {
+    "Movie": ("budget", "language"),
+    "Person": ("occupation",),
+    "Song": (),
+}
+
+_LANGUAGES = ("English", "French", "Spanish", "Japanese", "German", "Korean")
+_OCCUPATIONS = ("actor", "director", "producer", "writer", "composer")
+
+#: Boilerplate pairs that *look* like key-value knowledge but are site chrome.
+_BOILERPLATE_PAIRS = (
+    ("Share", "Facebook"),
+    ("Follow", "Newsletter"),
+    ("Rating", "Sign in to rate"),
+    ("Ads by", "WebAds Inc"),
+    ("More", "See all"),
+)
+
+#: Promo snippets placed inside the main content block.
+_PROMO_SNIPPETS = (
+    "New this week",
+    "4.5 stars",
+    "Editors pick",
+    "Trending now",
+    "In stock",
+)
+
+
+@dataclass(frozen=True)
+class WebsiteConfig:
+    """Template and noise knobs for one synthetic website."""
+
+    name: str
+    domain: str = "Movie"
+    template: str = "table"
+    n_pages: int = 40
+    label_style: int = 0
+    missing_rate: float = 0.12
+    drift_rate: float = 0.0
+    n_boilerplate: int = 3
+    #: Promo snippets rendered *inside* the main content block ("New this
+    #: week", star ratings).  Label-anchored extractors ignore them; purely
+    #: structural ones (zero-shot) can mistake them for values.
+    n_promos: int = 2
+    include_open_attributes: bool = True
+    seed: int = 0
+
+
+@dataclass
+class WebPage:
+    """One rendered page with its hidden ground truth.
+
+    ``closed_truth`` maps canonical attribute -> value text shown on the
+    page; ``open_truth`` maps the *surface label* of an open attribute to
+    its value text (there is no canonical name — that is what makes it
+    open knowledge).
+    """
+
+    url: str
+    root: DomNode
+    topic_world_id: str
+    topic_name: str
+    closed_truth: Dict[str, str] = field(default_factory=dict)
+    open_truth: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SemiStructuredSite:
+    """A website: homogeneous template, many topic pages."""
+
+    config: WebsiteConfig
+    pages: List[WebPage] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Site identifier."""
+        return self.config.name
+
+    def split(self, n_annotated: int) -> Tuple[List[WebPage], List[WebPage]]:
+        """First ``n_annotated`` pages for annotation, the rest for extraction."""
+        return self.pages[:n_annotated], self.pages[n_annotated:]
+
+
+def generate_site(world: World, config: WebsiteConfig) -> SemiStructuredSite:
+    """Render a website from the world's records."""
+    if config.domain not in CLOSED_ATTRIBUTES:
+        raise ValueError(f"unsupported site domain: {config.domain!r}")
+    rng = np.random.default_rng(config.seed)
+    entity_ids = world.entity_ids(config.domain)
+    if not entity_ids:
+        raise ValueError(f"world has no entities of class {config.domain!r}")
+    weights = np.array([world.popularity.weight(entity_id) for entity_id in entity_ids])
+    weights = weights / weights.sum()
+    n_pages = min(config.n_pages, len(entity_ids))
+    chosen = rng.choice(len(entity_ids), size=n_pages, replace=False, p=weights)
+    site = SemiStructuredSite(config=config)
+    for page_number, entity_index in enumerate(chosen):
+        entity_id = entity_ids[int(entity_index)]
+        page = _render_page(world, entity_id, config, rng, page_number)
+        site.pages.append(page)
+    return site
+
+
+def _attribute_label(attribute: str, style: int) -> str:
+    labels = LABEL_STYLES[attribute]
+    return labels[style % len(labels)]
+
+
+def _value_text(record: Dict[str, object], attribute: str) -> Optional[str]:
+    value = record.get(attribute)
+    if value is None:
+        return None
+    if isinstance(value, list):
+        value = value[0] if value else None
+        if value is None:
+            return None
+    return str(value)
+
+
+def _open_value(attribute: str, rng: np.random.Generator) -> str:
+    if attribute == "budget":
+        return f"${int(rng.integers(2, 200))} million"
+    if attribute == "language":
+        return names.pick(rng, _LANGUAGES)
+    if attribute == "occupation":
+        return names.pick(rng, _OCCUPATIONS)
+    raise ValueError(f"unknown open attribute: {attribute!r}")
+
+
+def _render_page(
+    world: World,
+    entity_id: str,
+    config: WebsiteConfig,
+    rng: np.random.Generator,
+    page_number: int,
+) -> WebPage:
+    record = world.record_for(entity_id)
+    topic_name = str(record["name"])
+    pairs: List[Tuple[str, str, str]] = []  # (canonical_or_label, label, value)
+    closed_truth: Dict[str, str] = {}
+    open_truth: Dict[str, str] = {}
+    for attribute in CLOSED_ATTRIBUTES[config.domain]:
+        value_text = _value_text(record, attribute)
+        if value_text is None or rng.random() < config.missing_rate:
+            continue
+        label = _attribute_label(attribute, config.label_style)
+        pairs.append((attribute, label, value_text))
+        closed_truth[attribute] = value_text
+    if config.include_open_attributes:
+        for attribute in OPEN_ATTRIBUTES[config.domain]:
+            if rng.random() < config.missing_rate:
+                continue
+            label = _attribute_label(attribute, config.label_style)
+            value_text = _open_value(attribute, rng)
+            pairs.append((attribute, label, value_text))
+            open_truth[label] = value_text
+
+    template = config.template
+    if config.drift_rate > 0 and rng.random() < config.drift_rate:
+        alternates = [name for name in ("table", "dl", "div") if name != config.template]
+        template = alternates[int(rng.integers(0, len(alternates)))]
+
+    root = _page_skeleton(config, topic_name, rng)
+    body = root.find_by_tag("body")[0]
+    main = body.find_by_class("main")[0]
+    _render_pairs(main, pairs, template)
+    return WebPage(
+        url=f"https://{config.name}/page/{page_number}",
+        root=root,
+        topic_world_id=entity_id,
+        topic_name=topic_name,
+        closed_truth=closed_truth,
+        open_truth=open_truth,
+    )
+
+
+def _page_skeleton(config: WebsiteConfig, topic_name: str, rng: np.random.Generator) -> DomNode:
+    root = element("html")
+    head = root.append(element("head"))
+    title = head.append(element("title"))
+    title.append(text_node(f"{topic_name} - {config.name}"))
+    body = root.append(element("body"))
+    nav = body.append(element("div", {"class": "nav"}))
+    for item in ("Home", "Browse", "About"):
+        link = nav.append(element("span", {"class": "navitem"}))
+        link.append(text_node(item))
+    main = body.append(element("div", {"class": "main"}))
+    heading = main.append(element("h1", {"class": "topic"}))
+    heading.append(text_node(topic_name))
+    for index in range(config.n_promos):
+        promo = main.append(element("div", {"class": "promo"}))
+        badge = promo.append(element("span", {"class": "badge"}))
+        badge.append(
+            text_node(_PROMO_SNIPPETS[int(rng.integers(0, len(_PROMO_SNIPPETS)))])
+        )
+    # Boilerplate key-value look-alikes: the OpenIE precision trap.
+    if config.n_boilerplate > 0:
+        aside = body.append(element("div", {"class": "aside"}))
+        for index in range(config.n_boilerplate):
+            key, value = _BOILERPLATE_PAIRS[index % len(_BOILERPLATE_PAIRS)]
+            row = aside.append(element("div", {"class": "widget"}))
+            key_node = row.append(element("span", {"class": "wkey"}))
+            key_node.append(text_node(f"{key}:"))
+            value_node = row.append(element("span", {"class": "wval"}))
+            value_node.append(text_node(value))
+    footer = body.append(element("div", {"class": "footer"}))
+    footer.append(text_node(f"(c) {config.name}"))
+    return root
+
+
+def _render_pairs(main: DomNode, pairs: List[Tuple[str, str, str]], template: str) -> None:
+    if template == "table":
+        table = main.append(element("table", {"class": "infobox"}))
+        for _attribute, label, value in pairs:
+            row = table.append(element("tr"))
+            header = row.append(element("th"))
+            header.append(text_node(label))
+            cell = row.append(element("td"))
+            cell.append(text_node(value))
+    elif template == "dl":
+        definition_list = main.append(element("dl", {"class": "facts"}))
+        for _attribute, label, value in pairs:
+            term = definition_list.append(element("dt"))
+            term.append(text_node(f"{label}:"))
+            definition = definition_list.append(element("dd"))
+            definition.append(text_node(value))
+    elif template == "div":
+        container = main.append(element("div", {"class": "attributes"}))
+        for _attribute, label, value in pairs:
+            row = container.append(element("div", {"class": "attr-row"}))
+            key_node = row.append(element("span", {"class": "attr-key"}))
+            key_node.append(text_node(f"{label}:"))
+            value_node = row.append(element("span", {"class": "attr-value"}))
+            value_node.append(text_node(value))
+    else:
+        raise ValueError(f"unknown template: {template!r}")
+
+
+def generate_web_corpus(
+    world: World,
+    n_sites: int = 6,
+    pages_per_site: int = 30,
+    seed: int = 100,
+) -> List[SemiStructuredSite]:
+    """A multi-site, multi-domain corpus for Fig. 3 / T-WEB experiments.
+
+    Sites rotate over domains, templates, and label styles so that no two
+    sites share an identical layout — the reason per-site wrapper induction
+    does not transfer, and the reason zero-shot extraction is interesting.
+    """
+    domains = ("Movie", "Person", "Song")
+    templates = ("table", "dl", "div")
+    sites = []
+    for index in range(n_sites):
+        config = WebsiteConfig(
+            name=f"site{index}.example.com",
+            domain=domains[index % len(domains)],
+            template=templates[index % len(templates)],
+            label_style=index % 3,
+            n_pages=pages_per_site,
+            missing_rate=0.1 + 0.04 * (index % 3),
+            seed=seed + index,
+        )
+        sites.append(generate_site(world, config))
+    return sites

@@ -1,0 +1,170 @@
+"""Web tables and HTML-annotation pages — the remaining Knowledge Vault
+content types (Sec. 2.4).
+
+"KV extracts knowledge from four types of web contents: texts,
+semi-structured data, web tables, and HTML annotations (e.g., according to
+schema.org)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen import names
+from repro.datagen.world import World
+from repro.extract.dom import DomNode, element, text_node
+
+#: Canonical attribute -> possible table-header labels.
+TABLE_HEADER_STYLES: Dict[str, Tuple[str, ...]] = {
+    "name": ("Title", "Name", "Work"),
+    "release_year": ("Year", "Released", "Release"),
+    "genre": ("Genre", "Kind"),
+    "directed_by": ("Director", "Directed By"),
+    "birth_year": ("Born", "Birth"),
+    "birth_place": ("Birthplace", "Home Town"),
+}
+
+#: schema.org-like itemprop vocabulary per canonical attribute.
+SCHEMA_ORG_PROPS: Dict[str, str] = {
+    "directed_by": "director",
+    "release_year": "datePublished",
+    "genre": "genre",
+    "birth_year": "birthDate",
+    "birth_place": "birthPlace",
+    "runtime": "duration",
+}
+
+
+@dataclass
+class WebTable:
+    """A relational web table about one entity class."""
+
+    table_id: str
+    entity_class: str
+    header: List[str]
+    canonical_columns: List[Optional[str]]  # hidden truth per column
+    rows: List[List[str]]
+    row_world_ids: List[str]
+
+
+def generate_web_tables(
+    world: World,
+    n_tables: int = 8,
+    rows_per_table: int = 12,
+    cell_noise_rate: float = 0.08,
+    seed: int = 61,
+) -> List[WebTable]:
+    """Generate entity tables with styled headers and noisy cells."""
+    rng = np.random.default_rng(seed)
+    class_columns = {
+        "Movie": ("name", "release_year", "genre", "directed_by"),
+        "Person": ("name", "birth_year", "birth_place"),
+    }
+    tables: List[WebTable] = []
+    for table_index in range(n_tables):
+        entity_class = ("Movie", "Person")[table_index % 2]
+        columns = class_columns[entity_class]
+        style = table_index % 2
+        header = [
+            TABLE_HEADER_STYLES[column][style % len(TABLE_HEADER_STYLES[column])]
+            for column in columns
+        ]
+        entity_ids = world.entity_ids(entity_class)
+        chosen = rng.choice(
+            len(entity_ids), size=min(rows_per_table, len(entity_ids)), replace=False
+        )
+        rows: List[List[str]] = []
+        row_world_ids: List[str] = []
+        for entity_index in chosen:
+            entity_id = entity_ids[int(entity_index)]
+            record = world.record_for(entity_id)
+            row = []
+            for column in columns:
+                value = record.get(column, "")
+                if isinstance(value, list):
+                    value = value[0] if value else ""
+                text = str(value)
+                if text and rng.random() < cell_noise_rate:
+                    text = names.typo(rng, text)
+                row.append(text)
+            rows.append(row)
+            row_world_ids.append(entity_id)
+        tables.append(
+            WebTable(
+                table_id=f"table{table_index}",
+                entity_class=entity_class,
+                header=header,
+                canonical_columns=list(columns),
+                rows=rows,
+                row_world_ids=row_world_ids,
+            )
+        )
+    return tables
+
+
+@dataclass
+class AnnotatedPage:
+    """A page whose value elements carry schema.org-like itemprops."""
+
+    url: str
+    root: DomNode
+    topic_world_id: str
+    truth: Dict[str, str]  # canonical attribute -> value text
+
+
+def generate_annotated_pages(
+    world: World,
+    n_pages: int = 30,
+    wrong_prop_rate: float = 0.08,
+    seed: int = 71,
+) -> List[AnnotatedPage]:
+    """Pages with microdata annotations, occasionally mis-annotated.
+
+    Annotation errors (a value tagged with the wrong itemprop) are the
+    reason annotation harvesting still needs knowledge fusion downstream.
+    """
+    rng = np.random.default_rng(seed)
+    prop_names = sorted(SCHEMA_ORG_PROPS.values())
+    class_attributes = {
+        "Movie": ("directed_by", "release_year", "genre", "runtime"),
+        "Person": ("birth_year", "birth_place"),
+    }
+    pages: List[AnnotatedPage] = []
+    for page_index in range(n_pages):
+        entity_class = ("Movie", "Person")[page_index % 2]
+        entity_ids = world.entity_ids(entity_class)
+        entity_id = entity_ids[int(rng.integers(0, len(entity_ids)))]
+        record = world.record_for(entity_id)
+        root = element("html")
+        body = root.append(element("body"))
+        scope = body.append(
+            element("div", {"itemscope": "", "itemtype": entity_class.lower()})
+        )
+        heading = scope.append(element("h1", {"itemprop": "name"}))
+        heading.append(text_node(str(record["name"])))
+        truth: Dict[str, str] = {}
+        for attribute in class_attributes[entity_class]:
+            value = record.get(attribute)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                value = value[0]
+            prop = SCHEMA_ORG_PROPS[attribute]
+            if rng.random() < wrong_prop_rate:
+                prop = prop_names[int(rng.integers(0, len(prop_names)))]
+            else:
+                truth[attribute] = str(value)
+            span = scope.append(element("span", {"itemprop": prop}))
+            span.append(text_node(str(value)))
+        pages.append(
+            AnnotatedPage(
+                url=f"https://annotated.example.com/{page_index}",
+                root=root,
+                topic_world_id=entity_id,
+                truth=truth,
+            )
+        )
+    return pages

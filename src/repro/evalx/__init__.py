@@ -1,0 +1,6 @@
+"""Experiment infrastructure: result tables and the experiment registry."""
+
+from repro.evalx.tables import ResultTable
+from repro.evalx.registry import EXPERIMENTS, Experiment
+
+__all__ = ["ResultTable", "EXPERIMENTS", "Experiment"]

@@ -1,0 +1,144 @@
+"""Registry mapping the paper's figures/claims to runnable experiments.
+
+One row per entry of the DESIGN.md per-experiment index.  Benchmarks look
+themselves up here so the paper linkage stays in one place, and the Sec. 5
+production-readiness bench iterates the registry to build its matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.lifecycle import CycleStage
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment tied to a paper artifact."""
+
+    experiment_id: str
+    paper_reference: str
+    claim: str
+    bench_module: str
+    stage: CycleStage
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in (
+        Experiment(
+            "FIG2",
+            "Figure 2 (Sec. 2.2)",
+            "Random-forest entity linkage reaches ~99% P/R with enough labels; "
+            "active learning reaches the same quality with orders of magnitude fewer labels.",
+            "benchmarks/test_fig2_entity_linkage.py",
+            CycleStage.REPEATABILITY,
+        ),
+        Experiment(
+            "FIG3",
+            "Figure 3 (Sec. 2.3)",
+            "ClosedIE (distantly supervised) exceeds 90% accuracy; OpenIE adds knowledge "
+            "volume at much lower accuracy; wrapper induction >95% but needs per-site annotation.",
+            "benchmarks/test_fig3_semistructured_extraction.py",
+            CycleStage.SCALABILITY,
+        ),
+        Experiment(
+            "FIG4",
+            "Figure 4 (Sec. 2.5 / 3.5)",
+            "Entity-based and text-rich construction architectures run end-to-end.",
+            "benchmarks/test_fig4_architectures.py",
+            CycleStage.REPEATABILITY,
+        ),
+        Experiment(
+            "FIG5",
+            "Figure 5 (Sec. 3.2)",
+            "The automated pipeline cuts manual work by an order of magnitude at "
+            "comparable extraction quality.",
+            "benchmarks/test_fig5_pipeline_cost.py",
+            CycleStage.REPEATABILITY,
+        ),
+        Experiment(
+            "T-WEB",
+            "Sec. 2.4 numbers",
+            "Semi-structured sources dominate high-confidence web extraction "
+            "(94M of KV's 100M triples); text extraction is noisy; fusion calibrates.",
+            "benchmarks/test_web_scale_fusion.py",
+            CycleStage.UBIQUITY,
+        ),
+        Experiment(
+            "T-LINKPRED",
+            "Sec. 2.4 fusion methods",
+            "PRA and embedding link prediction separate true from corrupted triples.",
+            "benchmarks/test_link_prediction.py",
+            CycleStage.UBIQUITY,
+        ),
+        Experiment(
+            "T-OPENTAG",
+            "Sec. 3.1/3.2",
+            "Raw NER extraction lands at 85-95%; pipeline post-processing lifts it above 95%.",
+            "benchmarks/test_opentag_quality.py",
+            CycleStage.QUALITY,
+        ),
+        Experiment(
+            "T-TXTRACT",
+            "Sec. 3.3",
+            "One type-aware model beats the pooled OpenTag baseline across all types.",
+            "benchmarks/test_txtract_multitype.py",
+            CycleStage.SCALABILITY,
+        ),
+        Experiment(
+            "T-ADATAG",
+            "Sec. 3.3",
+            "One attribute-conditioned model beats one-model-per-attribute.",
+            "benchmarks/test_adatag_multiattribute.py",
+            CycleStage.SCALABILITY,
+        ),
+        Experiment(
+            "T-PAM",
+            "Sec. 3.4",
+            "Multi-modal extraction beats text-only and recovers values unseen in text.",
+            "benchmarks/test_pam_multimodal.py",
+            CycleStage.UBIQUITY,
+        ),
+        Experiment(
+            "T-AUTOKNOW",
+            "Sec. 3.5",
+            "The self-driving pipeline multiplies catalog knowledge across all types "
+            "while extending the taxonomy.",
+            "benchmarks/test_autoknow_scale.py",
+            CycleStage.SCALABILITY,
+        ),
+        Experiment(
+            "T-LLMQA",
+            "Sec. 4 study",
+            "LM QA: ~20% hallucination, ~50% missing; head accuracy ~50% vs tail ~15%; "
+            "head hallucination stays ~20%.",
+            "benchmarks/test_llm_qa_hallucination.py",
+            CycleStage.FEASIBILITY,
+        ),
+        Experiment(
+            "T-DUAL",
+            "Sec. 4 'the future'",
+            "Dual routing (triples + LM) beats either pure strategy, including on "
+            "post-training (recent) knowledge.",
+            "benchmarks/test_dual_neural_kg.py",
+            CycleStage.FEASIBILITY,
+        ),
+        Experiment(
+            "T-GROWTH",
+            "Sec. 2.5",
+            "Each construction stage grows the KG; extraction adds long-tail knowledge "
+            "curated sources miss.",
+            "benchmarks/test_kg_growth.py",
+            CycleStage.SCALABILITY,
+        ),
+        Experiment(
+            "T-SUCCESS",
+            "Sec. 5",
+            "Techniques split into industry successes vs not-yet by the ready+essential test.",
+            "benchmarks/test_production_readiness.py",
+            CycleStage.UBIQUITY,
+        ),
+    )
+}

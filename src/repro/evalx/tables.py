@@ -1,0 +1,76 @@
+"""Plain-text result tables printed by every benchmark.
+
+Benchmarks reproduce the paper's figures as tables of the same series; the
+formatting here keeps the output diff-friendly and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A titled table with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[object]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def _format_cell(self, value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        """The table as an aligned plain-text block."""
+        header = [str(column) for column in self.columns]
+        body = [[self._format_cell(value) for value in row] for row in self.rows]
+        widths = [len(column) for column in header]
+        for row in body:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(column.ljust(widths[i]) for i, column in enumerate(header)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table (benchmarks call this).
+
+        When the ``REPRO_RESULTS_DIR`` environment variable is set, the
+        table is additionally written there as a text file (pytest captures
+        stdout, so this is how benchmark runs persist their tables).
+        """
+        print()
+        print(self.render())
+        directory = os.environ.get("REPRO_RESULTS_DIR")
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+            slug = re.sub(r"[^a-z0-9]+", "_", self.title.lower()).strip("_")[:70]
+            path = os.path.join(directory, f"{slug}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(self.render() + "\n")
+
+    def column_values(self, column: str) -> List[object]:
+        """All values of one column (for assertions in benches/tests)."""
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}")
+        index = list(self.columns).index(column)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,49 @@
+"""Knowledge extraction from the (synthetic) web — Sec. 2.3 and 2.4.
+
+Implements the three progressively-more-scalable technique families for
+semi-structured websites plus the remaining web content types of Knowledge
+Vault:
+
+* :mod:`repro.extract.dom` — a minimal HTML/DOM substrate with XPath-like
+  addressing (websites are "populated from underlying databases using some
+  templates", and every extractor below keys on that regularity);
+* :mod:`repro.extract.wrapper` — wrapper induction (per-site annotations →
+  XPath rules, Kushmerick-style);
+* :mod:`repro.extract.distant` — distantly supervised ClosedIE
+  (Ceres-style: seed KG + page structure → per-site training data → model);
+* :mod:`repro.extract.openie` — OpenIE over semi-structured pages
+  (OpenCeres-style: extract (attribute, value) pairs for unknown
+  attributes);
+* :mod:`repro.extract.zeroshot` — GNN-based zero-shot extraction
+  (ZeroShotCeres-style: one model across sites and domains);
+* :mod:`repro.extract.textie` — text-pattern relation extraction
+  (NELL/Knowledge Vault text channel);
+* :mod:`repro.extract.webtables` — web-table extraction;
+* :mod:`repro.extract.annotations` — schema.org-annotation harvesting.
+"""
+
+from repro.extract.dom import DomNode, element, parse_html, render_html, text_node
+from repro.extract.wrapper import InducedWrapper, WrapperInducer
+from repro.extract.distant import CeresExtractor, DistantSupervisor
+from repro.extract.openie import OpenIEExtractor
+from repro.extract.zeroshot import ZeroShotExtractor
+from repro.extract.textie import TextPatternExtractor
+from repro.extract.webtables import WebTableExtractor
+from repro.extract.annotations import AnnotationExtractor
+
+__all__ = [
+    "DomNode",
+    "element",
+    "parse_html",
+    "render_html",
+    "text_node",
+    "InducedWrapper",
+    "WrapperInducer",
+    "CeresExtractor",
+    "DistantSupervisor",
+    "OpenIEExtractor",
+    "ZeroShotExtractor",
+    "TextPatternExtractor",
+    "WebTableExtractor",
+    "AnnotationExtractor",
+]

@@ -1,0 +1,65 @@
+"""HTML-annotation (schema.org microdata) harvesting — a KV channel.
+
+The easiest of the four Knowledge Vault content types (Sec. 2.4): site
+owners label values explicitly with ``itemprop`` attributes, so extraction
+is a vocabulary mapping.  Quality is bounded by annotation mistakes on the
+pages themselves, which is why even this channel feeds into fusion rather
+than straight into the KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.triple import AttributedTriple, Provenance, Triple
+from repro.extract.dom import DomNode
+
+#: Default microdata-vocabulary -> canonical-attribute mapping.
+DEFAULT_PROP_MAP: Dict[str, str] = {
+    "director": "directed_by",
+    "datePublished": "release_year",
+    "genre": "genre",
+    "birthDate": "birth_year",
+    "birthPlace": "birth_place",
+    "duration": "runtime",
+}
+
+
+@dataclass
+class AnnotationExtractor:
+    """Reads itemprop-annotated values off a page."""
+
+    prop_map: Dict[str, str] = field(default_factory=lambda: dict(DEFAULT_PROP_MAP))
+    confidence: float = 0.9
+
+    def extract(self, page_root: DomNode, source: str = "html_annotations") -> List[AttributedTriple]:
+        """Emit one triple per mapped itemprop value on the page."""
+        topic: Optional[str] = None
+        pairs: List[Dict[str, str]] = []
+        for node in page_root.elements():
+            prop = node.attributes.get("itemprop")
+            if prop is None:
+                continue
+            text = node.text_content()
+            if not text:
+                continue
+            if prop == "name" and topic is None:
+                topic = text
+                continue
+            attribute = self.prop_map.get(prop)
+            if attribute is not None:
+                pairs.append({"attribute": attribute, "value": text})
+        if topic is None:
+            return []
+        triples = []
+        for pair in pairs:
+            triples.append(
+                AttributedTriple(
+                    Triple(topic, pair["attribute"], pair["value"]),
+                    Provenance(
+                        source=source, extractor="schema_org", confidence=self.confidence
+                    ),
+                )
+            )
+        return triples

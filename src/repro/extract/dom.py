@@ -1,0 +1,360 @@
+"""A minimal DOM with XPath-like addressing.
+
+Semi-structured websites "display information in key-value pairs at
+relatively consistent locations across the pages" (Sec. 2.3); every
+extractor in this subpackage operates on the tree structure modeled here.
+The module provides:
+
+* :class:`DomNode` — an element/text tree with parents, attributes, and
+  preorder traversal;
+* absolute paths of the form ``/html[1]/body[1]/div[2]/span[1]`` (the
+  wrapper-induction rule language) with :meth:`DomNode.absolute_path` and
+  :func:`resolve_path`;
+* a forgiving HTML parser built on :mod:`html.parser`;
+* structural feature extraction for the GNN-based zero-shot extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class DomNode:
+    """One node of the DOM: an element (with tag) or a text node."""
+
+    def __init__(
+        self,
+        tag: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ):
+        if tag is None and not text:
+            raise ValueError("a DomNode is either an element (tag) or a text node (text)")
+        self.tag = tag
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.text = text
+        self.children: List["DomNode"] = []
+        self.parent: Optional["DomNode"] = None
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @property
+    def is_text(self) -> bool:
+        """True for text nodes."""
+        return self.tag is None
+
+    def append(self, child: "DomNode") -> "DomNode":
+        """Attach a child; returns the child for chaining."""
+        if self.is_text:
+            raise ValueError("text nodes cannot have children")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # traversal
+
+    def iter(self) -> Iterator["DomNode"]:
+        """Preorder traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def elements(self) -> Iterator["DomNode"]:
+        """Preorder traversal over element nodes only."""
+        for node in self.iter():
+            if not node.is_text:
+                yield node
+
+    def text_nodes(self) -> Iterator["DomNode"]:
+        """Preorder traversal over text nodes only."""
+        for node in self.iter():
+            if node.is_text:
+                yield node
+
+    def text_content(self) -> str:
+        """Concatenated text of the subtree, whitespace-normalized."""
+        pieces = [node.text for node in self.iter() if node.is_text]
+        return " ".join(" ".join(pieces).split())
+
+    def find_all(self, predicate: Callable[["DomNode"], bool]) -> List["DomNode"]:
+        """All subtree nodes satisfying a predicate."""
+        return [node for node in self.iter() if predicate(node)]
+
+    def find_by_tag(self, tag: str) -> List["DomNode"]:
+        """All subtree elements with the given tag."""
+        return self.find_all(lambda node: node.tag == tag)
+
+    def find_by_class(self, class_name: str) -> List["DomNode"]:
+        """All subtree elements whose ``class`` attribute contains the name."""
+        return self.find_all(
+            lambda node: not node.is_text
+            and class_name in node.attributes.get("class", "").split()
+        )
+
+    # ------------------------------------------------------------------
+    # position / addressing
+
+    def depth(self) -> int:
+        """Distance to the root (root depth = 0)."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def root(self) -> "DomNode":
+        """The tree root."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def sibling_index(self) -> int:
+        """1-based index among same-tag siblings (XPath convention)."""
+        if self.parent is None:
+            return 1
+        index = 0
+        for sibling in self.parent.children:
+            if sibling.tag == self.tag:
+                index += 1
+            if sibling is self:
+                return index
+        raise RuntimeError("node not found among its parent's children")
+
+    def absolute_path(self) -> str:
+        """XPath-like absolute address, e.g. ``/html[1]/body[1]/div[2]``.
+
+        Text nodes address as ``.../text()[k]``.
+        """
+        steps: List[str] = []
+        node = self
+        while node.parent is not None:
+            if node.is_text:
+                position = 0
+                for sibling in node.parent.children:
+                    if sibling.is_text:
+                        position += 1
+                    if sibling is node:
+                        break
+                steps.append(f"text()[{position}]")
+            else:
+                steps.append(f"{node.tag}[{node.sibling_index()}]")
+            node = node.parent
+        steps.append(f"{node.tag}[1]")
+        return "/" + "/".join(reversed(steps))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_text:
+            return f"DomNode(text={self.text!r})"
+        return f"DomNode(<{self.tag}> children={len(self.children)})"
+
+
+def element(tag: str, attributes: Optional[Dict[str, str]] = None) -> DomNode:
+    """Shorthand element constructor."""
+    return DomNode(tag=tag, attributes=attributes)
+
+
+def text_node(text: str) -> DomNode:
+    """Shorthand text-node constructor."""
+    return DomNode(text=text)
+
+
+def resolve_path(root: DomNode, path: str) -> Optional[DomNode]:
+    """Follow an absolute path produced by :meth:`DomNode.absolute_path`.
+
+    Returns ``None`` when the path does not exist in this tree — the normal
+    outcome when a wrapper rule meets a page with a missing field.
+    """
+    if not path.startswith("/"):
+        raise ValueError(f"expected an absolute path, got {path!r}")
+    steps = [step for step in path.split("/") if step]
+    node = root
+    first = steps[0]
+    tag, index = _parse_step(first)
+    if node.tag != tag or index != 1:
+        return None
+    for step in steps[1:]:
+        tag, index = _parse_step(step)
+        count = 0
+        found = None
+        for child in node.children:
+            if tag == "text()":
+                if child.is_text:
+                    count += 1
+            elif child.tag == tag:
+                count += 1
+            else:
+                continue
+            if count == index:
+                found = child
+                break
+        if found is None:
+            return None
+        node = found
+    return node
+
+
+def _parse_step(step: str) -> Tuple[str, int]:
+    if "[" not in step:
+        return step, 1
+    tag, _, rest = step.partition("[")
+    return tag, int(rest.rstrip("]"))
+
+
+def preceding_text(node: DomNode) -> Optional[str]:
+    """Text of the nearest preceding text node in document order.
+
+    On key-value templates this is the *label* of a value node
+    ("Director:" before "Jane Doe") — the left landmark classic wrapper
+    induction (HLRT) keys on, and the strongest Ceres feature.
+    """
+    root = node.root()
+    previous = None
+    for candidate in root.text_nodes():
+        if candidate is node:
+            return previous
+        previous = candidate.text
+    return None
+
+
+class _Parser(HTMLParser):
+    """Forgiving HTML parser building a :class:`DomNode` tree."""
+
+    VOID_TAGS = {"br", "hr", "img", "meta", "link", "input"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.root: Optional[DomNode] = None
+        self._stack: List[DomNode] = []
+
+    def handle_starttag(self, tag, attrs):
+        node = DomNode(tag=tag, attributes={key: (value or "") for key, value in attrs})
+        if self._stack:
+            self._stack[-1].append(node)
+        elif self.root is None:
+            self.root = node
+        if tag not in self.VOID_TAGS:
+            self._stack.append(node)
+
+    def handle_endtag(self, tag):
+        # Pop to the matching open tag, tolerating mis-nesting.
+        for index in range(len(self._stack) - 1, -1, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                break
+
+    def handle_data(self, data):
+        stripped = data.strip()
+        if stripped and self._stack:
+            self._stack[-1].append(DomNode(text=stripped))
+
+
+def parse_html(html: str) -> DomNode:
+    """Parse an HTML string to a DOM tree (single root expected)."""
+    parser = _Parser()
+    parser.feed(html)
+    if parser.root is None:
+        raise ValueError("no element found in HTML input")
+    return parser.root
+
+
+def render_html(node: DomNode, indent: int = 0) -> str:
+    """Serialize a DOM tree back to (pretty-printed) HTML."""
+    pad = "  " * indent
+    if node.is_text:
+        return f"{pad}{node.text}"
+    attributes = "".join(
+        f' {key}="{value}"' for key, value in sorted(node.attributes.items())
+    )
+    if not node.children:
+        return f"{pad}<{node.tag}{attributes}></{node.tag}>"
+    inner = "\n".join(render_html(child, indent + 1) for child in node.children)
+    return f"{pad}<{node.tag}{attributes}>\n{inner}\n{pad}</{node.tag}>"
+
+
+# ----------------------------------------------------------------------
+# structural features (used by the zero-shot GNN extractor)
+
+#: Coarse tag *roles* rather than tag identities: identities such as td/dd
+#: are template-specific and would block transfer to sites that render
+#: key-value pairs with other markup (the whole point of zero-shot
+#: extraction).  Headings keep an indicator because they are universal.
+_HEADING_TAGS = ("h1", "h2", "h3", "title")
+
+
+def _heading_block(root: DomNode) -> Optional[DomNode]:
+    """The element containing the page's main heading (h1), if any."""
+    headings = root.find_by_tag("h1")
+    if not headings:
+        return None
+    return headings[0].parent
+
+
+def _is_descendant(node: DomNode, ancestor: Optional[DomNode]) -> bool:
+    if ancestor is None:
+        return False
+    walker = node
+    while walker is not None:
+        if walker is ancestor:
+            return True
+        walker = walker.parent
+    return False
+
+
+def node_features(node: DomNode) -> List[float]:
+    """Language-agnostic structural features of one DOM node.
+
+    ZeroShotCeres' key intuition: topic/attribute/value roles are guessable
+    from layout alone, "without necessarily understanding the language"
+    (Sec. 2.3).  So the features avoid word identity: tag indicators, depth,
+    sibling position, text length statistics, digit/uppercase ratios, a
+    key-ish punctuation cue (trailing colon), and visual-block proximity to
+    the page heading (the stand-in for the original's rendered-layout
+    features — main-content values sit in the same block as the title,
+    chrome does not).
+    """
+    text = node.text_content()
+    tag = node.tag if not node.is_text else "#text"
+    features = [
+        1.0 if tag in _HEADING_TAGS else 0.0,
+        1.0 if (node.parent is not None and node.parent.tag in _HEADING_TAGS) else 0.0,
+        # Sibling fan-out of the parent: repeated units (rows) have many
+        # same-tag siblings, chrome and headings have few.
+        min(len(node.parent.children), 10) / 10.0 if node.parent is not None else 0.0,
+    ]
+    features.append(1.0 if node.is_text else 0.0)
+    features.append(min(node.depth(), 12) / 12.0)
+    features.append(min(node.sibling_index(), 8) / 8.0)
+    features.append(min(len(text), 80) / 80.0)
+    features.append(min(len(text.split()), 15) / 15.0)
+    digits = sum(1 for char in text if char.isdigit())
+    features.append(digits / max(len(text), 1))
+    uppers = sum(1 for char in text if char.isupper())
+    features.append(uppers / max(len(text), 1))
+    features.append(1.0 if text.endswith(":") else 0.0)
+    features.append(1.0 if len(node.children) == 0 else 0.0)
+    features.append(1.0 if _is_descendant(node, _heading_block(node.root())) else 0.0)
+    return features
+
+
+def layout_edges(root: DomNode) -> List[Tuple[int, int]]:
+    """Edges of the page layout graph over preorder node indices.
+
+    Parent-child plus adjacent-sibling edges, which is the graph
+    ZeroShotCeres-style models message-pass over.
+    """
+    index_of = {id(node): index for index, node in enumerate(root.iter())}
+    edges: List[Tuple[int, int]] = []
+    for node in root.iter():
+        for position, child in enumerate(node.children):
+            edges.append((index_of[id(node)], index_of[id(child)]))
+            if position > 0:
+                edges.append(
+                    (index_of[id(node.children[position - 1])], index_of[id(child)])
+                )
+    return edges

@@ -1,0 +1,123 @@
+"""OpenIE over semi-structured pages (OpenCeres-style) — Sec. 2.3.
+
+"OpenCeres further extends this method to annotate (attribute, value)
+pairs, allowing extracting knowledge for unknown attributes (thus OpenIE)."
+
+The extractor detects *repeated key-value layout units* without any seed
+vocabulary: runs of sibling elements rendering two text pieces each (table
+rows, dt/dd runs, key/value span rows).  Everything that looks like a pair
+is emitted — including navigation widgets and social-sharing chrome — which
+is precisely why "the quality has not been satisfactory for production"
+(Sec. 5): the volume goes up, the accuracy goes down, and Fig. 3 shows the
+gap.
+
+When seed pairs from a ClosedIE pass are supplied, layout units that
+co-occur with seed-confirmed pairs get boosted confidence (the OpenCeres
+trick of anchoring open extraction on closed annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.extract.dom import DomNode
+
+
+@dataclass(frozen=True)
+class OpenPair:
+    """An open (attribute_text, value_text) extraction with confidence."""
+
+    attribute: str
+    value: str
+    confidence: float
+
+
+def _two_text_unit(node: DomNode) -> Optional[Tuple[str, str]]:
+    """If the element renders exactly two text pieces, return them."""
+    texts = [text.text for text in node.text_nodes()]
+    if len(texts) != 2:
+        return None
+    key = texts[0].strip().rstrip(":").strip()
+    value = texts[1].strip()
+    if not key or not value:
+        return None
+    return key, value
+
+
+def _dl_pairs(parent: DomNode) -> List[Tuple[str, str]]:
+    """Pair consecutive dt/dd children of a definition list."""
+    pairs: List[Tuple[str, str]] = []
+    pending_key: Optional[str] = None
+    for child in parent.children:
+        if child.tag == "dt":
+            pending_key = child.text_content().rstrip(":").strip()
+        elif child.tag == "dd" and pending_key:
+            value = child.text_content()
+            if value:
+                pairs.append((pending_key, value))
+            pending_key = None
+    return pairs
+
+
+@dataclass
+class OpenIEExtractor:
+    """Seedless key-value pair extraction from layout regularity."""
+
+    min_repetition: int = 2
+    base_confidence: float = 0.6
+    seed_boost: float = 0.3
+
+    def extract(
+        self,
+        page_root: DomNode,
+        seed_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> List[OpenPair]:
+        """Extract open pairs from one page.
+
+        ``seed_pairs`` (attribute, value) from a ClosedIE pass raise the
+        confidence of units sharing a container with a confirmed pair.
+        """
+        seeds: Set[Tuple[str, str]] = {
+            (key.lower(), value.lower()) for key, value in (seed_pairs or [])
+        }
+        results: List[OpenPair] = []
+        for parent in page_root.elements():
+            units: List[Tuple[str, str]] = []
+            if parent.tag == "dl":
+                units = _dl_pairs(parent)
+            else:
+                child_units = []
+                for child in parent.children:
+                    if child.is_text:
+                        continue
+                    unit = _two_text_unit(child)
+                    if unit is not None:
+                        child_units.append(unit)
+                # Repetition of sibling units is the template signature.
+                if len(child_units) >= self.min_repetition:
+                    units = child_units
+            if len(units) < self.min_repetition:
+                continue
+            container_has_seed = any(
+                (key.lower(), value.lower()) in seeds for key, value in units
+            )
+            repetition_bonus = min(len(units), 6) / 30.0
+            for key, value in units:
+                confidence = self.base_confidence + repetition_bonus
+                if container_has_seed:
+                    confidence += self.seed_boost
+                results.append(
+                    OpenPair(attribute=key, value=value, confidence=min(confidence, 0.99))
+                )
+        return _deduplicate(results)
+
+
+def _deduplicate(pairs: List[OpenPair]) -> List[OpenPair]:
+    best: Dict[Tuple[str, str], OpenPair] = {}
+    for pair in pairs:
+        key = (pair.attribute.lower(), pair.value.lower())
+        current = best.get(key)
+        if current is None or pair.confidence > current.confidence:
+            best[key] = pair
+    return sorted(best.values(), key=lambda pair: (-pair.confidence, pair.attribute, pair.value))

@@ -1,0 +1,148 @@
+"""Bootstrapped text-pattern relation extraction — the web-text channel.
+
+This is the Snowball / NELL / Knowledge Vault style of distant supervision
+over free text (Sec. 2.4): seed facts locate entity-pair mentions, the text
+between the entities becomes a pattern, pattern reliability is estimated
+from how often it co-occurs with seed facts, and reliable patterns then
+extract *new* pairs.  "The training data and thus the extractions are often
+noisy" — connective phrases that co-occur with seed pairs by coincidence
+become unreliable patterns, which is what the downstream fusion layer has
+to clean up.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.triple import AttributedTriple, Provenance, Triple
+
+
+@dataclass(frozen=True)
+class PatternStats:
+    """Reliability bookkeeping for one textual pattern."""
+
+    pattern: str
+    predicate: str
+    positive: int
+    total: int
+
+    @property
+    def confidence(self) -> float:
+        """Laplace-smoothed precision of the pattern for its predicate."""
+        return (self.positive + 1.0) / (self.total + 2.0)
+
+
+def _find_mentions(
+    sentence: str, entity_names: Sequence[str]
+) -> List[Tuple[str, str, str]]:
+    """All ordered (left_entity, middle_text, right_entity) mentions.
+
+    Longest-name-first matching avoids matching "Ann" inside "Annette".
+    """
+    hits: List[Tuple[int, int, str]] = []
+    lowered = sentence.lower()
+    taken: List[Tuple[int, int]] = []
+    for name in sorted(entity_names, key=len, reverse=True):
+        start = 0
+        needle = name.lower()
+        while True:
+            index = lowered.find(needle, start)
+            if index < 0:
+                break
+            end = index + len(needle)
+            if not any(s < end and index < e for s, e in taken):
+                hits.append((index, end, name))
+                taken.append((index, end))
+            start = end
+    hits.sort()
+    mentions = []
+    for position in range(len(hits) - 1):
+        left_start, left_end, left_name = hits[position]
+        right_start, _right_end, right_name = hits[position + 1]
+        middle = sentence[left_end:right_start]
+        mentions.append((left_name, _normalize_pattern(middle), right_name))
+    return mentions
+
+
+def _normalize_pattern(text: str) -> str:
+    collapsed = re.sub(r"\s+", " ", text.strip().lower())
+    collapsed = re.sub(r"\d+", "#", collapsed)
+    return collapsed
+
+
+@dataclass
+class TextPatternExtractor:
+    """Distantly supervised pattern learner over sentences."""
+
+    min_pattern_support: int = 3
+    min_confidence: float = 0.6
+    patterns_: Dict[str, PatternStats] = field(default_factory=dict, init=False)
+
+    def fit(
+        self,
+        sentences: Sequence[str],
+        seed_facts: Set[Tuple[str, str, str]],
+        entity_names: Sequence[str],
+    ) -> "TextPatternExtractor":
+        """Learn pattern reliabilities from seed-fact co-occurrence.
+
+        ``seed_facts`` contains (subject_text, predicate, object_text)
+        with surface-form entity names.
+        """
+        seeds_by_pair: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        for subject, predicate, obj in seed_facts:
+            seeds_by_pair[(subject.lower(), obj.lower())].add(predicate)
+        pattern_predicate_counts: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        pattern_totals: Dict[str, int] = defaultdict(int)
+        for sentence in sentences:
+            for left, pattern, right in _find_mentions(sentence, entity_names):
+                pattern_totals[pattern] += 1
+                for predicate in seeds_by_pair.get((left.lower(), right.lower()), ()):
+                    pattern_predicate_counts[pattern][predicate] += 1
+        self.patterns_ = {}
+        for pattern, total in pattern_totals.items():
+            if total < self.min_pattern_support:
+                continue
+            predicate_counts = pattern_predicate_counts.get(pattern)
+            if not predicate_counts:
+                continue
+            predicate, positive = max(predicate_counts.items(), key=lambda item: item[1])
+            stats = PatternStats(
+                pattern=pattern, predicate=predicate, positive=positive, total=total
+            )
+            if stats.confidence >= self.min_confidence:
+                self.patterns_[pattern] = stats
+        return self
+
+    def extract(
+        self, sentences: Sequence[str], entity_names: Sequence[str], source: str = "web_text"
+    ) -> List[AttributedTriple]:
+        """Apply learned patterns to sentences, emitting scored triples."""
+        if not self.patterns_:
+            raise RuntimeError("extractor has no patterns; call fit first")
+        extracted: Dict[Tuple[str, str, str], float] = {}
+        for sentence in sentences:
+            for left, pattern, right in _find_mentions(sentence, entity_names):
+                stats = self.patterns_.get(pattern)
+                if stats is None:
+                    continue
+                key = (left, stats.predicate, right)
+                extracted[key] = max(extracted.get(key, 0.0), stats.confidence)
+        triples = []
+        for (subject, predicate, obj), confidence in sorted(extracted.items()):
+            triples.append(
+                AttributedTriple(
+                    Triple(subject, predicate, obj),
+                    Provenance(source=source, extractor="text_pattern", confidence=confidence),
+                )
+            )
+        return triples
+
+    def pattern_table(self) -> List[PatternStats]:
+        """Learned patterns sorted by confidence (for inspection/tests)."""
+        return sorted(
+            self.patterns_.values(), key=lambda stats: (-stats.confidence, stats.pattern)
+        )

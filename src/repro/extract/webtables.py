@@ -1,0 +1,90 @@
+"""Web-table extraction (WebTables lineage) — a Knowledge Vault channel.
+
+Web tables are "a special form of semi-structured data" (Sec. 2.4,
+footnote).  The extractor aligns table columns to KG attributes by *value
+overlap with seed knowledge* (distant schema alignment): a column whose
+cells frequently equal the seed KG's values for some attribute, for the
+entities named in the table's subject column, is mapped to that attribute.
+Rows about entities the seed KG does not know then contribute new triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.triple import AttributedTriple, Provenance, Triple
+from repro.datagen.webextras import WebTable
+from repro.extract.distant import SeedKnowledge
+
+
+@dataclass
+class ColumnAlignment:
+    """A column mapped to a canonical attribute with its evidence."""
+
+    column_index: int
+    attribute: str
+    overlap: float
+
+
+@dataclass
+class WebTableExtractor:
+    """Seed-KG-driven table interpretation."""
+
+    min_overlap: float = 0.5
+    subject_column: int = 0
+
+    def align_columns(self, table: WebTable, seed: SeedKnowledge) -> List[ColumnAlignment]:
+        """Map non-subject columns to attributes by seed-value overlap."""
+        alignments: List[ColumnAlignment] = []
+        n_columns = len(table.header)
+        for column in range(n_columns):
+            if column == self.subject_column:
+                continue
+            matches: Dict[str, int] = {}
+            comparable = 0
+            for row in table.rows:
+                subject_text = row[self.subject_column]
+                facts = seed.lookup(subject_text)
+                if facts is None:
+                    continue
+                comparable += 1
+                cell = row[column].lower()
+                for attribute, value in facts.items():
+                    if value.lower() == cell:
+                        matches[attribute] = matches.get(attribute, 0) + 1
+            if comparable == 0 or not matches:
+                continue
+            attribute, count = max(matches.items(), key=lambda item: item[1])
+            overlap = count / comparable
+            if overlap >= self.min_overlap:
+                alignments.append(
+                    ColumnAlignment(column_index=column, attribute=attribute, overlap=overlap)
+                )
+        return alignments
+
+    def extract(
+        self, table: WebTable, seed: SeedKnowledge, source: str = "web_tables"
+    ) -> List[AttributedTriple]:
+        """Emit triples for every row through the aligned columns."""
+        alignments = self.align_columns(table, seed)
+        triples: List[AttributedTriple] = []
+        for row in table.rows:
+            subject_text = row[self.subject_column]
+            if not subject_text:
+                continue
+            for alignment in alignments:
+                value = row[alignment.column_index]
+                if not value:
+                    continue
+                triples.append(
+                    AttributedTriple(
+                        Triple(subject_text, alignment.attribute, value),
+                        Provenance(
+                            source=f"{source}:{table.table_id}",
+                            extractor="web_table",
+                            confidence=alignment.overlap,
+                        ),
+                    )
+                )
+        return triples

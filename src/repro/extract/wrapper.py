@@ -1,0 +1,158 @@
+"""Wrapper induction (Kushmerick 1997 lineage) — Sec. 2.3.
+
+"Wrapper induction takes manual annotations on a few semi-structured
+webpages from the same website and induces the extraction patterns
+expressed in XPaths that can apply to the whole website. ... wrapper
+induction can normally obtain high extraction quality (over 95%), but it
+still requires annotations on every website so is not *truly* web-scale."
+
+The inducer takes per-page annotations mapping attributes to DOM nodes and
+generalizes them into per-attribute absolute paths, keeping every observed
+path ranked by support (template drift produces minority paths).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.extract.dom import DomNode, preceding_text, resolve_path
+
+
+def _normalize_label(text: Optional[str]) -> Optional[str]:
+    if text is None:
+        return None
+    return text.strip().rstrip(":").strip().lower()
+
+
+@dataclass
+class InducedWrapper:
+    """Per-attribute ranked XPath rules for one website.
+
+    Each attribute carries ranked absolute paths plus the expected *left
+    landmark* (the label text preceding the value, e.g. ``"Director"``) —
+    the HLRT-style delimiter that makes rules robust to row shifts when a
+    page omits optional fields.
+    """
+
+    site_name: str
+    rules: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    landmarks: Dict[str, str] = field(default_factory=dict)
+
+    def extract(self, page_root: DomNode) -> Dict[str, str]:
+        """Apply the rules to a page; returns attribute -> value text.
+
+        Rules are tried in support order; a resolved node is accepted only
+        when its preceding label matches the learned landmark (when one was
+        learned).  Missing fields simply produce no output.
+        """
+        values: Dict[str, str] = {}
+        for attribute, ranked_paths in self.rules.items():
+            expected_landmark = self.landmarks.get(attribute)
+            for path, _support in ranked_paths:
+                node = resolve_path(page_root, path)
+                if node is None:
+                    continue
+                text = node.text_content() if not node.is_text else node.text
+                if not text:
+                    continue
+                if expected_landmark is not None:
+                    observed = _normalize_label(preceding_text(node))
+                    if observed != expected_landmark:
+                        continue
+                values[attribute] = text
+                break
+            else:
+                # No path verified (the page omitted optional fields and
+                # rows shifted): fall back to locating the landmark itself,
+                # HLRT-style, and taking the text that follows it.
+                if expected_landmark is not None:
+                    landmark_value = self._value_after_landmark(
+                        page_root, expected_landmark
+                    )
+                    if landmark_value:
+                        values[attribute] = landmark_value
+        return values
+
+    @staticmethod
+    def _value_after_landmark(page_root: DomNode, landmark: str) -> Optional[str]:
+        previous: Optional[str] = None
+        for node in page_root.text_nodes():
+            if previous is not None and _normalize_label(previous) == landmark:
+                return node.text
+            previous = node.text
+        return None
+
+    def attributes(self) -> List[str]:
+        """Attributes this wrapper can extract."""
+        return sorted(self.rules)
+
+
+@dataclass
+class WrapperInducer:
+    """Induce an :class:`InducedWrapper` from annotated pages.
+
+    ``min_support`` drops accidental paths seen on fewer pages than the
+    threshold (with one annotated page everything has support 1, matching
+    the classic single-example induction setting).
+    """
+
+    site_name: str
+    min_support: int = 1
+
+    def induce(
+        self, annotated_pages: Sequence[Tuple[DomNode, Dict[str, DomNode]]]
+    ) -> InducedWrapper:
+        """Generalize annotations into ranked per-attribute paths.
+
+        Each item of ``annotated_pages`` is ``(page_root, annotations)``
+        where annotations map attribute name -> the DOM node holding the
+        value on that page.
+        """
+        if not annotated_pages:
+            raise ValueError("wrapper induction needs at least one annotated page")
+        path_counts: Dict[str, Counter] = defaultdict(Counter)
+        landmark_counts: Dict[str, Counter] = defaultdict(Counter)
+        for page_root, annotations in annotated_pages:
+            for attribute, node in annotations.items():
+                if node.root() is not page_root:
+                    raise ValueError(
+                        f"annotation node for {attribute!r} is not in the given page"
+                    )
+                path_counts[attribute][node.absolute_path()] += 1
+                landmark = _normalize_label(preceding_text(node))
+                if landmark:
+                    landmark_counts[attribute][landmark] += 1
+        wrapper = InducedWrapper(site_name=self.site_name)
+        for attribute, counts in path_counts.items():
+            ranked = [
+                (path, support)
+                for path, support in counts.most_common()
+                if support >= self.min_support
+            ]
+            if ranked:
+                wrapper.rules[attribute] = ranked
+                if landmark_counts[attribute]:
+                    wrapper.landmarks[attribute] = landmark_counts[attribute].most_common(1)[0][0]
+        return wrapper
+
+
+def annotate_by_truth(
+    page_root: DomNode, truth: Dict[str, str]
+) -> Dict[str, DomNode]:
+    """Simulate a human annotator: locate each true value's text node.
+
+    For every (attribute, value) in ``truth``, finds the first text node
+    whose content equals the value.  This stands in for the "manual
+    annotations on a few semi-structured webpages" the technique needs; the
+    cost of this call is what the manual-work ledger meters.
+    """
+    annotations: Dict[str, DomNode] = {}
+    text_nodes = list(page_root.text_nodes())
+    for attribute, value in truth.items():
+        for node in text_nodes:
+            if node.text == value:
+                annotations[attribute] = node
+                break
+    return annotations

@@ -1,0 +1,33 @@
+"""Web-scale knowledge fusion (Sec. 2.4).
+
+"Various knowledge fusion techniques are proposed to predict correctness of
+the extractions, such as PRA in NELL, deep learning based link prediction
+in KV, and graphical models in KV. The graphical models are also used to
+distinguish extraction errors and source errors, leading to web source
+trustworthiness evaluation, as in Knowledge-Based Trust."
+
+* :mod:`repro.fuse.pra` — Path Ranking Algorithm link prediction;
+* :mod:`repro.fuse.linkpred` — translational-embedding (TransE-style) link
+  prediction;
+* :mod:`repro.fuse.graphical` — EM graphical model separating extraction
+  errors from source errors;
+* :mod:`repro.fuse.kbt` — Knowledge-Based Trust source scoring on top of
+  the graphical model.
+"""
+
+from repro.fuse.pra import PathRankingModel
+from repro.fuse.linkpred import TransEModel
+from repro.fuse.graphical import ExtractionObservation, GraphicalFusion
+from repro.fuse.kbt import KnowledgeBasedTrust, SourceTrust
+from repro.fuse.error_detection import EmbeddingErrorDetector, inject_edge_errors
+
+__all__ = [
+    "PathRankingModel",
+    "TransEModel",
+    "ExtractionObservation",
+    "GraphicalFusion",
+    "KnowledgeBasedTrust",
+    "SourceTrust",
+    "EmbeddingErrorDetector",
+    "inject_edge_errors",
+]

@@ -1,0 +1,174 @@
+"""Embedding-based error detection for knowledge cleaning.
+
+Sec. 5 on link prediction: "another use of it, to detect incorrect
+information, has been incorporated into knowledge cleaning techniques"
+(the PGE direction [12]).
+
+A subtlety makes the naive version useless: an embedding trained on the
+full graph *memorizes* the wrong edges along with the right ones, so they
+score as plausible as anything else.  The detector therefore uses a
+cross-validation ensemble: the relation's edges are split into folds, one
+model is trained per fold with that fold's edges *removed*, and every edge
+is scored by the model that never saw it.  An edge that the rest of the
+graph's regularities cannot predict ranks low among candidate objects and
+gets flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.triple import Triple
+from repro.fuse.linkpred import TransEModel
+
+
+@dataclass(frozen=True)
+class SuspectEdge:
+    """One flagged triple with its implausibility evidence."""
+
+    triple: Triple
+    percentile: float   # rank percentile of the edge among alternatives (low = suspect)
+
+
+@dataclass
+class EmbeddingErrorDetector:
+    """Flag implausible entity-to-entity edges of one relation."""
+
+    relation: str
+    dim: int = 20
+    n_epochs: int = 50
+    n_folds: int = 3
+    suspicion_percentile: float = 0.2
+    seed: int = 0
+    _models: List[TransEModel] = field(default_factory=list, init=False, repr=False)
+    _fold_of: Dict[Triple, int] = field(default_factory=dict, init=False, repr=False)
+    _candidate_objects: List[str] = field(default_factory=list, init=False, repr=False)
+
+    def fit(self, graph: KnowledgeGraph) -> "EmbeddingErrorDetector":
+        """Train the held-out ensemble on the (possibly noisy) graph.
+
+        No clean training set exists in practice; the method relies on
+        errors being a minority, so each fold model learns the graph's
+        true regularities from the *other* folds' edges.
+        """
+        edges = [
+            triple
+            for triple in graph.query(predicate=self.relation)
+            if isinstance(triple.object, str) and graph.has_entity(triple.object)
+        ]
+        if not edges:
+            raise ValueError(f"graph has no {self.relation!r} entity edges")
+        rng = np.random.default_rng(self.seed)
+        # Implausibility is judged against the relation's own object
+        # population (who else directs?), not against every node — the
+        # discrimination that matters is between candidate directors.
+        self._candidate_objects = sorted({str(triple.object) for triple in edges})
+        order = rng.permutation(len(edges))
+        self._fold_of = {
+            edges[int(index)]: int(position % self.n_folds)
+            for position, index in enumerate(order)
+        }
+        self._models = []
+        for fold in range(self.n_folds):
+            pruned = graph.copy()
+            for edge, edge_fold in self._fold_of.items():
+                if edge_fold == fold:
+                    pruned.remove_triple(edge)
+            model = TransEModel(dim=self.dim, n_epochs=self.n_epochs, seed=self.seed + fold)
+            model.fit(pruned)
+            self._models.append(model)
+        return self
+
+    def _model_for(self, triple: Triple) -> TransEModel:
+        fold = self._fold_of.get(triple, 0)
+        return self._models[fold]
+
+    def edge_percentile(self, triple: Triple) -> float:
+        """The edge's score percentile among all candidate objects, judged
+        by the fold model that did not train on it."""
+        if not self._models:
+            raise RuntimeError("detector is not fitted")
+        model = self._model_for(triple)
+        subject_index = model.entity_index_.get(triple.subject)
+        relation_index = model.relation_index_.get(self.relation)
+        object_index = model.entity_index_.get(str(triple.object))
+        if subject_index is None or relation_index is None or object_index is None:
+            return 0.0
+        target = model.entity_vectors_[subject_index] + model.relation_vectors_[relation_index]
+        candidate_indexes = [
+            model.entity_index_[candidate]
+            for candidate in self._candidate_objects
+            if candidate in model.entity_index_
+        ]
+        candidate_distances = np.linalg.norm(
+            model.entity_vectors_[candidate_indexes] - target, axis=1
+        )
+        edge_distance = np.linalg.norm(model.entity_vectors_[object_index] - target)
+        # Fraction of candidates the edge's object beats (higher = plausible).
+        return float(np.mean(candidate_distances >= edge_distance))
+
+    def scan(self, graph: KnowledgeGraph) -> List[SuspectEdge]:
+        """Score every edge of the relation; return the suspects, worst first."""
+        if not self._models:
+            raise RuntimeError("detector is not fitted")
+        suspects: List[SuspectEdge] = []
+        for triple in graph.query(predicate=self.relation):
+            if not (isinstance(triple.object, str) and graph.has_entity(triple.object)):
+                continue
+            percentile = self.edge_percentile(triple)
+            if percentile < self.suspicion_percentile:
+                suspects.append(SuspectEdge(triple=triple, percentile=percentile))
+        suspects.sort(key=lambda suspect: suspect.percentile)
+        return suspects
+
+    def evaluate(
+        self, graph: KnowledgeGraph, injected_errors: Sequence[Triple]
+    ) -> Dict[str, float]:
+        """Detection quality given the set of known-injected wrong edges."""
+        error_set = set(injected_errors)
+        suspects = self.scan(graph)
+        flagged = {suspect.triple for suspect in suspects}
+        true_positives = len(flagged & error_set)
+        precision = true_positives / len(flagged) if flagged else 1.0
+        recall = true_positives / len(error_set) if error_set else 1.0
+        return {
+            "precision": precision,
+            "recall": recall,
+            "n_flagged": float(len(flagged)),
+        }
+
+
+def inject_edge_errors(
+    graph: KnowledgeGraph,
+    relation: str,
+    n_errors: int,
+    seed: int = 0,
+) -> List[Triple]:
+    """Corrupt ``n_errors`` edges of a relation in place; returns the wrong
+    triples added (the originals are removed).  Test/benchmark helper."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        triple
+        for triple in graph.query(predicate=relation)
+        if isinstance(triple.object, str) and graph.has_entity(triple.object)
+    ]
+    objects = sorted({str(triple.object) for triple in edges})
+    chosen = rng.choice(len(edges), size=min(n_errors, len(edges)), replace=False)
+    injected: List[Triple] = []
+    for index in chosen:
+        original = edges[int(index)]
+        for _attempt in range(20):
+            wrong = objects[int(rng.integers(0, len(objects)))]
+            if wrong != original.object:
+                break
+        else:
+            continue
+        graph.remove_triple(original)
+        corrupted = Triple(original.subject, relation, wrong)
+        graph.add_triple(corrupted)
+        injected.append(corrupted)
+    return injected

@@ -1,0 +1,207 @@
+"""Graphical-model knowledge fusion: extraction errors vs source errors.
+
+"The graphical models are also used to distinguish extraction errors and
+source errors" (Sec. 2.4, referring to [17]).  The generative story here:
+
+* each data item (subject, attribute) has one true value;
+* a *source* states a value for the item; the statement is correct with
+  probability ``accuracy(source)``;
+* an *extractor* reads the source; its extraction reflects what the source
+  actually states with probability ``precision(extractor)``.
+
+Observations are extractions: (item, value, source, extractor).  EM jointly
+estimates source accuracies, extractor precisions, and per-value truth
+posteriors.  The key disambiguation signal: when several extractors pull
+the *same* wrong value from one source, the source is at fault; when one
+extractor disagrees with its peers on the same source, the extractor is.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triple import Value
+
+Item = Tuple[str, str]  # (subject, attribute)
+
+#: Sentinel for the "truth is some value nobody extracted" hypothesis.
+_OTHER = "__other__"
+
+
+@dataclass(frozen=True)
+class ExtractionObservation:
+    """One extraction event."""
+
+    subject: str
+    attribute: str
+    value: Value
+    source: str
+    extractor: str
+
+
+@dataclass(frozen=True)
+class FusedBelief:
+    """Posterior belief for one (item, value)."""
+
+    subject: str
+    attribute: str
+    value: Value
+    probability: float
+
+
+@dataclass
+class GraphicalFusion:
+    """EM over the source/extractor two-layer noise model."""
+
+    n_distractors: int = 10
+    n_iterations: int = 12
+    initial_source_accuracy: float = 0.8
+    initial_extractor_precision: float = 0.8
+    source_accuracy_: Dict[str, float] = field(default_factory=dict, init=False)
+    extractor_precision_: Dict[str, float] = field(default_factory=dict, init=False)
+
+    def fuse(self, observations: Sequence[ExtractionObservation]) -> List[FusedBelief]:
+        """Run EM; returns the posterior for every observed (item, value)."""
+        if not observations:
+            return []
+        sources = sorted({obs.source for obs in observations})
+        extractors = sorted({obs.extractor for obs in observations})
+        accuracy = {source: self.initial_source_accuracy for source in sources}
+        precision = {extractor: self.initial_extractor_precision for extractor in extractors}
+
+        # Group observations: item -> source -> value -> [extractors].
+        by_item: Dict[Item, Dict[str, Dict[Value, List[str]]]] = defaultdict(
+            lambda: defaultdict(lambda: defaultdict(list))
+        )
+        for obs in observations:
+            by_item[(obs.subject, obs.attribute)][obs.source][obs.value].append(obs.extractor)
+
+        truth_posterior: Dict[Item, Dict[Value, float]] = {}
+        statement_posterior: Dict[Tuple[Item, str], Dict[Value, float]] = {}
+        for _ in range(self.n_iterations):
+            # ---- E-step part 1: what does each source actually state? ----
+            # Evidence combines (a) extractor readings weighted by their
+            # precision and (b) a prior from the current truth posterior:
+            # an accurate source probably states the true value, so a lone
+            # garbled reading that contradicts the cross-source consensus
+            # is attributed to the extractor, not the source.  This
+            # coupling is what lets the model "distinguish extraction
+            # errors and source errors" (Sec. 2.4).
+            statement_posterior = {}
+            for item, per_source in by_item.items():
+                for source, value_extractors in per_source.items():
+                    scores: Dict[Value, float] = {}
+                    truth = truth_posterior.get(item, {})
+                    for value, value_extractor_list in value_extractors.items():
+                        log_score = 0.0
+                        for value2, extractor_list in value_extractors.items():
+                            for extractor in extractor_list:
+                                p = precision[extractor]
+                                if value2 == value:
+                                    log_score += np.log(p)
+                                else:
+                                    log_score += np.log((1 - p) / self.n_distractors)
+                        if truth:
+                            a = accuracy[source]
+                            believed = truth.get(value, 0.0)
+                            log_score += np.log(
+                                believed * a + (1.0 - believed) * (1.0 - a) / self.n_distractors
+                            )
+                        scores[value] = log_score
+                    peak = max(scores.values())
+                    unnormalized = {v: np.exp(s - peak) for v, s in scores.items()}
+                    total = sum(unnormalized.values())
+                    statement_posterior[(item, source)] = {
+                        v: s / total for v, s in unnormalized.items()
+                    }
+            # ---- E-step part 2: truth posterior per item over sources. ----
+            # Candidates are the observed values PLUS the hypothesis that
+            # the truth is some never-extracted value ("other").  Without
+            # it, a lone uncorroborated claim would get posterior 1.0 by
+            # normalization — exactly the miscalibration KV's 90% bar is
+            # supposed to prevent.
+            truth_posterior = {}
+            for item, per_source in by_item.items():
+                candidates = sorted(
+                    {value for values in per_source.values() for value in values}, key=str
+                )
+                scores = {}
+                for candidate in candidates:
+                    log_score = 0.0
+                    for source in per_source:
+                        statement = statement_posterior[(item, source)]
+                        # Probability mass of the source stating the candidate.
+                        stated = statement.get(candidate, 0.0)
+                        a = accuracy[source]
+                        log_score += np.log(
+                            stated * a + (1.0 - stated) * (1.0 - a) / self.n_distractors
+                        )
+                    scores[candidate] = log_score
+                # The "other" hypothesis: every source's statement is wrong;
+                # multiplied by n_distractors ways of being other.
+                other_score = float(np.log(self.n_distractors))
+                for source in per_source:
+                    a = accuracy[source]
+                    other_score += np.log((1.0 - a) / self.n_distractors)
+                scores[_OTHER] = other_score
+                peak = max(scores.values())
+                unnormalized = {v: np.exp(s - peak) for v, s in scores.items()}
+                total = sum(unnormalized.values())
+                truth_posterior[item] = {v: s / total for v, s in unnormalized.items()}
+            # ---- M-step: re-estimate source accuracy & extractor precision.
+            source_totals: Dict[str, float] = defaultdict(float)
+            source_counts: Dict[str, float] = defaultdict(float)
+            extractor_totals: Dict[str, float] = defaultdict(float)
+            extractor_counts: Dict[str, float] = defaultdict(float)
+            for item, per_source in by_item.items():
+                truth = truth_posterior[item]
+                for source, value_extractors in per_source.items():
+                    statement = statement_posterior[(item, source)]
+                    # Expected correctness of the source's statement.
+                    expected_correct = sum(
+                        statement.get(value, 0.0) * truth.get(value, 0.0)
+                        for value in statement
+                    )
+                    source_totals[source] += expected_correct
+                    source_counts[source] += 1.0
+                    for value, extractor_list in value_extractors.items():
+                        faithful = statement.get(value, 0.0)
+                        for extractor in extractor_list:
+                            extractor_totals[extractor] += faithful
+                            extractor_counts[extractor] += 1.0
+            for source in sources:
+                if source_counts[source]:
+                    accuracy[source] = float(
+                        np.clip(source_totals[source] / source_counts[source], 0.05, 0.99)
+                    )
+            for extractor in extractors:
+                if extractor_counts[extractor]:
+                    precision[extractor] = float(
+                        np.clip(extractor_totals[extractor] / extractor_counts[extractor], 0.05, 0.99)
+                    )
+        self.source_accuracy_ = dict(accuracy)
+        self.extractor_precision_ = dict(precision)
+        beliefs: List[FusedBelief] = []
+        for (subject, attribute), posterior in sorted(truth_posterior.items()):
+            for value, probability in sorted(posterior.items(), key=lambda kv: str(kv[0])):
+                if value == _OTHER:
+                    continue
+                beliefs.append(
+                    FusedBelief(
+                        subject=subject,
+                        attribute=attribute,
+                        value=value,
+                        probability=float(probability),
+                    )
+                )
+        return beliefs
+
+    def high_confidence(
+        self, beliefs: Sequence[FusedBelief], threshold: float = 0.9
+    ) -> List[FusedBelief]:
+        """Beliefs above the KV-style confidence bar (default 90%)."""
+        return [belief for belief in beliefs if belief.probability >= threshold]

@@ -1,0 +1,72 @@
+"""Knowledge-Based Trust: scoring web sources by the truth of their claims.
+
+"The graphical models are also used to distinguish extraction errors and
+source errors, leading to web source trustworthiness evaluation, as in
+Knowledge-Based Trust." (Sec. 2.4, referring to [18])
+
+KBT's insight over naive source scoring: a source must not be blamed for
+*extractor* mistakes.  So trust is the graphical model's source-accuracy
+posterior, not the raw fraction of correct extractions attributed to the
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.fuse.graphical import ExtractionObservation, GraphicalFusion
+
+
+@dataclass(frozen=True)
+class SourceTrust:
+    """One source's trust estimates."""
+
+    source: str
+    kbt_score: float
+    naive_score: float
+    n_extractions: int
+
+
+@dataclass
+class KnowledgeBasedTrust:
+    """Compute KBT scores from extraction observations."""
+
+    fusion: GraphicalFusion = field(default_factory=GraphicalFusion)
+
+    def evaluate_sources(
+        self, observations: Sequence[ExtractionObservation]
+    ) -> List[SourceTrust]:
+        """Trust per source: KBT (extraction-error-corrected) vs naive.
+
+        The naive score is the average truth posterior of the source's raw
+        extractions — it punishes sources crawled by bad extractors; the
+        KBT score is the model's source-accuracy estimate, which does not.
+        """
+        beliefs = self.fusion.fuse(observations)
+        belief_index: Dict[tuple, float] = {
+            (belief.subject, belief.attribute, belief.value): belief.probability
+            for belief in beliefs
+        }
+        per_source_total: Dict[str, float] = {}
+        per_source_count: Dict[str, int] = {}
+        for obs in observations:
+            key = (obs.subject, obs.attribute, obs.value)
+            probability = belief_index.get(key, 0.0)
+            per_source_total[obs.source] = per_source_total.get(obs.source, 0.0) + probability
+            per_source_count[obs.source] = per_source_count.get(obs.source, 0) + 1
+        results = []
+        for source in sorted(per_source_count):
+            results.append(
+                SourceTrust(
+                    source=source,
+                    kbt_score=self.fusion.source_accuracy_.get(source, 0.0),
+                    naive_score=per_source_total[source] / per_source_count[source],
+                    n_extractions=per_source_count[source],
+                )
+            )
+        return sorted(results, key=lambda trust: -trust.kbt_score)
+
+    def rank_sources(self, observations: Sequence[ExtractionObservation]) -> List[str]:
+        """Sources ordered by decreasing KBT score."""
+        return [trust.source for trust in self.evaluate_sources(observations)]

@@ -1,0 +1,47 @@
+"""Knowledge integration (Sec. 2.2).
+
+"The knowledge integration problem is one form of data integration, and it
+needs to resolve three types of heterogeneities":
+
+* **schema heterogeneity** -> :mod:`repro.integrate.schema_alignment`
+  (manual curated mappings live in :mod:`repro.transform.mapping`; the
+  automatic matcher here is the research-grade counterpart the paper files
+  under "not-yet successful" in Sec. 5);
+* **entity heterogeneity** -> :mod:`repro.integrate.blocking` +
+  :mod:`repro.integrate.linkage` (random-forest linkage of Fig. 2) +
+  :mod:`repro.integrate.active_linkage` (the label-efficiency half of
+  Fig. 2);
+* **value heterogeneity** -> :mod:`repro.integrate.fusion` (majority vote
+  and Bayesian accuracy-weighted fusion with EM source-accuracy
+  estimation).
+"""
+
+from repro.integrate.schema_alignment import AlignmentResult, SchemaMatcher, canonicalize_record
+from repro.integrate.blocking import BlockingStrategy, candidate_pairs
+from repro.integrate.linkage import (
+    EntityLinker,
+    FellegiSunterLinker,
+    LinkageTask,
+    build_linkage_task,
+)
+from repro.integrate.active_linkage import label_budget_curve
+from repro.integrate.fusion import AccuFusion, FusionResult, ValueClaim, majority_vote
+from repro.integrate.disambiguation import EntityDisambiguator
+
+__all__ = [
+    "AlignmentResult",
+    "SchemaMatcher",
+    "canonicalize_record",
+    "BlockingStrategy",
+    "candidate_pairs",
+    "EntityLinker",
+    "FellegiSunterLinker",
+    "LinkageTask",
+    "build_linkage_task",
+    "label_budget_curve",
+    "AccuFusion",
+    "FusionResult",
+    "ValueClaim",
+    "majority_vote",
+    "EntityDisambiguator",
+]

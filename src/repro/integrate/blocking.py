@@ -1,0 +1,111 @@
+"""Blocking: taming the quadratic candidate space of entity linkage.
+
+Sources in Sec. 2.2 have "millions of entities or more", so linkage never
+scores all pairs; records are grouped by cheap keys and only within-block
+pairs are scored.  The recall cost of aggressive blocking vs the candidate
+reduction is one of the DESIGN.md ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from repro.ml.similarity import tokenize
+
+KeyFunction = Callable[[Dict[str, object]], List[str]]
+
+
+def name_token_keys(record: Dict[str, object]) -> List[str]:
+    """One key per name token — tolerant of word reordering."""
+    name = str(record.get("name", ""))
+    return [f"tok:{token}" for token in set(tokenize(name))]
+
+
+def name_prefix_key(record: Dict[str, object]) -> List[str]:
+    """First 3 characters of the normalized name — cheap but brittle."""
+    tokens = tokenize(str(record.get("name", "")))
+    if not tokens:
+        return []
+    return [f"pre:{tokens[0][:3]}"]
+
+
+def year_keys(record: Dict[str, object]) -> List[str]:
+    """Blocking on any year-like numeric attribute, with +/-1 tolerance."""
+    keys = []
+    for attribute in ("release_year", "birth_year"):
+        value = record.get(attribute)
+        if value is None:
+            continue
+        try:
+            year = int(value)
+        except (TypeError, ValueError):
+            continue
+        for tolerance in (-1, 0, 1):
+            keys.append(f"yr:{attribute}:{year + tolerance}")
+    return keys
+
+
+@dataclass
+class BlockingStrategy:
+    """A union of key functions; records sharing any key become candidates."""
+
+    key_functions: Sequence[KeyFunction] = (name_token_keys,)
+    max_block_size: int = 200
+
+    def keys(self, record: Dict[str, object]) -> List[str]:
+        """All blocking keys of one canonical record."""
+        keys: List[str] = []
+        for function in self.key_functions:
+            keys.extend(function(record))
+        return keys
+
+
+def candidate_pairs(
+    left_records: Sequence[Dict[str, object]],
+    right_records: Sequence[Dict[str, object]],
+    strategy: BlockingStrategy,
+) -> List[Tuple[int, int]]:
+    """Index pairs (left_index, right_index) sharing a blocking key.
+
+    Oversized blocks (beyond ``strategy.max_block_size`` on either side)
+    are dropped — the classic guard against stop-word-like keys.
+    """
+    left_blocks: Dict[str, List[int]] = {}
+    for index, record in enumerate(left_records):
+        for key in strategy.keys(record):
+            left_blocks.setdefault(key, []).append(index)
+    right_blocks: Dict[str, List[int]] = {}
+    for index, record in enumerate(right_records):
+        for key in strategy.keys(record):
+            right_blocks.setdefault(key, []).append(index)
+    pairs: Set[Tuple[int, int]] = set()
+    for key, left_indexes in left_blocks.items():
+        right_indexes = right_blocks.get(key)
+        if not right_indexes:
+            continue
+        if (
+            len(left_indexes) > strategy.max_block_size
+            or len(right_indexes) > strategy.max_block_size
+        ):
+            continue
+        for left_index in left_indexes:
+            for right_index in right_indexes:
+                pairs.add((left_index, right_index))
+    return sorted(pairs)
+
+
+def blocking_quality(
+    pairs: Sequence[Tuple[int, int]],
+    true_pairs: Set[Tuple[int, int]],
+    n_left: int,
+    n_right: int,
+) -> Dict[str, float]:
+    """Pair completeness (recall of true matches) and reduction ratio."""
+    pair_set = set(pairs)
+    completeness = (
+        len(pair_set & true_pairs) / len(true_pairs) if true_pairs else 1.0
+    )
+    total = n_left * n_right
+    reduction = 1.0 - len(pair_set) / total if total else 0.0
+    return {"pair_completeness": completeness, "reduction_ratio": reduction}

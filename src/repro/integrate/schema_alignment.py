@@ -1,0 +1,162 @@
+"""Schema alignment: mapping source fields to canonical attributes.
+
+Two regimes, matching the paper's split:
+
+* in production, "schema alignment is mostly done manually by professional
+  taxonomists" — that is the curated :class:`~repro.transform.mapping.SchemaMapping`;
+* the *automatic* matcher implemented here combines field-name similarity,
+  value-type compatibility, and value overlap; it is good but not 100%,
+  which is exactly why Sec. 5 files automatic schema alignment under
+  "not-yet successful".
+
+:func:`canonicalize_record` projects a source record into canonical
+attribute space given an alignment — the precondition for comparing records
+across sources in entity linkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.sources import SourceRecord, StructuredSource
+from repro.ml.similarity import jaro_winkler, token_jaccard
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """One proposed field-to-attribute correspondence."""
+
+    source_field: str
+    attribute: str
+    score: float
+
+
+def _is_numeric_value(value: object) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return True
+    try:
+        float(str(value))
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+@dataclass
+class SchemaMatcher:
+    """Automatic field matcher over name, type, and value-overlap signals."""
+
+    min_score: float = 0.45
+    name_weight: float = 0.5
+    type_weight: float = 0.2
+    overlap_weight: float = 0.3
+
+    def align(
+        self,
+        source: StructuredSource,
+        canonical_attributes: Sequence[str],
+        reference_values: Optional[Dict[str, List[object]]] = None,
+    ) -> List[AlignmentResult]:
+        """Propose one attribute per source field (1:1, greedy by score).
+
+        ``reference_values`` optionally supplies known values per canonical
+        attribute (e.g. from an existing KG) for the value-overlap signal.
+        """
+        field_values: Dict[str, List[object]] = {}
+        for record in source.records:
+            for field_name, value in record.fields.items():
+                field_values.setdefault(field_name, []).append(value)
+        scored: List[AlignmentResult] = []
+        for field_name, values in sorted(field_values.items()):
+            for attribute in canonical_attributes:
+                score = self._score(field_name, values, attribute, reference_values)
+                if score >= self.min_score:
+                    scored.append(
+                        AlignmentResult(source_field=field_name, attribute=attribute, score=score)
+                    )
+        scored.sort(key=lambda result: -result.score)
+        chosen: List[AlignmentResult] = []
+        used_fields, used_attributes = set(), set()
+        for result in scored:
+            if result.source_field in used_fields or result.attribute in used_attributes:
+                continue
+            chosen.append(result)
+            used_fields.add(result.source_field)
+            used_attributes.add(result.attribute)
+        return sorted(chosen, key=lambda result: result.source_field)
+
+    def _score(
+        self,
+        field_name: str,
+        values: List[object],
+        attribute: str,
+        reference_values: Optional[Dict[str, List[object]]],
+    ) -> float:
+        normalized_field = field_name.replace("_", " ").lower()
+        normalized_attribute = attribute.replace("_", " ").lower()
+        name_similarity = max(
+            jaro_winkler(normalized_field, normalized_attribute),
+            token_jaccard(normalized_field, normalized_attribute),
+        )
+        sample = values[:50]
+        field_numeric = sum(1 for value in sample if _is_numeric_value(value)) / max(
+            len(sample), 1
+        )
+        type_score = 1.0
+        overlap_score = 0.0
+        if reference_values and attribute in reference_values:
+            reference_sample = reference_values[attribute][:200]
+            reference_numeric = sum(
+                1 for value in reference_sample if _is_numeric_value(value)
+            ) / max(len(reference_sample), 1)
+            type_score = 1.0 - abs(field_numeric - reference_numeric)
+            reference_set = {str(value).lower() for value in reference_sample}
+            if reference_set:
+                hits = sum(1 for value in sample if str(value).lower() in reference_set)
+                overlap_score = hits / max(len(sample), 1)
+        return (
+            self.name_weight * name_similarity
+            + self.type_weight * type_score
+            + self.overlap_weight * overlap_score
+        )
+
+
+def canonicalize_record(
+    record: SourceRecord, field_to_attribute: Dict[str, str]
+) -> Dict[str, object]:
+    """Project a record into canonical attribute space.
+
+    Split person names (``first_name``/``last_name``) are re-joined into
+    ``name``; unmapped fields are dropped.
+    """
+    canonical: Dict[str, object] = {}
+    for field_name, value in record.fields.items():
+        attribute = field_to_attribute.get(field_name)
+        if attribute is not None:
+            canonical[attribute] = value
+    if "name" not in canonical:
+        first = record.fields.get("first_name")
+        last = record.fields.get("last_name")
+        if first or last:
+            canonical["name"] = f"{first or ''} {last or ''}".strip()
+    return canonical
+
+
+def alignment_as_map(results: Sequence[AlignmentResult]) -> Dict[str, str]:
+    """Alignment results as a plain field -> attribute dict."""
+    return {result.source_field: result.attribute for result in results}
+
+
+def oracle_alignment(source: StructuredSource) -> Dict[str, str]:
+    """Ground-truth alignment from the generator's own field map.
+
+    This is the "professional taxonomist" stand-in: 100% correct, used by
+    the production-path experiments; the automatic :class:`SchemaMatcher`
+    is evaluated against it.
+    """
+    mapping = {mapped: canonical for canonical, mapped in source.field_map.items()}
+    for field_name in source.field_names():
+        mapping.setdefault(field_name, field_name)
+    return mapping

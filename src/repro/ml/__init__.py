@@ -1,0 +1,72 @@
+"""From-scratch machine-learning substrate used across the KG stack.
+
+The paper's techniques rely on a handful of classic model families:
+
+* tree ensembles for entity linkage (Sec. 2.2, Fig. 2),
+* sequence taggers for attribute-value extraction (Sec. 3, OpenTag and
+  descendants),
+* logistic models for path-ranking and extraction confidence (Sec. 2.4),
+* graph neural networks for zero-shot extraction and taxonomy mining,
+* embedding models for link prediction,
+* active learning to cut labeling cost by orders of magnitude.
+
+No third-party ML library is assumed: everything here is implemented on top
+of numpy so the repository is a self-contained reproduction.
+"""
+
+from repro.ml.metrics import (
+    BinaryConfusion,
+    accuracy,
+    f1_score,
+    precision_recall,
+    precision_recall_curve,
+    roc_auc,
+)
+from repro.ml.similarity import (
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    numeric_similarity,
+    token_sort_similarity,
+)
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tagger import BIO, SequenceTagger, TaggedToken
+from repro.ml.gnn import GraphConvNet
+from repro.ml.embeddings import CooccurrenceEmbedder, hash_embedding
+from repro.ml.active import ActiveLearner, margin_sampling, random_sampling, uncertainty_sampling
+from repro.ml.automl import GridSearch, SearchResult
+
+__all__ = [
+    "BinaryConfusion",
+    "accuracy",
+    "f1_score",
+    "precision_recall",
+    "precision_recall_curve",
+    "roc_auc",
+    "jaccard",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "numeric_similarity",
+    "token_sort_similarity",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LogisticRegression",
+    "BIO",
+    "SequenceTagger",
+    "TaggedToken",
+    "GraphConvNet",
+    "CooccurrenceEmbedder",
+    "hash_embedding",
+    "ActiveLearner",
+    "margin_sampling",
+    "random_sampling",
+    "uncertainty_sampling",
+    "GridSearch",
+    "SearchResult",
+]

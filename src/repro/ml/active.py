@@ -1,0 +1,151 @@
+"""Active learning — the label-efficiency half of Fig. 2.
+
+"Although very high precision and recall could require a large number of
+training labels, applying active learning can reduce training labels by
+orders of magnitude while maintaining similar linkage quality." (Sec. 2.2)
+
+The :class:`ActiveLearner` wraps any classifier exposing ``fit`` and
+``decision_scores`` and drives a label-acquisition loop against an oracle
+(in this reproduction, the ground-truth world stands in for human labelers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+SelectionStrategy = Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]
+
+
+def uncertainty_sampling(
+    scores: np.ndarray, candidate_indices: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Rank unlabeled candidates by closeness of their score to 0.5.
+
+    The items the current model is least sure about carry the most
+    information; this is the strategy that produces the ~100x label savings
+    in the Fig. 2 reproduction.
+    """
+    uncertainty = -np.abs(scores - 0.5)
+    # Break ties randomly but deterministically given the generator.
+    jitter = rng.random(len(scores)) * 1e-9
+    order = np.argsort(-(uncertainty + jitter), kind="mergesort")
+    return candidate_indices[order]
+
+
+def margin_sampling(
+    scores: np.ndarray, candidate_indices: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Binary margin sampling; identical ordering to uncertainty for two
+    classes but kept separate for the ablation benchmark."""
+    margin = np.abs(2.0 * scores - 1.0)
+    jitter = rng.random(len(scores)) * 1e-9
+    order = np.argsort(margin + jitter, kind="mergesort")
+    return candidate_indices[order]
+
+
+def random_sampling(
+    scores: np.ndarray, candidate_indices: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random order — the passive-learning baseline."""
+    permutation = rng.permutation(len(candidate_indices))
+    return candidate_indices[permutation]
+
+
+@dataclass
+class ActiveLearner:
+    """Pool-based active learning loop.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh classifier with ``fit`` and
+        ``decision_scores``.
+    strategy:
+        Ranking function over unlabeled pool scores.
+    batch_size:
+        Labels acquired per round before the model is refit.
+    seed:
+        Seed for the tie-breaking/permutation generator.
+    """
+
+    model_factory: Callable[[], object]
+    strategy: SelectionStrategy = uncertainty_sampling
+    batch_size: int = 20
+    seed: int = 0
+    labeled_indices_: List[int] = field(default_factory=list, init=False)
+    model_: object = field(default=None, init=False, repr=False)
+
+    def run(
+        self,
+        pool_features,
+        oracle: Callable[[int], int],
+        label_budget: int,
+        initial_indices: Sequence[int] = (),
+    ) -> object:
+        """Acquire up to ``label_budget`` labels from ``oracle`` and return
+        the final fitted model.
+
+        ``oracle(i)`` must return the 0/1 label of pool item ``i``.  If
+        ``initial_indices`` is empty, the loop seeds itself with a random
+        batch (stratification is the oracle's problem, as in practice).
+        """
+        matrix = np.asarray(pool_features, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        n_pool = len(matrix)
+        if label_budget > n_pool:
+            label_budget = n_pool
+        labeled = list(initial_indices)
+        labels = {index: oracle(index) for index in labeled}
+        if not labeled:
+            seed_batch = rng.choice(n_pool, size=min(self.batch_size, label_budget), replace=False)
+            for index in seed_batch:
+                labeled.append(int(index))
+                labels[int(index)] = oracle(int(index))
+        self.model_ = self._fit(matrix, labeled, labels)
+        while len(labeled) < label_budget:
+            remaining = np.array(
+                [index for index in range(n_pool) if index not in labels], dtype=int
+            )
+            if len(remaining) == 0:
+                break
+            scores = np.asarray(self.model_.decision_scores(matrix[remaining]))
+            ranked = self.strategy(scores, remaining, rng)
+            take = min(self.batch_size, label_budget - len(labeled))
+            for index in ranked[:take]:
+                labeled.append(int(index))
+                labels[int(index)] = oracle(int(index))
+            self.model_ = self._fit(matrix, labeled, labels)
+        self.labeled_indices_ = labeled
+        return self.model_
+
+    def _fit(self, matrix: np.ndarray, labeled: List[int], labels: dict):
+        model = self.model_factory()
+        train_x = matrix[labeled]
+        train_y = np.array([labels[index] for index in labeled], dtype=int)
+        if len(np.unique(train_y)) < 2:
+            # Degenerate single-class seed: fall back to a trivial model that
+            # predicts the observed class until diversity arrives.
+            observed = int(train_y[0]) if len(train_y) else 0
+            model = _ConstantModel(observed)
+            return model
+        model.fit(train_x, train_y)
+        return model
+
+
+class _ConstantModel:
+    """Placeholder model used while the labeled set is single-class."""
+
+    def __init__(self, label: int):
+        self._label = label
+
+    def fit(self, features, labels):  # pragma: no cover - trivial
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        return np.full(len(np.atleast_2d(features)), self._label, dtype=int)
+
+    def decision_scores(self, features) -> np.ndarray:
+        return np.full(len(np.atleast_2d(features)), 0.5)

@@ -1,0 +1,125 @@
+"""Lightweight embedding utilities.
+
+Embeddings appear throughout the paper's later generations: type embeddings
+conditioning TXtract, attribute embeddings conditioning AdaTag (Sec. 3.3),
+and of course the implicit-knowledge half of dual neural KGs (Sec. 4).
+This module provides deterministic, dependency-free building blocks:
+
+* :func:`hash_embedding` — a fixed random-but-deterministic vector per
+  string, the classic hashing trick;
+* :class:`CooccurrenceEmbedder` — PPMI + truncated SVD over a token
+  co-occurrence matrix, i.e. classic distributional semantics, enough to
+  expose "similar contexts -> nearby vectors" behavior to downstream models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def hash_embedding(text: str, dim: int = 32) -> np.ndarray:
+    """Deterministic pseudo-random unit vector for a string.
+
+    The same string always maps to the same vector, across processes and
+    platforms (seeded from a SHA-256 digest), which keeps every experiment
+    reproducible.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(size=dim)
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+def cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity, safe for zero vectors."""
+    denominator = np.linalg.norm(left) * np.linalg.norm(right)
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(left, right) / denominator)
+
+
+@dataclass
+class CooccurrenceEmbedder:
+    """PPMI-SVD word embeddings over a corpus of token sequences."""
+
+    dim: int = 16
+    window: int = 2
+    min_count: int = 1
+    vocabulary_: Dict[str, int] = field(default_factory=dict, init=False)
+    vectors_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+
+    def fit(self, sentences: Sequence[Sequence[str]]) -> "CooccurrenceEmbedder":
+        """Build embeddings from tokenized sentences."""
+        counts: Dict[str, int] = {}
+        for sentence in sentences:
+            for token in sentence:
+                counts[token] = counts.get(token, 0) + 1
+        vocabulary = sorted(token for token, count in counts.items() if count >= self.min_count)
+        self.vocabulary_ = {token: index for index, token in enumerate(vocabulary)}
+        size = len(vocabulary)
+        if size == 0:
+            raise ValueError("empty vocabulary; lower min_count or supply data")
+        cooccurrence = np.zeros((size, size))
+        for sentence in sentences:
+            indices = [self.vocabulary_.get(token) for token in sentence]
+            for position, center in enumerate(indices):
+                if center is None:
+                    continue
+                lo = max(0, position - self.window)
+                hi = min(len(indices), position + self.window + 1)
+                for neighbor_position in range(lo, hi):
+                    neighbor = indices[neighbor_position]
+                    if neighbor is None or neighbor_position == position:
+                        continue
+                    cooccurrence[center, neighbor] += 1.0
+        total = cooccurrence.sum()
+        if total == 0:
+            self.vectors_ = np.zeros((size, min(self.dim, size)))
+            return self
+        row_sums = cooccurrence.sum(axis=1, keepdims=True)
+        col_sums = cooccurrence.sum(axis=0, keepdims=True)
+        expected = row_sums @ col_sums / total
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log(np.where(expected > 0, cooccurrence * total / np.maximum(expected * total, 1e-12), 1.0))
+        ppmi = np.maximum(pmi, 0.0)
+        ppmi[~np.isfinite(ppmi)] = 0.0
+        rank = min(self.dim, size)
+        u, singular_values, _ = np.linalg.svd(ppmi, full_matrices=False)
+        self.vectors_ = u[:, :rank] * np.sqrt(singular_values[:rank])
+        return self
+
+    def embed(self, token: str) -> np.ndarray:
+        """Vector for a token; unseen tokens fall back to a hash embedding."""
+        if self.vectors_ is None:
+            raise RuntimeError("embedder is not fitted")
+        index = self.vocabulary_.get(token)
+        if index is None:
+            return hash_embedding(token, dim=self.vectors_.shape[1])
+        return self.vectors_[index]
+
+    def embed_sequence(self, tokens: Sequence[str]) -> np.ndarray:
+        """Mean of token vectors — a cheap sentence embedding."""
+        if not tokens:
+            if self.vectors_ is None:
+                raise RuntimeError("embedder is not fitted")
+            return np.zeros(self.vectors_.shape[1])
+        return np.mean([self.embed(token) for token in tokens], axis=0)
+
+    def most_similar(self, token: str, top_k: int = 5) -> List[str]:
+        """Nearest vocabulary tokens by cosine similarity."""
+        if self.vectors_ is None:
+            raise RuntimeError("embedder is not fitted")
+        query = self.embed(token)
+        scored = [
+            (cosine(query, self.vectors_[index]), candidate)
+            for candidate, index in self.vocabulary_.items()
+            if candidate != token
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [candidate for _, candidate in scored[:top_k]]

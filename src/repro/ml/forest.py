@@ -1,0 +1,100 @@
+"""Random forest classifier — the Fig. 2 entity-linkage workhorse.
+
+"In practice, tree-based models have been proved to be effective solutions
+for entity linkage. [...] we can train random forest models that take
+attribute-wise value similarities as features, and obtain over 99% precision
+and recall" (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bagged CART ensemble with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth:
+        Depth cap applied to every tree.
+    max_features:
+        Features examined per split; ``None`` means ``ceil(sqrt(d))``.
+    seed:
+        Seed for bootstrap resampling and feature subsampling, making the
+        ensemble fully deterministic.
+    """
+
+    n_estimators: int = 25
+    max_depth: Optional[int] = 12
+    max_features: Optional[int] = None
+    min_samples_split: int = 2
+    seed: int = 0
+    trees_: List[DecisionTreeClassifier] = field(default_factory=list, init=False, repr=False)
+    n_classes_: int = field(default=0, init=False)
+
+    def fit(self, features, labels) -> "RandomForestClassifier":
+        """Fit the ensemble on ``features`` (n x d), integer ``labels`` (n)."""
+        matrix = np.asarray(features, dtype=float)
+        targets = np.asarray(labels, dtype=int)
+        if len(matrix) == 0:
+            raise ValueError("cannot fit a forest on zero samples")
+        rng = np.random.default_rng(self.seed)
+        self.n_classes_ = int(targets.max()) + 1
+        n_samples, n_features = matrix.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(n_features))))
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            sample_indices = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.n_classes_ = self.n_classes_
+            bootstrap_targets = targets[sample_indices]
+            # Guarantee the tree sees the global class space even if the
+            # bootstrap happened to drop a class.
+            tree.fit(matrix[sample_indices], bootstrap_targets)
+            tree.n_classes_ = max(tree.n_classes_, self.n_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Mean of per-tree class probabilities (n x n_classes)."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        total = np.zeros((len(matrix), self.n_classes_))
+        for tree in self.trees_:
+            probabilities = tree.predict_proba(matrix)
+            if probabilities.shape[1] < self.n_classes_:
+                padded = np.zeros((len(matrix), self.n_classes_))
+                padded[:, : probabilities.shape[1]] = probabilities
+                probabilities = padded
+            total += probabilities
+        return total / len(self.trees_)
+
+    def predict(self, features) -> np.ndarray:
+        """Most-probable class per row."""
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def decision_scores(self, features) -> np.ndarray:
+        """Probability of the positive class — binary-classification helper."""
+        probabilities = self.predict_proba(features)
+        if probabilities.shape[1] == 1:
+            return probabilities[:, 0]
+        return probabilities[:, 1]

@@ -1,0 +1,152 @@
+"""A small graph convolutional network (GCN) on numpy.
+
+Two techniques in the paper lean on GNNs:
+
+* ZeroShotCeres (Sec. 2.3) classifies DOM nodes of semi-structured pages
+  using a GNN over the page layout graph, training one model that transfers
+  across websites and even domains;
+* taxonomy/attribute-relationship mining from customer behavior (Sec. 3.1)
+  classifies candidate edges with graph-structured features.
+
+This module implements a two-layer GCN for node classification with manual
+backpropagation (no autograd dependency), with symmetric-normalized
+adjacency as in Kipf & Welling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def normalized_adjacency(edges: Sequence[Tuple[int, int]], n_nodes: int) -> np.ndarray:
+    """Build D^{-1/2} (A + I) D^{-1/2} from an undirected edge list."""
+    adjacency = np.eye(n_nodes)
+    for source, target in edges:
+        if not (0 <= source < n_nodes and 0 <= target < n_nodes):
+            raise ValueError(f"edge ({source}, {target}) out of range for {n_nodes} nodes")
+        adjacency[source, target] = 1.0
+        adjacency[target, source] = 1.0
+    degrees = adjacency.sum(axis=1)
+    inverse_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+    return adjacency * inverse_sqrt[:, None] * inverse_sqrt[None, :]
+
+
+@dataclass
+class GraphConvNet:
+    """Two-layer GCN for transductive node classification.
+
+    ``fit`` takes the full graph plus labels for a subset of nodes (the
+    training mask); ``predict_proba`` returns probabilities for every node.
+    """
+
+    hidden_dim: int = 16
+    learning_rate: float = 0.3
+    n_iterations: int = 200
+    l2: float = 5e-4
+    balanced: bool = True
+    seed: int = 0
+    _w0: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _w1: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _adjacency: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _features: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    n_classes_: int = field(default=0, init=False)
+
+    def fit(
+        self,
+        node_features,
+        edges: Sequence[Tuple[int, int]],
+        labels,
+        train_mask,
+    ) -> "GraphConvNet":
+        """Train on one graph.
+
+        Parameters
+        ----------
+        node_features:
+            (n_nodes x d) feature matrix.
+        edges:
+            Undirected edge list over node indices.
+        labels:
+            Integer class per node (values for untrained nodes are ignored).
+        train_mask:
+            Boolean array marking which nodes contribute to the loss.
+        """
+        features = np.asarray(node_features, dtype=float)
+        targets = np.asarray(labels, dtype=int)
+        mask = np.asarray(train_mask, dtype=bool)
+        n_nodes, n_features = features.shape
+        if len(targets) != n_nodes or len(mask) != n_nodes:
+            raise ValueError("labels and train_mask must cover every node")
+        if not mask.any():
+            raise ValueError("train_mask selects no nodes")
+        self.n_classes_ = int(targets[mask].max()) + 1
+        self._adjacency = normalized_adjacency(edges, n_nodes)
+        self._features = features
+        rng = np.random.default_rng(self.seed)
+        self._w0 = rng.normal(scale=np.sqrt(2.0 / n_features), size=(n_features, self.hidden_dim))
+        self._w1 = rng.normal(
+            scale=np.sqrt(2.0 / self.hidden_dim), size=(self.hidden_dim, self.n_classes_)
+        )
+        one_hot = np.zeros((n_nodes, self.n_classes_))
+        one_hot[np.arange(n_nodes), np.clip(targets, 0, self.n_classes_ - 1)] = 1.0
+        n_train = mask.sum()
+        # Balanced class weights keep rare roles (e.g. value/topic nodes on
+        # a page dominated by chrome) from being ignored by the loss.
+        sample_weights = np.ones(n_nodes)
+        if self.balanced:
+            counts = np.bincount(targets[mask], minlength=self.n_classes_).astype(float)
+            class_weights = n_train / (self.n_classes_ * np.maximum(counts, 1.0))
+            sample_weights = class_weights[np.clip(targets, 0, self.n_classes_ - 1)]
+        for _ in range(self.n_iterations):
+            # Forward pass.
+            support = self._adjacency @ features
+            hidden_pre = support @ self._w0
+            hidden = np.maximum(hidden_pre, 0.0)
+            propagated = self._adjacency @ hidden
+            logits = propagated @ self._w1
+            probabilities = _row_softmax(logits)
+            # Backward pass (cross-entropy on the train mask).
+            delta_logits = (probabilities - one_hot) * sample_weights[:, None] / n_train
+            delta_logits[~mask] = 0.0
+            grad_w1 = propagated.T @ delta_logits + self.l2 * self._w1
+            delta_hidden = (self._adjacency.T @ delta_logits) @ self._w1.T
+            delta_hidden[hidden_pre <= 0.0] = 0.0
+            grad_w0 = support.T @ delta_hidden + self.l2 * self._w0
+            self._w1 -= self.learning_rate * grad_w1
+            self._w0 -= self.learning_rate * grad_w0
+        return self
+
+    def predict_proba(
+        self, node_features=None, edges: Optional[Sequence[Tuple[int, int]]] = None
+    ) -> np.ndarray:
+        """Class probabilities for every node.
+
+        With no arguments, scores the training graph; passing a new
+        ``(node_features, edges)`` pair scores an unseen graph with the
+        trained weights — the transfer setting of ZeroShotCeres.
+        """
+        if self._w0 is None:
+            raise RuntimeError("model is not fitted")
+        if node_features is None:
+            features, adjacency = self._features, self._adjacency
+        else:
+            features = np.asarray(node_features, dtype=float)
+            if edges is None:
+                raise ValueError("edges are required when scoring a new graph")
+            adjacency = normalized_adjacency(edges, len(features))
+        hidden = np.maximum(adjacency @ features @ self._w0, 0.0)
+        logits = adjacency @ hidden @ self._w1
+        return _row_softmax(logits)
+
+    def predict(self, node_features=None, edges=None) -> np.ndarray:
+        """Most-probable class for every node."""
+        return np.argmax(self.predict_proba(node_features, edges), axis=1)
+
+
+def _row_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)

@@ -1,0 +1,198 @@
+"""Evaluation metrics shared by every experiment in the reproduction.
+
+The paper reports precision/recall for entity linkage (Fig. 2), accuracy for
+semi-structured extraction (Fig. 3), F-measure for product attribute
+extraction (Sec. 3), and hallucination/miss rates for LLM question answering
+(Sec. 4).  All of those reduce to the primitives implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryConfusion:
+    """Confusion counts for a binary decision problem."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    false_negative: int = 0
+    true_negative: int = 0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted positives that are correct (1.0 if none predicted)."""
+        denominator = self.true_positive + self.false_positive
+        if denominator == 0:
+            return 1.0
+        return self.true_positive / denominator
+
+    @property
+    def recall(self) -> float:
+        """Fraction of actual positives that are found (1.0 if none exist)."""
+        denominator = self.true_positive + self.false_negative
+        if denominator == 0:
+            return 1.0
+        return self.true_positive / denominator
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of all decisions that are correct."""
+        total = self.true_positive + self.false_positive + self.false_negative + self.true_negative
+        if total == 0:
+            return 1.0
+        return (self.true_positive + self.true_negative) / total
+
+    def __add__(self, other: "BinaryConfusion") -> "BinaryConfusion":
+        return BinaryConfusion(
+            true_positive=self.true_positive + other.true_positive,
+            false_positive=self.false_positive + other.false_positive,
+            false_negative=self.false_negative + other.false_negative,
+            true_negative=self.true_negative + other.true_negative,
+        )
+
+    @staticmethod
+    def from_predictions(y_true: Sequence[int], y_pred: Sequence[int]) -> "BinaryConfusion":
+        """Build a confusion matrix from parallel 0/1 label sequences."""
+        if len(y_true) != len(y_pred):
+            raise ValueError(
+                f"label sequences differ in length: {len(y_true)} vs {len(y_pred)}"
+            )
+        tp = fp = fn = tn = 0
+        for truth, pred in zip(y_true, y_pred):
+            if truth and pred:
+                tp += 1
+            elif not truth and pred:
+                fp += 1
+            elif truth and not pred:
+                fn += 1
+            else:
+                tn += 1
+        return BinaryConfusion(tp, fp, fn, tn)
+
+    @staticmethod
+    def from_sets(predicted: Iterable, expected: Iterable) -> "BinaryConfusion":
+        """Build a confusion matrix from predicted vs expected item sets.
+
+        Useful for extraction tasks where both sides are sets of triples and
+        there is no meaningful notion of a true negative.
+        """
+        predicted_set = set(predicted)
+        expected_set = set(expected)
+        return BinaryConfusion(
+            true_positive=len(predicted_set & expected_set),
+            false_positive=len(predicted_set - expected_set),
+            false_negative=len(expected_set - predicted_set),
+            true_negative=0,
+        )
+
+
+def precision_recall(y_true: Sequence[int], y_pred: Sequence[int]) -> Tuple[float, float]:
+    """Return ``(precision, recall)`` for 0/1 label sequences."""
+    confusion = BinaryConfusion.from_predictions(y_true, y_pred)
+    return confusion.precision, confusion.recall
+
+
+def f1_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Return the F1 score for 0/1 label sequences."""
+    return BinaryConfusion.from_predictions(y_true, y_pred).f1
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of positions where the two sequences agree."""
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"label sequences differ in length: {len(y_true)} vs {len(y_pred)}"
+        )
+    if not y_true:
+        return 1.0
+    matches = sum(1 for truth, pred in zip(y_true, y_pred) if truth == pred)
+    return matches / len(y_true)
+
+
+def precision_recall_curve(
+    y_true: Sequence[int], scores: Sequence[float]
+) -> List[Tuple[float, float, float]]:
+    """Compute ``(threshold, precision, recall)`` triples at every score cut.
+
+    Points are ordered from the highest threshold (few predictions, usually
+    high precision) to the lowest (all predictions, recall 1).
+    """
+    if len(y_true) != len(scores):
+        raise ValueError("y_true and scores must be parallel")
+    order = np.argsort(scores)[::-1]
+    total_positive = int(np.sum(np.asarray(y_true) != 0))
+    curve: List[Tuple[float, float, float]] = []
+    tp = fp = 0
+    sorted_scores = np.asarray(scores, dtype=float)[order]
+    sorted_truth = np.asarray(y_true)[order]
+    for index in range(len(order)):
+        if sorted_truth[index]:
+            tp += 1
+        else:
+            fp += 1
+        is_last = index == len(order) - 1
+        # Only emit a point when the threshold actually changes.
+        if is_last or sorted_scores[index + 1] != sorted_scores[index]:
+            precision = tp / (tp + fp)
+            recall = 1.0 if total_positive == 0 else tp / total_positive
+            curve.append((float(sorted_scores[index]), precision, recall))
+    return curve
+
+
+def roc_auc(y_true: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve, computed with the rank statistic.
+
+    Equivalent to the probability that a random positive scores above a
+    random negative (ties counted as half).
+    """
+    truth = np.asarray(y_true) != 0
+    values = np.asarray(scores, dtype=float)
+    positives = values[truth]
+    negatives = values[~truth]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    # Rank-sum formulation handles ties via average ranks.
+    combined = np.concatenate([positives, negatives])
+    ranks = _average_ranks(combined)
+    positive_rank_sum = float(np.sum(ranks[: len(positives)]))
+    n_pos, n_neg = len(positives), len(negatives)
+    auc = (positive_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    return float(auc)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the average of their rank range."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=float)
+    sorted_values = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def macro_f1(per_class_confusions: Iterable[BinaryConfusion]) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    f1s = [confusion.f1 for confusion in per_class_confusions]
+    if not f1s:
+        return 0.0
+    return sum(f1s) / len(f1s)

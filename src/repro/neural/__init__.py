@@ -1,0 +1,51 @@
+"""Dual neural knowledge graphs (Sec. 4).
+
+The paper's study of LLM QA behavior (hallucination ~20%, unanswered ~50%,
+head-vs-tail accuracy 50% -> 15%) is reproduced against a *simulated
+language model* (:mod:`repro.neural.slm`): an associative fact memory
+trained on a popularity-weighted synthetic corpus, whose recall strength
+grows with mention frequency and whose failure modes are abstention
+(missing knowledge) and confabulation (hallucination).  DESIGN.md records
+why this substitution preserves the measured behavior: the paper's own
+analysis attributes the head/tail gap to fact frequency in training data.
+
+On top of the SLM:
+
+* :mod:`repro.neural.qa` — QA harnesses: LM-only, KG-only,
+  retrieval-augmented (knowledge-enhanced LM), and the dual-routed
+  strategy of "the future" paragraph;
+* :mod:`repro.neural.infusion` — head-knowledge infusion by corpus
+  augmentation (the K-Adapter/KG-BART direction);
+* :mod:`repro.neural.evaluate` — hallucination/miss/accuracy accounting by
+  popularity band.
+"""
+
+from repro.neural.slm import LMAnswer, SimulatedLM
+from repro.neural.qa import (
+    DualRouterQA,
+    KGQA,
+    LMQA,
+    Question,
+    RetrievalAugmentedQA,
+    build_question_set,
+)
+from repro.neural.infusion import infuse_head_knowledge
+from repro.neural.evaluate import BandReport, evaluate_qa, evaluate_by_band
+from repro.neural.nlq import NaturalLanguageQA, parse_question
+
+__all__ = [
+    "NaturalLanguageQA",
+    "parse_question",
+    "LMAnswer",
+    "SimulatedLM",
+    "DualRouterQA",
+    "KGQA",
+    "LMQA",
+    "Question",
+    "RetrievalAugmentedQA",
+    "build_question_set",
+    "infuse_head_knowledge",
+    "BandReport",
+    "evaluate_qa",
+    "evaluate_by_band",
+]

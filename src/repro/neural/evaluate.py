@@ -1,0 +1,70 @@
+"""Hallucination / miss / accuracy accounting (the Sec. 4 study).
+
+Every answer falls in exactly one of three buckets, matching the paper's
+reporting: *correct*, *hallucinated* (an answer was given and it is wrong),
+or *missing* (the system declined).  Reports are computed overall and per
+popularity band, which is how the 50%-head vs 15%-tail accuracy contrast
+is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.neural.qa import Question
+
+
+@dataclass
+class BandReport:
+    """Outcome counts for one slice of questions."""
+
+    band: str
+    n_questions: int = 0
+    n_correct: int = 0
+    n_hallucinated: int = 0
+    n_missing: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction answered correctly."""
+        return self.n_correct / self.n_questions if self.n_questions else 0.0
+
+    @property
+    def hallucination_rate(self) -> float:
+        """Fraction answered wrongly (an answer was given)."""
+        return self.n_hallucinated / self.n_questions if self.n_questions else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction not answered at all."""
+        return self.n_missing / self.n_questions if self.n_questions else 0.0
+
+
+def _is_correct(answer: str, gold: Sequence[str]) -> bool:
+    lowered = answer.lower().strip()
+    return any(lowered == candidate for candidate in gold)
+
+
+def evaluate_qa(system, questions: Sequence[Question], band: str = "all") -> BandReport:
+    """Run a QA system over questions and bucket every outcome."""
+    report = BandReport(band=band, n_questions=len(questions))
+    for question in questions:
+        response = system.answer(question)
+        if response.text is None:
+            report.n_missing += 1
+        elif _is_correct(response.text, question.gold):
+            report.n_correct += 1
+        else:
+            report.n_hallucinated += 1
+    return report
+
+
+def evaluate_by_band(system, questions: Sequence[Question]) -> Dict[str, BandReport]:
+    """Per-band reports plus the overall one (key ``"all"``)."""
+    reports: Dict[str, BandReport] = {}
+    for band in ("head", "torso", "tail"):
+        slice_questions = [question for question in questions if question.band == band]
+        reports[band] = evaluate_qa(system, slice_questions, band=band)
+    reports["all"] = evaluate_qa(system, questions, band="all")
+    return reports

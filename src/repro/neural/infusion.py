@@ -1,0 +1,63 @@
+"""Knowledge infusion: teaching the LM head knowledge (Sec. 4).
+
+"One important research problem is how to infuse head knowledge into LLMs
+to enable precise answers to relevant questions, through model training, or
+through model fine tuning. Early work in this line includes knowledge
+infusion [31, 45]."
+
+For the SLM, infusion is corpus augmentation: head facts are verbalized
+repeatedly and absorbed into memory, raising their recall strength and
+crowding out collided/noisy associations.  The benchmark measures head
+accuracy and hallucination before vs after.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.datagen.text import TEMPLATES, TextMention
+from repro.datagen.world import World
+from repro.neural.slm import SimulatedLM
+
+
+def infuse_head_knowledge(
+    model: SimulatedLM,
+    world: World,
+    band: str = "head",
+    repetitions: int = 8,
+    predicates: Sequence[str] = ("directed_by", "release_year", "birth_place", "genre"),
+    seed: int = 0,
+) -> int:
+    """Inject verbalized facts of one popularity band into the model.
+
+    Returns the number of fact mentions infused.  ``repetitions`` controls
+    how hard the fine-tuning pushes each fact (more mentions = stronger
+    recall, per the SLM's frequency-dependent memory).
+    """
+    rng = np.random.default_rng(seed)
+    mentions: List[TextMention] = []
+    for entity_id in world.popularity.items_in_band(band):
+        entity = world.truth.entity(entity_id)
+        for predicate in predicates:
+            if predicate not in TEMPLATES:
+                continue
+            for obj in world.truth.objects(entity_id, predicate):
+                if isinstance(obj, str) and world.truth.has_entity(obj):
+                    object_text = world.truth.entity(obj).name
+                else:
+                    object_text = str(obj)
+                templates = TEMPLATES[predicate]
+                for _ in range(repetitions):
+                    template = templates[int(rng.integers(0, len(templates)))]
+                    mentions.append(
+                        TextMention(
+                            sentence=template.format(s=entity.name, o=object_text),
+                            subject_text=entity.name,
+                            object_text=object_text,
+                            predicate=predicate,
+                        )
+                    )
+    model.fit(mentions)
+    return len(mentions)

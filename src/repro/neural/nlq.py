@@ -1,0 +1,123 @@
+"""Natural-language factoid questions over the dual KG.
+
+Knowledge-based QA is the paper's first-listed industry success (Sec. 5):
+"knowledge-based QA, which improves the way we address people's
+information needs".  This module adds the natural-language front end to
+the QA strategies of :mod:`repro.neural.qa`:
+
+* template-based question understanding ("who directed X?" ->
+  ``(X, directed_by)``), the pattern-matching layer production assistants
+  actually shipped with;
+* contextual entity disambiguation for homonym subjects ("the Jane Doe
+  born in 1975"), reusing
+  :class:`~repro.integrate.disambiguation.EntityDisambiguator`;
+* answer rendering back to text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.graph import KnowledgeGraph
+from repro.integrate.disambiguation import EntityDisambiguator
+from repro.neural.qa import Question
+
+#: (regex, predicate) templates.  The subject group is named ``s``;
+#: an optional qualifier group ``q`` captures disambiguating context like
+#: "born in 1975".
+QUESTION_TEMPLATES: Tuple[Tuple[str, str], ...] = (
+    (r"^who directed (?P<s>.+?)\??$", "directed_by"),
+    (r"^who stars in (?P<s>.+?)\??$", "stars"),
+    (r"^who performed (?P<s>.+?)\??$", "performed_by"),
+    (r"^when was (?P<s>.+?) released\??$", "release_year"),
+    (r"^what year was (?P<s>.+?) released\??$", "release_year"),
+    (r"^where was (?P<s>.+?) born\??$", "birth_place"),
+    (r"^when was (?P<s>.+?) born\??$", "birth_year"),
+    (r"^what genre is (?P<s>.+?)\??$", "genre"),
+    (r"^how long is (?P<s>.+?)\??$", "runtime"),
+)
+
+_QUALIFIER = re.compile(r"^(?P<s>.+?)\s*\(the one (?P<attr>born in|from)\s+(?P<val>[^)]+)\)$")
+
+
+@dataclass(frozen=True)
+class ParsedQuestion:
+    """The structured reading of a natural-language question."""
+
+    subject_mention: str
+    predicate: str
+    context: Dict[str, object]
+
+
+def parse_question(text: str) -> Optional[ParsedQuestion]:
+    """Template-match a question; returns None when no template fits."""
+    normalized = " ".join(text.strip().lower().split())
+    for pattern, predicate in QUESTION_TEMPLATES:
+        match = re.match(pattern, normalized)
+        if match is None:
+            continue
+        mention = match.group("s").strip()
+        context: Dict[str, object] = {}
+        qualifier = _QUALIFIER.match(mention)
+        if qualifier is not None:
+            mention = qualifier.group("s").strip()
+            value = qualifier.group("val").strip()
+            if qualifier.group("attr") == "born in":
+                try:
+                    context["birth_year"] = int(value)
+                except ValueError:
+                    context["birth_place"] = value
+            else:
+                context["birth_place"] = value
+        return ParsedQuestion(subject_mention=mention, predicate=predicate, context=context)
+    return None
+
+
+@dataclass
+class NaturalLanguageQA:
+    """Question text in, answer text out, over any qa-strategy backend.
+
+    ``backend`` is any object with ``answer(question) -> QAResponse`` from
+    :mod:`repro.neural.qa` (KG-only, LM-only, retrieval-augmented, dual).
+    The KG is additionally used for mention disambiguation when given.
+    """
+
+    backend: object
+    graph: Optional[KnowledgeGraph] = None
+    _disambiguator: Optional[EntityDisambiguator] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.graph is not None:
+            self._disambiguator = EntityDisambiguator(self.graph)
+
+    def answer(self, text: str) -> Optional[str]:
+        """Answer a natural-language question, or None when not understood
+        or not answerable."""
+        parsed = parse_question(text)
+        if parsed is None:
+            return None
+        subject_name = parsed.subject_mention
+        subject_id = ""
+        if self._disambiguator is not None:
+            resolved = self._disambiguator.resolve(
+                parsed.subject_mention, context=parsed.context or None
+            )
+            if resolved is not None:
+                subject_id = resolved
+                subject_name = self.graph.entity(resolved).name
+        question = Question(
+            subject_id=subject_id,
+            subject_name=subject_name,
+            predicate=parsed.predicate,
+            gold=(),
+            band="unknown",
+            resolved=bool(subject_id),
+        )
+        response = self.backend.answer(question)
+        return response.text
+
+    def answer_all(self, texts: Sequence[str]) -> List[Optional[str]]:
+        """Batch convenience wrapper."""
+        return [self.answer(text) for text in texts]

@@ -1,0 +1,197 @@
+"""Question answering over the two knowledge forms (Sec. 4).
+
+Four serving strategies:
+
+* :class:`LMQA` — parametric only ("will KGs be replaced with LLMs?");
+* :class:`KGQA` — symbolic only (precise but bounded by KG coverage);
+* :class:`RetrievalAugmentedQA` — knowledge-enhanced LM: consult the KG
+  first, fall back to the LM (the [6, 37, 38] direction);
+* :class:`DualRouterQA` — the paper's "future" sketch: route by where the
+  knowledge most plausibly lives — the LM's own familiarity decides whether
+  its answer is trustworthy, torso/tail and fresh knowledge go to triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.graph import KnowledgeGraph
+from repro.datagen.world import World
+from repro.neural.slm import LMAnswer, SimulatedLM
+
+
+@dataclass(frozen=True)
+class Question:
+    """One factoid question with gold answers.
+
+    ``subject_name`` is the surface form given to systems; ``gold`` holds
+    acceptable answer strings; ``band`` the popularity band of the subject.
+    ``subject_id`` is evaluation metadata — systems must NOT use it unless
+    ``resolved`` is set, which marks ids produced by an actual
+    disambiguation step (e.g. the natural-language front end), not gold
+    knowledge.
+    """
+
+    subject_id: str
+    subject_name: str
+    predicate: str
+    gold: Tuple[str, ...]
+    band: str
+    resolved: bool = False
+
+
+def build_question_set(
+    world: World,
+    predicates: Sequence[str] = ("directed_by", "release_year", "birth_place", "genre"),
+    per_band: int = 60,
+    seed: int = 0,
+) -> List[Question]:
+    """Sample a band-balanced question set from the world's facts."""
+    rng = np.random.default_rng(seed)
+    by_band: Dict[str, List[Question]] = {"head": [], "torso": [], "tail": []}
+    for entity in world.truth.entities():
+        band = world.popularity.band(entity.entity_id)
+        for predicate in predicates:
+            objects = world.truth.objects(entity.entity_id, predicate)
+            if not objects:
+                continue
+            gold = []
+            for obj in objects:
+                if isinstance(obj, str) and world.truth.has_entity(obj):
+                    gold.append(world.truth.entity(obj).name.lower())
+                else:
+                    gold.append(str(obj).lower())
+            by_band[band].append(
+                Question(
+                    subject_id=entity.entity_id,
+                    subject_name=entity.name,
+                    predicate=predicate,
+                    gold=tuple(sorted(gold)),
+                    band=band,
+                )
+            )
+    questions: List[Question] = []
+    for band in ("head", "torso", "tail"):
+        pool = by_band[band]
+        if len(pool) > per_band:
+            chosen = rng.choice(len(pool), size=per_band, replace=False)
+            pool = [pool[int(index)] for index in chosen]
+        questions.extend(pool)
+    return questions
+
+
+@dataclass(frozen=True)
+class QAResponse:
+    """A system's answer to one question."""
+
+    text: Optional[str]
+    origin: str  # "lm" | "kg" | "abstain"
+
+
+class LMQA:
+    """Parametric-only question answering."""
+
+    def __init__(self, model: SimulatedLM):
+        self._model = model
+
+    def answer(self, question: Question) -> QAResponse:
+        """Ask the simulated LM directly."""
+        response = self._model.answer(question.subject_name, question.predicate)
+        if response.abstained:
+            return QAResponse(text=None, origin="abstain")
+        return QAResponse(text=response.text, origin="lm")
+
+
+class KGQA:
+    """Symbolic-only question answering over a KG."""
+
+    def __init__(self, graph: KnowledgeGraph):
+        self._graph = graph
+
+    def lookup(self, question: Question) -> List[str]:
+        """All KG answers for the question's (subject, predicate).
+
+        A resolved ``subject_id`` (e.g. from disambiguation) is trusted
+        directly; otherwise every same-named entity contributes, which is
+        where homonym hallucination comes from.
+        """
+        if (
+            question.resolved
+            and question.subject_id
+            and self._graph.has_entity(question.subject_id)
+        ):
+            candidates = [self._graph.entity(question.subject_id)]
+        else:
+            candidates = self._graph.find_by_name(question.subject_name)
+        answers: List[str] = []
+        for entity in candidates:
+            for value in self._graph.objects(entity.entity_id, question.predicate):
+                if isinstance(value, str) and self._graph.has_entity(value):
+                    answers.append(self._graph.entity(value).name)
+                else:
+                    answers.append(str(value))
+        return answers
+
+    def answer(self, question: Question) -> QAResponse:
+        """Exact KG lookup; abstains when the KG lacks the fact."""
+        answers = self.lookup(question)
+        if not answers:
+            return QAResponse(text=None, origin="abstain")
+        return QAResponse(text=answers[0], origin="kg")
+
+
+class RetrievalAugmentedQA:
+    """Knowledge-enhanced LM: retrieve from the KG, fall back to the LM."""
+
+    def __init__(self, graph: KnowledgeGraph, model: SimulatedLM):
+        self._kg = KGQA(graph)
+        self._lm = LMQA(model)
+
+    def answer(self, question: Question) -> QAResponse:
+        """KG first (grounded), LM as fallback."""
+        kg_response = self._kg.answer(question)
+        if kg_response.text is not None:
+            return kg_response
+        return self._lm.answer(question)
+
+
+class DualRouterQA:
+    """The dual neural KG router.
+
+    Routing rule from Sec. 4: knowledge the LM is *familiar* with (head)
+    may be served parametrically; torso-to-tail and recent knowledge "may
+    best reside as triples".  Familiarity is the LM's own memory strength —
+    no oracle popularity needed.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        model: SimulatedLM,
+        familiarity_threshold: float = 6.0,
+    ):
+        self._kg = KGQA(graph)
+        self._lm = LMQA(model)
+        self._model = model
+        self._threshold = familiarity_threshold
+
+    def answer(self, question: Question) -> QAResponse:
+        """Familiar -> LM (with KG verification); unfamiliar -> KG."""
+        familiarity = self._model.familiarity(question.subject_name, question.predicate)
+        kg_response = self._kg.answer(question)
+        if familiarity >= self._threshold:
+            lm_response = self._lm.answer(question)
+            if lm_response.text is not None:
+                # Blend: if the KG can verify, prefer agreement; on
+                # disagreement trust the explicit triple.
+                if kg_response.text is not None and (
+                    kg_response.text.lower() != lm_response.text.lower()
+                ):
+                    return kg_response
+                return lm_response
+        if kg_response.text is not None:
+            return kg_response
+        return self._lm.answer(question)

@@ -1,0 +1,123 @@
+"""The simulated language model (SLM).
+
+A stand-in for GPT-style models in the Sec. 4 experiments.  The SLM is an
+associative memory over fact mentions in its training corpus:
+
+* **storage** — counts of (subject surface form, predicate) -> object,
+  accumulated from corpus sentences; entities sharing a surface name
+  collide in storage, exactly like parametric knowledge does;
+* **recall** — probability of retrieving a stored fact grows with its
+  mention count (``count / (count + k)``), giving the frequency dependence
+  the paper identifies: "LLMs can only learn knowledge when it appears
+  often in the training data";
+* **failure modes** — when recall fails the model either *abstains* (the
+  ~50% "cannot answer" mass) or *confabulates* a plausible object sampled
+  from the predicate's global object distribution (the ~20% hallucination
+  mass); a stored-but-corrupted fact (name collision, noisy corpus
+  association) also surfaces as hallucination, which is why even head
+  entities hallucinate (the paper's 21%-for-head surprise);
+* **training cutoff** — the corpus is whatever it was trained on; facts
+  born later simply do not exist in it (the GPT-4 freshness lag).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.text import TextMention
+
+
+@dataclass(frozen=True)
+class LMAnswer:
+    """One SLM response."""
+
+    text: Optional[str]           # None = abstained ("I don't know")
+    confidence: float
+    from_memory: bool             # True when recalled, False when confabulated
+
+    @property
+    def abstained(self) -> bool:
+        """True when the model declined to answer."""
+        return self.text is None
+
+
+@dataclass
+class SimulatedLM:
+    """Associative fact memory with frequency-dependent recall."""
+
+    recall_halfpoint: float = 1.5   # mention count at which recall = 50%
+    abstain_bias: float = 0.85      # P(abstain | recall failed)
+    association_noise: float = 0.08 # weight of noise-sentence associations
+    seed: int = 0
+    _memory: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float)), init=False, repr=False
+    )
+    _predicate_prior: Dict[str, Dict[str, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float)), init=False, repr=False
+    )
+    _rng: np.random.Generator = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def fit(self, mentions: Sequence[TextMention]) -> "SimulatedLM":
+        """Absorb a corpus (can be called repeatedly; counts accumulate)."""
+        for mention in mentions:
+            subject = mention.subject_text.lower()
+            if mention.predicate is None:
+                # Noise co-occurrence leaks weak associations into memory
+                # under every predicate the subject is ever asked about —
+                # modeled by a small global bump at answer time instead of
+                # per-predicate storage; record the co-occurring object.
+                self._memory[(subject, "__cooccur__")][mention.object_text] += (
+                    self.association_noise
+                )
+                continue
+            self._memory[(subject, mention.predicate)][mention.object_text] += 1.0
+            self._predicate_prior[mention.predicate][mention.object_text] += 1.0
+        return self
+
+    def familiarity(self, subject: str, predicate: str) -> float:
+        """Total stored mention mass for (subject, predicate)."""
+        return sum(self._memory.get((subject.lower(), predicate), {}).values())
+
+    def answer(self, subject: str, predicate: str) -> LMAnswer:
+        """Answer "what is the <predicate> of <subject>?".
+
+        Deterministic given the model's seed and call sequence.
+        """
+        key = (subject.lower(), predicate)
+        distribution = dict(self._memory.get(key, {}))
+        # Noise associations bleed in (weakly) whatever the predicate.
+        for obj, weight in self._memory.get((subject.lower(), "__cooccur__"), {}).items():
+            distribution[obj] = distribution.get(obj, 0.0) + weight
+        strength = sum(distribution.values())
+        p_recall = strength / (strength + self.recall_halfpoint)
+        if distribution and self._rng.random() < p_recall:
+            # Recall succeeds: sample from the (possibly collided) memory.
+            objects = sorted(distribution)
+            weights = np.array([distribution[obj] for obj in objects])
+            probabilities = weights / weights.sum()
+            choice = objects[int(self._rng.choice(len(objects), p=probabilities))]
+            return LMAnswer(
+                text=choice,
+                confidence=float(probabilities.max()),
+                from_memory=True,
+            )
+        # Recall failed: abstain or confabulate.
+        if self._rng.random() < self.abstain_bias or predicate not in self._predicate_prior:
+            return LMAnswer(text=None, confidence=0.0, from_memory=False)
+        prior = self._predicate_prior[predicate]
+        objects = sorted(prior)
+        weights = np.array([prior[obj] for obj in objects])
+        probabilities = weights / weights.sum()
+        choice = objects[int(self._rng.choice(len(objects), p=probabilities))]
+        return LMAnswer(text=choice, confidence=0.1, from_memory=False)
+
+    def n_facts(self) -> int:
+        """Number of distinct (subject, predicate) slots in memory."""
+        return sum(1 for key in self._memory if key[1] != "__cooccur__")

@@ -1,0 +1,194 @@
+"""AutoKnow-style self-driving product knowledge collection (Sec. 3.5).
+
+"With one-size-fits-all extraction and cleaning, Amazon AutoKnow system
+automatically collected 1B knowledge triples over 11K distinct product
+types, and considerably extended the ontology and improved Catalog
+quality."
+
+The orchestration mirrors Fig. 4(b): taxonomy enrichment from behavior,
+distantly-supervised type-aware extraction over *all* types at once
+(TXtract), statistical knowledge cleaning, and assembly of the resulting
+text-rich KG.  The report quantifies the same outcomes AutoKnow reported:
+triples added over the catalog, types covered, and the quality of what was
+added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.textrich import AttributeValue, TextRichKG
+from repro.datagen.behavior import BehaviorLog
+from repro.datagen.products import ProductDomain
+from repro.ml.metrics import BinaryConfusion
+from repro.products.cleaning import KnowledgeCleaner
+from repro.products.opentag import train_test_split
+from repro.products.taxonomy_mining import HypernymMiner, enrich_taxonomy
+from repro.products.txtract import TXtractModel
+
+
+@dataclass
+class AutoKnowReport:
+    """The AutoKnow outcome numbers."""
+
+    n_catalog_triples: int = 0
+    n_extracted_triples: int = 0
+    n_cleaned_triples: int = 0
+    n_imputed_triples: int = 0
+    n_final_triples: int = 0
+    n_types_covered: int = 0
+    n_taxonomy_edges_added: int = 0
+    extraction_accuracy: float = 0.0
+    catalog_accuracy: float = 0.0
+    imputation_accuracy: float = 1.0
+    final_accuracy: float = 0.0
+
+    @property
+    def growth_factor(self) -> float:
+        """Final triples relative to the catalog baseline."""
+        if self.n_catalog_triples == 0:
+            return float("inf")
+        return self.n_final_triples / self.n_catalog_triples
+
+
+@dataclass
+class AutoKnow:
+    """The end-to-end self-driving collection pipeline.
+
+    With ``curated_taxonomy`` (default), mined hypernyms only *extend* the
+    domain's existing taxonomy; without it, AutoKnow bootstraps a taxonomy
+    from scratch — leaf types appear as roots when products are ingested
+    and behavior mining organizes them under discovered parents, the Octet
+    setting where "considerably extended the ontology" is visible.
+    """
+
+    n_epochs: int = 6
+    seed: int = 0
+    curated_taxonomy: bool = True
+    impute_missing: bool = False
+    imputation_confidence: float = 0.8
+    kg_: Optional[TextRichKG] = field(default=None, init=False)
+    report_: Optional[AutoKnowReport] = field(default=None, init=False)
+
+    def run(
+        self,
+        domain: ProductDomain,
+        behavior: Optional[BehaviorLog] = None,
+    ) -> AutoKnowReport:
+        """Build the text-rich KG; returns the outcome report."""
+        from repro.core.ontology import Ontology
+
+        report = AutoKnowReport()
+        taxonomy = domain.taxonomy if self.curated_taxonomy else Ontology(name="discovered")
+        kg = TextRichKG(taxonomy=taxonomy, name="autoknow")
+
+        # ---- ontology enrichment (behavior -> taxonomy edges) ----------
+        if behavior is not None:
+            miner = HypernymMiner()
+            mined = miner.mine(domain, behavior)
+            report.n_taxonomy_edges_added = enrich_taxonomy(
+                taxonomy, mined, create_parents=not self.curated_taxonomy
+            )
+
+        # ---- data enrichment: distantly-supervised TXtract -------------
+        attributes = tuple(domain.attributes())
+        train, _test = train_test_split(domain.products, test_fraction=0.0, seed=self.seed)
+        model = TXtractModel(
+            attributes=attributes, n_epochs=self.n_epochs, seed=self.seed
+        ).fit(train, supervision="distant")
+
+        # ---- cleaning learned from catalog statistics ------------------
+        cleaner = KnowledgeCleaner.from_catalog_statistics(domain)
+
+        # ---- optional imputation of still-missing catalog values -------
+        imputer = None
+        if self.impute_missing:
+            from repro.products.imputation import ValueImputer
+
+            imputer = ValueImputer(min_confidence=self.imputation_confidence).fit(domain)
+
+        imputation_confusion = BinaryConfusion()
+        extraction_confusion = BinaryConfusion()
+        catalog_confusion = BinaryConfusion()
+        final_confusion = BinaryConfusion()
+        types_covered = set()
+        for product in domain.products:
+            kg.add_topic(
+                product.product_id,
+                product.title_text,
+                product.leaf_type,
+            )
+            # Catalog triples form the baseline KG content.
+            for attribute, value in sorted(product.catalog_values.items()):
+                kg.add_value(
+                    product.product_id,
+                    AttributeValue(attribute=attribute, value=value, source="catalog"),
+                )
+                report.n_catalog_triples += 1
+                catalog_confusion += _judge(product, attribute, value)
+            # Extraction + cleaning adds new knowledge.
+            extracted = model.extract(product)
+            report.n_extracted_triples += len(extracted)
+            for attribute, value in sorted(extracted.items()):
+                extraction_confusion += _judge(product, attribute, value)
+            kept = cleaner.clean(extracted, product.product_type)
+            report.n_cleaned_triples += len(extracted) - len(kept)
+            for attribute, value in sorted(kept.items()):
+                if product.catalog_values.get(attribute, "").lower() == value.lower():
+                    continue  # already in the catalog
+                kg.add_value(
+                    product.product_id,
+                    AttributeValue(
+                        attribute=attribute, value=value, confidence=0.9, source="txtract"
+                    ),
+                )
+                final_confusion += _judge(product, attribute, value)
+                types_covered.add(product.product_type)
+            # Imputation fills attributes neither the catalog nor the
+            # profile text provided.
+            if imputer is not None:
+                still_missing = [
+                    attribute
+                    for attribute in sorted(product.true_values)
+                    if attribute not in product.catalog_values and attribute not in kept
+                ]
+                for imputation in imputer.impute_all(product, still_missing):
+                    kg.add_value(
+                        product.product_id,
+                        AttributeValue(
+                            attribute=imputation.attribute,
+                            value=imputation.value,
+                            confidence=imputation.confidence,
+                            source="imputation",
+                        ),
+                    )
+                    report.n_imputed_triples += 1
+                    imputation_confusion += _judge(
+                        product, imputation.attribute, imputation.value
+                    )
+
+        stats = kg.stats()
+        report.n_final_triples = stats["n_value_triples"]
+        report.n_types_covered = len(types_covered)
+        report.extraction_accuracy = _confusion_precision(extraction_confusion)
+        report.catalog_accuracy = _confusion_precision(catalog_confusion)
+        report.imputation_accuracy = _confusion_precision(imputation_confusion)
+        report.final_accuracy = _confusion_precision(final_confusion)
+        self.kg_ = kg
+        self.report_ = report
+        return report
+
+
+def _judge(product, attribute: str, value: str) -> BinaryConfusion:
+    truth = product.true_values.get(attribute)
+    if truth is not None and truth.lower() == value.lower():
+        return BinaryConfusion(true_positive=1)
+    return BinaryConfusion(false_positive=1)
+
+
+def _confusion_precision(confusion: BinaryConfusion) -> float:
+    total = confusion.true_positive + confusion.false_positive
+    if total == 0:
+        return 1.0
+    return confusion.true_positive / total

@@ -1,0 +1,191 @@
+"""Knowledge cleaning for text-rich KGs (Sec. 3.2).
+
+Two constructions, matching the two pipelines of Fig. 5:
+
+* :meth:`KnowledgeCleaner.from_rules` — hand-written consistency rules
+  ("spicy is unlikely to be the flavor of icecreams"), the Fig. 5(a)
+  post-processing;
+* :meth:`KnowledgeCleaner.from_catalog_statistics` — rules *learned* from
+  catalog value statistics: a value that essentially never occurs for a
+  (type, attribute) while being common elsewhere is flagged, plus
+  cross-attribute contradiction pairs mined from co-occurrence — the
+  Fig. 5(b) ML-based cleaning, "leveraging consistency between different
+  attribute values of the same product and between products of the same
+  type".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.datagen.products import (
+    ATTRIBUTE_SPEC,
+    CONTRADICTIONS,
+    FORBIDDEN_VALUES,
+    ProductDomain,
+)
+
+
+@dataclass
+class CleaningReport:
+    """What a cleaning pass dropped and why."""
+
+    kept: Dict[str, str] = field(default_factory=dict)
+    dropped: List[Tuple[str, str, str]] = field(default_factory=list)  # (attr, value, reason)
+
+
+@dataclass
+class KnowledgeCleaner:
+    """Filter (attribute, value) assertions against consistency knowledge."""
+
+    forbidden: Set[Tuple[str, str, str]] = field(default_factory=set)
+    contradictions: List[Tuple[Tuple[str, str], Tuple[str, str]]] = field(default_factory=list)
+    type_vocabulary: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+
+    @property
+    def n_rules(self) -> int:
+        """Number of distinct rules (the manual-work unit for Fig. 5a)."""
+        return len(self.forbidden) + len(self.contradictions)
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @staticmethod
+    def from_rules(domain: ProductDomain) -> "KnowledgeCleaner":
+        """Hand-written rules: forbidden values + contradictions + closed
+        per-type vocabularies (curated by taxonomists in Fig. 5a)."""
+        cleaner = KnowledgeCleaner(
+            forbidden=set(FORBIDDEN_VALUES),
+            contradictions=list(CONTRADICTIONS),
+        )
+        for product_type, spec in ATTRIBUTE_SPEC.items():
+            for attribute, vocabulary in spec.items():
+                cleaner.type_vocabulary[(product_type, attribute)] = {
+                    value.lower() for value in vocabulary
+                }
+        return cleaner
+
+    @staticmethod
+    def from_catalog_statistics(
+        domain: ProductDomain, min_support: int = 2, rarity_threshold: float = 0.02
+    ) -> "KnowledgeCleaner":
+        """Learn cleaning knowledge from (noisy) catalog statistics.
+
+        * per-(type, attribute) vocabularies = catalog values with at least
+          ``min_support`` occurrences for that type;
+        * forbidden (type, attribute, value) = values common globally for
+          the attribute but below a ``rarity_threshold`` share within the
+          type;
+        * contradictions = value pairs that never co-occur in the catalog
+          despite both being frequent.
+        """
+        type_attribute_counts: Dict[Tuple[str, str], Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        attribute_counts: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        pair_counts: Dict[Tuple[Tuple[str, str], Tuple[str, str]], int] = defaultdict(int)
+        value_frequency: Dict[Tuple[str, str], int] = defaultdict(int)
+        for product in domain.products:
+            items = sorted(product.catalog_values.items())
+            for attribute, value in items:
+                type_attribute_counts[(product.product_type, attribute)][value.lower()] += 1
+                attribute_counts[attribute][value.lower()] += 1
+                value_frequency[(attribute, value.lower())] += 1
+            for left_position in range(len(items)):
+                for right_position in range(left_position + 1, len(items)):
+                    left = (items[left_position][0], items[left_position][1].lower())
+                    right = (items[right_position][0], items[right_position][1].lower())
+                    pair_counts[(left, right)] += 1
+        cleaner = KnowledgeCleaner()
+        for (product_type, attribute), counts in type_attribute_counts.items():
+            total = sum(counts.values())
+            vocabulary = {
+                value for value, count in counts.items() if count >= min_support
+            }
+            cleaner.type_vocabulary[(product_type, attribute)] = vocabulary
+            for value, global_count in attribute_counts[attribute].items():
+                share = counts.get(value, 0) / max(total, 1)
+                if global_count >= 5 and share < rarity_threshold:
+                    cleaner.forbidden.add((product_type, attribute, value))
+        # Contradictions: frequent values that never co-occur.
+        frequent = {
+            key for key, count in value_frequency.items() if count >= 8
+        }
+        for left in sorted(frequent):
+            for right in sorted(frequent):
+                if left >= right or left[0] == right[0]:
+                    continue
+                if pair_counts.get((left, right), 0) + pair_counts.get((right, left), 0) == 0:
+                    # Only meaningful if the two attributes do co-occur at all.
+                    attrs_cooccur = any(
+                        key[0][0] == left[0] and key[1][0] == right[0]
+                        or key[0][0] == right[0] and key[1][0] == left[0]
+                        for key in pair_counts
+                    )
+                    if attrs_cooccur:
+                        cleaner.contradictions.append((left, right))
+        return cleaner
+
+    # ------------------------------------------------------------------
+    # cleaning
+
+    def normalize(self, values: Dict[str, str], product_type: str) -> Dict[str, str]:
+        """Expand partial value mentions to their canonical vocabulary form.
+
+        Profiles often mention only the head word of a multi-word value
+        ("dark" for "dark roast"); when exactly one vocabulary entry for the
+        (type, attribute) starts with the extracted text, the value is
+        expanded.  This is the normalization half of pipeline
+        post-processing that lifts raw NER output to production quality.
+        """
+        normalized: Dict[str, str] = {}
+        for attribute, value in values.items():
+            vocabulary = self.type_vocabulary.get((product_type, attribute))
+            lowered = value.lower()
+            if vocabulary and lowered not in vocabulary:
+                completions = [
+                    candidate
+                    for candidate in sorted(vocabulary)
+                    if candidate.split()[0] == lowered or candidate.startswith(lowered + " ")
+                ]
+                if len(completions) == 1:
+                    normalized[attribute] = completions[0]
+                    continue
+            normalized[attribute] = value
+        return normalized
+
+    def clean(self, values: Dict[str, str], product_type: str) -> Dict[str, str]:
+        """Normalize, then keep the assertions that survive all checks."""
+        normalized = self.normalize(values, product_type)
+        return self.clean_report(normalized, product_type).kept
+
+    def clean_report(self, values: Dict[str, str], product_type: str) -> CleaningReport:
+        """Cleaning with per-drop reasons (for audits and tests)."""
+        report = CleaningReport()
+        survivors: Dict[str, str] = {}
+        for attribute, value in sorted(values.items()):
+            lowered = value.lower()
+            if (product_type, attribute, lowered) in _lower_forbidden(self.forbidden):
+                report.dropped.append((attribute, value, "forbidden_for_type"))
+                continue
+            vocabulary = self.type_vocabulary.get((product_type, attribute))
+            if vocabulary is not None and lowered not in vocabulary:
+                report.dropped.append((attribute, value, "outside_type_vocabulary"))
+                continue
+            survivors[attribute] = value
+        # Contradiction resolution: drop the later (alphabetical) member.
+        for (attr_a, value_a), (attr_b, value_b) in self.contradictions:
+            if (
+                survivors.get(attr_a, "").lower() == value_a.lower()
+                and survivors.get(attr_b, "").lower() == value_b.lower()
+            ):
+                report.dropped.append((attr_b, survivors[attr_b], "contradiction"))
+                del survivors[attr_b]
+        report.kept = survivors
+        return report
+
+
+def _lower_forbidden(forbidden: Set[Tuple[str, str, str]]) -> Set[Tuple[str, str, str]]:
+    return {(t, a, v.lower()) for t, a, v in forbidden}

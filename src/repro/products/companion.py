@@ -1,0 +1,133 @@
+"""Product-level substitute/complement recommendation (P-Companion style).
+
+"Such methods are also used to establish the substitutes and complements
+between products [24, 48]." (Sec. 3.1)  P-Companion [24] recommends
+*diversified* complementary products: first decide which complementary
+*types* fit the query product, then pick products within each type.
+
+This module layers product-level recommendation on top of the type-level
+:class:`~repro.products.relationships.RelationshipMiner` output:
+
+* substitutes — same-type products ranked by attribute-value overlap
+  (a dark-roast decaf's best substitute is another dark-roast decaf);
+* complements — one representative product per mined complementary type
+  (the diversification step), ranked by behavioral co-purchase support.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.behavior import BehaviorLog
+from repro.datagen.products import ProductDomain, ProductRecord
+from repro.products.relationships import MinedRelation, RelationshipMiner
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended product with its score and reason."""
+
+    product_id: str
+    score: float
+    reason: str
+
+
+@dataclass
+class CompanionRecommender:
+    """Substitutes and diversified complements for a query product."""
+
+    domain: ProductDomain
+    relations: Sequence[MinedRelation]
+    behavior: Optional[BehaviorLog] = None
+    _by_id: Dict[str, ProductRecord] = field(default_factory=dict, init=False)
+    _copurchase_count: Dict[str, int] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {product.product_id: product for product in self.domain.products}
+        counts: Dict[str, int] = defaultdict(int)
+        if self.behavior is not None:
+            for left, right in self.behavior.co_purchases:
+                counts[left] += 1
+                counts[right] += 1
+        self._copurchase_count = dict(counts)
+
+    @staticmethod
+    def build(
+        domain: ProductDomain, behavior: BehaviorLog, miner: Optional[RelationshipMiner] = None
+    ) -> "CompanionRecommender":
+        """Mine type relations from behavior and assemble the recommender."""
+        miner = miner or RelationshipMiner()
+        relations = miner.mine(domain, behavior)
+        return CompanionRecommender(domain=domain, relations=relations, behavior=behavior)
+
+    # ------------------------------------------------------------------
+
+    def substitutes(self, product_id: str, top_k: int = 5) -> List[Recommendation]:
+        """Same-type products ranked by attribute agreement."""
+        query = self._require(product_id)
+        scored: List[Recommendation] = []
+        for candidate in self.domain.by_type(query.product_type):
+            if candidate.product_id == product_id:
+                continue
+            score = self._attribute_overlap(query, candidate)
+            scored.append(
+                Recommendation(
+                    product_id=candidate.product_id,
+                    score=score,
+                    reason=f"same type ({query.product_type}), attribute overlap {score:.2f}",
+                )
+            )
+        scored.sort(key=lambda rec: (-rec.score, rec.product_id))
+        return scored[:top_k]
+
+    def complements(self, product_id: str, top_k_per_type: int = 1) -> List[Recommendation]:
+        """Diversified complements: best product(s) from each mined
+        complementary type."""
+        query = self._require(product_id)
+        complementary_types = []
+        for relation in self.relations:
+            if relation.relation != "complement":
+                continue
+            if relation.left_type == query.product_type:
+                complementary_types.append((relation.right_type, relation.pmi))
+            elif relation.right_type == query.product_type:
+                complementary_types.append((relation.left_type, relation.pmi))
+        recommendations: List[Recommendation] = []
+        for target_type, pmi in sorted(complementary_types, key=lambda item: -item[1]):
+            candidates = sorted(
+                self.domain.by_type(target_type),
+                key=lambda candidate: (
+                    -self._copurchase_count.get(candidate.product_id, 0),
+                    candidate.product_id,
+                ),
+            )
+            for candidate in candidates[:top_k_per_type]:
+                recommendations.append(
+                    Recommendation(
+                        product_id=candidate.product_id,
+                        score=pmi,
+                        reason=f"complementary type {target_type} (pmi {pmi:.2f})",
+                    )
+                )
+        return recommendations
+
+    # ------------------------------------------------------------------
+
+    def _require(self, product_id: str) -> ProductRecord:
+        if product_id not in self._by_id:
+            raise KeyError(f"unknown product: {product_id!r}")
+        return self._by_id[product_id]
+
+    @staticmethod
+    def _attribute_overlap(left: ProductRecord, right: ProductRecord) -> float:
+        attributes = set(left.true_values) | set(right.true_values)
+        if not attributes:
+            return 0.0
+        agreements = sum(
+            1
+            for attribute in attributes
+            if left.true_values.get(attribute) == right.true_values.get(attribute)
+        )
+        return agreements / len(attributes)

@@ -1,0 +1,152 @@
+"""Missing-value imputation for the product catalog.
+
+AutoKnow's data-enrichment suite [19] includes imputing catalog values the
+seller never provided.  The imputer here learns, from the (noisy) catalog:
+
+* per-(type, attribute) value priors — "most Ice Cream sizes are 1 pint";
+* pairwise conditionals between attributes of the same product —
+  "decaf products are rarely mocha" (the same consistency signal the
+  cleaner uses, pointed the other way: instead of *deleting* inconsistent
+  values it *predicts* consistent ones);
+
+and fills a missing attribute only when the posterior is confident —
+imputed knowledge must clear the same production bar as extracted
+knowledge (Sec. 5), so refusing to guess is part of the contract.
+
+Measured against the synthetic domain, imputation tops out around 70-80%
+accuracy even at high confidence thresholds — which reproduces the paper's
+Sec. 5 judgement that knowledge *inference* "has not achieved the quality
+to reliably add inferred knowledge into KGs": :class:`AutoKnow` therefore
+ships with ``impute_missing=False`` by default, and the readiness-matrix
+benchmark lists imputation among the not-yet-successful techniques.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.products import ProductDomain, ProductRecord
+
+
+@dataclass(frozen=True)
+class Imputation:
+    """One imputed value with its confidence."""
+
+    attribute: str
+    value: str
+    confidence: float
+
+
+@dataclass
+class ValueImputer:
+    """Naive-Bayes-style imputer over catalog co-occurrence statistics."""
+
+    min_confidence: float = 0.6
+    smoothing: float = 0.5
+    # (type, attribute) -> value -> count
+    _priors: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float)), init=False, repr=False
+    )
+    # (type, attribute, evidence_attr, evidence_value) -> value -> count
+    _conditionals: Dict[Tuple[str, str, str, str], Dict[str, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float)), init=False, repr=False
+    )
+
+    def fit(self, domain: ProductDomain) -> "ValueImputer":
+        """Learn priors and pairwise conditionals from catalog values."""
+        for product in domain.products:
+            items = sorted(product.catalog_values.items())
+            for attribute, value in items:
+                self._priors[(product.product_type, attribute)][value.lower()] += 1.0
+            for target_attr, target_value in items:
+                for evidence_attr, evidence_value in items:
+                    if evidence_attr == target_attr:
+                        continue
+                    key = (
+                        product.product_type,
+                        target_attr,
+                        evidence_attr,
+                        evidence_value.lower(),
+                    )
+                    self._conditionals[key][target_value.lower()] += 1.0
+        return self
+
+    def impute(
+        self, product: ProductRecord, attribute: str
+    ) -> Optional[Imputation]:
+        """Predict a missing attribute for one product, or None.
+
+        Known attributes of the product are the evidence; the posterior is
+        the prior reweighted by each pairwise conditional (naive-Bayes
+        factorization).  Below ``min_confidence`` the imputer abstains.
+        """
+        prior = self._priors.get((product.product_type, attribute))
+        if not prior:
+            return None
+        candidates = sorted(prior)
+        total_prior = sum(prior.values()) + self.smoothing * len(candidates)
+        scores = {
+            value: (prior[value] + self.smoothing) / total_prior for value in candidates
+        }
+        for evidence_attr, evidence_value in sorted(product.catalog_values.items()):
+            if evidence_attr == attribute:
+                continue
+            key = (product.product_type, attribute, evidence_attr, evidence_value.lower())
+            conditional = self._conditionals.get(key)
+            if not conditional:
+                continue
+            conditional_total = sum(conditional.values()) + self.smoothing * len(candidates)
+            for value in candidates:
+                likelihood = (conditional.get(value, 0.0) + self.smoothing) / conditional_total
+                scores[value] *= likelihood
+        normalizer = sum(scores.values())
+        if normalizer <= 0:
+            return None
+        best_value = max(candidates, key=lambda value: (scores[value], value))
+        confidence = scores[best_value] / normalizer
+        if confidence < self.min_confidence:
+            return None
+        return Imputation(attribute=attribute, value=best_value, confidence=confidence)
+
+    def impute_all(
+        self, product: ProductRecord, attributes: Sequence[str]
+    ) -> List[Imputation]:
+        """Impute every missing attribute from the list that clears the bar."""
+        imputations = []
+        for attribute in attributes:
+            if attribute in product.catalog_values:
+                continue
+            result = self.impute(product, attribute)
+            if result is not None:
+                imputations.append(result)
+        return imputations
+
+    def evaluate(
+        self, domain: ProductDomain, attributes: Optional[Sequence[str]] = None
+    ) -> Dict[str, float]:
+        """Accuracy/coverage of imputations against hidden true values.
+
+        Only products whose catalog *lacks* the attribute but whose world
+        truth defines it count — the live imputation setting.
+        """
+        attributes = attributes or domain.attributes()
+        correct = produced = possible = 0
+        for product in domain.products:
+            for attribute in attributes:
+                truth = product.true_values.get(attribute)
+                if truth is None or attribute in product.catalog_values:
+                    continue
+                possible += 1
+                result = self.impute(product, attribute)
+                if result is None:
+                    continue
+                produced += 1
+                if result.value == truth.lower():
+                    correct += 1
+        return {
+            "coverage": produced / possible if possible else 0.0,
+            "accuracy": correct / produced if produced else 1.0,
+            "n_imputed": produced,
+        }

@@ -1,0 +1,183 @@
+"""OpenTag-style attribute-value extraction from product profiles.
+
+"We resort to product profiles including product names, descriptions, and
+bullets, and train Named Entity Recognition (NER) models to detect patterns
+that express a particular attribute. Such models, like OpenTag, serve as
+the basis for product knowledge collection." (Sec. 3.1)
+
+Supervision comes in two flavors matching Fig. 5:
+
+* **gold** — human span annotations (metered as manual work in the
+  production pipeline);
+* **distant** — spans located by matching noisy catalog values against the
+  profile text (the automated pipeline), which inherits catalog errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.datagen.products import LabeledText, ProductRecord
+from repro.ml.metrics import BinaryConfusion
+from repro.ml.tagger import BIO, OUTSIDE, SequenceTagger
+
+
+def gold_bio_tags(text: LabeledText, attributes: Set[str]) -> List[str]:
+    """BIO tags from the generator's gold spans, filtered to ``attributes``."""
+    spans = [
+        (start, end, attribute)
+        for start, end, attribute in text.spans
+        if attribute in attributes
+    ]
+    return BIO.encode(list(text.tokens), spans)
+
+
+def distant_bio_tags(
+    text: LabeledText, catalog_values: Dict[str, str], attributes: Set[str]
+) -> List[str]:
+    """BIO tags by matching catalog values against the token sequence.
+
+    This is distant supervision in the Fig. 5(b) sense: wrong catalog
+    values label wrong spans (or none), and values the catalog lacks go
+    unlabeled — the quality/coverage trade the automated pipeline accepts.
+    """
+    tokens_lower = [token.lower() for token in text.tokens]
+    spans: List[Tuple[int, int, str]] = []
+    for attribute, value in catalog_values.items():
+        if attribute not in attributes:
+            continue
+        value_tokens = value.lower().split()
+        if not value_tokens:
+            continue
+        for start in range(len(tokens_lower) - len(value_tokens) + 1):
+            if tokens_lower[start : start + len(value_tokens)] == value_tokens:
+                spans.append((start, start + len(value_tokens), attribute))
+                break
+    return BIO.encode(list(text.tokens), spans)
+
+
+@dataclass
+class OpenTagModel:
+    """A sequence tagger over product-profile tokens.
+
+    One instance can cover one attribute or several; TXtract/AdaTag build
+    on the same class by passing context features.
+    """
+
+    attributes: Tuple[str, ...]
+    n_epochs: int = 8
+    seed: int = 0
+    tagger_: Optional[SequenceTagger] = field(default=None, init=False, repr=False)
+
+    def fit(
+        self,
+        products: Sequence[ProductRecord],
+        supervision: str = "gold",
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+    ) -> "OpenTagModel":
+        """Train on product profiles.
+
+        ``supervision`` is ``"gold"`` (human spans) or ``"distant"``
+        (catalog matching).  ``contexts`` supplies per-product context
+        features (one list per product; applied to all its texts).
+        """
+        attribute_set = set(self.attributes)
+        sentences: List[List[str]] = []
+        tag_sequences: List[List[str]] = []
+        context_rows: Optional[List[List[str]]] = [] if contexts is not None else None
+        for index, product in enumerate(products):
+            for text in product.all_texts():
+                if supervision == "gold":
+                    tags = gold_bio_tags(text, attribute_set)
+                elif supervision == "distant":
+                    tags = distant_bio_tags(text, product.catalog_values, attribute_set)
+                else:
+                    raise ValueError(f"unknown supervision mode {supervision!r}")
+                sentences.append(list(text.tokens))
+                tag_sequences.append(tags)
+                if context_rows is not None:
+                    context_rows.append(list(contexts[index]))
+        self.tagger_ = SequenceTagger(n_epochs=self.n_epochs, seed=self.seed)
+        self.tagger_.fit(sentences, tag_sequences, contexts=context_rows)
+        return self
+
+    def extract(
+        self, product: ProductRecord, context: Sequence[str] = ()
+    ) -> Dict[str, str]:
+        """Extract attribute -> value from a product's profile.
+
+        The first prediction per attribute wins (title first, then
+        bullets), mirroring profile-priority heuristics in practice.
+        """
+        if self.tagger_ is None:
+            raise RuntimeError("model is not fitted")
+        found: Dict[str, str] = {}
+        for text in product.all_texts():
+            for attribute, value in self.tagger_.extract(list(text.tokens), context):
+                if attribute in self.attributes and attribute not in found:
+                    found[attribute] = value
+        return found
+
+    def evaluate(
+        self,
+        products: Sequence[ProductRecord],
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+    ) -> Dict[str, BinaryConfusion]:
+        """Value-level confusion per attribute against text-supported truth.
+
+        A product contributes a positive for attribute A only when the true
+        value actually appears in its profile (an extractor cannot recover
+        what the text never says; PAM exists for that).
+        """
+        confusions: Dict[str, BinaryConfusion] = {
+            attribute: BinaryConfusion() for attribute in self.attributes
+        }
+        for index, product in enumerate(products):
+            context = list(contexts[index]) if contexts is not None else []
+            predicted = self.extract(product, context)
+            mentioned = mentioned_attributes(product)
+            for attribute in self.attributes:
+                truth = product.true_values.get(attribute)
+                has_truth = attribute in mentioned and truth is not None
+                prediction = predicted.get(attribute)
+                if prediction is not None and has_truth and prediction.lower() == truth.lower():
+                    confusions[attribute] += BinaryConfusion(true_positive=1)
+                elif prediction is not None:
+                    confusions[attribute] += BinaryConfusion(false_positive=1)
+                elif has_truth:
+                    confusions[attribute] += BinaryConfusion(false_negative=1)
+        return confusions
+
+    def micro_f1(
+        self,
+        products: Sequence[ProductRecord],
+        contexts: Optional[Sequence[Sequence[str]]] = None,
+    ) -> float:
+        """Micro-averaged F1 over all attributes."""
+        total = BinaryConfusion()
+        for confusion in self.evaluate(products, contexts).values():
+            total += confusion
+        return total.f1
+
+
+def mentioned_attributes(product: ProductRecord) -> Set[str]:
+    """Attributes whose true value is present in the product's profile text."""
+    return {
+        attribute for text in product.all_texts() for _s, _e, attribute in text.spans
+    }
+
+
+def train_test_split(
+    products: Sequence[ProductRecord], test_fraction: float = 0.3, seed: int = 0
+) -> Tuple[List[ProductRecord], List[ProductRecord]]:
+    """Deterministic shuffled split of a product list."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(products))
+    n_test = int(len(products) * test_fraction)
+    test_indexes = set(order[:n_test].tolist())
+    train = [product for index, product in enumerate(products) if index not in test_indexes]
+    test = [product for index, product in enumerate(products) if index in test_indexes]
+    return train, test

@@ -1,0 +1,149 @@
+"""PAM: multi-modal (text + image) attribute extraction (Sec. 3.4).
+
+"The PAM multi-modal extractor employs a multi-modal transformer to attend
+across texts and images to improve knowledge extraction; in addition, it
+uses a generative model, adapted according to the product types, to allow
+extracting values not observed in training data. Experimental results show
+that it can improve over text extraction by 11% on F-measure."
+
+Reproduction: the text channel is a tagger (any OpenTag-family model); the
+image channel matches per-product visual tokens against a per-(type,
+attribute) candidate-value vocabulary *learned from training products'
+image evidence* — playing the type-adapted generative decoder: it can emit
+values the text model never saw in its training spans, as long as the image
+signal supports them.  Channel fusion prefers text (higher precision) and
+falls back to image (recall on unmentioned values).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.datagen.products import ProductRecord
+from repro.ml.metrics import BinaryConfusion
+from repro.products.opentag import OpenTagModel, mentioned_attributes
+
+
+def _image_signature(value: str) -> str:
+    """The visual-token form of a value ("dark roast" -> "img:dark")."""
+    return f"img:{value.split()[0].lower()}"
+
+
+@dataclass
+class PAMExtractor:
+    """Text tagger + image-channel value matcher with type adaptation."""
+
+    attributes: Tuple[str, ...]
+    n_epochs: int = 8
+    image_confidence: float = 0.7
+    seed: int = 0
+    text_model_: Optional[OpenTagModel] = field(default=None, init=False, repr=False)
+    value_catalog_: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict, init=False)
+
+    def fit(
+        self, products: Sequence[ProductRecord], supervision: str = "gold"
+    ) -> "PAMExtractor":
+        """Train the text channel and learn the per-type value catalog.
+
+        The value catalog is built from *image-evidenced* training values:
+        a value joins (type, attribute)'s candidates when a training
+        product of that type shows the value's visual signature — no text
+        span required, which is what later allows decoding unseen-in-text
+        values.
+        """
+        self.text_model_ = OpenTagModel(
+            attributes=self.attributes, n_epochs=self.n_epochs, seed=self.seed
+        ).fit(products, supervision=supervision)
+        catalog: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        for product in products:
+            image_tokens = set(product.image_tokens)
+            for attribute in self.attributes:
+                value = product.catalog_values.get(attribute) or product.true_values.get(
+                    attribute
+                )
+                if value is None:
+                    continue
+                if _image_signature(value) in image_tokens:
+                    catalog[(product.product_type, attribute)].add(value.lower())
+        self.value_catalog_ = dict(catalog)
+        return self
+
+    def extract_text_only(self, product: ProductRecord) -> Dict[str, str]:
+        """The text-channel baseline."""
+        if self.text_model_ is None:
+            raise RuntimeError("extractor is not fitted")
+        return self.text_model_.extract(product)
+
+    def extract(self, product: ProductRecord) -> Dict[str, str]:
+        """Fused multi-modal extraction."""
+        found = self.extract_text_only(product)
+        image_tokens = set(product.image_tokens)
+        for attribute in self.attributes:
+            if attribute in found:
+                continue
+            candidates = self.value_catalog_.get((product.product_type, attribute), set())
+            matches = [
+                value for value in sorted(candidates)
+                if _image_signature(value) in image_tokens
+            ]
+            if len(matches) == 1:
+                # Unambiguous image evidence: decode the value from the
+                # image channel alone.
+                found[attribute] = matches[0]
+        return found
+
+    def evaluate(
+        self, products: Sequence[ProductRecord], multimodal: bool = True
+    ) -> Dict[str, BinaryConfusion]:
+        """Value-level confusion per attribute.
+
+        Unlike the text-only evaluation, truth here includes values *not*
+        mentioned in the text — recovering those is PAM's contribution, so
+        the text-only baseline is charged for missing them.
+        """
+        confusions: Dict[str, BinaryConfusion] = {
+            attribute: BinaryConfusion() for attribute in self.attributes
+        }
+        for product in products:
+            predicted = (
+                self.extract(product) if multimodal else self.extract_text_only(product)
+            )
+            for attribute in self.attributes:
+                truth = product.true_values.get(attribute)
+                prediction = predicted.get(attribute)
+                if prediction is not None and truth is not None and prediction.lower() == truth.lower():
+                    confusions[attribute] += BinaryConfusion(true_positive=1)
+                elif prediction is not None:
+                    confusions[attribute] += BinaryConfusion(false_positive=1)
+                elif truth is not None:
+                    confusions[attribute] += BinaryConfusion(false_negative=1)
+        return confusions
+
+    def micro_f1(self, products: Sequence[ProductRecord], multimodal: bool = True) -> float:
+        """Micro-averaged F1 (set ``multimodal=False`` for the baseline)."""
+        total = BinaryConfusion()
+        for confusion in self.evaluate(products, multimodal=multimodal).values():
+            total += confusion
+        return total.f1
+
+    def unseen_value_recall(self, products: Sequence[ProductRecord]) -> float:
+        """Recall on values absent from the product's own text.
+
+        The generative-decoding claim: how often a true value with no text
+        mention is still recovered (necessarily via the image channel).
+        """
+        recovered = 0
+        total = 0
+        for product in products:
+            mentioned = mentioned_attributes(product)
+            predicted = self.extract(product)
+            for attribute in self.attributes:
+                truth = product.true_values.get(attribute)
+                if truth is None or attribute in mentioned:
+                    continue
+                total += 1
+                if predicted.get(attribute, "").lower() == truth.lower():
+                    recovered += 1
+        return recovered / total if total else 0.0

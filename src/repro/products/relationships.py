@@ -1,0 +1,116 @@
+"""Substitutes and complements from behavior logs (Sec. 3.1).
+
+"Such methods are also used to establish the substitutes and complements
+between products" — P-Companion-style: co-*view* pairs signal
+substitutability (customers comparing alternatives), co-*purchase* pairs
+across types signal complementarity (bought together to be used together).
+PMI against an independence baseline separates signal from traffic noise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.behavior import BehaviorLog
+from repro.datagen.products import ProductDomain
+
+
+@dataclass(frozen=True)
+class MinedRelation:
+    """One mined product-type relation with its PMI score."""
+
+    left_type: str
+    right_type: str
+    relation: str  # "substitute" | "complement"
+    pmi: float
+    support: int
+
+
+@dataclass
+class RelationshipMiner:
+    """Type-level substitute/complement mining over event pairs."""
+
+    min_support: int = 5
+    min_pmi: float = 0.2
+
+    def mine(self, domain: ProductDomain, log: BehaviorLog) -> List[MinedRelation]:
+        """Mine both relation kinds from the log."""
+        type_of = {product.product_id: product.product_type for product in domain.products}
+        relations: List[MinedRelation] = []
+        relations.extend(
+            self._mine_channel(log.co_views, type_of, relation="substitute", same_type=True)
+        )
+        relations.extend(
+            self._mine_channel(
+                log.co_purchases, type_of, relation="complement", same_type=False
+            )
+        )
+        return sorted(relations, key=lambda r: (-r.pmi, r.left_type, r.right_type))
+
+    def _mine_channel(
+        self,
+        events: Sequence[Tuple[str, str]],
+        type_of: Dict[str, str],
+        relation: str,
+        same_type: bool,
+    ) -> List[MinedRelation]:
+        pair_counts: Dict[Tuple[str, str], int] = defaultdict(int)
+        type_counts: Dict[str, int] = defaultdict(int)
+        total = 0
+        for left_id, right_id in events:
+            left_type, right_type = type_of.get(left_id), type_of.get(right_id)
+            if left_type is None or right_type is None:
+                continue
+            if same_type and left_type != right_type:
+                continue
+            if not same_type and left_type == right_type:
+                continue
+            key = tuple(sorted((left_type, right_type)))
+            pair_counts[key] += 1
+            type_counts[left_type] += 1
+            type_counts[right_type] += 1
+            total += 1
+        mined = []
+        for (left_type, right_type), count in pair_counts.items():
+            if count < self.min_support or total == 0:
+                continue
+            p_pair = count / total
+            p_left = type_counts[left_type] / (2 * total)
+            p_right = type_counts[right_type] / (2 * total)
+            pmi = math.log(p_pair / (p_left * p_right)) if p_left * p_right > 0 else 0.0
+            if same_type:
+                # Within-type pairs always have pair==type support; score by
+                # raw support instead of PMI.
+                pmi = math.log1p(count)
+            if pmi >= self.min_pmi:
+                mined.append(
+                    MinedRelation(
+                        left_type=left_type,
+                        right_type=right_type,
+                        relation=relation,
+                        pmi=pmi,
+                        support=count,
+                    )
+                )
+        return mined
+
+    def evaluate_complements(
+        self, mined: Sequence[MinedRelation], true_pairs: Sequence[Tuple[str, str]]
+    ) -> Dict[str, float]:
+        """Precision/recall of mined complements vs the generator's pairs."""
+        predicted = {
+            tuple(sorted((relation.left_type, relation.right_type)))
+            for relation in mined
+            if relation.relation == "complement"
+        }
+        truth = {tuple(sorted(pair)) for pair in true_pairs}
+        if not predicted:
+            return {"precision": 1.0, "recall": 0.0}
+        hits = len(predicted & truth)
+        return {
+            "precision": hits / len(predicted),
+            "recall": hits / len(truth) if truth else 1.0,
+        }

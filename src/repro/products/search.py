@@ -1,0 +1,149 @@
+"""Product search and comparison over a text-rich KG.
+
+The paper motivates text-rich KGs by the features they feed: "information
+display, product comparison, search, recommendation" (Sec. 3.2) and
+conversational shopping [48].  This module implements the first three on
+top of :class:`~repro.core.textrich.TextRichKG`:
+
+* :meth:`ProductSearch.search` — parse a free-text query with the same
+  tagger family that built the KG (attribute values become filters, type
+  words become taxonomy filters), then intersect the KG's bipartite
+  indexes;
+* :meth:`ProductSearch.display` — the attribute-value panel for one topic
+  ("display information for human understanding (in attribute-value
+  pairs)", Sec. 1);
+* :meth:`ProductSearch.compare` — the side-by-side table ("comparison (in
+  tables)", Sec. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.textrich import TextRichKG
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """What the query understander extracted from the text."""
+
+    type_filter: Optional[str]
+    value_filters: Tuple[Tuple[str, str], ...]  # (attribute, value)
+    residual_terms: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result."""
+
+    topic_id: str
+    title: str
+    score: float
+    matched: Tuple[str, ...]
+
+
+@dataclass
+class ProductSearch:
+    """Attribute-aware search over the bipartite KG."""
+
+    kg: TextRichKG
+
+    def parse(self, query: str) -> ParsedQuery:
+        """Understand a query with KG vocabulary (no model needed: the KG
+        itself is the gazetteer of types and attribute values)."""
+        lowered = query.lower()
+        tokens = lowered.split()
+        # Type filter: longest taxonomy class name appearing in the query.
+        type_filter = None
+        for class_name in sorted(self.kg.taxonomy.classes(), key=len, reverse=True):
+            if class_name.lower() in lowered:
+                type_filter = class_name
+                break
+        # Value filters: known attribute values appearing in the query,
+        # longest-first so "dark roast" beats "dark".
+        value_filters: List[Tuple[str, str]] = []
+        consumed: Set[str] = set()
+        candidates: List[Tuple[str, str]] = []
+        for attribute in self.kg.attributes():
+            for value in self.kg.distinct_values(attribute):
+                candidates.append((attribute, value))
+        for attribute, value in sorted(candidates, key=lambda av: -len(av[1])):
+            if value in lowered and not any(value in other for other in consumed):
+                value_filters.append((attribute, value))
+                consumed.add(value)
+        residual = tuple(
+            token
+            for token in tokens
+            if not any(token in value for _a, value in value_filters)
+            and (type_filter is None or token not in type_filter.lower())
+        )
+        return ParsedQuery(
+            type_filter=type_filter,
+            value_filters=tuple(sorted(value_filters)),
+            residual_terms=residual,
+        )
+
+    def search(self, query: str, top_k: int = 10) -> List[SearchHit]:
+        """Rank topics by filter satisfaction + title term overlap."""
+        parsed = self.parse(query)
+        scores: Dict[str, float] = {}
+        matched: Dict[str, List[str]] = {}
+        candidate_ids: Set[str] = set()
+        if parsed.type_filter is not None:
+            candidate_ids = {
+                topic.entity_id for topic in self.kg.topics(parsed.type_filter)
+            }
+        else:
+            candidate_ids = {topic.entity_id for topic in self.kg.topics()}
+        for attribute, value in parsed.value_filters:
+            holders = set(self.kg.topics_with_value(attribute, value))
+            for topic_id in holders & candidate_ids:
+                scores[topic_id] = scores.get(topic_id, 0.0) + 1.0
+                matched.setdefault(topic_id, []).append(f"{attribute}={value}")
+        if not parsed.value_filters:
+            for topic_id in candidate_ids:
+                scores.setdefault(topic_id, 0.0)
+        # Residual terms match against titles (weak signal).
+        for topic_id in list(scores):
+            title = self.kg.topic(topic_id).title.lower()
+            bonus = sum(0.1 for term in parsed.residual_terms if term in title)
+            scores[topic_id] += bonus
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        hits = []
+        for topic_id, score in ranked[:top_k]:
+            hits.append(
+                SearchHit(
+                    topic_id=topic_id,
+                    title=self.kg.topic(topic_id).title,
+                    score=score,
+                    matched=tuple(sorted(matched.get(topic_id, ()))),
+                )
+            )
+        return hits
+
+    def display(self, topic_id: str) -> Dict[str, str]:
+        """The attribute-value panel for one topic (best value per attr)."""
+        panel: Dict[str, str] = {}
+        for record in self.kg.values(topic_id):
+            current = panel.get(record.attribute)
+            if current is None:
+                panel[record.attribute] = record.value
+        return panel
+
+    def compare(self, topic_ids: Sequence[str]) -> List[List[str]]:
+        """A side-by-side comparison table: header row then one row per
+        attribute any of the topics carries."""
+        header = ["attribute"] + [self.kg.topic(topic_id).title for topic_id in topic_ids]
+        attributes: Set[str] = set()
+        panels = {}
+        for topic_id in topic_ids:
+            panels[topic_id] = self.display(topic_id)
+            attributes.update(panels[topic_id])
+        rows = [header]
+        for attribute in sorted(attributes):
+            rows.append(
+                [attribute]
+                + [panels[topic_id].get(attribute, "-") for topic_id in topic_ids]
+            )
+        return rows

@@ -1,0 +1,162 @@
+"""Taxonomy enrichment from customer behavior (Octet-style, Sec. 3.1).
+
+"If users searching for 'tea' often buy 'green tea', whereas users
+searching for 'green tea' seldom end up buying other types of teas, it
+hints that 'green tea' is a subtype of tea."
+
+The miner turns that sentence into a score: ``hypernym(child, parent)`` is
+supported when (a) purchases after the *parent* query frequently land on
+*child*-type products, and (b) purchases after the *child* query rarely
+leave the child type.  Mined edges can be folded back into the taxonomy,
+which is how AutoKnow "considerably extended the ontology" (Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ontology import Ontology, OntologyError
+from repro.datagen.behavior import BehaviorLog
+from repro.datagen.products import ProductDomain
+
+
+@dataclass(frozen=True)
+class MinedHypernym:
+    """A proposed subtype edge with its evidence scores."""
+
+    child: str
+    parent: str
+    coverage: float   # P(purchase lands in child | parent query)
+    loyalty: float    # P(purchase stays in child | child query)
+
+    @property
+    def score(self) -> float:
+        """Combined confidence of the hypernym edge."""
+        return self.coverage * self.loyalty
+
+
+@dataclass
+class HypernymMiner:
+    """Mine subtype edges from search-to-purchase logs."""
+
+    min_coverage: float = 0.08
+    min_loyalty: float = 0.7
+    min_query_support: int = 10
+
+    def mine(self, domain: ProductDomain, log: BehaviorLog) -> List[MinedHypernym]:
+        """Score every (child query, parent query) pair of observed queries."""
+        leaf_of_product = {
+            product.product_id: product.leaf_type for product in domain.products
+        }
+        # query -> leaf-type purchase histogram
+        histogram: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        support: Dict[str, int] = defaultdict(int)
+        for query, product_id in log.search_purchases:
+            leaf = leaf_of_product.get(product_id)
+            if leaf is None:
+                continue
+            histogram[query][leaf] += 1
+            support[query] += 1
+        queries = [
+            query for query, count in support.items() if count >= self.min_query_support
+        ]
+        mined: List[MinedHypernym] = []
+        for child_query in queries:
+            child_total = support[child_query]
+            # Loyalty: how concentrated the child query's purchases are on
+            # its own dominant leaf.
+            dominant_leaf, dominant_count = max(
+                histogram[child_query].items(), key=lambda item: item[1]
+            )
+            loyalty = dominant_count / child_total
+            if loyalty < self.min_loyalty:
+                continue
+            for parent_query in queries:
+                if parent_query == child_query:
+                    continue
+                parent_total = support[parent_query]
+                coverage = histogram[parent_query].get(dominant_leaf, 0) / parent_total
+                # Directionality: the parent must be broader — its purchases
+                # must not concentrate on the child's leaf.
+                parent_dominant = max(histogram[parent_query].values()) / parent_total
+                if coverage >= self.min_coverage and parent_dominant < self.min_loyalty:
+                    mined.append(
+                        MinedHypernym(
+                            child=dominant_leaf,
+                            parent=parent_query,
+                            coverage=coverage,
+                            loyalty=loyalty,
+                        )
+                    )
+        deduplicated: Dict[Tuple[str, str], MinedHypernym] = {}
+        for edge in mined:
+            key = (edge.child.lower(), edge.parent.lower())
+            current = deduplicated.get(key)
+            if current is None or edge.score > current.score:
+                deduplicated[key] = edge
+        return sorted(deduplicated.values(), key=lambda edge: (-edge.score, edge.child))
+
+    def evaluate(
+        self, domain: ProductDomain, mined: Sequence[MinedHypernym]
+    ) -> Dict[str, float]:
+        """Precision/recall of mined edges against the true taxonomy."""
+        true_edges = set()
+        for product in domain.products:
+            true_edges.add((product.leaf_type.lower(), product.product_type.lower()))
+        predicted = {(edge.child.lower(), edge.parent.lower()) for edge in mined}
+        if not predicted:
+            return {"precision": 1.0, "recall": 0.0, "n_mined": 0}
+        hits = len(predicted & true_edges)
+        return {
+            "precision": hits / len(predicted),
+            "recall": hits / len(true_edges) if true_edges else 1.0,
+            "n_mined": len(predicted),
+        }
+
+
+def enrich_taxonomy(
+    taxonomy: Ontology,
+    mined: Sequence[MinedHypernym],
+    min_score: float = 0.1,
+    create_parents: bool = False,
+) -> int:
+    """Fold mined hypernym edges into a taxonomy; returns edges applied.
+
+    Children unknown to the taxonomy are added under their mined parent;
+    existing children are only re-parented if currently at a root (never
+    overriding curated structure), and cycles are rejected by the ontology.
+    With ``create_parents`` (the from-scratch Octet setting), parents that
+    do not exist yet are created as roots first.
+    """
+    applied = 0
+    for edge in mined:
+        if edge.score < min_score:
+            continue
+        parent = _resolve_class(taxonomy, edge.parent)
+        if parent is None:
+            if not create_parents:
+                continue
+            taxonomy.add_class(edge.parent)
+            parent = edge.parent
+        child = _resolve_class(taxonomy, edge.child)
+        try:
+            if child is None:
+                taxonomy.add_class(edge.child, parent=parent)
+                applied += 1
+            elif taxonomy.parent(child) is None and child != parent:
+                taxonomy.move_class(child, parent)
+                applied += 1
+        except OntologyError:
+            continue
+    return applied
+
+
+def _resolve_class(taxonomy: Ontology, name: str) -> Optional[str]:
+    if taxonomy.has_class(name):
+        return name
+    for candidate in taxonomy.classes():
+        if candidate.lower() == name.lower():
+            return candidate
+    return None

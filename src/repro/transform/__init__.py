@@ -1,0 +1,24 @@
+"""Knowledge transformation (Sec. 2.1): structured data -> triples.
+
+"Entities and relationships in KGs can be transformed from structured data
+such as relational databases.  Wikipedia Infoboxes can be transformed to
+entities and relationships in a straight-forward way; this spurs successful
+early KGs such as Yago, DBPedia and Freebase."
+
+The transformation is driven by declarative, hand-curated schema mappings
+(:mod:`repro.transform.mapping`) — curation is what gives this stage its
+quality guarantee in the paper.
+"""
+
+from repro.transform.mapping import FieldMapping, SchemaMapping
+from repro.transform.infobox import Infobox, InfoboxTransformer, infobox_from_record
+from repro.transform.relational import RelationalTransformer
+
+__all__ = [
+    "FieldMapping",
+    "SchemaMapping",
+    "Infobox",
+    "InfoboxTransformer",
+    "infobox_from_record",
+    "RelationalTransformer",
+]

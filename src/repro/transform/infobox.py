@@ -1,0 +1,131 @@
+"""Wikipedia-infobox-style transformation (Sec. 2.1).
+
+An :class:`Infobox` is a titled list of (label, value) pairs, exactly the
+shape of a Wikipedia infobox; the :class:`InfoboxTransformer` turns a
+stream of infoboxes into entities and triples in a target KG, resolving
+entity-valued attributes (e.g. ``Director: Jane Doe``) to entity nodes by
+name, creating stub entities for unseen names — the mechanism by which
+"hyperlinks from one entity page to another" seed the early KGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.triple import Provenance, Triple
+from repro.datagen.sources import SourceRecord
+from repro.transform.mapping import SchemaMapping
+
+
+@dataclass
+class Infobox:
+    """A titled key-value box, one per entity page."""
+
+    title: str
+    entity_class: str
+    pairs: List[Tuple[str, object]] = field(default_factory=list)
+    page_id: str = ""
+
+    def as_fields(self) -> Dict[str, object]:
+        """Pairs as a dict (first occurrence wins)."""
+        fields: Dict[str, object] = {}
+        for label, value in self.pairs:
+            fields.setdefault(label, value)
+        return fields
+
+
+def infobox_from_record(record: SourceRecord) -> Infobox:
+    """Render a structured-source record as an infobox page."""
+    name = record.fields.get("name") or record.fields.get("title") or ""
+    if not name:
+        first = record.fields.get("first_name", "")
+        last = record.fields.get("last_name", "")
+        name = f"{first} {last}".strip()
+    pairs = [
+        (label, value)
+        for label, value in sorted(record.fields.items())
+        if value not in (None, "")
+    ]
+    return Infobox(
+        title=str(name),
+        entity_class=record.entity_class,
+        pairs=pairs,
+        page_id=record.record_id,
+    )
+
+
+@dataclass
+class InfoboxTransformer:
+    """Curated infobox -> KG transformation.
+
+    A mapping per entity class is required; unmapped labels are dropped (the
+    curation guarantee).  Entity-valued attributes are resolved by exact
+    name match against existing KG entities, else a stub entity is created.
+    """
+
+    graph: KnowledgeGraph
+    mappings: Dict[str, SchemaMapping] = field(default_factory=dict)
+    reference_class: Dict[str, str] = field(default_factory=dict)
+    _stub_counter: int = 0
+
+    def register(self, mapping: SchemaMapping, reference_classes: Optional[Dict[str, str]] = None) -> None:
+        """Register the mapping for one entity class.
+
+        ``reference_classes`` gives the entity class of each
+        entity-reference relation's target (e.g. ``directed_by -> Person``).
+        """
+        problems = mapping.validate(self.graph.ontology)
+        if problems:
+            raise ValueError(f"invalid mapping for {mapping.entity_class!r}: {problems}")
+        self.mappings[mapping.entity_class] = mapping
+        for relation, entity_class in (reference_classes or {}).items():
+            self.reference_class[relation] = entity_class
+
+    def transform(self, infobox: Infobox, source_name: str = "wikipedia") -> Optional[str]:
+        """Add one infobox to the KG; returns the new entity id (or None).
+
+        A fresh entity node is minted per infobox — deduplication against
+        other sources is knowledge integration's job, not transformation's.
+        """
+        mapping = self.mappings.get(infobox.entity_class)
+        if mapping is None:
+            return None
+        if not infobox.title:
+            return None
+        entity_id = self._mint_id(infobox.entity_class)
+        self.graph.add_entity(entity_id, infobox.title, infobox.entity_class)
+        provenance = Provenance(source=source_name, extractor="infobox")
+        for relation, value, is_reference in mapping.apply(infobox.as_fields()):
+            if is_reference:
+                value = self._resolve_reference(relation, str(value), source_name)
+            self.graph.add_triple(Triple(entity_id, relation, value), provenance=provenance)
+        return entity_id
+
+    def transform_all(self, infoboxes: List[Infobox], source_name: str = "wikipedia") -> int:
+        """Transform a batch; returns how many infoboxes landed."""
+        landed = 0
+        for infobox in infoboxes:
+            if self.transform(infobox, source_name=source_name) is not None:
+                landed += 1
+        return landed
+
+    def _resolve_reference(self, relation: str, name: str, source_name: str) -> str:
+        matches = self.graph.find_by_name(name)
+        target_class = self.reference_class.get(relation)
+        if target_class is not None:
+            matches = [
+                entity
+                for entity in matches
+                if self.graph.ontology.is_subclass_of(entity.entity_class, target_class)
+            ]
+        if matches:
+            return matches[0].entity_id
+        entity_id = self._mint_id(target_class or "Agent")
+        self.graph.add_entity(entity_id, name, target_class or "Agent")
+        return entity_id
+
+    def _mint_id(self, entity_class: str) -> str:
+        self._stub_counter += 1
+        return f"kg:{entity_class.lower()}:{self._stub_counter:06d}"

@@ -1,0 +1,108 @@
+"""Declarative schema mappings for knowledge transformation.
+
+"Schema alignment is mostly done manually to ensure semantics correctness
+in knowledge transformation" (Sec. 2.2) — a :class:`SchemaMapping` is that
+manual artifact: an explicit, reviewable mapping from source fields to
+ontology relations with value casting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.ontology import Ontology
+from repro.core.triple import Value
+
+
+def cast_number(raw: object) -> Value:
+    """Cast a raw field to int (preferred) or float."""
+    if isinstance(raw, bool):
+        raise ValueError("boolean is not a number")
+    if isinstance(raw, (int, float)):
+        return raw
+    text = str(raw).strip()
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def cast_string(raw: object) -> Value:
+    """Cast a raw field to a stripped string."""
+    text = str(raw).strip()
+    if not text:
+        raise ValueError("empty string value")
+    return text
+
+
+@dataclass(frozen=True)
+class FieldMapping:
+    """One source field mapped to one ontology relation."""
+
+    source_field: str
+    relation: str
+    cast: Callable[[object], Value] = cast_string
+    is_entity_reference: bool = False
+
+
+@dataclass
+class SchemaMapping:
+    """All field mappings for one (source, entity class) pair."""
+
+    source_name: str
+    entity_class: str
+    name_field: str = "name"
+    fields: List[FieldMapping] = field(default_factory=list)
+
+    def map_field(
+        self,
+        source_field: str,
+        relation: str,
+        cast: Callable[[object], Value] = cast_string,
+        is_entity_reference: bool = False,
+    ) -> "SchemaMapping":
+        """Add a mapping; returns self for chaining."""
+        self.fields.append(
+            FieldMapping(
+                source_field=source_field,
+                relation=relation,
+                cast=cast,
+                is_entity_reference=is_entity_reference,
+            )
+        )
+        return self
+
+    def validate(self, ontology: Ontology) -> List[str]:
+        """Check every mapped relation against the ontology; returns problems."""
+        problems = []
+        if not ontology.has_class(self.entity_class):
+            problems.append(f"unknown entity class {self.entity_class!r}")
+        for mapping in self.fields:
+            if not ontology.has_relation(mapping.relation):
+                problems.append(f"unknown relation {mapping.relation!r}")
+                continue
+            relation = ontology.relation(mapping.relation)
+            if mapping.is_entity_reference and relation.is_attribute:
+                problems.append(
+                    f"{mapping.relation!r} maps to a literal but is marked as an entity reference"
+                )
+        return problems
+
+    def apply(self, fields: Dict[str, object]) -> List[Tuple[str, Value, bool]]:
+        """Translate a record's fields to ``(relation, value, is_entity_ref)``.
+
+        Fields that fail casting are skipped — bad values are the fusion
+        layer's problem, not the transformer's.
+        """
+        output: List[Tuple[str, Value, bool]] = []
+        for mapping in self.fields:
+            if mapping.source_field not in fields:
+                continue
+            raw = fields[mapping.source_field]
+            try:
+                value = mapping.cast(raw)
+            except (ValueError, TypeError):
+                continue
+            output.append((mapping.relation, value, mapping.is_entity_reference))
+        return output

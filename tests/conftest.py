@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic worlds reused across test modules.
+
+Session scope keeps test time reasonable — generation is deterministic and
+tests must not mutate these fixtures (tests needing mutation build their
+own copies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.behavior import generate_behavior
+from repro.datagen.products import ProductDomainConfig, build_product_domain
+from repro.datagen.sources import default_source_pair
+from repro.datagen.world import World, WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A compact world: enough entities for statistics, fast to build."""
+    return build_world(WorldConfig(n_people=120, n_movies=80, n_songs=40, seed=7))
+
+
+@pytest.fixture(scope="session")
+def source_pair(small_world):
+    """The Freebase-like / IMDb-like source pair over the small world."""
+    return default_source_pair(small_world, seed=11)
+
+
+@pytest.fixture(scope="session")
+def product_domain():
+    """A compact product domain shared by extraction tests."""
+    return build_product_domain(ProductDomainConfig(n_products=180, seed=13))
+
+
+@pytest.fixture(scope="session")
+def behavior_log(product_domain):
+    """Behavior log over the shared product domain."""
+    return generate_behavior(
+        product_domain,
+        n_search_sessions=900,
+        n_coview_sessions=300,
+        n_copurchase_sessions=250,
+        seed=17,
+    )

@@ -1,0 +1,59 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, cmd_info, cmd_list, main
+from repro.evalx.registry import EXPERIMENTS
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_info_known(self, capsys):
+        assert main(["info", "fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "benchmarks/test_fig2_entity_linkage.py" in output
+
+    def test_info_unknown(self, capsys):
+        assert main(["info", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+
+    def test_run_invokes_pytest_on_bench(self, monkeypatch, capsys):
+        calls = {}
+
+        def fake_call(command, cwd=None):
+            calls["command"] = command
+            calls["cwd"] = cwd
+            return 0
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli.subprocess, "call", fake_call)
+        assert main(["run", "FIG2"]) == 0
+        assert "--benchmark-only" in calls["command"]
+        assert any("test_fig2_entity_linkage.py" in part for part in calls["command"])
+
+    def test_run_all_targets_benchmarks_dir(self, monkeypatch):
+        calls = {}
+
+        def fake_call(command, cwd=None):
+            calls["command"] = command
+            return 0
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli.subprocess, "call", fake_call)
+        assert main(["run", "all"]) == 0
+        assert any(part.endswith("benchmarks") for part in calls["command"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

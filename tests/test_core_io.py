@@ -1,0 +1,128 @@
+"""Tests for KG serialization."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.io import (
+    FormatError,
+    load_graph,
+    load_text_rich,
+    save_graph,
+    save_text_rich,
+)
+from repro.core.ontology import Ontology
+from repro.core.textrich import AttributeValue, TextRichKG
+from repro.core.triple import Provenance, Triple
+
+
+def _graph():
+    ontology = Ontology()
+    ontology.add_class("Person")
+    ontology.add_class("Movie")
+    ontology.add_relation("directed_by", "Movie", "Person", functional=True)
+    ontology.add_relation("release_year", "Movie", "number")
+    graph = KnowledgeGraph(ontology=ontology, name="demo")
+    graph.add_entity("m1", "Silent River", "Movie", aliases={"The Silent River"})
+    graph.add_entity("p1", "Jane Doe", "Person")
+    graph.add_triple(
+        Triple("m1", "directed_by", "p1"),
+        provenance=Provenance(source="imdb", extractor="infobox", confidence=0.95),
+    )
+    graph.add_triple(Triple("m1", "release_year", 1999))
+    return graph
+
+
+def _text_rich():
+    kg = TextRichKG(name="products")
+    kg.taxonomy.add_class("Coffee")
+    kg.taxonomy.add_class("Ground Coffee", parent="Coffee")
+    kg.add_topic("b1", "Onus mocha Ground Coffee", "Ground Coffee", description="tasty")
+    kg.add_value("b1", AttributeValue(attribute="flavor", value="mocha", confidence=0.9, source="txtract"))
+    kg.add_value_edge("synonym", "decaf", "decaffeinated")
+    return kg
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        graph = _graph()
+        path = str(tmp_path / "kg.jsonl")
+        n_lines = save_graph(graph, path)
+        assert n_lines > 5
+        loaded = load_graph(path)
+        assert loaded.name == "demo"
+        assert loaded.stats() == graph.stats()
+        assert list(loaded.triples()) == list(graph.triples())
+        assert loaded.entity("m1").aliases == {"The Silent River"}
+        provenance = loaded.provenance(Triple("m1", "directed_by", "p1"))
+        assert provenance[0].source == "imdb"
+        assert provenance[0].confidence == 0.95
+
+    def test_ontology_roundtrip(self, tmp_path):
+        graph = _graph()
+        path = str(tmp_path / "kg.jsonl")
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.ontology.relation("directed_by").functional
+        assert loaded.ontology.has_class("Person")
+
+    def test_numeric_objects_survive(self, tmp_path):
+        graph = _graph()
+        path = str(tmp_path / "kg.jsonl")
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.one_object("m1", "release_year") == 1999
+        assert isinstance(loaded.one_object("m1", "release_year"), int)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        kg = _text_rich()
+        path = str(tmp_path / "kg.jsonl")
+        save_text_rich(kg, path)
+        with pytest.raises(FormatError):
+            load_graph(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(FormatError):
+            load_graph(str(path))
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(FormatError):
+            load_graph(str(path))
+
+    def test_world_scale_roundtrip(self, tmp_path, small_world):
+        path = str(tmp_path / "world.jsonl")
+        save_graph(small_world.truth, path)
+        loaded = load_graph(path)
+        assert loaded.stats() == small_world.truth.stats()
+
+
+class TestTextRichRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        kg = _text_rich()
+        path = str(tmp_path / "tr.jsonl")
+        save_text_rich(kg, path)
+        loaded = load_text_rich(path)
+        assert loaded.stats() == kg.stats()
+        assert loaded.topic("b1").description == "tasty"
+        assert loaded.value_of("b1", "flavor") == "mocha"
+        assert loaded.has_value_edge("synonym", "decaffeinated", "decaf")
+        assert loaded.taxonomy.parent("Ground Coffee") == "Coffee"
+
+    def test_value_confidence_and_source_survive(self, tmp_path):
+        kg = _text_rich()
+        path = str(tmp_path / "tr.jsonl")
+        save_text_rich(kg, path)
+        loaded = load_text_rich(path)
+        record = loaded.values("b1", "flavor")[0]
+        assert record.confidence == 0.9
+        assert record.source == "txtract"
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        graph = _graph()
+        path = str(tmp_path / "kg.jsonl")
+        save_graph(graph, path)
+        with pytest.raises(FormatError):
+            load_text_rich(path)

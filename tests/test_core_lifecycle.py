@@ -1,0 +1,72 @@
+"""Tests for the innovation-cycle model and the Sec. 5 readiness matrix."""
+
+import pytest
+
+from repro.core.lifecycle import (
+    PRODUCTION_QUALITY_BAR,
+    CycleStage,
+    TechniqueProfile,
+    TechniqueRegistry,
+)
+
+
+class TestCycleStage:
+    def test_ordering(self):
+        assert CycleStage.FEASIBILITY < CycleStage.QUALITY < CycleStage.UBIQUITY
+
+    def test_descriptions(self):
+        for stage in CycleStage:
+            assert stage.describe()
+
+
+class TestTechniqueProfile:
+    def test_ready_requires_quality_bar(self):
+        profile = TechniqueProfile("x", CycleStage.QUALITY, quality=PRODUCTION_QUALITY_BAR)
+        assert profile.is_ready
+        assert not TechniqueProfile("y", CycleStage.QUALITY, quality=0.5).is_ready
+
+    def test_unknown_quality_not_ready(self):
+        assert not TechniqueProfile("x", CycleStage.QUALITY).is_ready
+
+    def test_essential_requires_leverage(self):
+        assert TechniqueProfile("x", CycleStage.QUALITY, leverage=10).is_essential
+        assert not TechniqueProfile("x", CycleStage.QUALITY, leverage=2).is_essential
+
+    def test_production_ready_needs_both(self):
+        both = TechniqueProfile("x", CycleStage.QUALITY, quality=0.95, leverage=100)
+        only_quality = TechniqueProfile("y", CycleStage.QUALITY, quality=0.95, leverage=1)
+        only_leverage = TechniqueProfile("z", CycleStage.QUALITY, quality=0.5, leverage=100)
+        assert both.production_ready
+        assert not only_quality.production_ready
+        assert not only_leverage.production_ready
+
+
+class TestRegistry:
+    def _registry(self):
+        registry = TechniqueRegistry()
+        registry.register(
+            TechniqueProfile("entity_linkage", CycleStage.REPEATABILITY, quality=0.99, leverage=1000)
+        )
+        registry.register(
+            TechniqueProfile("openie", CycleStage.FEASIBILITY, quality=0.6, leverage=1000)
+        )
+        return registry
+
+    def test_successes_and_not_yet(self):
+        registry = self._registry()
+        assert registry.successes() == ["entity_linkage"]
+        assert registry.not_yet() == ["openie"]
+
+    def test_record_quality_updates(self):
+        registry = self._registry()
+        registry.record_quality("openie", 0.95)
+        assert registry.successes() == ["entity_linkage", "openie"]
+
+    def test_record_quality_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self._registry().record_quality("nope", 0.9)
+
+    def test_matrix_rows(self):
+        rows = self._registry().matrix()
+        assert [row["technique"] for row in rows] == ["entity_linkage", "openie"]
+        assert rows[0]["production_ready"] is True

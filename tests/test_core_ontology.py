@@ -1,0 +1,162 @@
+"""Tests for the ontology/taxonomy."""
+
+import pytest
+
+from repro.core.ontology import Ontology, OntologyError
+from repro.core.triple import Triple
+
+
+@pytest.fixture
+def movie_ontology():
+    ontology = Ontology()
+    ontology.add_class("Agent")
+    ontology.add_class("Person", parent="Agent")
+    ontology.add_class("Actor", parent="Person")
+    ontology.add_class("Work")
+    ontology.add_class("Movie", parent="Work")
+    ontology.add_relation("directed_by", "Movie", "Person", functional=True)
+    ontology.add_relation("release_year", "Movie", "number")
+    ontology.add_relation("name", "Agent", "string")
+    return ontology
+
+
+class TestClasses:
+    def test_add_and_has(self, movie_ontology):
+        assert movie_ontology.has_class("Movie")
+        assert not movie_ontology.has_class("Song")
+
+    def test_duplicate_same_parent_noop(self, movie_ontology):
+        movie_ontology.add_class("Actor", parent="Person")
+        assert movie_ontology.parent("Actor") == "Person"
+
+    def test_duplicate_different_parent_rejected(self, movie_ontology):
+        with pytest.raises(OntologyError):
+            movie_ontology.add_class("Actor", parent="Agent")
+
+    def test_unknown_parent_rejected(self):
+        ontology = Ontology()
+        with pytest.raises(OntologyError):
+            ontology.add_class("X", parent="Missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OntologyError):
+            Ontology().add_class("")
+
+    def test_ancestors_chain(self, movie_ontology):
+        assert movie_ontology.ancestors("Actor") == ["Person", "Agent"]
+
+    def test_descendants(self, movie_ontology):
+        assert movie_ontology.descendants("Agent") == ["Person", "Actor"]
+
+    def test_is_subclass_reflexive(self, movie_ontology):
+        assert movie_ontology.is_subclass_of("Movie", "Movie")
+
+    def test_is_subclass_transitive(self, movie_ontology):
+        assert movie_ontology.is_subclass_of("Actor", "Agent")
+        assert not movie_ontology.is_subclass_of("Agent", "Actor")
+
+    def test_roots(self, movie_ontology):
+        assert movie_ontology.roots() == ["Agent", "Work"]
+
+    def test_depth(self, movie_ontology):
+        assert movie_ontology.depth("Agent") == 0
+        assert movie_ontology.depth("Actor") == 2
+
+    def test_lowest_common_ancestor(self, movie_ontology):
+        movie_ontology.add_class("Director", parent="Person")
+        assert movie_ontology.lowest_common_ancestor("Actor", "Director") == "Person"
+        assert movie_ontology.lowest_common_ancestor("Actor", "Movie") is None
+
+    def test_move_class(self, movie_ontology):
+        movie_ontology.add_class("Documentary")
+        movie_ontology.move_class("Documentary", "Work")
+        assert movie_ontology.parent("Documentary") == "Work"
+
+    def test_move_class_cycle_rejected(self, movie_ontology):
+        with pytest.raises(OntologyError):
+            movie_ontology.move_class("Agent", "Actor")
+
+    def test_unknown_class_queries_raise(self, movie_ontology):
+        with pytest.raises(OntologyError):
+            movie_ontology.parent("Nope")
+        with pytest.raises(OntologyError):
+            movie_ontology.children("Nope")
+        with pytest.raises(OntologyError):
+            movie_ontology.descendants("Nope")
+
+
+class TestRelations:
+    def test_relation_lookup(self, movie_ontology):
+        relation = movie_ontology.relation("directed_by")
+        assert relation.domain == "Movie"
+        assert relation.functional
+
+    def test_duplicate_relation_rejected(self, movie_ontology):
+        with pytest.raises(OntologyError):
+            movie_ontology.add_relation("directed_by", "Movie", "Person")
+
+    def test_unknown_domain_rejected(self, movie_ontology):
+        with pytest.raises(OntologyError):
+            movie_ontology.add_relation("x", "Nope", "string")
+
+    def test_unknown_range_rejected(self, movie_ontology):
+        with pytest.raises(OntologyError):
+            movie_ontology.add_relation("x", "Movie", "Nope")
+
+    def test_literal_ranges_allowed(self, movie_ontology):
+        movie_ontology.add_relation("runtime", "Movie", "number")
+        assert movie_ontology.relation("runtime").is_attribute
+
+    def test_relations_for_class_includes_inherited(self, movie_ontology):
+        names = [relation.name for relation in movie_ontology.relations_for_class("Actor")]
+        assert "name" in names  # inherited from Agent
+        assert "directed_by" not in names
+
+
+class TestValidation:
+    def test_valid_triple(self, movie_ontology):
+        problems = movie_ontology.validate_triple(
+            Triple("m1", "release_year", 1999), "Movie"
+        )
+        assert problems == []
+
+    def test_unknown_relation(self, movie_ontology):
+        problems = movie_ontology.validate_triple(Triple("m1", "nope", "x"), "Movie")
+        assert any("unknown relation" in problem for problem in problems)
+
+    def test_domain_violation(self, movie_ontology):
+        problems = movie_ontology.validate_triple(
+            Triple("p1", "directed_by", "x"), "Person"
+        )
+        assert any("outside domain" in problem for problem in problems)
+
+    def test_number_range_violation(self, movie_ontology):
+        problems = movie_ontology.validate_triple(
+            Triple("m1", "release_year", "nineteen"), "Movie"
+        )
+        assert any("not numeric" in problem for problem in problems)
+
+
+class TestStatsAndMerge:
+    def test_stats(self, movie_ontology):
+        stats = movie_ontology.stats()
+        assert stats["n_classes"] == 5
+        assert stats["n_relations"] == 3
+        assert stats["max_depth"] == 2
+        assert stats["n_roots"] == 2
+
+    def test_merge_from_union(self, movie_ontology):
+        other = Ontology()
+        other.add_class("Work")
+        other.add_class("Song", parent="Work")
+        other.add_relation("performed_by", "Song", "string")
+        movie_ontology.merge_from(other)
+        assert movie_ontology.has_class("Song")
+        assert movie_ontology.parent("Song") == "Work"
+        assert movie_ontology.has_relation("performed_by")
+
+    def test_merge_preserves_existing(self, movie_ontology):
+        other = Ontology()
+        other.add_class("Movie")  # root there, child of Work here
+        movie_ontology.merge_from(other)
+        assert movie_ontology.parent("Movie") == "Work"

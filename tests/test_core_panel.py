@@ -1,0 +1,66 @@
+"""Tests for knowledge-panel rendering."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.panel import render_panel
+from repro.core.triple import Provenance, Triple
+
+
+@pytest.fixture
+def graph():
+    ontology = Ontology()
+    ontology.add_class("Person")
+    ontology.add_class("Movie")
+    graph = KnowledgeGraph(ontology=ontology)
+    graph.add_entity("m1", "Silent River", "Movie")
+    graph.add_entity("p1", "Jane Doe", "Person")
+    graph.add_triple(
+        Triple("m1", "release_year", 1999), provenance=Provenance(source="wikipedia")
+    )
+    graph.add("m1", "directed_by", "p1")
+    graph.add("m1", "genre", "drama")
+    return graph
+
+
+class TestRenderPanel:
+    def test_title_and_type(self, graph):
+        panel = render_panel(graph, "m1")
+        assert panel.title == "Silent River"
+        assert panel.subtitle == "Movie"
+
+    def test_rows_resolve_entity_names(self, graph):
+        panel = render_panel(graph, "m1")
+        values = {row.label: row.value for row in panel.rows}
+        assert values["Directed by"] == "Jane Doe"
+        assert values["Release year"] == "1999"
+
+    def test_provenance_credited(self, graph):
+        panel = render_panel(graph, "m1")
+        year_row = next(row for row in panel.rows if row.label == "Release year")
+        assert year_row.sources == ("wikipedia",)
+
+    def test_related_strip_uses_inverse_edges(self, graph):
+        panel = render_panel(graph, "p1")
+        assert ("Directed by", "Silent River") in panel.related
+
+    def test_max_rows_cap(self, graph):
+        panel = render_panel(graph, "m1", max_rows=1)
+        assert len(panel.rows) == 1
+
+    def test_render_text_block(self, graph):
+        text = render_panel(graph, "m1").render()
+        assert "Silent River" in text
+        assert text.startswith("+")
+        assert text.count("|") >= 6
+
+    def test_unknown_entity_raises(self, graph):
+        with pytest.raises(KeyError):
+            render_panel(graph, "nope")
+
+    def test_world_scale_panels(self, small_world):
+        for entity in list(small_world.truth.entities("Movie"))[:5]:
+            panel = render_panel(small_world.truth, entity.entity_id)
+            assert panel.rows
+            assert panel.render()

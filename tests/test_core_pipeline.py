@@ -1,0 +1,80 @@
+"""Tests for the construction-pipeline framework."""
+
+import pytest
+
+from repro.core.pipeline import (
+    ConstructionPipeline,
+    FunctionStage,
+    PipelineContext,
+    PipelineStage,
+)
+
+
+class _Counter(PipelineStage):
+    name = "counter"
+
+    def run(self, context):
+        count = context.artifacts.get("count", 0) + 1
+        context.artifacts["count"] = count
+        self.record("count", count)
+
+
+class TestPipelineContext:
+    def test_require_missing_raises(self):
+        with pytest.raises(KeyError):
+            PipelineContext().require("missing")
+
+    def test_require_present(self):
+        context = PipelineContext(artifacts={"x": 1})
+        assert context.require("x") == 1
+
+
+class TestConstructionPipeline:
+    def test_stages_run_in_order(self):
+        order = []
+        pipeline = ConstructionPipeline("test")
+        pipeline.add_function("first", lambda ctx: order.append("first"))
+        pipeline.add_function("second", lambda ctx: order.append("second"))
+        pipeline.run()
+        assert order == ["first", "second"]
+
+    def test_context_threads_through(self):
+        pipeline = ConstructionPipeline("test")
+        pipeline.add_stage(_Counter())
+        pipeline.add_stage(_Counter("counter2"))
+        context = pipeline.run()
+        assert context.artifacts["count"] == 2
+
+    def test_metrics_namespaced_in_context(self):
+        pipeline = ConstructionPipeline("test").add_stage(_Counter())
+        context = pipeline.run()
+        assert context.metrics["counter.count"] == 1.0
+
+    def test_reports_one_per_stage(self):
+        pipeline = ConstructionPipeline("test")
+        pipeline.add_stage(_Counter())
+        pipeline.add_function("noop", lambda ctx: None)
+        pipeline.run()
+        assert [report.stage_name for report in pipeline.reports] == ["counter", "noop"]
+        assert all(report.seconds >= 0 for report in pipeline.reports)
+
+    def test_report_table_includes_metrics(self):
+        pipeline = ConstructionPipeline("test").add_stage(_Counter())
+        pipeline.run()
+        rows = pipeline.report_table()
+        assert rows[0]["stage"] == "counter"
+        assert rows[0]["count"] == 1.0
+
+    def test_base_stage_requires_override(self):
+        with pytest.raises(NotImplementedError):
+            PipelineStage().run(PipelineContext())
+
+    def test_function_stage_name(self):
+        stage = FunctionStage("named", lambda ctx: None)
+        assert stage.name == "named"
+
+    def test_rerun_resets_reports(self):
+        pipeline = ConstructionPipeline("test").add_stage(_Counter())
+        pipeline.run()
+        pipeline.run()
+        assert len(pipeline.reports) == 1

@@ -1,0 +1,107 @@
+"""Tests for the pattern/path query engine."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.query import (
+    PathQuery,
+    TriplePattern,
+    conjunctive_query,
+    is_variable,
+    match_pattern,
+)
+
+
+@pytest.fixture
+def graph():
+    ontology = Ontology()
+    ontology.add_class("Person")
+    ontology.add_class("Movie")
+    graph = KnowledgeGraph(ontology=ontology)
+    for movie in ("m1", "m2"):
+        graph.add_entity(movie, movie.upper(), "Movie")
+    for person in ("p1", "p2", "p3"):
+        graph.add_entity(person, person.upper(), "Person")
+    graph.add("m1", "directed_by", "p1")
+    graph.add("m1", "stars", "p2")
+    graph.add("m2", "directed_by", "p1")
+    graph.add("m2", "stars", "p2")
+    graph.add("m2", "stars", "p3")
+    graph.add("m1", "release_year", 1999)
+    return graph
+
+
+class TestPatterns:
+    def test_is_variable(self):
+        assert is_variable("?x")
+        assert not is_variable("x")
+        assert not is_variable(1999)
+
+    def test_match_single_variable(self, graph):
+        bindings = list(match_pattern(graph, TriplePattern("m1", "directed_by", "?d")))
+        assert bindings == [{"?d": "p1"}]
+
+    def test_match_two_variables(self, graph):
+        bindings = list(match_pattern(graph, TriplePattern("?m", "directed_by", "?d")))
+        assert {frozenset(binding.items()) for binding in bindings} == {
+            frozenset({("?m", "m1"), ("?d", "p1")}),
+            frozenset({("?m", "m2"), ("?d", "p1")}),
+        }
+
+    def test_conjunctive_join(self, graph):
+        # Movies directed by p1 that star p3.
+        solutions = conjunctive_query(
+            graph,
+            [
+                TriplePattern("?m", "directed_by", "p1"),
+                TriplePattern("?m", "stars", "p3"),
+            ],
+        )
+        assert [solution["?m"] for solution in solutions] == ["m2"]
+
+    def test_join_respects_bindings(self, graph):
+        # Co-star pattern: people starring in the same movie.
+        solutions = conjunctive_query(
+            graph,
+            [
+                TriplePattern("?m", "stars", "?a"),
+                TriplePattern("?m", "stars", "?b"),
+            ],
+        )
+        pairs = {(s["?a"], s["?b"]) for s in solutions if s["?a"] != s["?b"]}
+        assert ("p2", "p3") in pairs
+
+    def test_empty_result(self, graph):
+        solutions = conjunctive_query(
+            graph, [TriplePattern("?m", "directed_by", "p3")]
+        )
+        assert solutions == []
+
+
+class TestPathQuery:
+    def test_direct_path(self, graph):
+        paths = PathQuery(graph, max_length=1).paths("m1", "p1")
+        assert paths == [[("directed_by", 1, "p1")]]
+
+    def test_two_hop_path(self, graph):
+        paths = PathQuery(graph, max_length=2).paths("p1", "p2")
+        signatures = PathQuery(graph, max_length=2).relation_paths("p1", "p2")
+        assert paths  # p1 -(directed_by^-1)-> m -(stars)-> p2
+        assert (("directed_by", -1), ("stars", 1)) in signatures
+
+    def test_max_length_respected(self, graph):
+        assert PathQuery(graph, max_length=1).paths("p1", "p2") == []
+
+    def test_unknown_entity(self, graph):
+        assert PathQuery(graph).paths("nope", "p1") == []
+
+    def test_reachable_distances(self, graph):
+        distances = PathQuery(graph).reachable("m1", max_hops=2)
+        assert distances["p1"] == 1
+        assert distances["m2"] == 2
+        assert "m1" not in distances
+
+    def test_max_paths_cap(self, graph):
+        paths = PathQuery(graph, max_length=3).paths("m1", "m2", max_paths=1)
+        assert len(paths) == 1

@@ -1,0 +1,134 @@
+"""Tests for the text-rich (bipartite) KG."""
+
+import pytest
+
+from repro.core.textrich import AttributeValue, TextRichKG
+
+
+def _kg():
+    kg = TextRichKG()
+    kg.add_topic("b1", "Onus vanilla Ground Coffee", "Ground Coffee")
+    kg.add_topic("b2", "Verdant mint Green Tea", "Green Tea")
+    kg.add_value("b1", AttributeValue(attribute="flavor", value="vanilla"))
+    kg.add_value("b2", AttributeValue(attribute="flavor", value="mint", confidence=0.8))
+    return kg
+
+
+class TestTopics:
+    def test_add_and_lookup(self):
+        kg = _kg()
+        assert kg.topic("b1").entity_type == "Ground Coffee"
+
+    def test_duplicate_rejected(self):
+        kg = _kg()
+        with pytest.raises(ValueError):
+            kg.add_topic("b1", "x", "Ground Coffee")
+
+    def test_unknown_type_added_to_taxonomy(self):
+        kg = _kg()
+        kg.add_topic("b3", "x", "BrandNewType")
+        assert kg.taxonomy.has_class("BrandNewType")
+
+    def test_topics_filtered_by_subtree(self):
+        kg = TextRichKG()
+        kg.taxonomy.add_class("Coffee")
+        kg.taxonomy.add_class("Ground Coffee", parent="Coffee")
+        kg.add_topic("b1", "x", "Ground Coffee")
+        assert [topic.entity_id for topic in kg.topics("Coffee")] == ["b1"]
+
+    def test_unknown_topic_raises(self):
+        with pytest.raises(KeyError):
+            _kg().topic("nope")
+
+
+class TestValues:
+    def test_values_and_value_of(self):
+        kg = _kg()
+        assert kg.value_of("b1", "flavor") == "vanilla"
+        assert kg.value_of("b1", "scent") is None
+
+    def test_duplicate_value_keeps_higher_confidence(self):
+        kg = _kg()
+        kg.add_value("b2", AttributeValue(attribute="flavor", value="mint", confidence=0.95))
+        records = kg.values("b2", "flavor")
+        assert len(records) == 1
+        assert records[0].confidence == 0.95
+
+    def test_duplicate_value_lower_confidence_ignored(self):
+        kg = _kg()
+        kg.add_value("b2", AttributeValue(attribute="flavor", value="mint", confidence=0.1))
+        assert kg.values("b2", "flavor")[0].confidence == 0.8
+
+    def test_highest_confidence_wins_value_of(self):
+        kg = _kg()
+        kg.add_value("b1", AttributeValue(attribute="flavor", value="mocha", confidence=0.5))
+        assert kg.value_of("b1", "flavor") == "vanilla"
+
+    def test_remove_value(self):
+        kg = _kg()
+        assert kg.remove_value("b1", "flavor", "vanilla") is True
+        assert kg.remove_value("b1", "flavor", "vanilla") is False
+        assert kg.value_of("b1", "flavor") is None
+
+    def test_reverse_index(self):
+        kg = _kg()
+        assert kg.topics_with_value("flavor", "VANILLA") == ["b1"]
+
+    def test_reverse_index_after_removal(self):
+        kg = _kg()
+        kg.remove_value("b1", "flavor", "vanilla")
+        assert kg.topics_with_value("flavor", "vanilla") == []
+
+    def test_distinct_values(self):
+        kg = _kg()
+        assert kg.distinct_values("flavor") == ["mint", "vanilla"]
+
+    def test_unknown_topic_value_raises(self):
+        with pytest.raises(KeyError):
+            _kg().add_value("nope", AttributeValue(attribute="a", value="b"))
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            AttributeValue(attribute="a", value="b", confidence=2.0)
+
+
+class TestValueEdges:
+    def test_synonym_symmetric(self):
+        kg = _kg()
+        kg.add_value_edge("synonym", "decaf", "decaffeinated")
+        assert kg.has_value_edge("synonym", "decaffeinated", "decaf")
+
+    def test_hypernym_directed(self):
+        kg = _kg()
+        kg.add_value_edge("hypernym", "green tea", "tea")
+        assert kg.has_value_edge("hypernym", "green tea", "tea")
+        assert not kg.has_value_edge("hypernym", "tea", "green tea")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError):
+            _kg().add_value_edge("sibling", "a", "b")
+
+    def test_value_edges_filter(self):
+        kg = _kg()
+        kg.add_value_edge("synonym", "a", "b")
+        kg.add_value_edge("hypernym", "c", "d")
+        assert len(kg.value_edges("synonym")) == 1
+        assert len(kg.value_edges()) == 2
+
+
+class TestExportAndStats:
+    def test_to_triples_includes_types_and_values(self):
+        kg = _kg()
+        triples = kg.to_triples()
+        assert any(t.predicate == "type" and t.subject == "b1" for t in triples)
+        assert any(t.predicate == "flavor" and t.object == "vanilla" for t in triples)
+
+    def test_stats(self):
+        kg = _kg()
+        stats = kg.stats()
+        assert stats["n_topics"] == 2
+        assert stats["n_value_triples"] == 2
+        assert stats["n_value_nodes"] == 2
+
+    def test_attributes(self):
+        assert _kg().attributes() == ["flavor"]

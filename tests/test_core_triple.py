@@ -1,0 +1,67 @@
+"""Tests for triples and provenance."""
+
+import pytest
+
+from repro.core.triple import AttributedTriple, Provenance, Triple
+
+
+class TestTriple:
+    def test_tuple_roundtrip(self):
+        triple = Triple("s", "p", "o")
+        assert triple.as_tuple() == ("s", "p", "o")
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(ValueError):
+            Triple("", "p", "o")
+        with pytest.raises(ValueError):
+            Triple("s", "", "o")
+        with pytest.raises(ValueError):
+            Triple("s", "p", "")
+
+    def test_numeric_object_allowed(self):
+        assert Triple("s", "year", 1999).object == 1999
+
+    def test_immutability(self):
+        triple = Triple("s", "p", "o")
+        with pytest.raises(AttributeError):
+            triple.subject = "x"
+
+    def test_replace_subject(self):
+        assert Triple("a", "p", "o").replace_subject("b") == Triple("b", "p", "o")
+
+    def test_replace_object(self):
+        assert Triple("a", "p", "o").replace_object("q") == Triple("a", "p", "q")
+
+    def test_hashable_and_equal(self):
+        assert len({Triple("s", "p", "o"), Triple("s", "p", "o")}) == 1
+
+    def test_ordering_is_lexicographic(self):
+        assert Triple("a", "p", "o") < Triple("b", "a", "a")
+
+    def test_str(self):
+        assert str(Triple("s", "p", "o")) == "(s, p, o)"
+
+
+class TestProvenance:
+    def test_defaults(self):
+        provenance = Provenance(source="imdb")
+        assert provenance.confidence == 1.0
+        assert provenance.extractor is None
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            Provenance(source="x", confidence=1.5)
+        with pytest.raises(ValueError):
+            Provenance(source="x", confidence=-0.1)
+
+
+class TestAttributedTriple:
+    def test_confidence_shortcut(self):
+        attributed = AttributedTriple(
+            Triple("s", "p", "o"), Provenance(source="x", confidence=0.7)
+        )
+        assert attributed.confidence == 0.7
+
+    def test_default_provenance(self):
+        attributed = AttributedTriple(Triple("s", "p", "o"))
+        assert attributed.provenance.source == "unknown"

@@ -1,0 +1,65 @@
+"""Tests for the behavior-log generator."""
+
+import pytest
+
+from repro.datagen.behavior import generate_behavior
+from repro.datagen.products import COMPLEMENT_TYPES
+
+
+class TestBehaviorLog:
+    def test_sizes(self, behavior_log):
+        assert len(behavior_log.search_purchases) == 900
+        assert len(behavior_log.co_views) > 0
+        assert len(behavior_log.co_purchases) > 0
+
+    def test_queries_are_type_names(self, product_domain, behavior_log):
+        known = {t.lower() for t in product_domain.types()}
+        known.update(p.leaf_type.lower() for p in product_domain.products)
+        for query in behavior_log.queries():
+            assert query in known
+
+    def test_leaf_query_loyalty(self, product_domain, behavior_log):
+        """Purchases after a leaf query stay mostly inside the leaf."""
+        leaf_of = {p.product_id: p.leaf_type.lower() for p in product_domain.products}
+        leaf_queries = {p.leaf_type.lower() for p in product_domain.products}
+        loyal = total = 0
+        for query, product_id in behavior_log.search_purchases:
+            if query in leaf_queries:
+                total += 1
+                if leaf_of.get(product_id) == query:
+                    loyal += 1
+        assert total > 0
+        assert loyal / total > 0.8
+
+    def test_broad_query_spreads_over_leaves(self, product_domain, behavior_log):
+        leaf_of = {p.product_id: p.leaf_type for p in product_domain.products}
+        purchases = behavior_log.purchases_for_query("coffee")
+        if len(purchases) >= 10:
+            leaves = {leaf_of[product_id] for product_id in purchases}
+            assert len(leaves) >= 2
+
+    def test_coviews_mostly_within_type(self, product_domain, behavior_log):
+        type_of = {p.product_id: p.product_type for p in product_domain.products}
+        same = sum(
+            1 for left, right in behavior_log.co_views if type_of[left] == type_of[right]
+        )
+        assert same / len(behavior_log.co_views) > 0.85
+
+    def test_copurchases_mostly_cross_type(self, product_domain, behavior_log):
+        type_of = {p.product_id: p.product_type for p in product_domain.products}
+        complement_set = {frozenset(pair) for pair in COMPLEMENT_TYPES}
+        matching = sum(
+            1
+            for left, right in behavior_log.co_purchases
+            if frozenset((type_of[left], type_of[right])) in complement_set
+        )
+        assert matching / len(behavior_log.co_purchases) > 0.7
+
+    def test_no_self_pairs(self, behavior_log):
+        assert all(left != right for left, right in behavior_log.co_views)
+        assert all(left != right for left, right in behavior_log.co_purchases)
+
+    def test_deterministic(self, product_domain):
+        first = generate_behavior(product_domain, n_search_sessions=50, seed=3)
+        second = generate_behavior(product_domain, n_search_sessions=50, seed=3)
+        assert first.search_purchases == second.search_purchases

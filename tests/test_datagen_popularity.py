@@ -1,0 +1,85 @@
+"""Tests for the Zipf popularity model."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.popularity import BANDS, PopularityModel, popularity_band
+
+
+class TestPopularityBand:
+    def test_thirds(self):
+        assert popularity_band(0, 9) == "head"
+        assert popularity_band(3, 9) == "torso"
+        assert popularity_band(8, 9) == "tail"
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            popularity_band(9, 9)
+        with pytest.raises(ValueError):
+            popularity_band(0, 0)
+
+
+class TestPopularityModel:
+    def _model(self, n=30):
+        return PopularityModel([f"e{i}" for i in range(n)], seed=3)
+
+    def test_weights_sum_to_one(self):
+        model = self._model()
+        total = sum(model.weight(f"e{i}") for i in range(30))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_zero_has_max_weight(self):
+        model = self._model()
+        top = [item for item in (f"e{i}" for i in range(30)) if model.rank(item) == 0][0]
+        assert model.weight(top) == max(model.weight(f"e{i}") for i in range(30))
+
+    def test_bands_partition_items(self):
+        model = self._model()
+        all_items = set()
+        for band in BANDS:
+            all_items.update(model.items_in_band(band))
+        assert len(all_items) == 30
+
+    def test_band_consistent_with_rank(self):
+        model = self._model()
+        for item in model.items_in_band("head"):
+            assert model.rank(item) < 10
+
+    def test_sampling_favors_head(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        samples = model.sample(rng, 3000)
+        head = set(model.items_in_band("head"))
+        head_fraction = sum(1 for item in samples if item in head) / len(samples)
+        assert head_fraction > 0.6
+
+    def test_coverage_monotone_in_popularity(self):
+        model = self._model()
+        by_rank = sorted((f"e{i}" for i in range(30)), key=model.rank)
+        coverages = [model.coverage_probability(item, base=0.9) for item in by_rank]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_coverage_floor(self):
+        model = self._model(n=1000)
+        tail_item = model.items_in_band("tail")[-1]
+        assert model.coverage_probability(tail_item, base=0.9, floor=0.05) >= 0.05
+
+    def test_unknown_item_raises(self):
+        model = self._model()
+        with pytest.raises(KeyError):
+            model.weight("nope")
+        with pytest.raises(KeyError):
+            model.rank("nope")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PopularityModel([])
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ValueError):
+            self._model().items_in_band("middle")
+
+    def test_deterministic_given_seed(self):
+        first = PopularityModel(["a", "b", "c"], seed=5)
+        second = PopularityModel(["a", "b", "c"], seed=5)
+        assert all(first.rank(item) == second.rank(item) for item in "abc")

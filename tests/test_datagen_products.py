@@ -1,0 +1,107 @@
+"""Tests for the product-domain generator."""
+
+import pytest
+
+from repro.datagen.products import (
+    ATTRIBUTE_SPEC,
+    CONTRADICTIONS,
+    FORBIDDEN_VALUES,
+    ProductDomainConfig,
+    build_product_domain,
+    build_taxonomy,
+)
+
+
+class TestTaxonomy:
+    def test_three_levels_deep(self):
+        taxonomy = build_taxonomy()
+        assert taxonomy.depth("Ground Coffee") == 3  # Product > Grocery > Coffee > leaf
+
+    def test_every_attribute_type_is_a_class(self):
+        taxonomy = build_taxonomy()
+        for product_type in ATTRIBUTE_SPEC:
+            assert taxonomy.has_class(product_type)
+
+
+class TestProducts:
+    def test_count(self, product_domain):
+        assert len(product_domain.products) == product_domain.config.n_products
+
+    def test_true_values_respect_forbidden(self, product_domain):
+        for product in product_domain.products:
+            for attribute, value in product.true_values.items():
+                assert (product.product_type, attribute, value) not in FORBIDDEN_VALUES
+
+    def test_true_values_respect_contradictions(self, product_domain):
+        for product in product_domain.products:
+            for (attr_a, val_a), (attr_b, val_b) in CONTRADICTIONS:
+                assert not (
+                    product.true_values.get(attr_a) == val_a
+                    and product.true_values.get(attr_b) == val_b
+                )
+
+    def test_gold_spans_match_tokens(self, product_domain):
+        for product in product_domain.products[:40]:
+            for text in product.all_texts():
+                for start, end, attribute in text.spans:
+                    assert 0 <= start < end <= len(text.tokens)
+                    assert attribute in ATTRIBUTE_SPEC[product.product_type]
+
+    def test_title_contains_leaf_type(self, product_domain):
+        product = product_domain.products[0]
+        assert product.leaf_type.split()[0] in product.title_text
+
+    def test_catalog_noisier_than_truth(self, product_domain):
+        wrong = 0
+        present = 0
+        for product in product_domain.products:
+            for attribute, value in product.catalog_values.items():
+                present += 1
+                if product.true_values.get(attribute, "").lower() != value.lower():
+                    wrong += 1
+        error_rate = wrong / present
+        assert 0.02 < error_rate < 0.3  # noisy but usable
+
+    def test_catalog_has_missing_values(self, product_domain):
+        total_true = sum(len(product.true_values) for product in product_domain.products)
+        total_catalog = sum(len(product.catalog_values) for product in product_domain.products)
+        assert total_catalog < total_true
+
+    def test_image_tokens_present(self, product_domain):
+        assert all(product.image_tokens for product in product_domain.products)
+
+    def test_image_tokens_carry_value_signal(self, product_domain):
+        hits = 0
+        for product in product_domain.products:
+            signatures = {f"img:{value.split()[0]}" for value in product.true_values.values()}
+            if signatures & set(product.image_tokens):
+                hits += 1
+        assert hits / len(product_domain.products) > 0.5
+
+    def test_by_type_and_types(self, product_domain):
+        for product_type in product_domain.types():
+            assert all(
+                product.product_type == product_type
+                for product in product_domain.by_type(product_type)
+            )
+
+    def test_attribute_values_union(self, product_domain):
+        values = product_domain.attribute_values("flavor")
+        assert "mocha" in values and "jasmine" in values
+
+    def test_deterministic(self):
+        config = ProductDomainConfig(n_products=30, seed=9)
+        first = build_product_domain(config)
+        second = build_product_domain(config)
+        assert [p.title_text for p in first.products] == [
+            p.title_text for p in second.products
+        ]
+
+    def test_cross_type_ambiguity_exists(self, product_domain):
+        """'vanilla' must appear under two different attributes."""
+        attributes_for_vanilla = set()
+        for spec in ATTRIBUTE_SPEC.values():
+            for attribute, values in spec.items():
+                if "vanilla" in values:
+                    attributes_for_vanilla.add(attribute)
+        assert {"flavor", "scent"} <= attributes_for_vanilla

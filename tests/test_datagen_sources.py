@@ -1,0 +1,132 @@
+"""Tests for derived structured sources."""
+
+import pytest
+
+from repro.datagen.sources import (
+    SourceConfig,
+    conflicting_sources,
+    default_source_pair,
+    derive_source,
+    true_match,
+)
+
+
+class TestDeriveSource:
+    def test_records_carry_world_ids(self, small_world):
+        source = derive_source(small_world, SourceConfig(name="s", seed=1))
+        assert all(record.world_id for record in source.records)
+
+    def test_coverage_respects_classes(self, small_world):
+        source = derive_source(
+            small_world, SourceConfig(name="s", entity_classes=("Person",), seed=1)
+        )
+        assert {record.entity_class for record in source.records} == {"Person"}
+
+    def test_head_covered_more_than_tail(self, small_world):
+        source = derive_source(
+            small_world,
+            SourceConfig(name="s", coverage_base=0.95, coverage_floor=0.05, seed=2),
+        )
+        covered = {record.world_id for record in source.records}
+        head = small_world.popularity.items_in_band("head")
+        tail = small_world.popularity.items_in_band("tail")
+        classes = {"Movie", "Person"}
+        head = [e for e in head if small_world.truth.entity(e).entity_class in classes]
+        tail = [e for e in tail if small_world.truth.entity(e).entity_class in classes]
+        head_rate = sum(1 for e in head if e in covered) / len(head)
+        tail_rate = sum(1 for e in tail if e in covered) / len(tail)
+        assert head_rate > tail_rate
+
+    def test_field_map_applied(self, small_world):
+        source = derive_source(
+            small_world,
+            SourceConfig(name="s", field_map={"name": "title"}, seed=1),
+        )
+        movie_records = source.by_class("Movie")
+        assert all("title" in record.fields for record in movie_records)
+        assert source.canonical_field("title") == "name"
+
+    def test_split_person_names(self, small_world):
+        source = derive_source(
+            small_world,
+            SourceConfig(name="s", entity_classes=("Person",), split_person_name=True, seed=1),
+        )
+        record = source.records[0]
+        assert "first_name" in record.fields and "last_name" in record.fields
+        assert "name" not in record.fields
+
+    def test_no_noise_preserves_values(self, small_world):
+        source = derive_source(
+            small_world,
+            SourceConfig(
+                name="clean",
+                entity_classes=("Movie",),
+                name_variation_rate=0.0,
+                value_noise_rate=0.0,
+                missing_rate=0.0,
+                coverage_base=1.0,
+                coverage_floor=1.0,
+                seed=1,
+            ),
+        )
+        for record in source.records[:20]:
+            truth = small_world.record_for(record.world_id)
+            assert record.fields["name"] == truth["name"]
+            assert record.fields["release_year"] == truth["release_year"]
+
+    def test_name_variation_rate(self, small_world):
+        noisy = derive_source(
+            small_world,
+            SourceConfig(
+                name="noisy",
+                entity_classes=("Movie",),
+                name_variation_rate=1.0,
+                coverage_base=1.0,
+                coverage_floor=1.0,
+                seed=1,
+            ),
+        )
+        differing = sum(
+            1
+            for record in noisy.records
+            if record.fields.get("name") != small_world.record_for(record.world_id)["name"]
+        )
+        assert differing / len(noisy.records) > 0.6
+
+    def test_deterministic(self, small_world):
+        first = derive_source(small_world, SourceConfig(name="s", seed=9))
+        second = derive_source(small_world, SourceConfig(name="s", seed=9))
+        assert [record.fields for record in first.records] == [
+            record.fields for record in second.records
+        ]
+
+    def test_field_names_enumeration(self, small_world):
+        source = derive_source(small_world, SourceConfig(name="s", seed=1))
+        assert "name" in source.field_names()
+
+
+class TestPairHelpers:
+    def test_default_pair_overlap(self, source_pair):
+        freebase, imdb = source_pair
+        freebase_ids = {record.world_id for record in freebase.records}
+        imdb_ids = {record.world_id for record in imdb.records}
+        assert freebase_ids & imdb_ids  # linkable overlap exists
+
+    def test_true_match_oracle(self, source_pair):
+        freebase, imdb = source_pair
+        record = freebase.records[0]
+        twin = next(
+            (candidate for candidate in imdb.records if candidate.world_id == record.world_id),
+            None,
+        )
+        if twin is not None:
+            assert true_match(record, twin)
+        other = next(
+            candidate for candidate in imdb.records if candidate.world_id != record.world_id
+        )
+        assert not true_match(record, other)
+
+    def test_conflicting_sources_grades(self, small_world):
+        sources = conflicting_sources(small_world, n_sources=3, seed=5)
+        assert len(sources) == 3
+        assert all(len(source) > 0 for source in sources)

@@ -1,0 +1,67 @@
+"""Tests for the fact-verbalization corpus generator."""
+
+import pytest
+
+from repro.datagen.text import TEMPLATES, generate_text_corpus
+
+
+class TestGenerateTextCorpus:
+    def test_size(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=200, seed=1)
+        assert len(corpus) == 200
+
+    def test_noise_rate_respected(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=400, noise_rate=0.5, seed=1)
+        noise_fraction = sum(1 for m in corpus if m.is_noise) / len(corpus)
+        assert 0.4 < noise_fraction < 0.6
+
+    def test_zero_noise(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=100, noise_rate=0.0, seed=1)
+        assert all(not mention.is_noise for mention in corpus)
+
+    def test_fact_sentences_are_true(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=300, noise_rate=0.0, seed=2)
+        name_to_ids = {}
+        for entity in small_world.truth.entities():
+            name_to_ids.setdefault(entity.name, []).append(entity.entity_id)
+        verified = 0
+        for mention in corpus[:100]:
+            candidates = name_to_ids.get(mention.subject_text, [])
+            object_texts = set()
+            for entity_id in candidates:
+                for value in small_world.truth.objects(entity_id, mention.predicate):
+                    if isinstance(value, str) and small_world.truth.has_entity(value):
+                        object_texts.add(small_world.truth.entity(value).name)
+                    else:
+                        object_texts.add(str(value))
+            if mention.object_text in object_texts:
+                verified += 1
+        assert verified == 100  # every fact sentence verbalizes a true fact
+
+    def test_popularity_weighting_skews_mentions(self, small_world):
+        corpus = generate_text_corpus(
+            small_world, n_sentences=1000, noise_rate=0.0, popularity_weighted=True, seed=3
+        )
+        head_names = {
+            small_world.truth.entity(entity_id).name
+            for entity_id in small_world.popularity.items_in_band("head")
+        }
+        head_fraction = sum(
+            1 for mention in corpus if mention.subject_text in head_names
+        ) / len(corpus)
+        assert head_fraction > 0.55
+
+    def test_sentence_contains_both_entities(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=50, seed=4)
+        for mention in corpus:
+            assert mention.subject_text in mention.sentence
+            assert mention.object_text in mention.sentence
+
+    def test_templates_cover_core_relations(self):
+        for predicate in ("directed_by", "stars", "release_year", "performed_by"):
+            assert predicate in TEMPLATES
+
+    def test_deterministic(self, small_world):
+        first = generate_text_corpus(small_world, n_sentences=50, seed=8)
+        second = generate_text_corpus(small_world, n_sentences=50, seed=8)
+        assert [m.sentence for m in first] == [m.sentence for m in second]

@@ -1,0 +1,119 @@
+"""Tests for the semi-structured website generator."""
+
+import pytest
+
+from repro.datagen.web import (
+    CLOSED_ATTRIBUTES,
+    OPEN_ATTRIBUTES,
+    SemiStructuredSite,
+    WebsiteConfig,
+    generate_site,
+    generate_web_corpus,
+)
+from repro.extract.distant import page_topic
+
+
+@pytest.fixture(scope="module")
+def movie_site(small_world=None):
+    from repro.datagen.world import WorldConfig, build_world
+
+    world = build_world(WorldConfig(n_people=60, n_movies=60, n_songs=20, seed=5))
+    site = generate_site(
+        world,
+        WebsiteConfig(name="movies.example.com", domain="Movie", n_pages=25, seed=7),
+    )
+    return world, site
+
+
+class TestGenerateSite:
+    def test_page_count(self, movie_site):
+        _world, site = movie_site
+        assert len(site.pages) == 25
+
+    def test_topic_heading_matches_entity(self, movie_site):
+        world, site = movie_site
+        for page in site.pages[:10]:
+            assert page_topic(page.root) == page.topic_name
+            assert world.truth.entity(page.topic_world_id).name == page.topic_name
+
+    def test_closed_truth_values_present_in_dom(self, movie_site):
+        _world, site = movie_site
+        for page in site.pages[:10]:
+            texts = {node.text for node in page.root.text_nodes()}
+            for value in page.closed_truth.values():
+                assert value in texts
+
+    def test_open_truth_present_in_dom(self, movie_site):
+        _world, site = movie_site
+        pages_with_open = [page for page in site.pages if page.open_truth]
+        assert pages_with_open
+        for page in pages_with_open[:5]:
+            texts = {node.text for node in page.root.text_nodes()}
+            for value in page.open_truth.values():
+                assert value in texts
+
+    def test_closed_attributes_subset_of_domain(self, movie_site):
+        _world, site = movie_site
+        allowed = set(CLOSED_ATTRIBUTES["Movie"])
+        for page in site.pages:
+            assert set(page.closed_truth) <= allowed
+
+    def test_boilerplate_present(self, movie_site):
+        _world, site = movie_site
+        page = site.pages[0]
+        widgets = page.root.find_by_class("widget")
+        assert len(widgets) == 3
+
+    def test_templates_render_differently(self):
+        from repro.datagen.world import WorldConfig, build_world
+
+        world = build_world(WorldConfig(n_people=30, n_movies=30, n_songs=10, seed=5))
+        table_site = generate_site(
+            world, WebsiteConfig(name="a", domain="Movie", template="table", n_pages=3, seed=1)
+        )
+        dl_site = generate_site(
+            world, WebsiteConfig(name="b", domain="Movie", template="dl", n_pages=3, seed=1)
+        )
+        assert table_site.pages[0].root.find_by_tag("table")
+        assert not dl_site.pages[0].root.find_by_tag("table")
+        assert dl_site.pages[0].root.find_by_tag("dl")
+
+    def test_unknown_template_rejected(self, movie_site):
+        world, _site = movie_site
+        with pytest.raises(ValueError):
+            generate_site(world, WebsiteConfig(name="x", template="spiral", n_pages=2))
+
+    def test_unknown_domain_rejected(self, movie_site):
+        world, _site = movie_site
+        with pytest.raises(ValueError):
+            generate_site(world, WebsiteConfig(name="x", domain="Starship", n_pages=2))
+
+    def test_split_helper(self, movie_site):
+        _world, site = movie_site
+        annotated, rest = site.split(5)
+        assert len(annotated) == 5
+        assert len(rest) == 20
+
+    def test_label_styles_differ_across_sites(self, movie_site):
+        world, _site = movie_site
+        style0 = generate_site(
+            world, WebsiteConfig(name="s0", domain="Movie", label_style=0, n_pages=2, seed=1)
+        )
+        style1 = generate_site(
+            world, WebsiteConfig(name="s1", domain="Movie", label_style=1, n_pages=2, seed=1)
+        )
+        texts0 = {node.text for node in style0.pages[0].root.text_nodes()}
+        texts1 = {node.text for node in style1.pages[0].root.text_nodes()}
+        assert texts0 != texts1
+
+
+class TestCorpus:
+    def test_corpus_covers_domains_and_templates(self):
+        from repro.datagen.world import WorldConfig, build_world
+
+        world = build_world(WorldConfig(n_people=60, n_movies=40, n_songs=30, seed=6))
+        sites = generate_web_corpus(world, n_sites=6, pages_per_site=5, seed=10)
+        domains = {site.config.domain for site in sites}
+        templates = {site.config.template for site in sites}
+        assert domains == {"Movie", "Person", "Song"}
+        assert templates == {"table", "dl", "div"}

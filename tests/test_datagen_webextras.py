@@ -1,0 +1,81 @@
+"""Tests for web-table and annotated-page generators."""
+
+import pytest
+
+from repro.datagen.webextras import (
+    SCHEMA_ORG_PROPS,
+    generate_annotated_pages,
+    generate_web_tables,
+)
+
+
+class TestWebTables:
+    def test_shapes(self, small_world):
+        tables = generate_web_tables(small_world, n_tables=4, rows_per_table=8, seed=1)
+        assert len(tables) == 4
+        for table in tables:
+            assert len(table.header) == len(table.canonical_columns)
+            assert all(len(row) == len(table.header) for row in table.rows)
+            assert len(table.rows) == len(table.row_world_ids)
+
+    def test_alternating_classes(self, small_world):
+        tables = generate_web_tables(small_world, n_tables=4, seed=1)
+        assert {table.entity_class for table in tables} == {"Movie", "Person"}
+
+    def test_cells_mostly_match_truth(self, small_world):
+        tables = generate_web_tables(small_world, n_tables=2, cell_noise_rate=0.0, seed=2)
+        table = tables[0]
+        for row, world_id in zip(table.rows, table.row_world_ids):
+            record = small_world.record_for(world_id)
+            for column, canonical in enumerate(table.canonical_columns):
+                expected = record.get(canonical, "")
+                if isinstance(expected, list):
+                    expected = expected[0] if expected else ""
+                assert row[column] == str(expected)
+
+    def test_noise_corrupts_cells(self, small_world):
+        clean = generate_web_tables(small_world, n_tables=2, cell_noise_rate=0.0, seed=3)
+        noisy = generate_web_tables(small_world, n_tables=2, cell_noise_rate=0.5, seed=3)
+        differences = sum(
+            1
+            for clean_table, noisy_table in zip(clean, noisy)
+            for clean_row, noisy_row in zip(clean_table.rows, noisy_table.rows)
+            if clean_row != noisy_row
+        )
+        assert differences > 0
+
+
+class TestAnnotatedPages:
+    def test_pages_have_itemprops(self, small_world):
+        pages = generate_annotated_pages(small_world, n_pages=6, seed=1)
+        for page in pages:
+            props = [
+                node.attributes.get("itemprop")
+                for node in page.root.elements()
+                if "itemprop" in node.attributes
+            ]
+            assert "name" in props
+
+    def test_truth_excludes_misannotated(self, small_world):
+        pages = generate_annotated_pages(
+            small_world, n_pages=30, wrong_prop_rate=0.5, seed=2
+        )
+        # With heavy mis-annotation, truth should be visibly smaller than
+        # the number of annotated values.
+        total_truth = sum(len(page.truth) for page in pages)
+        total_spans = sum(
+            1
+            for page in pages
+            for node in page.root.elements()
+            if node.attributes.get("itemprop") not in (None, "name")
+        )
+        assert total_truth < total_spans
+
+    def test_prop_vocabulary_known(self, small_world):
+        pages = generate_annotated_pages(small_world, n_pages=10, wrong_prop_rate=0.0, seed=3)
+        allowed = set(SCHEMA_ORG_PROPS.values()) | {"name"}
+        for page in pages:
+            for node in page.root.elements():
+                prop = node.attributes.get("itemprop")
+                if prop is not None:
+                    assert prop in allowed

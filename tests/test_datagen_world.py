@@ -1,0 +1,74 @@
+"""Tests for the ground-truth world generator."""
+
+import pytest
+
+from repro.datagen.world import World, WorldConfig, build_world
+
+
+class TestBuildWorld:
+    def test_entity_counts(self, small_world):
+        config = small_world.config
+        assert len(small_world.entity_ids("Person")) == config.n_people
+        assert len(small_world.entity_ids("Movie")) == config.n_movies
+        assert len(small_world.entity_ids("Song")) == config.n_songs
+
+    def test_deterministic(self):
+        first = build_world(WorldConfig(n_people=20, n_movies=10, n_songs=5, seed=3))
+        second = build_world(WorldConfig(n_people=20, n_movies=10, n_songs=5, seed=3))
+        assert sorted(t.as_tuple() for t in first.truth.triples()) == sorted(
+            t.as_tuple() for t in second.truth.triples()
+        )
+
+    def test_every_movie_has_director_and_year(self, small_world):
+        for movie_id in small_world.entity_ids("Movie"):
+            assert small_world.truth.objects(movie_id, "directed_by")
+            assert small_world.truth.objects(movie_id, "release_year")
+
+    def test_movies_have_multiple_actors(self, small_world):
+        stars = [
+            len(small_world.truth.objects(movie_id, "stars"))
+            for movie_id in small_world.entity_ids("Movie")
+        ]
+        assert min(stars) >= 2
+
+    def test_cross_domain_connection_exists(self, small_world):
+        featured = [
+            song_id
+            for song_id in small_world.entity_ids("Song")
+            if small_world.truth.objects(song_id, "featured_in")
+        ]
+        assert featured  # music connects to movies, as in Fig. 1(a)
+
+    def test_popularity_covers_all_entities(self, small_world):
+        for entity_id in small_world.entity_ids():
+            assert small_world.popularity.weight(entity_id) > 0
+
+    def test_record_resolves_entity_references(self, small_world):
+        movie_id = small_world.entity_ids("Movie")[0]
+        record = small_world.record_for(movie_id)
+        director = record["directed_by"]
+        # The record carries the director's *name*, not their id.
+        assert not str(director).startswith("P")
+        assert record["class"] == "Movie"
+
+    def test_record_multivalued_attributes_sorted_lists(self, small_world):
+        movie_id = small_world.entity_ids("Movie")[0]
+        record = small_world.record_for(movie_id)
+        assert isinstance(record["stars"], list)
+        assert record["stars"] == sorted(record["stars"], key=str)
+
+    def test_true_fact(self, small_world):
+        movie_id = small_world.entity_ids("Movie")[0]
+        facts = small_world.true_fact(movie_id, "release_year")
+        assert len(facts) == 1
+
+    def test_name_collisions_exist(self, small_world):
+        """Homonyms are required for the disambiguation challenge."""
+        names = [entity.name for entity in small_world.truth.entities("Person")]
+        assert len(names) > len(set(names))
+
+    def test_ontology_validates_generated_triples(self, small_world):
+        ontology = small_world.truth.ontology
+        for triple in list(small_world.truth.triples())[:200]:
+            subject_class = small_world.truth.entity(triple.subject).entity_class
+            assert ontology.validate_triple(triple, subject_class) == []

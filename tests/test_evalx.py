@@ -1,0 +1,69 @@
+"""Tests for experiment infrastructure."""
+
+import pytest
+
+from repro.evalx.registry import EXPERIMENTS
+from repro.evalx.tables import ResultTable
+
+
+class TestResultTable:
+    def test_add_row_and_render(self):
+        table = ResultTable(title="T", columns=["a", "b"])
+        table.add_row(1, 0.5)
+        rendered = table.render()
+        assert "== T ==" in rendered
+        assert "0.500" in rendered
+
+    def test_row_arity_checked(self):
+        table = ResultTable(title="T", columns=["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_column_values(self):
+        table = ResultTable(title="T", columns=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column_values("b") == [2, 4]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            ResultTable(title="T", columns=["a"]).column_values("z")
+
+    def test_note_rendered(self):
+        table = ResultTable(title="T", columns=["a"], note="hello")
+        table.add_row(1)
+        assert "note: hello" in table.render()
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        assert {"FIG2", "FIG3", "FIG4", "FIG5"} <= set(EXPERIMENTS)
+
+    def test_section_claims_registered(self):
+        expected = {
+            "T-WEB",
+            "T-LINKPRED",
+            "T-OPENTAG",
+            "T-TXTRACT",
+            "T-ADATAG",
+            "T-PAM",
+            "T-AUTOKNOW",
+            "T-LLMQA",
+            "T-DUAL",
+            "T-GROWTH",
+            "T-SUCCESS",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_bench_modules_exist(self):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for experiment in EXPERIMENTS.values():
+            assert os.path.exists(os.path.join(root, experiment.bench_module)), (
+                f"{experiment.experiment_id} points at a missing bench "
+                f"{experiment.bench_module}"
+            )
+
+    def test_claims_non_empty(self):
+        assert all(experiment.claim for experiment in EXPERIMENTS.values())

@@ -1,0 +1,72 @@
+"""Unit tests for the Fig. 4 architecture helpers (integration tests cover
+the end-to-end runs; these pin the pieces)."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.pipeline import PipelineContext
+from repro.core.triple import Triple
+from repro.evalx.architectures import (
+    _movie_mapping,
+    _person_mapping,
+    evaluate_entity_kg_accuracy,
+)
+
+
+class TestMappings:
+    def test_movie_mapping_respects_field_map(self):
+        mapping = _movie_mapping("imdb", {"name": "title", "release_year": "year"})
+        output = dict(
+            (relation, value)
+            for relation, value, _ref in mapping.apply({"year": "1999", "genre": "drama"})
+        )
+        assert output == {"release_year": 1999, "genre": "drama"}
+
+    def test_movie_mapping_marks_director_as_reference(self):
+        mapping = _movie_mapping("src", {})
+        refs = {
+            relation: is_ref
+            for relation, _value, is_ref in mapping.apply({"directed_by": "Jane Doe"})
+        }
+        assert refs["directed_by"] is True
+
+    def test_person_mapping(self):
+        mapping = _person_mapping("src", {})
+        output = dict(
+            (relation, value)
+            for relation, value, _ref in mapping.apply(
+                {"birth_year": 1970, "birth_place": "Seattle"}
+            )
+        )
+        assert output == {"birth_year": 1970, "birth_place": "Seattle"}
+
+
+class TestAccuracyEvaluator:
+    def _context(self):
+        from repro.datagen.world import WorldConfig, build_world
+
+        world = build_world(WorldConfig(n_people=20, n_movies=10, n_songs=0, seed=3))
+        ontology = world.truth.ontology
+        graph = KnowledgeGraph(ontology=ontology, name="built")
+        graph.add_entity("kg:m0", "X", "Movie")
+        movie_id = world.entity_ids("Movie")[0]
+        true_year = world.truth.objects(movie_id, "release_year")[0]
+        graph.add(Triple("kg:m0", "release_year", true_year).subject, "release_year", true_year)
+        graph.add("kg:m0", "genre", "definitely-wrong-genre")
+        context = PipelineContext(
+            artifacts={"world": world, "kg": graph, "world_of": {"kg:m0": movie_id}}
+        )
+        return context
+
+    def test_counts_correct_and_wrong_literals(self):
+        context = self._context()
+        # One right (release_year) and one wrong (genre) literal -> 0.5.
+        assert evaluate_entity_kg_accuracy(context) == pytest.approx(0.5)
+
+    def test_unmapped_entities_ignored(self):
+        context = self._context()
+        graph = context.artifacts["kg"]
+        graph.add_entity("kg:m1", "Unmapped", "Movie")
+        graph.add("kg:m1", "genre", "drama")
+        assert evaluate_entity_kg_accuracy(context) == pytest.approx(0.5)

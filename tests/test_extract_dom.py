@@ -1,0 +1,162 @@
+"""Tests for the mini-DOM and XPath-like addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extract.dom import (
+    DomNode,
+    element,
+    layout_edges,
+    node_features,
+    parse_html,
+    render_html,
+    resolve_path,
+    text_node,
+)
+
+
+def _page():
+    root = element("html")
+    body = root.append(element("body"))
+    table = body.append(element("table", {"class": "infobox"}))
+    row1 = table.append(element("tr"))
+    row1.append(element("th")).append(text_node("Director"))
+    row1.append(element("td")).append(text_node("Jane Doe"))
+    row2 = table.append(element("tr"))
+    row2.append(element("th")).append(text_node("Year"))
+    row2.append(element("td")).append(text_node("1999"))
+    return root
+
+
+class TestDomNode:
+    def test_text_content_normalizes(self):
+        assert _page().text_content() == "Director Jane Doe Year 1999"
+
+    def test_is_text(self):
+        assert text_node("x").is_text
+        assert not element("div").is_text
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ValueError):
+            DomNode()
+
+    def test_text_node_cannot_have_children(self):
+        with pytest.raises(ValueError):
+            text_node("x").append(element("div"))
+
+    def test_find_by_tag(self):
+        assert len(_page().find_by_tag("tr")) == 2
+
+    def test_find_by_class(self):
+        assert len(_page().find_by_class("infobox")) == 1
+
+    def test_depth_and_root(self):
+        page = _page()
+        cell = page.find_by_tag("td")[0]
+        assert cell.depth() == 4  # html > body > table > tr > td
+        assert cell.root() is page
+
+    def test_sibling_index_same_tag_only(self):
+        page = _page()
+        rows = page.find_by_tag("tr")
+        assert rows[0].sibling_index() == 1
+        assert rows[1].sibling_index() == 2
+
+
+class TestPaths:
+    def test_absolute_path_format(self):
+        page = _page()
+        second_td = page.find_by_tag("td")[1]
+        assert (
+            second_td.absolute_path()
+            == "/html[1]/body[1]/table[1]/tr[2]/td[1]"
+        )
+
+    def test_resolve_roundtrip_elements(self):
+        page = _page()
+        for node in page.elements():
+            assert resolve_path(page, node.absolute_path()) is node
+
+    def test_resolve_roundtrip_text(self):
+        page = _page()
+        for node in page.text_nodes():
+            assert resolve_path(page, node.absolute_path()) is node
+
+    def test_resolve_on_other_page_finds_analogous_node(self):
+        first, second = _page(), _page()
+        path = first.find_by_tag("td")[0].absolute_path()
+        resolved = resolve_path(second, path)
+        assert resolved is not None
+        assert resolved.text_content() == "Jane Doe"
+
+    def test_resolve_missing_returns_none(self):
+        assert resolve_path(_page(), "/html[1]/body[1]/div[1]") is None
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_path(_page(), "body[1]")
+
+
+class TestParser:
+    def test_parse_render_roundtrip_structure(self):
+        html = render_html(_page())
+        reparsed = parse_html(html)
+        assert [n.tag for n in reparsed.elements()] == [n.tag for n in _page().elements()]
+        assert [n.text for n in reparsed.text_nodes()] == [
+            n.text for n in _page().text_nodes()
+        ]
+
+    def test_parse_attributes(self):
+        root = parse_html('<div class="main" id="x"><span>hi</span></div>')
+        assert root.attributes == {"class": "main", "id": "x"}
+
+    def test_parse_tolerates_misnesting(self):
+        root = parse_html("<div><b>bold</div>")
+        assert root.text_content() == "bold"
+
+    def test_parse_void_tags(self):
+        root = parse_html("<div>a<br>b</div>")
+        assert root.text_content() == "a b"
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_html("   ")
+
+
+class TestFeaturesAndEdges:
+    def test_feature_vector_fixed_length(self):
+        page = _page()
+        lengths = {len(node_features(node)) for node in page.iter()}
+        assert len(lengths) == 1
+
+    def test_key_cue_feature(self):
+        key_node = text_node("Director:")
+        plain = text_node("Jane Doe")
+        parent = element("div")
+        parent.append(key_node)
+        parent.append(plain)
+        assert node_features(key_node) != node_features(plain)
+
+    def test_layout_edges_cover_tree(self):
+        page = _page()
+        nodes = list(page.iter())
+        edges = layout_edges(page)
+        # Parent-child edges: one per non-root node.
+        assert len(edges) >= len(nodes) - 1
+        assert all(0 <= a < len(nodes) and 0 <= b < len(nodes) for a, b in edges)
+
+
+@given(st.integers(1, 5), st.integers(1, 4))
+@settings(max_examples=25)
+def test_path_roundtrip_property(n_rows, n_cells):
+    """Every node in a generated grid resolves back through its path."""
+    root = element("html")
+    body = root.append(element("body"))
+    for _ in range(n_rows):
+        row = body.append(element("div"))
+        for cell_index in range(n_cells):
+            cell = row.append(element("span"))
+            cell.append(text_node(f"cell{cell_index}"))
+    for node in root.iter():
+        assert resolve_path(root, node.absolute_path()) is node

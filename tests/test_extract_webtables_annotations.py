@@ -1,0 +1,106 @@
+"""Tests for web-table and schema.org-annotation extraction."""
+
+import pytest
+
+from repro.datagen.webextras import generate_annotated_pages, generate_web_tables
+from repro.extract.annotations import AnnotationExtractor
+from repro.extract.distant import SeedKnowledge
+from repro.extract.webtables import WebTableExtractor
+
+
+@pytest.fixture(scope="module")
+def seed(small_world):
+    return SeedKnowledge.from_graph(
+        small_world.truth,
+        attributes=("directed_by", "release_year", "genre", "birth_year", "birth_place"),
+    )
+
+
+class TestWebTableExtractor:
+    def test_aligns_columns_by_overlap(self, small_world, seed):
+        tables = generate_web_tables(small_world, n_tables=2, cell_noise_rate=0.0, seed=2)
+        extractor = WebTableExtractor()
+        alignments = extractor.align_columns(tables[0], seed)
+        mapped = {alignment.column_index: alignment.attribute for alignment in alignments}
+        # The generator's canonical columns (minus the subject column 0)
+        # should be recovered.
+        for column, canonical in enumerate(tables[0].canonical_columns):
+            if column == 0:
+                continue
+            assert mapped.get(column) == canonical
+
+    def test_extracts_triples_for_all_rows(self, small_world, seed):
+        tables = generate_web_tables(small_world, n_tables=2, cell_noise_rate=0.0, seed=2)
+        extractor = WebTableExtractor()
+        triples = extractor.extract(tables[0], seed)
+        subjects = {attributed.triple.subject for attributed in triples}
+        assert len(subjects) == len(tables[0].rows)
+
+    def test_noise_lowers_alignment_confidence(self, small_world, seed):
+        clean = generate_web_tables(small_world, n_tables=1, cell_noise_rate=0.0, seed=3)[0]
+        noisy = generate_web_tables(small_world, n_tables=1, cell_noise_rate=0.4, seed=3)[0]
+        extractor = WebTableExtractor(min_overlap=0.1)
+        clean_overlap = {
+            a.attribute: a.overlap for a in extractor.align_columns(clean, seed)
+        }
+        noisy_overlap = {
+            a.attribute: a.overlap for a in extractor.align_columns(noisy, seed)
+        }
+        shared = set(clean_overlap) & set(noisy_overlap)
+        assert shared
+        assert all(noisy_overlap[a] <= clean_overlap[a] + 1e-9 for a in shared)
+
+    def test_min_overlap_gate(self, small_world, seed):
+        tables = generate_web_tables(small_world, n_tables=1, cell_noise_rate=0.0, seed=4)
+        extractor = WebTableExtractor(min_overlap=1.01)
+        assert extractor.align_columns(tables[0], seed) == []
+
+    def test_provenance_names_table(self, small_world, seed):
+        tables = generate_web_tables(small_world, n_tables=1, cell_noise_rate=0.0, seed=5)
+        triples = WebTableExtractor().extract(tables[0], seed)
+        assert all(
+            attributed.provenance.source.endswith(tables[0].table_id)
+            for attributed in triples
+        )
+
+
+class TestAnnotationExtractor:
+    def test_extracts_clean_annotations(self, small_world):
+        pages = generate_annotated_pages(small_world, n_pages=10, wrong_prop_rate=0.0, seed=6)
+        extractor = AnnotationExtractor()
+        for page in pages:
+            triples = extractor.extract(page.root)
+            extracted = {
+                (attributed.triple.predicate, str(attributed.triple.object))
+                for attributed in triples
+            }
+            for attribute, value in page.truth.items():
+                assert (attribute, value) in extracted
+
+    def test_wrong_props_produce_wrong_triples(self, small_world):
+        pages = generate_annotated_pages(small_world, n_pages=40, wrong_prop_rate=0.6, seed=7)
+        extractor = AnnotationExtractor()
+        wrong = 0
+        for page in pages:
+            truth_pairs = {
+                (attribute, value) for attribute, value in page.truth.items()
+            }
+            for attributed in extractor.extract(page.root):
+                pair = (attributed.triple.predicate, str(attributed.triple.object))
+                if pair not in truth_pairs:
+                    wrong += 1
+        assert wrong > 0  # mis-annotations flow through, fusion must catch them
+
+    def test_topic_required(self):
+        from repro.extract.dom import element, text_node
+
+        page = element("html")
+        body = page.append(element("body"))
+        span = body.append(element("span", {"itemprop": "director"}))
+        span.append(text_node("Jane Doe"))
+        assert AnnotationExtractor().extract(page) == []
+
+    def test_unmapped_props_ignored(self, small_world):
+        pages = generate_annotated_pages(small_world, n_pages=5, wrong_prop_rate=0.0, seed=8)
+        extractor = AnnotationExtractor(prop_map={})
+        assert all(extractor.extract(page.root) == [] for page in pages)

@@ -1,0 +1,117 @@
+"""Tests for wrapper induction."""
+
+import pytest
+
+from repro.datagen.web import WebsiteConfig, generate_site
+from repro.datagen.world import WorldConfig, build_world
+from repro.extract.wrapper import InducedWrapper, WrapperInducer, annotate_by_truth
+
+
+@pytest.fixture(scope="module")
+def site_world():
+    world = build_world(WorldConfig(n_people=50, n_movies=60, n_songs=10, seed=8))
+    site = generate_site(
+        world,
+        WebsiteConfig(
+            name="movies.example.com", domain="Movie", n_pages=30, missing_rate=0.1, seed=9
+        ),
+    )
+    return world, site
+
+
+class TestAnnotateByTruth:
+    def test_finds_value_nodes(self, site_world):
+        _world, site = site_world
+        page = site.pages[0]
+        annotations = annotate_by_truth(page.root, page.closed_truth)
+        assert set(annotations) == set(page.closed_truth)
+        for attribute, node in annotations.items():
+            assert node.text == page.closed_truth[attribute]
+
+
+class TestWrapperInducer:
+    def _induce(self, site, n_annotated=3):
+        annotated_pages = [
+            (page.root, annotate_by_truth(page.root, page.closed_truth))
+            for page in site.pages[:n_annotated]
+        ]
+        return WrapperInducer(site_name=site.name).induce(annotated_pages)
+
+    def test_high_quality_on_held_out_pages(self, site_world):
+        _world, site = site_world
+        wrapper = self._induce(site, n_annotated=4)
+        correct = total = 0
+        for page in site.pages[4:]:
+            extracted = wrapper.extract(page.root)
+            for attribute, truth in page.closed_truth.items():
+                total += 1
+                if extracted.get(attribute) == truth:
+                    correct += 1
+        assert total > 0
+        assert correct / total > 0.9  # the paper's "over 95%" band
+
+    def test_single_page_induction_works(self, site_world):
+        _world, site = site_world
+        wrapper = self._induce(site, n_annotated=1)
+        extracted = wrapper.extract(site.pages[5].root)
+        assert extracted  # at least some attributes extracted
+
+    def test_missing_fields_produce_no_output(self, site_world):
+        _world, site = site_world
+        wrapper = self._induce(site, n_annotated=4)
+        for page in site.pages[4:10]:
+            extracted = wrapper.extract(page.root)
+            for attribute in extracted:
+                # Never extracts attributes that were never annotated.
+                assert attribute in wrapper.attributes()
+
+    def test_empty_annotations_rejected(self):
+        with pytest.raises(ValueError):
+            WrapperInducer(site_name="x").induce([])
+
+    def test_foreign_node_rejected(self, site_world):
+        _world, site = site_world
+        foreign = site.pages[1].root.find_by_tag("td")[0]
+        with pytest.raises(ValueError):
+            WrapperInducer(site_name="x").induce(
+                [(site.pages[0].root, {"director": foreign})]
+            )
+
+    def test_min_support_filters_rare_paths(self, site_world):
+        _world, site = site_world
+        annotated_pages = [
+            (page.root, annotate_by_truth(page.root, page.closed_truth))
+            for page in site.pages[:6]
+        ]
+        strict = WrapperInducer(site_name=site.name, min_support=6).induce(annotated_pages)
+        lenient = WrapperInducer(site_name=site.name, min_support=1).induce(annotated_pages)
+        strict_rules = sum(len(paths) for paths in strict.rules.values())
+        lenient_rules = sum(len(paths) for paths in lenient.rules.values())
+        assert strict_rules <= lenient_rules
+
+    def test_does_not_transfer_across_templates(self, site_world):
+        """The paper's point: wrappers are per-site, not web-scale.
+
+        A different site has both a different template (paths break) and a
+        different label vocabulary (landmarks break)."""
+        world, site = site_world
+        wrapper = self._induce(site, n_annotated=4)
+        other_site = generate_site(
+            world,
+            WebsiteConfig(
+                name="other.example.com",
+                domain="Movie",
+                template="dl",
+                label_style=1,
+                n_pages=5,
+                seed=30,
+            ),
+        )
+        correct = total = 0
+        for page in other_site.pages:
+            extracted = wrapper.extract(page.root)
+            for attribute, truth in page.closed_truth.items():
+                total += 1
+                if extracted.get(attribute) == truth:
+                    correct += 1
+        assert correct / max(total, 1) < 0.5

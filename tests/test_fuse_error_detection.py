@@ -1,0 +1,76 @@
+"""Tests for embedding-based error detection (the Sec. 5 cleaning use)."""
+
+import pytest
+
+from repro.fuse.error_detection import EmbeddingErrorDetector, inject_edge_errors
+
+
+@pytest.fixture(scope="module")
+def corrupted(small_world):
+    graph = small_world.truth.copy()
+    injected = inject_edge_errors(graph, "directed_by", n_errors=10, seed=3)
+    return graph, injected
+
+
+class TestInjectErrors:
+    def test_errors_replace_originals(self, small_world, corrupted):
+        graph, injected = corrupted
+        assert len(injected) == 10
+        for wrong in injected:
+            assert wrong in graph
+            truth = small_world.truth.objects(wrong.subject, "directed_by")
+            assert wrong.object not in truth
+
+    def test_original_world_untouched(self, small_world, corrupted):
+        _graph, injected = corrupted
+        for wrong in injected:
+            assert wrong not in small_world.truth
+
+
+class TestEmbeddingErrorDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self, corrupted):
+        graph, injected = corrupted
+        detector = EmbeddingErrorDetector(
+            "directed_by", n_epochs=50, suspicion_percentile=0.4, seed=4
+        ).fit(graph)
+        return detector, graph, injected
+
+    def test_errors_score_below_clean_edges(self, fitted):
+        detector, graph, injected = fitted
+        error_set = set(injected)
+        error_percentiles = []
+        clean_percentiles = []
+        for triple in graph.query(predicate="directed_by"):
+            if not (isinstance(triple.object, str) and graph.has_entity(triple.object)):
+                continue
+            percentile = detector.edge_percentile(triple)
+            if triple in error_set:
+                error_percentiles.append(percentile)
+            else:
+                clean_percentiles.append(percentile)
+        assert sum(error_percentiles) / len(error_percentiles) < sum(
+            clean_percentiles
+        ) / len(clean_percentiles) - 0.15
+
+    def test_detection_beats_chance_but_not_production_bar(self, fitted):
+        """Useful signal, below the 90% bar — the Sec. 5 judgement on
+        link prediction verbatim."""
+        detector, graph, injected = fitted
+        stats = detector.evaluate(graph, injected)
+        n_edges = len(graph.query(predicate="directed_by"))
+        base_rate = len(injected) / n_edges
+        assert stats["precision"] > base_rate * 1.5
+        assert stats["recall"] >= 0.25
+        assert stats["precision"] < 0.9  # not production-ready, as the paper says
+
+    def test_suspects_sorted_worst_first(self, fitted):
+        detector, graph, _injected = fitted
+        suspects = detector.scan(graph)
+        percentiles = [suspect.percentile for suspect in suspects]
+        assert percentiles == sorted(percentiles)
+
+    def test_unfitted_raises(self, corrupted):
+        graph, _injected = corrupted
+        with pytest.raises(RuntimeError):
+            EmbeddingErrorDetector("directed_by").scan(graph)

@@ -1,0 +1,106 @@
+"""Tests for graphical-model fusion and Knowledge-Based Trust."""
+
+import pytest
+
+from repro.fuse.graphical import ExtractionObservation, GraphicalFusion
+from repro.fuse.kbt import KnowledgeBasedTrust
+
+
+def _obs(subject, attribute, value, source, extractor):
+    return ExtractionObservation(subject, attribute, value, source, extractor)
+
+
+def _scenario():
+    """20 items over three sources and two extractors.
+
+    'cleansrc' is always right but the 'flaky' extractor garbles it on six
+    items; 'dirtysrc' is wrong on half the items; 'okaysrc' is a mostly
+    right corroborator (wrong on 3 items).  Corroboration identifies the
+    truth, which lets EM attribute cleansrc's garbles to the extractor —
+    the extraction-vs-source disambiguation setting of Sec. 2.4."""
+    observations = []
+    for item in range(20):
+        subject = f"e{item}"
+        truth = f"v{item}"
+        observations.append(_obs(subject, "a", truth, "cleansrc", "solid"))
+        if item < 6:
+            # flaky misreads the clean source.
+            observations.append(_obs(subject, "a", f"garble{item}", "cleansrc", "flaky"))
+        else:
+            observations.append(_obs(subject, "a", truth, "cleansrc", "flaky"))
+        dirty_value = truth if item % 2 == 0 else f"wrong{item}"
+        observations.append(_obs(subject, "a", dirty_value, "dirtysrc", "solid"))
+        observations.append(_obs(subject, "a", dirty_value, "dirtysrc", "flaky"))
+        okay_value = truth if item % 7 else f"oops{item}"
+        observations.append(_obs(subject, "a", okay_value, "okaysrc", "solid"))
+    return observations
+
+
+class TestGraphicalFusion:
+    def test_truth_posteriors_favor_correct_values(self):
+        fusion = GraphicalFusion()
+        beliefs = fusion.fuse(_scenario())
+        index = {(b.subject, b.value): b.probability for b in beliefs}
+        correct = sum(
+            1 for item in range(20) if index.get((f"e{item}", f"v{item}"), 0) > 0.5
+        )
+        assert correct >= 16
+
+    def test_source_accuracies_ordered(self):
+        fusion = GraphicalFusion()
+        fusion.fuse(_scenario())
+        assert fusion.source_accuracy_["cleansrc"] > fusion.source_accuracy_["dirtysrc"]
+
+    def test_extractor_precisions_ordered(self):
+        fusion = GraphicalFusion()
+        fusion.fuse(_scenario())
+        assert fusion.extractor_precision_["solid"] > fusion.extractor_precision_["flaky"]
+
+    def test_empty_observations(self):
+        assert GraphicalFusion().fuse([]) == []
+
+    def test_posteriors_subnormalized_per_item(self):
+        """Observed-value masses sum to <= 1; the residual is the held-out
+        'truth is something nobody extracted' hypothesis."""
+        fusion = GraphicalFusion()
+        beliefs = fusion.fuse(_scenario())
+        totals = {}
+        for belief in beliefs:
+            key = (belief.subject, belief.attribute)
+            totals[key] = totals.get(key, 0.0) + belief.probability
+        assert all(0.0 < total <= 1.0 + 1e-9 for total in totals.values())
+
+    def test_lone_uncorroborated_claim_not_overconfident(self):
+        """A single extraction with no corroboration must not reach the
+        0.9 confidence bar — the calibration KV's threshold relies on."""
+        fusion = GraphicalFusion()
+        beliefs = fusion.fuse([_obs("e1", "a", "v", "somesrc", "someext")])
+        assert beliefs[0].probability < 0.9
+
+    def test_high_confidence_filter(self):
+        fusion = GraphicalFusion()
+        beliefs = fusion.fuse(_scenario())
+        confident = fusion.high_confidence(beliefs, threshold=0.9)
+        assert all(belief.probability >= 0.9 for belief in confident)
+        assert len(confident) < len(beliefs)
+
+
+class TestKnowledgeBasedTrust:
+    def test_kbt_does_not_blame_source_for_extractor_errors(self):
+        """The KBT insight: cleansrc's KBT score should stay high even
+        though the flaky extractor garbled some of its pages, while the
+        naive per-extraction score drops."""
+        kbt = KnowledgeBasedTrust()
+        trusts = {t.source: t for t in kbt.evaluate_sources(_scenario())}
+        clean = trusts["cleansrc"]
+        assert clean.kbt_score > clean.naive_score
+
+    def test_ranking_puts_clean_first(self):
+        kbt = KnowledgeBasedTrust()
+        assert kbt.rank_sources(_scenario())[0] == "cleansrc"
+
+    def test_extraction_counts(self):
+        kbt = KnowledgeBasedTrust()
+        trusts = {t.source: t for t in kbt.evaluate_sources(_scenario())}
+        assert trusts["cleansrc"].n_extractions == 40
+        assert trusts["dirtysrc"].n_extractions == 40

@@ -1,0 +1,103 @@
+"""Tests for PRA and TransE link prediction."""
+
+import numpy as np
+import pytest
+
+from repro.fuse.linkpred import TransEModel
+from repro.fuse.pra import PathRankingModel
+from repro.ml.metrics import roc_auc
+
+
+@pytest.fixture(scope="module")
+def graph(small_world):
+    return small_world.truth
+
+
+def _directed_pairs(graph):
+    positives = [
+        (triple.subject, str(triple.object))
+        for triple in graph.query(predicate="directed_by")
+    ]
+    rng = np.random.default_rng(5)
+    objects = sorted({obj for _s, obj in positives})
+    existing = set(positives)
+    negatives = []
+    for subject, _obj in positives:
+        for _ in range(2):
+            candidate = objects[int(rng.integers(0, len(objects)))]
+            if (subject, candidate) not in existing:
+                negatives.append((subject, candidate))
+    return positives, negatives
+
+
+class TestPathRanking:
+    @pytest.fixture(scope="class")
+    def model(self, graph):
+        return PathRankingModel("directed_by", max_path_length=3, seed=1).fit(graph)
+
+    def test_learns_discriminative_paths(self, model):
+        assert model.paths_
+
+    def test_separates_true_from_corrupted(self, graph, model):
+        positives, negatives = _directed_pairs(graph)
+        sample_pos = positives[:30]
+        sample_neg = negatives[:30]
+        scores = model.score_pairs(sample_pos + sample_neg)
+        labels = [1] * len(sample_pos) + [0] * len(sample_neg)
+        assert roc_auc(labels, scores) > 0.6
+
+    def test_score_in_unit_interval(self, graph, model):
+        positives, _ = _directed_pairs(graph)
+        score = model.score(*positives[0])
+        assert 0.0 <= score <= 1.0
+
+    def test_unknown_relation_rejected(self, graph):
+        with pytest.raises(ValueError):
+            PathRankingModel("nonexistent").fit(graph)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PathRankingModel("directed_by").score("a", "b")
+
+
+class TestTransE:
+    @pytest.fixture(scope="class")
+    def model(self, graph):
+        return TransEModel(dim=20, n_epochs=60, seed=2).fit(graph)
+
+    def test_true_triples_outscore_corrupted(self, graph, model):
+        positives, negatives = _directed_pairs(graph)
+        scores = [model.score(s, "directed_by", o) for s, o in positives[:40]]
+        corrupt = [model.score(s, "directed_by", o) for s, o in negatives[:40]]
+        labels = [1] * len(scores) + [0] * len(corrupt)
+        assert roc_auc(labels, scores + corrupt) > 0.75
+
+    def test_rank_objects_contains_truth_often(self, graph, model):
+        positives, _ = _directed_pairs(graph)
+        hits = 0
+        for subject, obj in positives[:30]:
+            top = [candidate for candidate, _score in model.rank_objects(subject, "directed_by", top_k=10)]
+            if obj in top:
+                hits += 1
+        assert hits / 30 > 0.3
+
+    def test_unknown_ids_score_low(self, model):
+        assert model.score("nope", "directed_by", "alsono") == -10.0
+
+    def test_entity_vectors_normalized(self, model):
+        norms = np.linalg.norm(model.entity_vectors_, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TransEModel().score("a", "b", "c")
+
+    def test_empty_graph_rejected(self):
+        from repro.core.graph import KnowledgeGraph
+        from repro.core.ontology import Ontology
+
+        ontology = Ontology()
+        ontology.add_class("T")
+        empty = KnowledgeGraph(ontology=ontology)
+        with pytest.raises(ValueError):
+            TransEModel().fit(empty)

@@ -1,0 +1,79 @@
+"""Tests for blocking."""
+
+import pytest
+
+from repro.integrate.blocking import (
+    BlockingStrategy,
+    blocking_quality,
+    candidate_pairs,
+    name_prefix_key,
+    name_token_keys,
+    year_keys,
+)
+
+
+RECORDS_LEFT = [
+    {"name": "Silent River", "release_year": 1999},
+    {"name": "Crimson Harbor", "release_year": 1985},
+    {"name": "Golden Letter", "release_year": 2001},
+]
+RECORDS_RIGHT = [
+    {"name": "Silent River", "release_year": 1999},
+    {"name": "River, Silent", "release_year": 2000},
+    {"name": "Unrelated Epic", "release_year": 1960},
+]
+
+
+class TestKeyFunctions:
+    def test_name_token_keys(self):
+        keys = name_token_keys({"name": "Silent River"})
+        assert set(keys) == {"tok:silent", "tok:river"}
+
+    def test_name_prefix_key(self):
+        assert name_prefix_key({"name": "Silent River"}) == ["pre:sil"]
+
+    def test_name_prefix_empty(self):
+        assert name_prefix_key({"name": ""}) == []
+
+    def test_year_keys_tolerance(self):
+        keys = year_keys({"release_year": 1999})
+        assert "yr:release_year:1998" in keys
+        assert "yr:release_year:2000" in keys
+
+    def test_year_keys_non_numeric(self):
+        assert year_keys({"release_year": "unknown"}) == []
+
+
+class TestCandidatePairs:
+    def test_token_blocking_finds_reordered_names(self):
+        pairs = candidate_pairs(RECORDS_LEFT, RECORDS_RIGHT, BlockingStrategy())
+        assert (0, 0) in pairs
+        assert (0, 1) in pairs  # shares tokens despite reordering
+        assert (1, 2) not in pairs
+
+    def test_prefix_blocking_misses_reordered_names(self):
+        strategy = BlockingStrategy(key_functions=(name_prefix_key,))
+        pairs = candidate_pairs(RECORDS_LEFT, RECORDS_RIGHT, strategy)
+        assert (0, 0) in pairs
+        assert (0, 1) not in pairs  # "riv" != "sil" — the recall cost
+
+    def test_union_of_keys(self):
+        strategy = BlockingStrategy(key_functions=(name_prefix_key, year_keys))
+        pairs = candidate_pairs(RECORDS_LEFT, RECORDS_RIGHT, strategy)
+        assert (0, 1) in pairs  # year within tolerance
+
+    def test_oversized_blocks_dropped(self):
+        left = [{"name": "common token"} for _ in range(20)]
+        right = [{"name": "common token"} for _ in range(20)]
+        strategy = BlockingStrategy(max_block_size=5)
+        assert candidate_pairs(left, right, strategy) == []
+
+    def test_quality_metrics(self):
+        pairs = [(0, 0), (0, 1)]
+        quality = blocking_quality(pairs, true_pairs={(0, 0), (2, 2)}, n_left=3, n_right=3)
+        assert quality["pair_completeness"] == 0.5
+        assert quality["reduction_ratio"] == pytest.approx(1 - 2 / 9)
+
+    def test_quality_no_truth(self):
+        quality = blocking_quality([], set(), n_left=2, n_right=2)
+        assert quality["pair_completeness"] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for entity disambiguation."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.integrate.disambiguation import EntityDisambiguator
+
+
+@pytest.fixture
+def graph():
+    ontology = Ontology()
+    ontology.add_class("Person")
+    ontology.add_class("Movie")
+    ontology.add_relation("birth_year", "Person", "number")
+    ontology.add_relation("birth_place", "Person", "string")
+    ontology.add_relation("directed_by", "Movie", "Person")
+    graph = KnowledgeGraph(ontology=ontology)
+    # Two people named Jane Doe — the Sec. 2.2 disambiguation setting.
+    graph.add_entity("p1", "Jane Doe", "Person")
+    graph.add("p1", "birth_year", 1975)
+    graph.add("p1", "birth_place", "Seattle")
+    graph.add_entity("p2", "Jane Doe", "Person")
+    graph.add("p2", "birth_year", 1990)
+    graph.add("p2", "birth_place", "Boston")
+    graph.add_entity("m1", "Silent River", "Movie")
+    graph.add("m1", "directed_by", "p1")
+    return graph
+
+
+class TestCandidates:
+    def test_both_homonyms_listed(self, graph):
+        disambiguator = EntityDisambiguator(graph)
+        candidates = disambiguator.candidates("Jane Doe")
+        assert {candidate.entity_id for candidate in candidates} == {"p1", "p2"}
+
+    def test_context_orders_candidates(self, graph):
+        disambiguator = EntityDisambiguator(graph)
+        ranked = disambiguator.candidates("Jane Doe", context={"birth_year": 1990})
+        assert ranked[0].entity_id == "p2"
+        ranked = disambiguator.candidates("Jane Doe", context={"birth_place": "Seattle"})
+        assert ranked[0].entity_id == "p1"
+
+    def test_relational_context(self, graph):
+        """Mention context naming a related entity prefers its neighbor."""
+        disambiguator = EntityDisambiguator(graph)
+        ranked = disambiguator.candidates(
+            "Jane Doe", context={"known_for": "Silent River"}
+        )
+        assert ranked[0].entity_id == "p1"
+
+    def test_class_filter(self, graph):
+        disambiguator = EntityDisambiguator(graph)
+        assert disambiguator.candidates("Jane Doe", entity_class="Movie") == []
+
+
+class TestResolve:
+    def test_resolves_with_discriminating_context(self, graph):
+        disambiguator = EntityDisambiguator(graph)
+        assert disambiguator.resolve("Jane Doe", context={"birth_year": 1975}) == "p1"
+
+    def test_refuses_without_context(self, graph):
+        """Two equally-plausible candidates: refuse to guess."""
+        disambiguator = EntityDisambiguator(graph)
+        assert disambiguator.resolve("Jane Doe") is None
+
+    def test_refuses_unknown_mention(self, graph):
+        disambiguator = EntityDisambiguator(graph)
+        assert disambiguator.resolve("Nobody Special") is None
+
+    def test_unique_name_resolves_without_context(self, graph):
+        graph.add_entity("p3", "Unique Name", "Person")
+        disambiguator = EntityDisambiguator(graph)
+        assert disambiguator.resolve("Unique Name") == "p3"
+
+    def test_world_scale_disambiguation(self, small_world):
+        """Homonyms in the generated world resolve given their attributes."""
+        disambiguator = EntityDisambiguator(small_world.truth)
+        by_name = {}
+        for entity in small_world.truth.entities("Person"):
+            by_name.setdefault(entity.name, []).append(entity)
+        homonyms = {name: group for name, group in by_name.items() if len(group) > 1}
+        assert homonyms  # the generator guarantees collisions
+        name, group = sorted(homonyms.items())[0]
+        target = group[0]
+        context = {
+            "birth_year": small_world.truth.one_object(target.entity_id, "birth_year"),
+            "birth_place": small_world.truth.one_object(target.entity_id, "birth_place"),
+        }
+        resolved = disambiguator.resolve(name, context=context)
+        # Either resolves to the right person or abstains when two homonyms
+        # coincidentally share attributes — never the wrong one confidently.
+        if resolved is not None:
+            matches_context = small_world.truth.one_object(resolved, "birth_year") == context["birth_year"]
+            assert matches_context

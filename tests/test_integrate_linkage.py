@@ -1,0 +1,142 @@
+"""Tests for entity linkage (RF linker + Fellegi-Sunter + task plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.integrate.linkage import (
+    EntityLinker,
+    FellegiSunterLinker,
+    apply_linkage,
+    build_linkage_task,
+)
+from repro.integrate.schema_alignment import oracle_alignment
+
+
+@pytest.fixture(scope="module")
+def movie_task(source_pair):
+    freebase, imdb = source_pair
+    return build_linkage_task(
+        freebase, imdb, "Movie", oracle_alignment(freebase), oracle_alignment(imdb)
+    )
+
+
+@pytest.fixture(scope="module")
+def person_task(source_pair):
+    freebase, imdb = source_pair
+    return build_linkage_task(
+        freebase, imdb, "Person", oracle_alignment(freebase), oracle_alignment(imdb)
+    )
+
+
+class TestLinkageTask:
+    def test_features_parallel_to_pairs(self, movie_task):
+        assert len(movie_task.features) == len(movie_task.pairs) == len(movie_task.labels)
+
+    def test_oracle_metered(self, movie_task):
+        movie_task.oracle_calls_ = 0
+        movie_task.oracle(0)
+        movie_task.oracle(1)
+        assert movie_task.oracle_calls_ == 2
+
+    def test_blocking_retains_most_true_matches(self, movie_task):
+        in_pairs = int(movie_task.labels.sum())
+        assert in_pairs / movie_task.n_true_matches_total > 0.85
+
+    def test_evaluate_charges_blocking_misses(self, movie_task):
+        perfect = list(movie_task.labels)
+        confusion = movie_task.evaluate(perfect)
+        assert confusion.false_negative == movie_task.n_true_matches_total - int(
+            movie_task.labels.sum()
+        )
+
+
+class TestEntityLinker:
+    def test_high_precision_recall_with_full_labels(self, movie_task):
+        linker = EntityLinker(n_estimators=20, seed=1).fit(
+            movie_task.features, movie_task.labels
+        )
+        predictions = linker.predict(movie_task.features, pairs=movie_task.pairs)
+        confusion = movie_task.evaluate(list(predictions))
+        assert confusion.precision > 0.95
+        assert confusion.recall > 0.85
+
+    def test_person_linkage_with_homonyms(self, person_task):
+        """People share names; disambiguation must still work."""
+        linker = EntityLinker(n_estimators=20, seed=1).fit(
+            person_task.features, person_task.labels
+        )
+        predictions = linker.predict(person_task.features, pairs=person_task.pairs)
+        confusion = person_task.evaluate(list(predictions))
+        assert confusion.precision > 0.9
+
+    def test_one_to_one_constraint(self, movie_task):
+        linker = EntityLinker(n_estimators=10, seed=1, threshold=0.1).fit(
+            movie_task.features, movie_task.labels
+        )
+        predictions = linker.predict(movie_task.features, pairs=movie_task.pairs)
+        left_used, right_used = set(), set()
+        for decided, (left, right) in zip(predictions, movie_task.pairs):
+            if decided:
+                assert left not in left_used
+                assert right not in right_used
+                left_used.add(left)
+                right_used.add(right)
+
+    def test_scores_unit_interval(self, movie_task):
+        linker = EntityLinker(n_estimators=5, seed=1).fit(
+            movie_task.features, movie_task.labels
+        )
+        scores = linker.decision_scores(movie_task.features)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_unfitted_raises(self, movie_task):
+        with pytest.raises(RuntimeError):
+            EntityLinker().decision_scores(movie_task.features)
+
+
+class TestFellegiSunter:
+    def test_reasonable_quality(self, movie_task):
+        linker = FellegiSunterLinker().fit(movie_task.features, movie_task.labels)
+        predictions = linker.predict(movie_task.features)
+        confusion = movie_task.evaluate(list(predictions))
+        assert confusion.f1 > 0.7
+
+    def test_rf_at_least_matches_fs(self, movie_task):
+        forest = EntityLinker(n_estimators=20, seed=1).fit(
+            movie_task.features, movie_task.labels
+        )
+        fs = FellegiSunterLinker().fit(movie_task.features, movie_task.labels)
+        f_forest = movie_task.evaluate(
+            list(forest.predict(movie_task.features, pairs=movie_task.pairs))
+        ).f1
+        f_fs = movie_task.evaluate(list(fs.predict(movie_task.features))).f1
+        assert f_forest >= f_fs - 0.02
+
+    def test_unfitted_raises(self, movie_task):
+        with pytest.raises(RuntimeError):
+            FellegiSunterLinker().decision_scores(movie_task.features)
+
+
+class TestApplyLinkage:
+    def test_merges_into_graph(self):
+        ontology = Ontology()
+        ontology.add_class("Movie")
+        graph = KnowledgeGraph(ontology=ontology)
+        graph.add_entity("a", "X", "Movie")
+        graph.add_entity("b", "X", "Movie")
+        graph.add("b", "release_year", 1999)
+        merged = apply_linkage(graph, [("a", "b")])
+        assert merged == 1
+        assert not graph.has_entity("b")
+        assert graph.one_object("a", "release_year") == 1999
+
+    def test_skips_stale_pairs(self):
+        ontology = Ontology()
+        ontology.add_class("Movie")
+        graph = KnowledgeGraph(ontology=ontology)
+        graph.add_entity("a", "X", "Movie")
+        graph.add_entity("b", "X", "Movie")
+        merged = apply_linkage(graph, [("a", "b"), ("a", "b"), ("a", "a")])
+        assert merged == 1

@@ -1,0 +1,113 @@
+"""Tests for automatic schema alignment."""
+
+import pytest
+
+from repro.datagen.sources import SourceConfig, derive_source
+from repro.integrate.schema_alignment import (
+    SchemaMatcher,
+    alignment_as_map,
+    canonicalize_record,
+    oracle_alignment,
+)
+
+
+@pytest.fixture(scope="module")
+def renamed_source(small_world):
+    return derive_source(
+        small_world,
+        SourceConfig(
+            name="renamed",
+            entity_classes=("Movie",),
+            field_map={
+                "name": "title",
+                "release_year": "year",
+                "directed_by": "director",
+                "runtime": "length_minutes",
+            },
+            seed=3,
+        ),
+    )
+
+
+def _reference_values(world):
+    values = {"name": [], "release_year": [], "genre": [], "runtime": [], "directed_by": []}
+    for entity in world.truth.entities("Movie"):
+        record = world.record_for(entity.entity_id)
+        for attribute in values:
+            if attribute in record:
+                value = record[attribute]
+                values[attribute].append(value[0] if isinstance(value, list) else value)
+    return values
+
+
+class TestSchemaMatcher:
+    def test_recovers_renamed_fields(self, small_world, renamed_source):
+        matcher = SchemaMatcher()
+        results = matcher.align(
+            renamed_source,
+            canonical_attributes=["name", "release_year", "genre", "runtime", "directed_by"],
+            reference_values=_reference_values(small_world),
+        )
+        mapping = alignment_as_map(results)
+        assert mapping.get("year") == "release_year"
+        assert mapping.get("director") == "directed_by"
+        assert mapping.get("genre") == "genre"
+
+    def test_one_to_one(self, small_world, renamed_source):
+        matcher = SchemaMatcher(min_score=0.1)
+        results = matcher.align(
+            renamed_source,
+            canonical_attributes=["name", "release_year", "genre"],
+            reference_values=_reference_values(small_world),
+        )
+        fields = [result.source_field for result in results]
+        attributes = [result.attribute for result in results]
+        assert len(fields) == len(set(fields))
+        assert len(attributes) == len(set(attributes))
+
+    def test_name_only_signal_without_reference(self, renamed_source):
+        matcher = SchemaMatcher()
+        results = matcher.align(
+            renamed_source, canonical_attributes=["genre", "release_year"]
+        )
+        mapping = alignment_as_map(results)
+        assert mapping.get("genre") == "genre"
+
+    def test_scores_in_unit_interval(self, small_world, renamed_source):
+        results = SchemaMatcher(min_score=0.0).align(
+            renamed_source,
+            canonical_attributes=["name", "genre"],
+            reference_values=_reference_values(small_world),
+        )
+        assert all(0.0 <= result.score <= 1.0 for result in results)
+
+
+class TestCanonicalize:
+    def test_maps_fields(self, renamed_source):
+        alignment = oracle_alignment(renamed_source)
+        record = renamed_source.records[0]
+        canonical = canonicalize_record(record, alignment)
+        assert "name" in canonical
+
+    def test_rejoins_split_names(self, small_world):
+        source = derive_source(
+            small_world,
+            SourceConfig(
+                name="split", entity_classes=("Person",), split_person_name=True, seed=4
+            ),
+        )
+        record = source.records[0]
+        canonical = canonicalize_record(record, {})
+        assert "name" in canonical
+        assert canonical["name"]
+
+    def test_unmapped_fields_dropped(self, renamed_source):
+        record = renamed_source.records[0]
+        canonical = canonicalize_record(record, {"title": "name"})
+        assert set(canonical) <= {"name"}
+
+    def test_oracle_alignment_roundtrip(self, small_world, renamed_source):
+        """Oracle alignment recovers canonical names from the generator."""
+        alignment = oracle_alignment(renamed_source)
+        assert alignment["year"] == "release_year"
+        assert alignment["director"] == "directed_by"

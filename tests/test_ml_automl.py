@@ -1,0 +1,94 @@
+"""Tests for the AutoML grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.automl import GridSearch
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _data(seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.random((120, 2))
+    labels = ((features[:, 0] > 0.5) ^ (features[:, 1] > 0.5)).astype(int)
+    return features, labels
+
+
+class TestGridSearch:
+    def test_prefers_deeper_tree_for_xor(self):
+        features, labels = _data()
+        search = GridSearch(
+            model_factory=lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            grid={"max_depth": [1, 6]},
+            n_folds=3,
+            seed=0,
+        )
+        search.fit(features, labels)
+        assert search.best_params_["max_depth"] == 6
+
+    def test_returns_fitted_model(self):
+        features, labels = _data()
+        search = GridSearch(
+            model_factory=lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            grid={"max_depth": [3]},
+            seed=0,
+        )
+        model = search.fit(features, labels)
+        assert model.predict(features).shape == (len(features),)
+
+    def test_results_sorted_descending(self):
+        features, labels = _data()
+        search = GridSearch(
+            model_factory=lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            grid={"max_depth": [1, 3, 6]},
+            seed=0,
+        )
+        search.fit(features, labels)
+        scores = [result.score for result in search.results_]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_multiple_parameters(self):
+        features, labels = _data()
+        search = GridSearch(
+            model_factory=lambda learning_rate, n_iterations: LogisticRegression(
+                learning_rate=learning_rate, n_iterations=n_iterations
+            ),
+            grid={"learning_rate": [0.1, 0.5], "n_iterations": [20, 50]},
+            seed=0,
+        )
+        search.fit(features, labels)
+        assert len(search.results_) == 4
+
+    def test_best_accessors_before_fit_raise(self):
+        search = GridSearch(model_factory=lambda: None, grid={})
+        with pytest.raises(RuntimeError):
+            _ = search.best_params_
+        with pytest.raises(RuntimeError):
+            _ = search.best_score_
+
+    def test_mismatched_inputs_rejected(self):
+        search = GridSearch(
+            model_factory=lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            grid={"max_depth": [2]},
+        )
+        with pytest.raises(ValueError):
+            search.fit(np.zeros((3, 1)), [0, 1])
+
+    def test_custom_scorer(self):
+        features, labels = _data()
+        calls = []
+
+        def scorer(y_true, y_pred):
+            calls.append(1)
+            return 1.0
+
+        search = GridSearch(
+            model_factory=lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            grid={"max_depth": [2]},
+            scorer=scorer,
+            n_folds=2,
+            seed=0,
+        )
+        search.fit(features, labels)
+        assert calls  # scorer was consulted

@@ -1,0 +1,79 @@
+"""Tests for embeddings utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.embeddings import CooccurrenceEmbedder, cosine, hash_embedding
+
+
+class TestHashEmbedding:
+    def test_deterministic(self):
+        assert np.allclose(hash_embedding("coffee"), hash_embedding("coffee"))
+
+    def test_distinct_strings_differ(self):
+        assert not np.allclose(hash_embedding("coffee"), hash_embedding("tea"))
+
+    def test_unit_norm(self):
+        assert np.linalg.norm(hash_embedding("anything")) == pytest.approx(1.0)
+
+    def test_dimension(self):
+        assert hash_embedding("x", dim=7).shape == (7,)
+
+
+class TestCosine:
+    def test_identical(self):
+        vector = np.array([1.0, 2.0])
+        assert cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vector_safe(self):
+        assert cosine(np.zeros(2), np.array([1.0, 0.0])) == 0.0
+
+
+class TestCooccurrenceEmbedder:
+    CORPUS = [
+        ["drink", "green", "tea", "daily"],
+        ["drink", "black", "tea", "daily"],
+        ["drink", "dark", "coffee", "daily"],
+        ["drink", "light", "coffee", "daily"],
+        ["play", "loud", "music", "nightly"],
+        ["play", "soft", "music", "nightly"],
+    ] * 3
+
+    def test_similar_contexts_are_close(self):
+        # Low rank keeps only the dominant context axes; higher ranks add
+        # components that separate tea/coffee by their distinct modifiers.
+        embedder = CooccurrenceEmbedder(dim=3).fit(self.CORPUS)
+        tea_coffee = cosine(embedder.embed("tea"), embedder.embed("coffee"))
+        tea_music = cosine(embedder.embed("tea"), embedder.embed("music"))
+        assert tea_coffee > tea_music
+
+    def test_most_similar_excludes_self(self):
+        embedder = CooccurrenceEmbedder(dim=6).fit(self.CORPUS)
+        assert "tea" not in embedder.most_similar("tea", top_k=3)
+
+    def test_unknown_token_falls_back_to_hash(self):
+        embedder = CooccurrenceEmbedder(dim=6).fit(self.CORPUS)
+        vector = embedder.embed("zzz-unknown")
+        assert vector.shape == embedder.embed("tea").shape
+
+    def test_sequence_embedding_mean(self):
+        embedder = CooccurrenceEmbedder(dim=4).fit(self.CORPUS)
+        sequence = embedder.embed_sequence(["tea", "coffee"])
+        expected = (embedder.embed("tea") + embedder.embed("coffee")) / 2
+        assert np.allclose(sequence, expected)
+
+    def test_empty_sequence(self):
+        embedder = CooccurrenceEmbedder(dim=4).fit(self.CORPUS)
+        assert np.allclose(embedder.embed_sequence([]), 0.0)
+
+    def test_min_count_filters(self):
+        embedder = CooccurrenceEmbedder(dim=2, min_count=100).fit
+        with pytest.raises(ValueError):
+            embedder([["rare", "words"]])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CooccurrenceEmbedder().embed("x")

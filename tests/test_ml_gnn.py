@@ -1,0 +1,90 @@
+"""Tests for the graph convolutional network."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gnn import GraphConvNet, normalized_adjacency
+
+
+def _two_cluster_graph(seed=0):
+    """Two dense clusters with distinguishable features."""
+    rng = np.random.default_rng(seed)
+    n_per = 12
+    features = np.vstack(
+        [
+            rng.normal(loc=+1.0, scale=0.4, size=(n_per, 4)),
+            rng.normal(loc=-1.0, scale=0.4, size=(n_per, 4)),
+        ]
+    )
+    edges = []
+    for cluster in range(2):
+        base = cluster * n_per
+        for i in range(n_per):
+            edges.append((base + i, base + (i + 1) % n_per))
+    labels = np.array([0] * n_per + [1] * n_per)
+    return features, edges, labels
+
+
+class TestNormalizedAdjacency:
+    def test_shape_and_symmetry(self):
+        adjacency = normalized_adjacency([(0, 1)], 3)
+        assert adjacency.shape == (3, 3)
+        assert np.allclose(adjacency, adjacency.T)
+
+    def test_self_loops_present(self):
+        adjacency = normalized_adjacency([], 2)
+        assert adjacency[0, 0] > 0
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency([(0, 5)], 3)
+
+
+class TestGraphConvNet:
+    def test_classifies_clusters(self):
+        features, edges, labels = _two_cluster_graph()
+        mask = np.zeros(len(labels), dtype=bool)
+        mask[::3] = True
+        model = GraphConvNet(hidden_dim=8, n_iterations=150, seed=0)
+        model.fit(features, edges, labels, mask)
+        predictions = model.predict()
+        accuracy = float(np.mean(predictions == labels))
+        assert accuracy > 0.9
+
+    def test_transfers_to_new_graph(self):
+        features, edges, labels = _two_cluster_graph(seed=1)
+        mask = np.ones(len(labels), dtype=bool)
+        model = GraphConvNet(hidden_dim=8, n_iterations=150, seed=0)
+        model.fit(features, edges, labels, mask)
+        new_features, new_edges, new_labels = _two_cluster_graph(seed=99)
+        predictions = model.predict(new_features, new_edges)
+        accuracy = float(np.mean(predictions == new_labels))
+        assert accuracy > 0.85
+
+    def test_probabilities_normalized(self):
+        features, edges, labels = _two_cluster_graph()
+        mask = np.ones(len(labels), dtype=bool)
+        model = GraphConvNet(n_iterations=50, seed=0).fit(features, edges, labels, mask)
+        probabilities = model.predict_proba()
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_empty_mask_rejected(self):
+        features, edges, labels = _two_cluster_graph()
+        with pytest.raises(ValueError):
+            GraphConvNet().fit(features, edges, labels, np.zeros(len(labels), dtype=bool))
+
+    def test_label_shape_mismatch_rejected(self):
+        features, edges, labels = _two_cluster_graph()
+        with pytest.raises(ValueError):
+            GraphConvNet().fit(features, edges, labels[:-1], np.ones(len(labels), dtype=bool))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GraphConvNet().predict_proba()
+
+    def test_new_graph_requires_edges(self):
+        features, edges, labels = _two_cluster_graph()
+        mask = np.ones(len(labels), dtype=bool)
+        model = GraphConvNet(n_iterations=10, seed=0).fit(features, edges, labels, mask)
+        with pytest.raises(ValueError):
+            model.predict_proba(features, None)

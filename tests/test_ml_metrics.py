@@ -1,0 +1,133 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    BinaryConfusion,
+    accuracy,
+    f1_score,
+    macro_f1,
+    precision_recall,
+    precision_recall_curve,
+    roc_auc,
+)
+
+
+class TestBinaryConfusion:
+    def test_precision_recall_basic(self):
+        confusion = BinaryConfusion(true_positive=8, false_positive=2, false_negative=4)
+        assert confusion.precision == pytest.approx(0.8)
+        assert confusion.recall == pytest.approx(8 / 12)
+
+    def test_empty_predictions_have_perfect_precision(self):
+        confusion = BinaryConfusion(false_negative=5)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 0.0
+
+    def test_f1_is_harmonic_mean(self):
+        confusion = BinaryConfusion(true_positive=1, false_positive=1, false_negative=1)
+        assert confusion.f1 == pytest.approx(2 * 0.5 * 0.5 / 1.0)
+
+    def test_f1_zero_when_nothing_right(self):
+        confusion = BinaryConfusion(false_positive=3, false_negative=3)
+        assert confusion.f1 == 0.0
+
+    def test_accuracy_counts_negatives(self):
+        confusion = BinaryConfusion(true_positive=2, true_negative=6, false_positive=1, false_negative=1)
+        assert confusion.accuracy == pytest.approx(0.8)
+
+    def test_addition_accumulates(self):
+        left = BinaryConfusion(true_positive=1, false_positive=2)
+        right = BinaryConfusion(true_positive=3, false_negative=4)
+        total = left + right
+        assert total.true_positive == 4
+        assert total.false_positive == 2
+        assert total.false_negative == 4
+
+    def test_from_predictions(self):
+        confusion = BinaryConfusion.from_predictions([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (confusion.true_positive, confusion.false_negative) == (1, 1)
+        assert (confusion.false_positive, confusion.true_negative) == (1, 1)
+
+    def test_from_predictions_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BinaryConfusion.from_predictions([1], [1, 0])
+
+    def test_from_sets(self):
+        confusion = BinaryConfusion.from_sets({"a", "b"}, {"b", "c"})
+        assert confusion.true_positive == 1
+        assert confusion.false_positive == 1
+        assert confusion.false_negative == 1
+
+
+class TestFunctionalMetrics:
+    def test_precision_recall_tuple(self):
+        precision, recall = precision_recall([1, 0, 1], [1, 1, 0])
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+
+    def test_f1_score(self):
+        assert f1_score([1, 1], [1, 1]) == 1.0
+
+    def test_accuracy_empty(self):
+        assert accuracy([], []) == 1.0
+
+    def test_accuracy_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [])
+
+    def test_macro_f1(self):
+        confusions = [BinaryConfusion(true_positive=1), BinaryConfusion(false_positive=1, false_negative=1)]
+        assert macro_f1(confusions) == pytest.approx(0.5)
+
+    def test_macro_f1_empty(self):
+        assert macro_f1([]) == 0.0
+
+
+class TestCurves:
+    def test_pr_curve_perfect_ranking(self):
+        curve = precision_recall_curve([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1])
+        # At the threshold covering both positives, precision and recall are 1.
+        assert any(p == 1.0 and r == 1.0 for _t, p, r in curve)
+
+    def test_pr_curve_ends_at_full_recall(self):
+        curve = precision_recall_curve([0, 1, 1], [0.3, 0.2, 0.9])
+        assert curve[-1][2] == 1.0
+
+    def test_pr_curve_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([1], [0.5, 0.6])
+
+    def test_auc_perfect(self):
+        assert roc_auc([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1]) == 1.0
+
+    def test_auc_inverted(self):
+        assert roc_auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_auc_random_ties(self):
+        assert roc_auc([1, 0], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_auc_degenerate(self):
+        assert roc_auc([1, 1], [0.4, 0.6]) == 0.5
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)), min_size=2, max_size=40)
+    )
+    def test_auc_bounded(self, pairs):
+        labels = [label for label, _ in pairs]
+        scores = [score for _, score in pairs]
+        value = roc_auc(labels, scores)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)), min_size=1, max_size=40)
+    )
+    def test_pr_curve_precision_bounds(self, pairs):
+        labels = [label for label, _ in pairs]
+        scores = [score for _, score in pairs]
+        for _threshold, precision, recall in precision_recall_curve(labels, scores):
+            assert 0.0 <= precision <= 1.0
+            assert 0.0 <= recall <= 1.0

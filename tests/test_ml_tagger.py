@@ -1,0 +1,147 @@
+"""Tests for the BIO helper and the sequence tagger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tagger import BIO, OUTSIDE, SequenceTagger
+
+
+class TestBIO:
+    def test_encode_basic(self):
+        tags = BIO.encode(["dark", "roast", "coffee"], [(0, 2, "roast")])
+        assert tags == ["B-roast", "I-roast", "O"]
+
+    def test_decode_basic(self):
+        spans = BIO.decode(["B-roast", "I-roast", "O"])
+        assert spans == [(0, 2, "roast")]
+
+    def test_roundtrip(self):
+        tokens = ["a", "b", "c", "d", "e"]
+        spans = [(0, 2, "x"), (3, 5, "y")]
+        assert BIO.decode(BIO.encode(tokens, spans)) == spans
+
+    def test_encode_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            BIO.encode(["a"], [(0, 2, "x")])
+        with pytest.raises(ValueError):
+            BIO.encode(["a", "b"], [(1, 1, "x")])
+
+    def test_encode_overlap_first_wins(self):
+        tags = BIO.encode(["a", "b", "c"], [(0, 2, "x"), (1, 3, "y")])
+        assert tags == ["B-x", "I-x", "O"]
+
+    def test_decode_dangling_inside(self):
+        spans = BIO.decode(["O", "I-x", "I-x"])
+        assert spans == [(1, 3, "x")]
+
+    def test_decode_label_switch_inside(self):
+        spans = BIO.decode(["B-x", "I-y"])
+        assert spans == [(0, 1, "x"), (1, 2, "y")]
+
+    def test_span_values(self):
+        values = BIO.span_values(["dark", "roast", "x"], ["B-roast", "I-roast", "O"])
+        assert values == [("roast", "dark roast")]
+
+    @given(
+        st.lists(
+            st.sampled_from(["O", "B-a", "I-a", "B-b", "I-b"]), min_size=0, max_size=15
+        )
+    )
+    def test_decode_never_crashes_and_spans_valid(self, tags):
+        for start, end, label in BIO.decode(tags):
+            assert 0 <= start < end <= len(tags)
+            assert label in ("a", "b")
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_encode_decode_roundtrip_random(self, data):
+        n_tokens = data.draw(st.integers(1, 12))
+        tokens = [f"t{i}" for i in range(n_tokens)]
+        n_spans = data.draw(st.integers(0, 3))
+        spans = []
+        used = set()
+        for _ in range(n_spans):
+            start = data.draw(st.integers(0, n_tokens - 1))
+            end = data.draw(st.integers(start + 1, n_tokens))
+            if any(i in used for i in range(start, end)):
+                continue
+            used.update(range(start, end))
+            spans.append((start, end, data.draw(st.sampled_from(["x", "y"]))))
+        spans.sort()
+        assert sorted(BIO.decode(BIO.encode(tokens, spans))) == spans
+
+
+def _toy_corpus():
+    sentences = [
+        ["rich", "mocha", "flavor"],
+        ["rich", "vanilla", "flavor"],
+        ["soothing", "vanilla", "scent"],
+        ["soothing", "lavender", "scent"],
+        ["great", "everyday", "coffee"],
+    ] * 4
+    tags = [
+        ["O", "B-flavor", "O"],
+        ["O", "B-flavor", "O"],
+        ["O", "B-scent", "O"],
+        ["O", "B-scent", "O"],
+        ["O", "O", "O"],
+    ] * 4
+    return sentences, tags
+
+
+class TestSequenceTagger:
+    def test_learns_toy_patterns(self):
+        sentences, tags = _toy_corpus()
+        tagger = SequenceTagger(n_epochs=5).fit(sentences, tags)
+        assert tagger.predict(["rich", "mocha", "flavor"]) == ["O", "B-flavor", "O"]
+        assert tagger.predict(["soothing", "lavender", "scent"]) == ["O", "B-scent", "O"]
+
+    def test_context_disambiguates_shared_vocabulary(self):
+        # "vanilla" is flavor in coffee context, scent in candle context:
+        # with identical local text, only the context feature can decide.
+        sentences = [["notes", "of", "vanilla"]] * 10
+        tags = [["O", "O", "B-flavor"]] * 5 + [["O", "O", "B-scent"]] * 5
+        contexts = [["type=Coffee"]] * 5 + [["type=Candles"]] * 5
+        tagger = SequenceTagger(n_epochs=8).fit(sentences, tags, contexts=contexts)
+        assert tagger.predict(["notes", "of", "vanilla"], ["type=Coffee"]) == [
+            "O",
+            "O",
+            "B-flavor",
+        ]
+        assert tagger.predict(["notes", "of", "vanilla"], ["type=Candles"]) == [
+            "O",
+            "O",
+            "B-scent",
+        ]
+
+    def test_extract_returns_values(self):
+        sentences, tags = _toy_corpus()
+        tagger = SequenceTagger(n_epochs=5).fit(sentences, tags)
+        assert ("flavor", "mocha") in tagger.extract(["rich", "mocha", "flavor"])
+
+    def test_empty_prediction(self):
+        sentences, tags = _toy_corpus()
+        tagger = SequenceTagger(n_epochs=2).fit(sentences, tags)
+        assert tagger.predict([]) == []
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SequenceTagger().predict(["a"])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            SequenceTagger().fit([["a"]], [["O", "O"]])
+
+    def test_tags_inventory(self):
+        sentences, tags = _toy_corpus()
+        tagger = SequenceTagger(n_epochs=1).fit(sentences, tags)
+        assert OUTSIDE in tagger.tags
+        assert "B-flavor" in tagger.tags
+
+    def test_deterministic(self):
+        sentences, tags = _toy_corpus()
+        first = SequenceTagger(n_epochs=3, seed=5).fit(sentences, tags)
+        second = SequenceTagger(n_epochs=3, seed=5).fit(sentences, tags)
+        sample = ["rich", "vanilla", "flavor"]
+        assert first.predict(sample) == second.predict(sample)

@@ -1,0 +1,110 @@
+"""Tests for the CART tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.random((n, 2))
+    labels = ((features[:, 0] > 0.5) ^ (features[:, 1] > 0.5)).astype(int)
+    return features, labels
+
+
+def _linear_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.random((n, 3))
+    labels = (features[:, 0] + 0.2 * features[:, 1] > 0.6).astype(int)
+    return features, labels
+
+
+class TestDecisionTree:
+    def test_fits_xor(self):
+        features, labels = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=6).fit(features, labels)
+        accuracy = float(np.mean(tree.predict(features) == labels))
+        assert accuracy > 0.95
+
+    def test_pure_node_is_leaf(self):
+        tree = DecisionTreeClassifier().fit([[0.0], [1.0]], [1, 1])
+        assert tree.depth() == 0
+
+    def test_probabilities_sum_to_one(self):
+        features, labels = _linear_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        probabilities = tree.predict_proba(features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_max_depth_respected(self):
+        features, labels = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_single_row_prediction(self):
+        features, labels = _linear_data()
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.predict(features[0]).shape == (1,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), [])
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(4), [0, 0, 1, 1])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        features = rng.random((150, 1))
+        labels = np.digitize(features[:, 0], [0.33, 0.66])
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        assert float(np.mean(tree.predict(features) == labels)) > 0.9
+        assert tree.predict_proba(features).shape[1] == 3
+
+
+class TestRandomForest:
+    def test_fits_xor_better_than_chance(self):
+        features, labels = _xor_data(seed=3)
+        forest = RandomForestClassifier(n_estimators=20, seed=1).fit(features, labels)
+        accuracy = float(np.mean(forest.predict(features) == labels))
+        assert accuracy > 0.9
+
+    def test_deterministic_given_seed(self):
+        features, labels = _linear_data(seed=5)
+        first = RandomForestClassifier(n_estimators=8, seed=42).fit(features, labels)
+        second = RandomForestClassifier(n_estimators=8, seed=42).fit(features, labels)
+        assert np.array_equal(first.predict(features), second.predict(features))
+
+    def test_decision_scores_are_probabilities(self):
+        features, labels = _linear_data()
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(features, labels)
+        scores = forest.decision_scores(features)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_probabilities_shape(self):
+        features, labels = _linear_data()
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(features, labels)
+        assert forest.predict_proba(features).shape == (len(features), 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((0, 2)), [])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba([[0.0]])
+
+    def test_generalizes_to_held_out(self):
+        features, labels = _linear_data(n=400, seed=9)
+        forest = RandomForestClassifier(n_estimators=15, seed=2).fit(
+            features[:300], labels[:300]
+        )
+        accuracy = float(np.mean(forest.predict(features[300:]) == labels[300:]))
+        assert accuracy > 0.85

@@ -1,0 +1,112 @@
+"""Tests for the QA strategies and band evaluation."""
+
+import pytest
+
+from repro.datagen.text import generate_text_corpus
+from repro.neural.evaluate import evaluate_by_band, evaluate_qa
+from repro.neural.infusion import infuse_head_knowledge
+from repro.neural.qa import (
+    DualRouterQA,
+    KGQA,
+    LMQA,
+    Question,
+    RetrievalAugmentedQA,
+    build_question_set,
+)
+from repro.neural.slm import SimulatedLM
+
+
+@pytest.fixture(scope="module")
+def lm(small_world):
+    corpus = generate_text_corpus(small_world, n_sentences=4000, noise_rate=0.15, seed=11)
+    return SimulatedLM(seed=12).fit(corpus)
+
+
+@pytest.fixture(scope="module")
+def questions(small_world):
+    return build_question_set(small_world, per_band=40, seed=13)
+
+
+class TestQuestionSet:
+    def test_band_balanced(self, questions):
+        bands = {band: 0 for band in ("head", "torso", "tail")}
+        for question in questions:
+            bands[question.band] += 1
+        assert all(count > 10 for count in bands.values())
+
+    def test_gold_lowercased(self, questions):
+        for question in questions:
+            assert all(answer == answer.lower() for answer in question.gold)
+
+
+class TestStrategies:
+    def test_kgqa_on_full_kg_is_near_perfect(self, small_world, questions):
+        report = evaluate_qa(KGQA(small_world.truth), questions)
+        assert report.accuracy > 0.95
+
+    def test_lmqa_degrades_head_to_tail(self, small_world, lm, questions):
+        reports = evaluate_by_band(LMQA(lm), questions)
+        assert reports["head"].accuracy > reports["tail"].accuracy
+
+    def test_lmqa_has_both_failure_modes(self, lm, questions):
+        report = evaluate_qa(LMQA(lm), questions)
+        assert report.n_hallucinated > 0
+        assert report.n_missing > 0
+
+    def test_retrieval_augmented_beats_lm(self, small_world, lm, questions):
+        lm_report = evaluate_qa(LMQA(lm), questions)
+        ra_report = evaluate_qa(RetrievalAugmentedQA(small_world.truth, lm), questions)
+        assert ra_report.accuracy > lm_report.accuracy
+
+    def test_dual_router_beats_both_pure_strategies(self, small_world, lm, questions):
+        dual = evaluate_qa(DualRouterQA(small_world.truth, lm), questions)
+        lm_only = evaluate_qa(LMQA(lm), questions)
+        assert dual.accuracy >= lm_only.accuracy
+
+    def test_dual_router_verifies_against_kg(self, small_world, lm):
+        """On disagreement, the explicit triple wins."""
+        router = DualRouterQA(small_world.truth, lm, familiarity_threshold=0.0)
+        questions = build_question_set(small_world, per_band=20, seed=14)
+        report = evaluate_qa(router, questions)
+        kg_report = evaluate_qa(KGQA(small_world.truth), questions)
+        assert report.accuracy >= kg_report.accuracy - 0.05
+
+
+class TestEvaluation:
+    def test_outcomes_partition(self, lm, questions):
+        report = evaluate_qa(LMQA(lm), questions)
+        assert (
+            report.n_correct + report.n_hallucinated + report.n_missing
+            == report.n_questions
+        )
+
+    def test_rates_sum_to_one(self, lm, questions):
+        report = evaluate_qa(LMQA(lm), questions)
+        assert report.accuracy + report.hallucination_rate + report.miss_rate == pytest.approx(1.0)
+
+    def test_by_band_includes_all(self, lm, questions):
+        reports = evaluate_by_band(LMQA(lm), questions)
+        assert set(reports) == {"head", "torso", "tail", "all"}
+        assert reports["all"].n_questions == len(questions)
+
+
+class TestInfusion:
+    def test_head_accuracy_improves(self, small_world, questions):
+        corpus = generate_text_corpus(small_world, n_sentences=2000, noise_rate=0.15, seed=21)
+        model = SimulatedLM(seed=22).fit(corpus)
+        before = evaluate_by_band(LMQA(model), questions)["head"].accuracy
+        n_infused = infuse_head_knowledge(model, small_world, repetitions=6, seed=23)
+        after = evaluate_by_band(LMQA(model), questions)["head"].accuracy
+        assert n_infused > 0
+        assert after > before
+
+    def test_tail_unaffected_by_head_infusion(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=2000, noise_rate=0.15, seed=24)
+        model = SimulatedLM(seed=25).fit(corpus)
+        questions = build_question_set(small_world, per_band=30, seed=26)
+        tail_before = [q for q in questions if q.band == "tail"]
+        before = evaluate_qa(LMQA(model), tail_before).accuracy
+        infuse_head_knowledge(model, small_world, band="head", repetitions=6, seed=27)
+        model_after = model  # same object, memory enriched
+        after = evaluate_qa(LMQA(model_after), tail_before).accuracy
+        assert abs(after - before) < 0.35  # tail behavior does not transform

@@ -1,0 +1,90 @@
+"""Tests for the simulated language model."""
+
+import pytest
+
+from repro.datagen.text import TextMention, generate_text_corpus
+from repro.neural.slm import SimulatedLM
+
+
+def _mention(subject, predicate, obj):
+    return TextMention(
+        sentence=f"{subject} {predicate} {obj} .",
+        subject_text=subject,
+        object_text=obj,
+        predicate=predicate,
+    )
+
+
+class TestSimulatedLM:
+    def test_frequent_fact_recalled(self):
+        model = SimulatedLM(seed=1)
+        model.fit([_mention("Silent River", "directed_by", "Jane Doe")] * 20)
+        answers = [model.answer("Silent River", "directed_by") for _ in range(20)]
+        correct = sum(1 for a in answers if a.text == "Jane Doe")
+        assert correct >= 18
+
+    def test_unknown_subject_abstains_or_confabulates(self):
+        model = SimulatedLM(seed=1)
+        model.fit([_mention("Silent River", "directed_by", "Jane Doe")] * 5)
+        answers = [model.answer("Unknown Movie", "directed_by") for _ in range(30)]
+        assert all(a.text is None or not a.from_memory for a in answers)
+
+    def test_confabulation_draws_from_predicate_prior(self):
+        model = SimulatedLM(seed=2, abstain_bias=0.0)
+        model.fit(
+            [_mention("A", "directed_by", "Jane Doe")] * 5
+            + [_mention("B", "directed_by", "John Roe")] * 5
+        )
+        answers = [model.answer("Unknown", "directed_by") for _ in range(30)]
+        texts = {a.text for a in answers}
+        assert texts <= {"Jane Doe", "John Roe"}
+
+    def test_rare_fact_often_missed(self):
+        model = SimulatedLM(seed=3)
+        model.fit([_mention("Obscure Film", "directed_by", "Jane Doe")])  # one mention
+        answers = [model.answer("Obscure Film", "directed_by") for _ in range(40)]
+        recalled = sum(1 for a in answers if a.from_memory)
+        assert recalled < 30  # frequency-dependent recall
+
+    def test_name_collision_causes_hallucination(self):
+        """Two entities sharing a surface name collide in memory."""
+        model = SimulatedLM(seed=4)
+        model.fit(
+            [_mention("Jane Doe", "birth_place", "Seattle")] * 10
+            + [_mention("Jane Doe", "birth_place", "Boston")] * 10
+        )
+        answers = [model.answer("Jane Doe", "birth_place") for _ in range(40)]
+        texts = {a.text for a in answers if a.text}
+        assert len(texts) == 2  # both collided values surface
+
+    def test_familiarity_counts_mentions(self):
+        model = SimulatedLM()
+        model.fit([_mention("A", "p", "x")] * 7)
+        assert model.familiarity("a", "p") == 7.0
+        assert model.familiarity("b", "p") == 0.0
+
+    def test_noise_sentences_leak_associations(self):
+        model = SimulatedLM(seed=5, abstain_bias=0.0, association_noise=1.0)
+        noise = TextMention(
+            sentence="A and B trended .", subject_text="A", object_text="B", predicate=None
+        )
+        model.fit([noise] * 30)
+        answers = [model.answer("A", "anything") for _ in range(40)]
+        assert any(a.text == "B" for a in answers)
+
+    def test_incremental_fit_accumulates(self):
+        model = SimulatedLM()
+        model.fit([_mention("A", "p", "x")] * 3)
+        model.fit([_mention("A", "p", "x")] * 4)
+        assert model.familiarity("A", "p") == 7.0
+
+    def test_n_facts_excludes_cooccurrence(self):
+        model = SimulatedLM()
+        noise = TextMention(sentence="s", subject_text="A", object_text="B", predicate=None)
+        model.fit([_mention("A", "p", "x"), noise])
+        assert model.n_facts() == 1
+
+    def test_corpus_integration(self, small_world):
+        corpus = generate_text_corpus(small_world, n_sentences=500, seed=7)
+        model = SimulatedLM(seed=8).fit(corpus)
+        assert model.n_facts() > 50

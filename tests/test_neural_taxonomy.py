@@ -1,0 +1,81 @@
+"""Tests for the Sec. 4 taxonomy-knowledge claim.
+
+"Taxonomy, or the type hierarchies, is what LLMs are good at capturing.
+... So tail taxonomy may best reside at the LLM side."  The mechanism:
+type statements are abundant and systematic in text, so parametric recall
+is strong for them even when individual tail *facts* stay unreliable.
+"""
+
+import pytest
+
+from repro.datagen.products import TAXONOMY_SPEC
+from repro.datagen.text import generate_taxonomy_corpus, generate_text_corpus
+from repro.neural.slm import SimulatedLM
+
+
+def _taxonomy_pairs():
+    pairs = []
+    for _department, types in TAXONOMY_SPEC.items():
+        for product_type, leaves in types.items():
+            for leaf in leaves:
+                pairs.append((leaf.lower(), product_type.lower()))
+    return pairs
+
+
+class TestTaxonomyCorpus:
+    def test_pairs_repeated(self):
+        mentions = generate_taxonomy_corpus([("green tea", "tea")], repetitions=5)
+        assert len(mentions) == 5
+        assert all(mention.predicate == "hypernym" for mention in mentions)
+
+    def test_sentences_contain_both_terms(self):
+        mentions = generate_taxonomy_corpus(_taxonomy_pairs(), repetitions=2)
+        for mention in mentions[:20]:
+            assert mention.subject_text in mention.sentence
+            assert mention.object_text in mention.sentence
+
+
+class TestParametricTaxonomyKnowledge:
+    def test_lm_reliable_on_taxonomy_even_for_tail_types(self, small_world):
+        """The Sec. 4 contrast: the same LM that misses tail *facts*
+        answers taxonomy questions nearly perfectly, because taxonomy
+        statements recur."""
+        fact_corpus = generate_text_corpus(
+            small_world, n_sentences=3000, noise_rate=0.15, seed=31
+        )
+        taxonomy_corpus = generate_taxonomy_corpus(_taxonomy_pairs(), repetitions=15, seed=32)
+        model = SimulatedLM(seed=33).fit(fact_corpus)
+        model.fit(taxonomy_corpus)
+
+        # Taxonomy QA: "what is <leaf> a kind of?"
+        correct = total = 0
+        for child, parent in _taxonomy_pairs():
+            total += 1
+            answer = model.answer(child, "hypernym")
+            if answer.text == parent:
+                correct += 1
+        taxonomy_accuracy = correct / total
+
+        # Tail-fact QA from the same model.
+        tail_ids = small_world.popularity.items_in_band("tail")
+        correct = total = 0
+        for entity_id in tail_ids[:60]:
+            entity = small_world.truth.entity(entity_id)
+            for predicate in ("directed_by", "birth_place", "performed_by"):
+                gold = small_world.truth.objects(entity_id, predicate)
+                if not gold:
+                    continue
+                gold_names = {
+                    small_world.truth.entity(value).name
+                    if isinstance(value, str) and small_world.truth.has_entity(value)
+                    else str(value)
+                    for value in gold
+                }
+                total += 1
+                answer = model.answer(entity.name, predicate)
+                if answer.text in gold_names:
+                    correct += 1
+        tail_fact_accuracy = correct / total if total else 0.0
+
+        assert taxonomy_accuracy > 0.85
+        assert taxonomy_accuracy > tail_fact_accuracy + 0.3

@@ -1,0 +1,47 @@
+"""Tests for the AutoKnow-style end-to-end pipeline."""
+
+import pytest
+
+from repro.products.autoknow import AutoKnow
+
+
+@pytest.fixture(scope="module")
+def run(product_domain, behavior_log):
+    autoknow = AutoKnow(n_epochs=4, seed=5)
+    report = autoknow.run(product_domain, behavior=behavior_log)
+    return autoknow, report
+
+
+class TestAutoKnow:
+    def test_grows_catalog_knowledge(self, run):
+        _autoknow, report = run
+        assert report.n_final_triples > report.n_catalog_triples
+        assert report.growth_factor > 1.1
+
+    def test_covers_most_types(self, run, product_domain):
+        _autoknow, report = run
+        assert report.n_types_covered >= len(product_domain.types()) - 3
+
+    def test_taxonomy_extended(self, run):
+        _autoknow, report = run
+        assert report.n_taxonomy_edges_added >= 0  # mined edges may already exist
+
+    def test_cleaning_improves_precision(self, run):
+        """What survives cleaning must be at least as accurate as the raw
+        extraction stream."""
+        _autoknow, report = run
+        assert report.final_accuracy >= report.extraction_accuracy - 0.02
+
+    def test_added_knowledge_production_quality(self, run):
+        _autoknow, report = run
+        assert report.final_accuracy > 0.8
+
+    def test_kg_populated(self, run, product_domain):
+        autoknow, _report = run
+        stats = autoknow.kg_.stats()
+        assert stats["n_topics"] == len(product_domain.products)
+        assert stats["n_value_triples"] > 0
+
+    def test_catalog_accuracy_tracked(self, run):
+        _autoknow, report = run
+        assert 0.7 < report.catalog_accuracy <= 1.0

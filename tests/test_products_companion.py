@@ -1,0 +1,76 @@
+"""Tests for the P-Companion-style recommender."""
+
+import pytest
+
+from repro.products.companion import CompanionRecommender
+
+
+@pytest.fixture(scope="module")
+def recommender(product_domain, behavior_log):
+    return CompanionRecommender.build(product_domain, behavior_log)
+
+
+class TestSubstitutes:
+    def test_same_type_only(self, recommender, product_domain):
+        query = product_domain.by_type("Coffee")[0]
+        type_of = {p.product_id: p.product_type for p in product_domain.products}
+        for rec in recommender.substitutes(query.product_id):
+            assert type_of[rec.product_id] == "Coffee"
+
+    def test_never_recommends_self(self, recommender, product_domain):
+        query = product_domain.products[0]
+        assert all(
+            rec.product_id != query.product_id
+            for rec in recommender.substitutes(query.product_id)
+        )
+
+    def test_ranked_by_attribute_overlap(self, recommender, product_domain):
+        query = product_domain.by_type("Coffee")[0]
+        recs = recommender.substitutes(query.product_id, top_k=10)
+        scores = [rec.score for rec in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_substitute_shares_attributes(self, recommender, product_domain):
+        query = product_domain.by_type("Coffee")[0]
+        recs = recommender.substitutes(query.product_id, top_k=1)
+        if recs:
+            by_id = {p.product_id: p for p in product_domain.products}
+            top = by_id[recs[0].product_id]
+            shared = sum(
+                1
+                for attribute, value in query.true_values.items()
+                if top.true_values.get(attribute) == value
+            )
+            assert shared >= 1
+
+    def test_unknown_product_rejected(self, recommender):
+        with pytest.raises(KeyError):
+            recommender.substitutes("nope")
+
+
+class TestComplements:
+    def test_cross_type_only(self, recommender, product_domain):
+        query = product_domain.by_type("Coffee")[0]
+        type_of = {p.product_id: p.product_type for p in product_domain.products}
+        for rec in recommender.complements(query.product_id):
+            assert type_of[rec.product_id] != "Coffee"
+
+    def test_diversified_across_types(self, recommender, product_domain):
+        query = product_domain.by_type("Coffee")[0]
+        recs = recommender.complements(query.product_id, top_k_per_type=1)
+        type_of = {p.product_id: p.product_type for p in product_domain.products}
+        types = [type_of[rec.product_id] for rec in recs]
+        assert len(types) == len(set(types))  # one per complementary type
+
+    def test_mined_complement_pairs_respected(self, recommender, product_domain):
+        """Coffee's mined complement should include Mugs (the generator's
+        co-purchase pairing)."""
+        query = product_domain.by_type("Coffee")[0]
+        recs = recommender.complements(query.product_id)
+        type_of = {p.product_id: p.product_type for p in product_domain.products}
+        assert any(type_of[rec.product_id] == "Mugs" for rec in recs)
+
+    def test_reasons_attached(self, recommender, product_domain):
+        query = product_domain.by_type("Tea")[0]
+        for rec in recommender.complements(query.product_id):
+            assert "complementary type" in rec.reason

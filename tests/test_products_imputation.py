@@ -1,0 +1,77 @@
+"""Tests for catalog value imputation."""
+
+import pytest
+
+from repro.products.imputation import ValueImputer
+
+
+@pytest.fixture(scope="module")
+def imputer(product_domain):
+    return ValueImputer(min_confidence=0.5).fit(product_domain)
+
+
+class TestValueImputer:
+    def test_imputes_only_missing(self, imputer, product_domain):
+        product = next(
+            p for p in product_domain.products if p.catalog_values
+        )
+        attributes = list(product.true_values)
+        for imputation in imputer.impute_all(product, attributes):
+            assert imputation.attribute not in product.catalog_values
+
+    def test_confidence_bounds(self, imputer, product_domain):
+        for product in product_domain.products[:30]:
+            for imputation in imputer.impute_all(product, list(product.true_values)):
+                assert 0.0 < imputation.confidence <= 1.0
+
+    def test_unknown_type_attribute_abstains(self, imputer, product_domain):
+        product = product_domain.products[0]
+        assert imputer.impute(product, "warp_speed") is None
+
+    def test_high_bar_abstains_more(self, product_domain):
+        lenient = ValueImputer(min_confidence=0.0).fit(product_domain)
+        strict = ValueImputer(min_confidence=0.95).fit(product_domain)
+        lenient_stats = lenient.evaluate(product_domain)
+        strict_stats = strict.evaluate(product_domain)
+        assert strict_stats["coverage"] <= lenient_stats["coverage"]
+
+    def test_confident_imputations_beat_prior_guessing(self, imputer, product_domain):
+        """Imputation accuracy must beat the marginal-prior baseline."""
+        stats = imputer.evaluate(product_domain)
+        assert stats["n_imputed"] > 10
+        # Baseline: always predict the per-(type, attribute) mode.
+        from collections import Counter, defaultdict
+
+        modes = defaultdict(Counter)
+        for product in product_domain.products:
+            for attribute, value in product.catalog_values.items():
+                modes[(product.product_type, attribute)][value.lower()] += 1
+        correct = possible = 0
+        for product in product_domain.products:
+            for attribute, truth in product.true_values.items():
+                if attribute in product.catalog_values:
+                    continue
+                counter = modes.get((product.product_type, attribute))
+                if not counter:
+                    continue
+                possible += 1
+                if counter.most_common(1)[0][0] == truth.lower():
+                    correct += 1
+        baseline = correct / possible if possible else 0.0
+        assert stats["accuracy"] >= baseline - 0.05
+
+    def test_conditional_evidence_used(self, product_domain):
+        """Decaf evidence must steer flavor away from mocha (the generator's
+        contradiction)."""
+        imputer = ValueImputer(min_confidence=0.0).fit(product_domain)
+        decaf_coffee = [
+            p
+            for p in product_domain.products
+            if p.product_type == "Coffee"
+            and p.catalog_values.get("caffeine") == "decaf"
+            and "flavor" not in p.catalog_values
+        ]
+        for product in decaf_coffee:
+            result = imputer.impute(product, "flavor")
+            if result is not None:
+                assert result.value != "mocha"

@@ -1,0 +1,96 @@
+"""Tests for taxonomy mining and substitute/complement mining."""
+
+import pytest
+
+from repro.core.ontology import Ontology
+from repro.datagen.products import COMPLEMENT_TYPES
+from repro.products.relationships import RelationshipMiner
+from repro.products.taxonomy_mining import HypernymMiner, MinedHypernym, enrich_taxonomy
+
+
+class TestHypernymMiner:
+    @pytest.fixture(scope="class")
+    def mined(self, product_domain, behavior_log):
+        return HypernymMiner().mine(product_domain, behavior_log)
+
+    def test_finds_true_subtype_edges(self, product_domain, mined):
+        truth = {
+            (p.leaf_type.lower(), p.product_type.lower()) for p in product_domain.products
+        }
+        predicted = {(edge.child.lower(), edge.parent.lower()) for edge in mined}
+        assert predicted & truth  # recovers real taxonomy edges
+
+    def test_precision_reasonable(self, product_domain, mined):
+        quality = HypernymMiner().evaluate(product_domain, mined)
+        assert quality["precision"] > 0.6
+
+    def test_direction_correct(self, mined):
+        """'green tea' under 'tea', never the reverse."""
+        pairs = {(edge.child.lower(), edge.parent.lower()) for edge in mined}
+        for child, parent in pairs:
+            assert (parent, child) not in pairs
+
+    def test_scores_ordered(self, mined):
+        scores = [edge.score for edge in mined]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_evaluate_empty(self, product_domain):
+        quality = HypernymMiner().evaluate(product_domain, [])
+        assert quality["recall"] == 0.0
+
+
+class TestEnrichTaxonomy:
+    def test_adds_new_leaf_under_parent(self):
+        taxonomy = Ontology()
+        taxonomy.add_class("Tea")
+        mined = [MinedHypernym(child="Oolong Tea", parent="Tea", coverage=0.5, loyalty=0.9)]
+        applied = enrich_taxonomy(taxonomy, mined)
+        assert applied == 1
+        assert taxonomy.parent("Oolong Tea") == "Tea"
+
+    def test_reparents_only_roots(self):
+        taxonomy = Ontology()
+        taxonomy.add_class("Grocery")
+        taxonomy.add_class("Tea", parent="Grocery")
+        taxonomy.add_class("Green Tea", parent="Tea")
+        mined = [MinedHypernym(child="Green Tea", parent="Grocery", coverage=0.9, loyalty=0.9)]
+        applied = enrich_taxonomy(taxonomy, mined)
+        assert applied == 0  # curated structure wins
+        assert taxonomy.parent("Green Tea") == "Tea"
+
+    def test_case_insensitive_resolution(self):
+        taxonomy = Ontology()
+        taxonomy.add_class("Tea")
+        mined = [MinedHypernym(child="herbal tea", parent="tea", coverage=0.5, loyalty=0.9)]
+        assert enrich_taxonomy(taxonomy, mined) == 1
+
+    def test_min_score_gate(self):
+        taxonomy = Ontology()
+        taxonomy.add_class("Tea")
+        mined = [MinedHypernym(child="Oolong", parent="Tea", coverage=0.01, loyalty=0.9)]
+        assert enrich_taxonomy(taxonomy, mined, min_score=0.5) == 0
+
+
+class TestRelationshipMiner:
+    @pytest.fixture(scope="class")
+    def mined(self, product_domain, behavior_log):
+        return RelationshipMiner().mine(product_domain, behavior_log)
+
+    def test_finds_complements(self, mined, product_domain):
+        quality = RelationshipMiner().evaluate_complements(mined, COMPLEMENT_TYPES)
+        assert quality["recall"] > 0.5
+        assert quality["precision"] > 0.6
+
+    def test_substitutes_within_type(self, mined):
+        substitutes = [r for r in mined if r.relation == "substitute"]
+        assert substitutes
+        assert all(r.left_type == r.right_type for r in substitutes)
+
+    def test_complements_cross_type(self, mined):
+        complements = [r for r in mined if r.relation == "complement"]
+        assert complements
+        assert all(r.left_type != r.right_type for r in complements)
+
+    def test_min_support_gate(self, product_domain, behavior_log):
+        strict = RelationshipMiner(min_support=10_000).mine(product_domain, behavior_log)
+        assert strict == []

@@ -1,0 +1,113 @@
+"""Tests for OpenTag-style product extraction."""
+
+import pytest
+
+from repro.ml.tagger import OUTSIDE
+from repro.products.opentag import (
+    OpenTagModel,
+    distant_bio_tags,
+    gold_bio_tags,
+    mentioned_attributes,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def coffee(product_domain):
+    products = product_domain.by_type("Coffee")
+    return train_test_split(products, test_fraction=0.3, seed=1)
+
+
+class TestLabeling:
+    def test_gold_tags_match_spans(self, product_domain):
+        product = product_domain.products[0]
+        attributes = set(product.true_values)
+        tags = gold_bio_tags(product.title, attributes)
+        assert len(tags) == len(product.title.tokens)
+        labeled = {tag[2:] for tag in tags if tag != OUTSIDE}
+        span_attributes = {attribute for _s, _e, attribute in product.title.spans}
+        assert labeled == span_attributes
+
+    def test_gold_tags_filter_attributes(self, product_domain):
+        product = product_domain.products[0]
+        tags = gold_bio_tags(product.title, set())
+        assert set(tags) == {OUTSIDE}
+
+    def test_distant_tags_follow_catalog(self, product_domain):
+        for product in product_domain.products[:50]:
+            tags = distant_bio_tags(
+                product.title, product.catalog_values, set(product.true_values)
+            )
+            for tag in tags:
+                if tag != OUTSIDE:
+                    assert tag[2:] in product.catalog_values
+
+    def test_distant_tags_empty_catalog(self, product_domain):
+        product = product_domain.products[0]
+        tags = distant_bio_tags(product.title, {}, {"flavor"})
+        assert set(tags) == {OUTSIDE}
+
+    def test_mentioned_attributes(self, product_domain):
+        product = product_domain.products[0]
+        mentioned = mentioned_attributes(product)
+        assert mentioned <= set(product.true_values)
+
+
+class TestOpenTagModel:
+    def test_gold_supervision_production_band(self, coffee):
+        train, test = coffee
+        model = OpenTagModel(attributes=("flavor", "roast"), n_epochs=6, seed=1).fit(
+            train, supervision="gold"
+        )
+        f1 = model.micro_f1(test)
+        assert f1 > 0.8  # Sec. 3.2: raw NER 85-95%
+
+    def test_distant_supervision_weaker_but_useful(self, coffee):
+        train, test = coffee
+        gold = OpenTagModel(attributes=("flavor",), n_epochs=6, seed=1).fit(
+            train, supervision="gold"
+        )
+        distant = OpenTagModel(attributes=("flavor",), n_epochs=6, seed=1).fit(
+            train, supervision="distant"
+        )
+        f_gold = gold.micro_f1(test)
+        f_distant = distant.micro_f1(test)
+        assert f_distant > 0.4
+        assert f_gold >= f_distant - 0.05
+
+    def test_extract_returns_known_attributes_only(self, coffee):
+        train, test = coffee
+        model = OpenTagModel(attributes=("flavor",), n_epochs=4, seed=1).fit(train)
+        for product in test[:10]:
+            assert set(model.extract(product)) <= {"flavor"}
+
+    def test_unknown_supervision_rejected(self, coffee):
+        train, _test = coffee
+        with pytest.raises(ValueError):
+            OpenTagModel(attributes=("flavor",)).fit(train, supervision="psychic")
+
+    def test_unfitted_raises(self, product_domain):
+        with pytest.raises(RuntimeError):
+            OpenTagModel(attributes=("flavor",)).extract(product_domain.products[0])
+
+    def test_evaluate_confusions_per_attribute(self, coffee):
+        train, test = coffee
+        model = OpenTagModel(attributes=("flavor", "roast"), n_epochs=4, seed=1).fit(train)
+        confusions = model.evaluate(test)
+        assert set(confusions) == {"flavor", "roast"}
+
+
+class TestSplit:
+    def test_split_fractions(self, product_domain):
+        train, test = train_test_split(product_domain.products, 0.25, seed=2)
+        assert len(test) == int(len(product_domain.products) * 0.25)
+        assert len(train) + len(test) == len(product_domain.products)
+
+    def test_split_disjoint(self, product_domain):
+        train, test = train_test_split(product_domain.products, 0.5, seed=2)
+        assert not ({p.product_id for p in train} & {p.product_id for p in test})
+
+    def test_split_deterministic(self, product_domain):
+        first = train_test_split(product_domain.products, 0.3, seed=3)
+        second = train_test_split(product_domain.products, 0.3, seed=3)
+        assert [p.product_id for p in first[1]] == [p.product_id for p in second[1]]

@@ -1,0 +1,74 @@
+"""Tests for the Fig. 5 pipelines and the manual-work ledger."""
+
+import pytest
+
+from repro.products.pipelines import (
+    MANUAL_COSTS,
+    AutomatedPipeline,
+    ManualWorkLedger,
+    ProductionPipeline,
+)
+
+ATTRIBUTES = ("flavor", "roast", "caffeine", "size")
+
+
+class TestLedger:
+    def test_charges_accumulate(self):
+        ledger = ManualWorkLedger()
+        ledger.charge("label_product", count=10)
+        ledger.charge("domain_analysis")
+        expected = 10 * MANUAL_COSTS["label_product"] + MANUAL_COSTS["domain_analysis"]
+        assert ledger.total_hours == pytest.approx(expected)
+
+    def test_unknown_activity_rejected(self):
+        with pytest.raises(KeyError):
+            ManualWorkLedger().charge("daydreaming")
+
+
+@pytest.fixture(scope="module")
+def results(product_domain):
+    production = ProductionPipeline(attributes=ATTRIBUTES, seed=2).run(
+        product_domain, "Coffee"
+    )
+    automated = AutomatedPipeline(attributes=ATTRIBUTES, seed=2).run(
+        product_domain, "Coffee"
+    )
+    return production, automated
+
+
+class TestPipelines:
+    def test_production_reaches_high_quality(self, results):
+        production, _automated = results
+        assert production.f1 > 0.9
+
+    def test_automated_quality_comparable(self, results):
+        """On the small test fixture (a few dozen products per type) the
+        distant-supervised pipeline is data-starved, so only a loose gap
+        is asserted here; the FIG5 benchmark asserts the paper-shape gap
+        (<=0.2) on a properly-sized catalog."""
+        production, automated = results
+        assert automated.f1 > production.f1 - 0.35
+
+    def test_automated_slashes_manual_work(self, results):
+        """The Fig. 5 punchline: months -> weeks."""
+        production, automated = results
+        assert automated.manual_hours * 4 < production.manual_hours
+
+    def test_ledgers_itemized(self, results):
+        production, automated = results
+        assert "label_product" in production.ledger.entries
+        assert "hyperparameter_tuning" in production.ledger.entries
+        assert "label_product" not in automated.ledger.entries
+        assert "benchmark_label" in automated.ledger.entries
+
+    def test_publish_gate(self, results):
+        production, automated = results
+        assert production.published == (production.f1 >= 0.9)
+        assert automated.published == (automated.f1 >= 0.9)
+
+    def test_result_fields(self, results):
+        production, _ = results
+        assert production.pipeline == "production(5a)"
+        assert production.product_type == "Coffee"
+        assert 0 <= production.precision <= 1
+        assert 0 <= production.recall <= 1

@@ -1,0 +1,138 @@
+"""Tests for the one-size-fits-all models: TXtract, AdaTag, PAM."""
+
+import pytest
+
+from repro.datagen.products import ProductDomainConfig, build_product_domain
+from repro.products.adatag import AdaTagModel, attribute_context_features
+from repro.products.opentag import OpenTagModel, train_test_split
+from repro.products.pam import PAMExtractor
+from repro.products.txtract import TXtractModel, type_context_features
+
+
+@pytest.fixture(scope="module")
+def domain():
+    # Moderate size keeps the multi-type training tractable in tests.
+    return build_product_domain(ProductDomainConfig(n_products=240, seed=19))
+
+
+@pytest.fixture(scope="module")
+def split(domain):
+    return train_test_split(domain.products, test_fraction=0.3, seed=4)
+
+
+class TestTXtract:
+    @pytest.fixture(scope="class")
+    def models(self, domain, split):
+        train, test = split
+        attributes = tuple(domain.attributes())
+        pooled = OpenTagModel(attributes=attributes, n_epochs=5, seed=3).fit(train)
+        txtract = TXtractModel(attributes=attributes, n_epochs=5, seed=3).fit(train)
+        return pooled, txtract, test
+
+    def test_type_awareness_beats_pooled_baseline(self, models):
+        pooled, txtract, test = models
+        assert txtract.micro_f1(test) > pooled.micro_f1(test)
+
+    def test_one_model_covers_all_types(self, domain, models):
+        _pooled, txtract, test = models
+        types_extracted = set()
+        for product in test:
+            if txtract.extract(product):
+                types_extracted.add(product.product_type)
+        assert len(types_extracted) >= len(domain.types()) - 2
+
+    def test_type_classifier_multitask_head(self, models, split):
+        _pooled, txtract, test = models
+        correct = sum(
+            1 for product in test[:60] if txtract.predict_type(product) == product.product_type
+        )
+        assert correct / 60 > 0.7
+
+    def test_predicted_type_mode(self, domain, split):
+        train, test = split
+        attributes = tuple(domain.attributes())
+        model = TXtractModel(
+            attributes=attributes, n_epochs=4, seed=3, use_predicted_type=True
+        ).fit(train)
+        assert model.micro_f1(test[:40]) > 0.5
+
+    def test_context_features_deterministic(self):
+        assert type_context_features("Coffee", "Grocery") == type_context_features(
+            "Coffee", "Grocery"
+        )
+
+    def test_unfitted_raises(self, domain):
+        with pytest.raises(RuntimeError):
+            TXtractModel(attributes=("flavor",)).extract(domain.products[0])
+
+
+class TestAdaTag:
+    def test_conditioned_model_beats_per_attribute_models_on_scarce_data(self, domain):
+        """AdaTag's win: shared vocabulary across similar attributes when
+        per-attribute training data is scarce."""
+        products = domain.by_type("Coffee") + domain.by_type("Shampoo")
+        train, test = train_test_split(products, test_fraction=0.4, seed=5)
+        train = train[:40]  # scarcity makes sharing matter
+        attributes = ("flavor", "scent")
+        adatag = AdaTagModel(attributes=attributes, n_epochs=6, seed=3).fit(train)
+        per_attribute_f1 = []
+        for attribute in attributes:
+            single = OpenTagModel(attributes=(attribute,), n_epochs=6, seed=3).fit(train)
+            per_attribute_f1.append(single.micro_f1(test))
+        baseline = sum(per_attribute_f1) / len(per_attribute_f1)
+        assert adatag.micro_f1(test) >= baseline - 0.02
+
+    def test_extracts_per_attribute(self, domain):
+        products = domain.by_type("Coffee")
+        train, test = train_test_split(products, test_fraction=0.3, seed=6)
+        model = AdaTagModel(attributes=("flavor", "roast"), n_epochs=5, seed=3).fit(train)
+        extracted = [model.extract(product) for product in test[:10]]
+        assert any("flavor" in values or "roast" in values for values in extracted)
+
+    def test_attribute_context_features(self):
+        features = attribute_context_features("flavor")
+        assert "attr=flavor" in features
+
+    def test_unfitted_raises(self, domain):
+        with pytest.raises(RuntimeError):
+            AdaTagModel(attributes=("flavor",)).extract(domain.products[0])
+
+    def test_unknown_supervision_rejected(self, domain):
+        with pytest.raises(ValueError):
+            AdaTagModel(attributes=("flavor",)).fit(
+                domain.products[:5], supervision="psychic"
+            )
+
+
+class TestPAM:
+    @pytest.fixture(scope="class")
+    def fitted(self, domain, split):
+        train, test = split
+        attributes = tuple(domain.attributes())
+        model = PAMExtractor(attributes=attributes, n_epochs=5, seed=3).fit(train)
+        return model, test
+
+    def test_multimodal_beats_text_only(self, fitted):
+        model, test = fitted
+        assert model.micro_f1(test, multimodal=True) > model.micro_f1(
+            test, multimodal=False
+        )
+
+    def test_recovers_values_unseen_in_text(self, fitted):
+        model, test = fitted
+        assert model.unseen_value_recall(test) > 0.1
+
+    def test_image_channel_respects_type(self, fitted, domain):
+        """The type-adapted decoder: a Coffee image token never yields a
+        Headphones-only value."""
+        model, test = fitted
+        for product in test[:40]:
+            for attribute, value in model.extract(product).items():
+                catalog = model.value_catalog_.get((product.product_type, attribute))
+                text_extraction = model.extract_text_only(product)
+                if attribute not in text_extraction and catalog is not None:
+                    assert value.lower() in catalog
+
+    def test_unfitted_raises(self, domain):
+        with pytest.raises(RuntimeError):
+            PAMExtractor(attributes=("flavor",)).extract(domain.products[0])

@@ -1,0 +1,182 @@
+"""Tests for knowledge transformation (mappings, infoboxes, relational)."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.datagen.sources import SourceConfig, derive_source
+from repro.transform.infobox import Infobox, InfoboxTransformer, infobox_from_record
+from repro.transform.mapping import FieldMapping, SchemaMapping, cast_number, cast_string
+from repro.transform.relational import RelationalTransformer
+
+
+def _target_graph():
+    ontology = Ontology()
+    ontology.add_class("Agent")
+    ontology.add_class("Person", parent="Agent")
+    ontology.add_class("Movie")
+    ontology.add_relation("release_year", "Movie", "number")
+    ontology.add_relation("genre", "Movie", "string")
+    ontology.add_relation("directed_by", "Movie", "Person")
+    ontology.add_relation("birth_year", "Person", "number")
+    return KnowledgeGraph(ontology=ontology, name="target")
+
+
+def _movie_mapping():
+    mapping = SchemaMapping(source_name="wiki", entity_class="Movie")
+    mapping.map_field("release_year", "release_year", cast=cast_number)
+    mapping.map_field("genre", "genre")
+    mapping.map_field("directed_by", "directed_by", is_entity_reference=True)
+    return mapping
+
+
+class TestCasts:
+    def test_cast_number_int(self):
+        assert cast_number("1999") == 1999
+
+    def test_cast_number_float(self):
+        assert cast_number("1.5") == 1.5
+
+    def test_cast_number_rejects_text(self):
+        with pytest.raises(ValueError):
+            cast_number("abc")
+
+    def test_cast_number_rejects_bool(self):
+        with pytest.raises(ValueError):
+            cast_number(True)
+
+    def test_cast_string_strips(self):
+        assert cast_string("  x ") == "x"
+
+    def test_cast_string_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cast_string("   ")
+
+
+class TestSchemaMapping:
+    def test_validate_against_ontology(self):
+        graph = _target_graph()
+        assert _movie_mapping().validate(graph.ontology) == []
+
+    def test_validate_catches_unknown_relation(self):
+        graph = _target_graph()
+        mapping = SchemaMapping(source_name="s", entity_class="Movie")
+        mapping.map_field("x", "nonexistent")
+        problems = mapping.validate(graph.ontology)
+        assert problems
+
+    def test_apply_skips_uncastable(self):
+        mapping = _movie_mapping()
+        output = mapping.apply({"release_year": "not-a-year", "genre": "drama"})
+        assert output == [("genre", "drama", False)]
+
+    def test_apply_marks_references(self):
+        mapping = _movie_mapping()
+        output = dict(
+            (relation, is_ref) for relation, _value, is_ref in mapping.apply(
+                {"directed_by": "Jane Doe"}
+            )
+        )
+        assert output["directed_by"] is True
+
+
+class TestInfoboxTransformer:
+    def test_transform_creates_entity_and_triples(self):
+        graph = _target_graph()
+        transformer = InfoboxTransformer(graph=graph)
+        transformer.register(_movie_mapping(), reference_classes={"directed_by": "Person"})
+        infobox = Infobox(
+            title="Silent River",
+            entity_class="Movie",
+            pairs=[("release_year", 1999), ("genre", "drama"), ("directed_by", "Jane Doe")],
+        )
+        entity_id = transformer.transform(infobox)
+        assert graph.entity(entity_id).name == "Silent River"
+        assert graph.one_object(entity_id, "release_year") == 1999
+        director_id = graph.one_object(entity_id, "directed_by")
+        assert graph.entity(director_id).name == "Jane Doe"
+        assert graph.entity(director_id).entity_class == "Person"
+
+    def test_reference_resolves_to_existing_entity(self):
+        graph = _target_graph()
+        graph.add_entity("p1", "Jane Doe", "Person")
+        transformer = InfoboxTransformer(graph=graph)
+        transformer.register(_movie_mapping(), reference_classes={"directed_by": "Person"})
+        infobox = Infobox(
+            title="Silent River", entity_class="Movie", pairs=[("directed_by", "Jane Doe")]
+        )
+        entity_id = transformer.transform(infobox)
+        assert graph.one_object(entity_id, "directed_by") == "p1"
+
+    def test_unmapped_class_skipped(self):
+        graph = _target_graph()
+        transformer = InfoboxTransformer(graph=graph)
+        assert transformer.transform(Infobox(title="x", entity_class="Song")) is None
+
+    def test_invalid_mapping_rejected(self):
+        graph = _target_graph()
+        bad = SchemaMapping(source_name="s", entity_class="Movie")
+        bad.map_field("x", "nope")
+        with pytest.raises(ValueError):
+            InfoboxTransformer(graph=graph).register(bad)
+
+    def test_provenance_recorded(self):
+        graph = _target_graph()
+        transformer = InfoboxTransformer(graph=graph)
+        transformer.register(_movie_mapping())
+        entity_id = transformer.transform(
+            Infobox(title="X", entity_class="Movie", pairs=[("genre", "drama")]),
+            source_name="wikipedia",
+        )
+        triple = graph.query(subject=entity_id, predicate="genre")[0]
+        assert graph.provenance(triple)[0].source == "wikipedia"
+
+    def test_infobox_from_record(self, small_world):
+        source = derive_source(
+            small_world, SourceConfig(name="s", entity_classes=("Movie",), seed=1)
+        )
+        infobox = infobox_from_record(source.records[0])
+        assert infobox.title
+        assert infobox.entity_class == "Movie"
+        assert infobox.pairs
+
+    def test_infobox_from_split_name_record(self, small_world):
+        source = derive_source(
+            small_world,
+            SourceConfig(name="s", entity_classes=("Person",), split_person_name=True, seed=1),
+        )
+        infobox = infobox_from_record(source.records[0])
+        assert " " in infobox.title or infobox.title
+
+
+class TestRelationalTransformer:
+    def test_transform_source_end_to_end(self, small_world):
+        graph = _target_graph()
+        transformer = RelationalTransformer(graph=graph)
+        transformer.register(_movie_mapping(), reference_classes={"directed_by": "Person"})
+        source = derive_source(
+            small_world,
+            SourceConfig(name="imdbish", entity_classes=("Movie",), seed=2),
+        )
+        ingested = transformer.transform_source(source)
+        assert ingested == len(source.records)
+        assert graph.stats()["n_entities"] >= ingested
+
+    def test_entity_ids_namespaced_by_source(self, small_world):
+        graph = _target_graph()
+        transformer = RelationalTransformer(graph=graph)
+        transformer.register(_movie_mapping())
+        source = derive_source(
+            small_world, SourceConfig(name="src", entity_classes=("Movie",), seed=2)
+        )
+        transformer.transform_record(source.records[0])
+        entity_id = transformer.record_entity_[source.records[0].record_id]
+        assert entity_id.startswith("src:")
+
+    def test_unmapped_class_returns_none(self, small_world):
+        graph = _target_graph()
+        transformer = RelationalTransformer(graph=graph)
+        source = derive_source(
+            small_world, SourceConfig(name="s", entity_classes=("Person",), seed=2)
+        )
+        assert transformer.transform_record(source.records[0]) is None
