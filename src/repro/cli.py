@@ -6,9 +6,13 @@ Usage::
     python -m repro run FIG2             # run one experiment's benchmark
     python -m repro run all              # run the whole benchmark suite
     python -m repro info T-LLMQA         # claim + bench path for one id
+    python -m repro trace FIG4           # traced in-process run -> JSONL
 
 ``run`` shells out to pytest with ``--benchmark-only`` so the output is
-identical to running the benchmark directly.
+identical to running the benchmark directly.  ``trace`` instead runs a
+compact in-process workload with observability enabled and writes
+``results/trace_<id>.jsonl`` (spans plus a final metrics record) next to
+a printed per-span summary table.
 """
 
 from __future__ import annotations
@@ -31,6 +35,9 @@ def _repo_root() -> str:
 
 def cmd_list(_args: argparse.Namespace) -> int:
     """Print the experiment registry."""
+    if not EXPERIMENTS:
+        print("no experiments registered")
+        return 0
     width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
     for experiment_id, experiment in sorted(EXPERIMENTS.items()):
         print(f"{experiment_id:<{width}}  {experiment.paper_reference:<24} {experiment.bench_module}")
@@ -75,6 +82,61 @@ def cmd_run(args: argparse.Namespace) -> int:
     return subprocess.call(command, cwd=root)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment in-process with observability on; write the trace."""
+    import json
+
+    from repro.evalx.tables import render_table
+    from repro.evalx.tracerun import TRACE_WORKLOADS, run_trace
+
+    experiment_id = args.experiment_id.upper()
+    if experiment_id not in TRACE_WORKLOADS:
+        print(
+            f"no trace workload for experiment {args.experiment_id!r}; "
+            f"traceable ids: {', '.join(sorted(TRACE_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_trace(experiment_id)
+
+    output_path = args.output
+    if output_path is None:
+        directory = os.path.join(_repo_root(), "results")
+        os.makedirs(directory, exist_ok=True)
+        output_path = os.path.join(
+            directory, f"trace_{experiment_id.lower().replace('-', '_')}.jsonl"
+        )
+    else:
+        parent = os.path.dirname(os.path.abspath(output_path))
+        os.makedirs(parent, exist_ok=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        for record in result.spans:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.write(
+            json.dumps({"kind": "metrics", **result.snapshot}, sort_keys=True) + "\n"
+        )
+
+    print(
+        render_table(
+            title=f"trace {experiment_id} - per-span summary",
+            columns=["span", "calls", "wall_s", "wall_mean_s", "cpu_s"],
+            rows=result.span_summary_rows(),
+            note=f"{len(result.spans)} spans -> {output_path}",
+        )
+    )
+    counters = result.snapshot.get("counters", {})
+    if counters:
+        print()
+        print(
+            render_table(
+                title=f"trace {experiment_id} - counters",
+                columns=["counter", "value"],
+                rows=[[name, value] for name, value in counters.items()],
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -93,6 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run an experiment's benchmark")
     run_parser.add_argument("experiment_id", help="an experiment id, or 'all'")
     run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run an experiment in-process and write a JSONL trace"
+    )
+    trace_parser.add_argument("experiment_id", help="a traceable experiment id")
+    trace_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="trace file path (default: results/trace_<id>.jsonl)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -14,6 +14,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
+
 
 @dataclass
 class PipelineContext:
@@ -38,11 +41,18 @@ class PipelineContext:
 
 @dataclass
 class StageReport:
-    """What one stage did: timing plus the metrics it recorded."""
+    """What one stage did: timing plus the metrics it recorded.
+
+    ``error`` is ``None`` for a successful stage; for a stage that raised
+    it holds ``"ExceptionType: message"`` and ``metrics`` are whatever the
+    stage recorded before failing (a partial report, so a crashed pipeline
+    still accounts for every stage it entered).
+    """
 
     stage_name: str
     seconds: float
     metrics: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
 
 
 class PipelineStage:
@@ -103,20 +113,57 @@ class ConstructionPipeline:
         return self.add_stage(FunctionStage(name, function))
 
     def run(self, context: Optional[PipelineContext] = None) -> PipelineContext:
-        """Execute every stage in order, collecting reports."""
+        """Execute every stage in order, collecting reports.
+
+        Each stage runs inside a tracing span (``stage.<name>``, nested
+        under ``pipeline.<pipeline>``) and its :class:`StageReport` is
+        folded into the global metrics registry.  A stage that raises
+        still leaves a partial report — timed, with whatever metrics it
+        recorded and an ``error`` — before the exception propagates.
+        """
         context = context or PipelineContext()
         self.reports = []
-        for stage in self.stages:
-            started = time.perf_counter()
-            stage.run(context)
-            elapsed = time.perf_counter() - started
-            metrics = stage._take_metrics()
-            self.reports.append(
-                StageReport(stage_name=stage.name, seconds=elapsed, metrics=metrics)
-            )
-            for metric, value in metrics.items():
-                context.metrics[f"{stage.name}.{metric}"] = value
+        with span(f"pipeline.{self.name}", pipeline=self.name):
+            for stage in self.stages:
+                started = time.perf_counter()
+                with span(
+                    f"stage.{stage.name}", pipeline=self.name, stage=stage.name
+                ) as stage_span:
+                    try:
+                        stage.run(context)
+                    except BaseException as exc:
+                        report = StageReport(
+                            stage_name=stage.name,
+                            seconds=time.perf_counter() - started,
+                            metrics=stage._take_metrics(),
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        self.reports.append(report)
+                        self._fold_report(report, stage_span)
+                        raise
+                report = StageReport(
+                    stage_name=stage.name,
+                    seconds=time.perf_counter() - started,
+                    metrics=stage._take_metrics(),
+                )
+                self.reports.append(report)
+                self._fold_report(report, stage_span)
+                for metric, value in report.metrics.items():
+                    context.metrics[f"{stage.name}.{metric}"] = value
         return context
+
+    def _fold_report(self, report: StageReport, stage_span) -> None:
+        """Push one stage report into the span tags + metrics registry."""
+        stage_span.set_tag("seconds", round(report.seconds, 6))
+        for metric, value in report.metrics.items():
+            stage_span.set_tag(metric, value)
+        obs_metrics.count("pipeline.stage.runs")
+        obs_metrics.observe("pipeline.stage.seconds", report.seconds)
+        prefix = f"pipeline.{self.name}.{report.stage_name}"
+        for metric, value in report.metrics.items():
+            obs_metrics.gauge(f"{prefix}.{metric}", value)
+        if report.error is not None:
+            obs_metrics.count("pipeline.stage.errors")
 
     def report_table(self) -> List[Dict[str, object]]:
         """Stage-by-stage report rows for printing."""
@@ -124,5 +171,7 @@ class ConstructionPipeline:
         for report in self.reports:
             row: Dict[str, object] = {"stage": report.stage_name, "seconds": round(report.seconds, 4)}
             row.update(report.metrics)
+            if report.error is not None:
+                row["error"] = report.error
             rows.append(row)
         return rows

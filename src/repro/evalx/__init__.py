@@ -1,6 +1,6 @@
-"""Experiment infrastructure: result tables and the experiment registry."""
+"""Experiment infrastructure: result tables, the registry, traced runs."""
 
-from repro.evalx.tables import ResultTable
+from repro.evalx.tables import ResultTable, render_table
 from repro.evalx.registry import EXPERIMENTS, Experiment
 
-__all__ = ["ResultTable", "EXPERIMENTS", "Experiment"]
+__all__ = ["ResultTable", "render_table", "EXPERIMENTS", "Experiment"]

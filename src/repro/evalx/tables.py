@@ -54,12 +54,15 @@ class ResultTable:
     def show(self) -> None:
         """Print the rendered table (benchmarks call this).
 
+        All formatting lives in :meth:`render` / :func:`render_table` —
+        this is the only place the module prints, so any caller that wants
+        the report as a string (traces, tests, files) renders instead.
+
         When the ``REPRO_RESULTS_DIR`` environment variable is set, the
         table is additionally written there as a text file (pytest captures
         stdout, so this is how benchmark runs persist their tables).
         """
-        print()
-        print(self.render())
+        print("\n" + self.render())
         directory = os.environ.get("REPRO_RESULTS_DIR")
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -74,3 +77,21 @@ class ResultTable:
             raise KeyError(f"unknown column {column!r}")
         index = list(self.columns).index(column)
         return [row[index] for row in self.rows]
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """One-shot table rendering, returned as a string (callers print it).
+
+    The functional face of :class:`ResultTable` for code that reports
+    without owning a table object — the trace CLI, tests capturing report
+    output, files.
+    """
+    table = ResultTable(title=title, columns=list(columns), note=note)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()

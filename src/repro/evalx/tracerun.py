@@ -1,0 +1,235 @@
+"""In-process traced experiment runs backing ``repro trace <EXPERIMENT_ID>``.
+
+``repro run`` shells out to pytest for benchmark-grade numbers; tracing
+needs the opposite — the experiment's workload executed *in this process*
+with observability enabled so spans and metrics land on the global tracer
+and registry.  This module maps experiment ids to compact in-process
+workloads (scaled-down versions of the corresponding benchmark, sized to
+finish in seconds) and runs them under a root span.
+
+The result carries everything the CLI writes out: the finished spans (one
+JSONL object each), the metrics-registry snapshot, and aggregate per-span
+rows for the summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import profiling
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer, span
+
+
+@dataclass
+class TraceResult:
+    """Everything a traced experiment run produced."""
+
+    experiment_id: str
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    snapshot: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def span_summary_rows(self) -> List[List[object]]:
+        """Aggregate rows (name, calls, wall total/mean, cpu total) by span name."""
+        totals: Dict[str, Dict[str, float]] = {}
+        order: List[str] = []
+        for record in self.spans:
+            name = str(record["name"])
+            if name not in totals:
+                totals[name] = {"calls": 0, "wall": 0.0, "cpu": 0.0}
+                order.append(name)
+            totals[name]["calls"] += 1
+            totals[name]["wall"] += float(record["wall_seconds"])
+            totals[name]["cpu"] += float(record["cpu_seconds"])
+        rows = []
+        for name in sorted(order, key=lambda n: -totals[n]["wall"]):
+            entry = totals[name]
+            rows.append(
+                [
+                    name,
+                    int(entry["calls"]),
+                    round(entry["wall"], 4),
+                    round(entry["wall"] / entry["calls"], 4),
+                    round(entry["cpu"], 4),
+                ]
+            )
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Workloads: compact in-process versions of the benchmarks.
+
+
+def _small_world():
+    from repro.datagen.world import WorldConfig, build_world
+
+    return build_world(WorldConfig(n_people=120, n_movies=80, n_songs=40, seed=7))
+
+
+def _small_domain():
+    from repro.datagen.products import ProductDomainConfig, build_product_domain
+
+    return build_product_domain(ProductDomainConfig(n_products=120, seed=13))
+
+
+def _small_behavior(domain):
+    from repro.datagen.behavior import generate_behavior
+
+    return generate_behavior(
+        domain,
+        n_search_sessions=400,
+        n_coview_sessions=150,
+        n_copurchase_sessions=120,
+        seed=17,
+    )
+
+
+def _workload_fig2() -> None:
+    """Entity linkage: build the task, train the forest, predict."""
+    import numpy as np
+
+    from repro.datagen.sources import default_source_pair
+    from repro.integrate.linkage import EntityLinker, build_linkage_task
+    from repro.integrate.schema_alignment import oracle_alignment
+
+    world = _small_world()
+    left, right = default_source_pair(world, seed=11)
+    task = build_linkage_task(
+        left, right, "Movie", oracle_alignment(left), oracle_alignment(right)
+    )
+    rng = np.random.default_rng(0)
+    budget = min(300, len(task.pairs))
+    chosen = rng.choice(len(task.pairs), size=budget, replace=False)
+    labels = [task.oracle(int(index)) for index in chosen]
+    linker = EntityLinker(n_estimators=15, seed=0).fit(task.features[chosen], labels)
+    linker.predict(task.features, pairs=task.pairs)
+
+
+def _workload_fig4() -> None:
+    """Both Fig. 4 architectures end-to-end (scaled down)."""
+    from repro.evalx.architectures import build_entity_based_kg, build_text_rich_kg
+
+    build_entity_based_kg(_small_world(), label_budget=200, n_sites=2, pages_per_site=10)
+    domain = _small_domain()
+    build_text_rich_kg(domain, _small_behavior(domain), n_epochs=2)
+
+
+def _workload_fig5() -> None:
+    """Production vs automated extraction pipelines on one product type."""
+    from repro.products.pipelines import AutomatedPipeline, ProductionPipeline
+
+    domain = _small_domain()
+    attributes = ("flavor", "roast", "caffeine", "size")
+    ProductionPipeline(attributes=attributes, seed=2).run(domain, "Coffee")
+    AutomatedPipeline(attributes=attributes, seed=2).run(domain, "Coffee")
+
+
+def _workload_autoknow() -> None:
+    """The self-driving AutoKnow collection pipeline."""
+    from repro.products.autoknow import AutoKnow
+
+    domain = _small_domain()
+    AutoKnow(n_epochs=2, seed=0).run(domain, behavior=_small_behavior(domain))
+
+
+def _workload_web_fusion() -> None:
+    """Wrapper + Ceres extraction over a web corpus, graphically fused."""
+    from repro.datagen.web import generate_web_corpus
+    from repro.extract.distant import CeresExtractor, DistantSupervisor, SeedKnowledge
+    from repro.extract.wrapper import WrapperInducer, annotate_by_truth
+    from repro.fuse.graphical import ExtractionObservation, GraphicalFusion
+
+    world = _small_world()
+    sites = generate_web_corpus(world, n_sites=2, pages_per_site=10, seed=100)
+    observations = []
+    for site in sites:
+        # Wrapper induction from a couple of annotated pages.
+        annotated = []
+        for page in site.pages[:3]:
+            annotations = annotate_by_truth(page.root, page.closed_truth)
+            if annotations:
+                annotated.append((page.root, annotations))
+        if annotated:
+            wrapper = WrapperInducer(site_name=site.name).induce(annotated)
+            for page in site.pages:
+                for attribute, value in wrapper.extract(page.root).items():
+                    observations.append(
+                        ExtractionObservation(
+                            subject=page.topic_name,
+                            attribute=attribute,
+                            value=value,
+                            source=site.name,
+                            extractor="wrapper",
+                        )
+                    )
+        # Distantly supervised Ceres over the same pages.
+        seed_kg = SeedKnowledge()
+        for page in site.pages[:5]:
+            seed_kg.facts[page.topic_name.lower()] = dict(page.closed_truth)
+        try:
+            extractor = CeresExtractor(site_name=site.name).fit(
+                [page.root for page in site.pages], DistantSupervisor(seed_kg)
+            )
+        except ValueError:
+            continue
+        for page in site.pages:
+            for attribute, (value, _confidence) in extractor.extract(page.root).items():
+                observations.append(
+                    ExtractionObservation(
+                        subject=page.topic_name,
+                        attribute=attribute,
+                        value=value,
+                        source=site.name,
+                        extractor="ceres",
+                    )
+                )
+    GraphicalFusion(n_iterations=6).fuse(observations)
+
+
+#: Experiment id -> in-process workload.  ``repro trace`` accepts these ids.
+TRACE_WORKLOADS: Dict[str, Callable[[], None]] = {
+    "FIG2": _workload_fig2,
+    "FIG4": _workload_fig4,
+    "FIG5": _workload_fig5,
+    "T-AUTOKNOW": _workload_autoknow,
+    "T-GROWTH": _workload_fig4,
+    "T-WEB": _workload_web_fusion,
+}
+
+
+def run_trace(
+    experiment_id: str,
+    workload: Optional[Callable[[], None]] = None,
+) -> TraceResult:
+    """Run one experiment's workload with observability on; collect the trace.
+
+    The tracer and registry are reset before the run and the previous
+    enabled-state is restored afterwards, so tracing one experiment never
+    contaminates another run in the same process.
+    """
+    experiment_id = experiment_id.upper()
+    if workload is None:
+        workload = TRACE_WORKLOADS.get(experiment_id)
+    if workload is None:
+        raise KeyError(
+            f"no trace workload for experiment {experiment_id!r}; "
+            f"traceable ids: {', '.join(sorted(TRACE_WORKLOADS))}"
+        )
+    previous_enabled = profiling.enabled()
+    tracer = get_tracer()
+    registry = get_registry()
+    tracer.reset()
+    registry.reset()
+    profiling.enable()
+    try:
+        with span(f"experiment.{experiment_id}", experiment=experiment_id):
+            workload()
+        return TraceResult(
+            experiment_id=experiment_id,
+            spans=[finished.to_dict() for finished in tracer.spans()],
+            snapshot=registry.snapshot(),
+        )
+    finally:
+        if not previous_enabled:
+            profiling.disable()

@@ -30,6 +30,8 @@ from repro.core.graph import KnowledgeGraph
 from repro.core.triple import AttributedTriple, Provenance, Triple
 from repro.extract.dom import DomNode, preceding_text
 from repro.ml.logistic import LogisticRegression
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
 
 NONE_LABEL = "none"
 
@@ -191,9 +193,12 @@ class CeresExtractor:
     _labels: List[str] = field(default_factory=list, init=False)
     n_training_pages_: int = field(default=0, init=False)
 
+    @profiled("extract.distant.fit")
     def fit(self, pages: Sequence[DomNode], supervisor: DistantSupervisor) -> "CeresExtractor":
         """Train the per-site model from distant labels."""
         feature_lists, labels, n_annotated = supervisor.training_data(pages)
+        obs_metrics.count("extract.distant.pages_annotated", n_annotated)
+        obs_metrics.count("extract.distant.training_nodes", len(labels))
         if n_annotated == 0:
             raise ValueError(
                 f"no page of {self.site_name!r} overlaps the seed KG; "
@@ -212,6 +217,7 @@ class CeresExtractor:
         self._model.fit(matrix, targets)
         return self
 
+    @profiled("extract.distant.extract")
     def extract(self, page_root: DomNode) -> Dict[str, Tuple[str, float]]:
         """Extract attribute -> (value_text, confidence) from one page."""
         if self._model is None:
@@ -240,7 +246,9 @@ class CeresExtractor:
         if topic is None:
             return []
         triples = []
-        for attribute, (value, confidence) in sorted(self.extract(page_root).items()):
+        extracted = self.extract(page_root)
+        obs_metrics.count("extract.distant.values", len(extracted))
+        for attribute, (value, confidence) in sorted(extracted.items()):
             triples.append(
                 AttributedTriple(
                     Triple(topic, attribute, value),

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.extract.dom import DomNode, preceding_text, resolve_path
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
 
 
 def _normalize_label(text: Optional[str]) -> Optional[str]:
@@ -40,6 +42,7 @@ class InducedWrapper:
     rules: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
     landmarks: Dict[str, str] = field(default_factory=dict)
 
+    @profiled("extract.wrapper.extract")
     def extract(self, page_root: DomNode) -> Dict[str, str]:
         """Apply the rules to a page; returns attribute -> value text.
 
@@ -73,6 +76,7 @@ class InducedWrapper:
                     )
                     if landmark_value:
                         values[attribute] = landmark_value
+        obs_metrics.count("extract.wrapper.values", len(values))
         return values
 
     @staticmethod
@@ -101,6 +105,7 @@ class WrapperInducer:
     site_name: str
     min_support: int = 1
 
+    @profiled("extract.wrapper.induce")
     def induce(
         self, annotated_pages: Sequence[Tuple[DomNode, Dict[str, DomNode]]]
     ) -> InducedWrapper:

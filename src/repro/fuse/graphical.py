@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.triple import Value
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
 
 Item = Tuple[str, str]  # (subject, attribute)
 
@@ -64,10 +66,12 @@ class GraphicalFusion:
     source_accuracy_: Dict[str, float] = field(default_factory=dict, init=False)
     extractor_precision_: Dict[str, float] = field(default_factory=dict, init=False)
 
+    @profiled("fusion.graphical")
     def fuse(self, observations: Sequence[ExtractionObservation]) -> List[FusedBelief]:
         """Run EM; returns the posterior for every observed (item, value)."""
         if not observations:
             return []
+        obs_metrics.count("fusion.graphical.observations", len(observations))
         sources = sorted({obs.source for obs in observations})
         extractors = sorted({obs.extractor for obs in observations})
         accuracy = {source: self.initial_source_accuracy for source in sources}

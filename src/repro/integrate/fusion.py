@@ -22,6 +22,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.triple import Value
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,7 @@ def _group_claims(
     return grouped
 
 
+@profiled("fusion.majority_vote")
 def majority_vote(claims: Iterable[ValueClaim]) -> List[FusionResult]:
     """Most-claimed value per data item; confidence = vote share."""
     results = []
@@ -95,9 +98,12 @@ class AccuFusion:
     max_accuracy: float = 0.99
     source_accuracy_: Dict[str, float] = field(default_factory=dict, init=False)
 
+    @profiled("fusion.accu")
     def fuse(self, claims: Sequence[ValueClaim]) -> List[FusionResult]:
         """Run EM and return the fused value per data item."""
+        obs_metrics.count("fusion.claims", len(claims))
         grouped = _group_claims(claims)
+        obs_metrics.count("fusion.data_items", len(grouped))
         sources = sorted({claim.source for claim in claims})
         accuracy = {source: self.initial_accuracy for source in sources}
         posteriors: Dict[Tuple[str, str], Dict[Value, float]] = {}

@@ -26,6 +26,8 @@ from repro.integrate.schema_alignment import canonicalize_record
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import BinaryConfusion
 from repro.ml.similarity import feature_vector
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
 
 #: Canonical attributes compared by default, per entity class.
 DEFAULT_COMPARE_ATTRIBUTES: Dict[str, Tuple[str, ...]] = {
@@ -72,6 +74,7 @@ class LinkageTask:
         )
 
 
+@profiled("linkage.build_task")
 def build_linkage_task(
     left: StructuredSource,
     right: StructuredSource,
@@ -103,6 +106,7 @@ def build_linkage_task(
     )
     right_ids = {record.world_id for record in right_records}
     n_true_total = sum(1 for record in left_records if record.world_id in right_ids)
+    obs_metrics.count("linkage.candidate_pairs", len(pairs))
     return LinkageTask(
         left_records=left_records,
         right_records=right_records,
@@ -124,8 +128,10 @@ class EntityLinker:
     seed: int = 0
     model_: Optional[RandomForestClassifier] = field(default=None, init=False, repr=False)
 
+    @profiled("linkage.fit")
     def fit(self, features: np.ndarray, labels: Sequence[int]) -> "EntityLinker":
         """Train on labeled candidate-pair features."""
+        obs_metrics.count("linkage.training_labels", len(labels))
         self.model_ = RandomForestClassifier(
             n_estimators=self.n_estimators, max_depth=self.max_depth, seed=self.seed
         )
@@ -138,6 +144,7 @@ class EntityLinker:
             raise RuntimeError("linker is not fitted")
         return self.model_.decision_scores(features)
 
+    @profiled("linkage.predict")
     def predict(
         self, features: np.ndarray, pairs: Optional[Sequence[Tuple[int, int]]] = None
     ) -> np.ndarray:

@@ -1,0 +1,60 @@
+"""Observability for the KG construction stack: spans, metrics, profiling.
+
+The innovation cycle the paper describes (feasibility → quality →
+repeatability → scalability → ubiquity) turns on being able to *measure*
+each stage; this package is that measurement layer:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with wall/CPU timing,
+  tags, and JSONL export (``with span("fusion.graphical"):``);
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and fixed-bucket histograms with p50/p95/p99 summaries;
+* :mod:`repro.obs.profiling` — ``@profiled`` decorator and
+  ``profile_block`` context manager feeding both at once, plus the
+  global enable/disable switch.
+
+Everything is off by default and near-free while off; enable with
+:func:`enable` or ``REPRO_OBS=1``.  ``repro trace <EXPERIMENT_ID>`` runs
+an experiment under this layer and writes ``results/trace_<id>.jsonl``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    gauge,
+    get_registry,
+    observe,
+)
+from repro.obs.profiling import (
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    profile_block,
+    profiled,
+)
+from repro.obs.tracing import Span, Tracer, current_span, get_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "count",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "observe",
+    "profile_block",
+    "profiled",
+    "span",
+]

@@ -1,0 +1,24 @@
+"""The single on/off switch shared by tracing, metrics, and profiling.
+
+Kept in its own module so :mod:`repro.obs.tracing` and
+:mod:`repro.obs.profiling` can both read it without importing each other.
+The flag is read on every instrumented call, so it is a bare module-level
+boolean wrapped in the smallest possible object — the disabled path must
+cost no more than one attribute load.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class _ObsFlags:
+    """Mutable observability state (a class so `enabled` is one attr load)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = os.environ.get("REPRO_OBS", "") not in ("", "0", "false")
+
+
+FLAGS = _ObsFlags()

@@ -22,6 +22,9 @@ from repro.core.textrich import AttributeValue, TextRichKG
 from repro.datagen.behavior import BehaviorLog
 from repro.datagen.products import ProductDomain
 from repro.ml.metrics import BinaryConfusion
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
+from repro.obs.tracing import span
 from repro.products.cleaning import KnowledgeCleaner
 from repro.products.opentag import train_test_split
 from repro.products.taxonomy_mining import HypernymMiner, enrich_taxonomy
@@ -71,6 +74,7 @@ class AutoKnow:
     kg_: Optional[TextRichKG] = field(default=None, init=False)
     report_: Optional[AutoKnowReport] = field(default=None, init=False)
 
+    @profiled("autoknow.run")
     def run(
         self,
         domain: ProductDomain,
@@ -85,18 +89,22 @@ class AutoKnow:
 
         # ---- ontology enrichment (behavior -> taxonomy edges) ----------
         if behavior is not None:
-            miner = HypernymMiner()
-            mined = miner.mine(domain, behavior)
-            report.n_taxonomy_edges_added = enrich_taxonomy(
-                taxonomy, mined, create_parents=not self.curated_taxonomy
-            )
+            with span("autoknow.taxonomy_enrichment"):
+                miner = HypernymMiner()
+                mined = miner.mine(domain, behavior)
+                report.n_taxonomy_edges_added = enrich_taxonomy(
+                    taxonomy, mined, create_parents=not self.curated_taxonomy
+                )
 
         # ---- data enrichment: distantly-supervised TXtract -------------
-        attributes = tuple(domain.attributes())
-        train, _test = train_test_split(domain.products, test_fraction=0.0, seed=self.seed)
-        model = TXtractModel(
-            attributes=attributes, n_epochs=self.n_epochs, seed=self.seed
-        ).fit(train, supervision="distant")
+        with span("autoknow.train_txtract"):
+            attributes = tuple(domain.attributes())
+            train, _test = train_test_split(
+                domain.products, test_fraction=0.0, seed=self.seed
+            )
+            model = TXtractModel(
+                attributes=attributes, n_epochs=self.n_epochs, seed=self.seed
+            ).fit(train, supervision="distant")
 
         # ---- cleaning learned from catalog statistics ------------------
         cleaner = KnowledgeCleaner.from_catalog_statistics(domain)
@@ -113,60 +121,61 @@ class AutoKnow:
         catalog_confusion = BinaryConfusion()
         final_confusion = BinaryConfusion()
         types_covered = set()
-        for product in domain.products:
-            kg.add_topic(
-                product.product_id,
-                product.title_text,
-                product.leaf_type,
-            )
-            # Catalog triples form the baseline KG content.
-            for attribute, value in sorted(product.catalog_values.items()):
-                kg.add_value(
+        with span("autoknow.collect", n_products=len(domain.products)):
+            for product in domain.products:
+                kg.add_topic(
                     product.product_id,
-                    AttributeValue(attribute=attribute, value=value, source="catalog"),
+                    product.title_text,
+                    product.leaf_type,
                 )
-                report.n_catalog_triples += 1
-                catalog_confusion += _judge(product, attribute, value)
-            # Extraction + cleaning adds new knowledge.
-            extracted = model.extract(product)
-            report.n_extracted_triples += len(extracted)
-            for attribute, value in sorted(extracted.items()):
-                extraction_confusion += _judge(product, attribute, value)
-            kept = cleaner.clean(extracted, product.product_type)
-            report.n_cleaned_triples += len(extracted) - len(kept)
-            for attribute, value in sorted(kept.items()):
-                if product.catalog_values.get(attribute, "").lower() == value.lower():
-                    continue  # already in the catalog
-                kg.add_value(
-                    product.product_id,
-                    AttributeValue(
-                        attribute=attribute, value=value, confidence=0.9, source="txtract"
-                    ),
-                )
-                final_confusion += _judge(product, attribute, value)
-                types_covered.add(product.product_type)
-            # Imputation fills attributes neither the catalog nor the
-            # profile text provided.
-            if imputer is not None:
-                still_missing = [
-                    attribute
-                    for attribute in sorted(product.true_values)
-                    if attribute not in product.catalog_values and attribute not in kept
-                ]
-                for imputation in imputer.impute_all(product, still_missing):
+                # Catalog triples form the baseline KG content.
+                for attribute, value in sorted(product.catalog_values.items()):
+                    kg.add_value(
+                        product.product_id,
+                        AttributeValue(attribute=attribute, value=value, source="catalog"),
+                    )
+                    report.n_catalog_triples += 1
+                    catalog_confusion += _judge(product, attribute, value)
+                # Extraction + cleaning adds new knowledge.
+                extracted = model.extract(product)
+                report.n_extracted_triples += len(extracted)
+                for attribute, value in sorted(extracted.items()):
+                    extraction_confusion += _judge(product, attribute, value)
+                kept = cleaner.clean(extracted, product.product_type)
+                report.n_cleaned_triples += len(extracted) - len(kept)
+                for attribute, value in sorted(kept.items()):
+                    if product.catalog_values.get(attribute, "").lower() == value.lower():
+                        continue  # already in the catalog
                     kg.add_value(
                         product.product_id,
                         AttributeValue(
-                            attribute=imputation.attribute,
-                            value=imputation.value,
-                            confidence=imputation.confidence,
-                            source="imputation",
+                            attribute=attribute, value=value, confidence=0.9, source="txtract"
                         ),
                     )
-                    report.n_imputed_triples += 1
-                    imputation_confusion += _judge(
-                        product, imputation.attribute, imputation.value
-                    )
+                    final_confusion += _judge(product, attribute, value)
+                    types_covered.add(product.product_type)
+                # Imputation fills attributes neither the catalog nor the
+                # profile text provided.
+                if imputer is not None:
+                    still_missing = [
+                        attribute
+                        for attribute in sorted(product.true_values)
+                        if attribute not in product.catalog_values and attribute not in kept
+                    ]
+                    for imputation in imputer.impute_all(product, still_missing):
+                        kg.add_value(
+                            product.product_id,
+                            AttributeValue(
+                                attribute=imputation.attribute,
+                                value=imputation.value,
+                                confidence=imputation.confidence,
+                                source="imputation",
+                            ),
+                        )
+                        report.n_imputed_triples += 1
+                        imputation_confusion += _judge(
+                            product, imputation.attribute, imputation.value
+                        )
 
         stats = kg.stats()
         report.n_final_triples = stats["n_value_triples"]
@@ -175,6 +184,12 @@ class AutoKnow:
         report.catalog_accuracy = _confusion_precision(catalog_confusion)
         report.imputation_accuracy = _confusion_precision(imputation_confusion)
         report.final_accuracy = _confusion_precision(final_confusion)
+        obs_metrics.count("autoknow.catalog_triples", report.n_catalog_triples)
+        obs_metrics.count("autoknow.extracted_triples", report.n_extracted_triples)
+        obs_metrics.count("autoknow.cleaned_triples", report.n_cleaned_triples)
+        obs_metrics.count("autoknow.imputed_triples", report.n_imputed_triples)
+        obs_metrics.gauge("autoknow.final_triples", report.n_final_triples)
+        obs_metrics.gauge("autoknow.final_accuracy", report.final_accuracy)
         self.kg_ = kg
         self.report_ = report
         return report

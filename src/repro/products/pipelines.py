@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.datagen.products import ProductDomain, ProductRecord
 from repro.ml.metrics import BinaryConfusion
+from repro.obs import metrics as obs_metrics
+from repro.obs.profiling import profiled
 from repro.products.cleaning import KnowledgeCleaner
 from repro.products.opentag import OpenTagModel, train_test_split
 
@@ -79,6 +81,7 @@ class ProductionPipeline:
     quality_bar: float = 0.9
     seed: int = 0
 
+    @profiled("products.pipeline.production")
     def run(self, domain: ProductDomain, product_type: str) -> PipelineResult:
         """Train, post-process, gate, and account for the manual work."""
         ledger = ManualWorkLedger()
@@ -106,6 +109,7 @@ class ProductionPipeline:
         # 4. Pre-publish evaluation gate (manual audit).
         ledger.charge("prepublish_review")
         published = confusion.f1 >= self.quality_bar
+        obs_metrics.observe("products.pipeline.manual_hours", ledger.total_hours)
         return PipelineResult(
             pipeline="production(5a)",
             product_type=product_type,
@@ -127,6 +131,7 @@ class AutomatedPipeline:
     quality_bar: float = 0.9
     seed: int = 0
 
+    @profiled("products.pipeline.automated")
     def run(self, domain: ProductDomain, product_type: str) -> PipelineResult:
         """Train from the catalog, auto-tune, ML-clean, gate."""
         ledger = ManualWorkLedger()
@@ -152,6 +157,7 @@ class AutomatedPipeline:
         # 4. Same pre-publish gate, still a (cheap) human audit.
         ledger.charge("prepublish_review")
         published = confusion.f1 >= self.quality_bar
+        obs_metrics.observe("products.pipeline.manual_hours", ledger.total_hours)
         return PipelineResult(
             pipeline="automated(5b)",
             product_type=product_type,

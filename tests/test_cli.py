@@ -1,5 +1,7 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, cmd_info, cmd_list, main
@@ -12,6 +14,13 @@ class TestCli:
         output = capsys.readouterr().out
         for experiment_id in EXPERIMENTS:
             assert experiment_id in output
+
+    def test_list_empty_registry(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {})
+        assert main(["list"]) == 0
+        assert "no experiments registered" in capsys.readouterr().out
 
     def test_info_known(self, capsys):
         assert main(["info", "fig2"]) == 0
@@ -57,3 +66,51 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTraceCommand:
+    def test_trace_unknown_id(self, capsys):
+        assert main(["trace", "NOPE"]) == 2
+        assert "no trace workload" in capsys.readouterr().err
+
+    def test_trace_writes_jsonl_and_summary(self, monkeypatch, capsys, tmp_path):
+        from repro.core.pipeline import ConstructionPipeline
+        from repro.evalx import tracerun
+
+        def tiny_workload():
+            pipeline = ConstructionPipeline("tiny")
+            pipeline.add_function("alpha", lambda ctx: None)
+            pipeline.add_function("beta", lambda ctx: None)
+            pipeline.run()
+
+        monkeypatch.setitem(tracerun.TRACE_WORKLOADS, "T-TINY", tiny_workload)
+        output = tmp_path / "trace_tiny.jsonl"
+        assert main(["trace", "t-tiny", "-o", str(output)]) == 0
+
+        records = [
+            json.loads(line) for line in output.read_text().splitlines() if line
+        ]
+        span_records = [r for r in records if r["kind"] == "span"]
+        names = {r["name"] for r in span_records}
+        # One span per pipeline stage, plus pipeline and experiment roots.
+        assert {"stage.alpha", "stage.beta", "pipeline.tiny", "experiment.T-TINY"} <= names
+        (metrics_record,) = [r for r in records if r["kind"] == "metrics"]
+        assert metrics_record["counters"]["pipeline.stage.runs"] == 2.0
+
+        printed = capsys.readouterr().out
+        assert "per-span summary" in printed
+        assert "stage.alpha" in printed
+
+    def test_trace_leaves_observability_disabled(self, monkeypatch, tmp_path):
+        from repro import obs
+        from repro.evalx import tracerun
+
+        monkeypatch.setitem(tracerun.TRACE_WORKLOADS, "T-TINY", lambda: None)
+        assert not obs.enabled()
+        assert main(["trace", "T-TINY", "-o", str(tmp_path / "t.jsonl")]) == 0
+        assert not obs.enabled()
+
+    def test_trace_registry_ids_are_real(self):
+        from repro.evalx.tracerun import TRACE_WORKLOADS
+
+        assert set(TRACE_WORKLOADS) <= set(EXPERIMENTS)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.evalx.registry import EXPERIMENTS
-from repro.evalx.tables import ResultTable
+from repro.evalx.tables import ResultTable, render_table
 
 
 class TestResultTable:
@@ -33,6 +33,25 @@ class TestResultTable:
         table = ResultTable(title="T", columns=["a"], note="hello")
         table.add_row(1)
         assert "note: hello" in table.render()
+
+    def test_show_prints_exactly_the_rendering(self, capsys):
+        table = ResultTable(title="T", columns=["a"])
+        table.add_row(1)
+        table.show()
+        assert capsys.readouterr().out == "\n" + table.render() + "\n"
+
+
+class TestRenderTable:
+    def test_returns_string_without_printing(self, capsys):
+        rendered = render_table("T", ["a", "b"], [[1, 0.5], [2, 0.25]], note="n")
+        assert capsys.readouterr().out == ""
+        assert "== T ==" in rendered
+        assert "0.250" in rendered
+        assert "note: n" in rendered
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [[1, 2]])
 
 
 class TestRegistry:

@@ -1,0 +1,95 @@
+"""Integration tests: the construction pipeline under observability."""
+
+import pytest
+
+from repro.core.pipeline import ConstructionPipeline, PipelineContext, PipelineStage
+from repro.obs import enabled_scope, get_registry, get_tracer
+
+
+class _Recorder(PipelineStage):
+    name = "recorder"
+
+    def run(self, context):
+        self.record("value", 42)
+
+
+class _Boom(PipelineStage):
+    name = "boom"
+
+    def run(self, context):
+        self.record("partial", 1)
+        raise RuntimeError("stage exploded")
+
+
+def _three_stage_pipeline():
+    pipeline = ConstructionPipeline("demo")
+    pipeline.add_function("first", lambda ctx: None)
+    pipeline.add_stage(_Recorder())
+    pipeline.add_function("third", lambda ctx: None)
+    return pipeline
+
+
+class TestPipelineTracing:
+    def test_one_span_per_stage_under_pipeline_root(self):
+        with enabled_scope():
+            _three_stage_pipeline().run()
+            spans = get_tracer().spans()
+            stage_spans = [s for s in spans if s.name.startswith("stage.")]
+            root_spans = [s for s in spans if s.name == "pipeline.demo"]
+            assert [s.name for s in stage_spans] == [
+                "stage.first",
+                "stage.recorder",
+                "stage.third",
+            ]
+            assert len(root_spans) == 1
+            root = root_spans[0]
+            assert all(s.parent_id == root.span_id for s in stage_spans)
+            assert all(s.trace_id == root.trace_id for s in stage_spans)
+
+    def test_stage_metrics_land_in_span_tags_and_registry(self):
+        with enabled_scope():
+            _three_stage_pipeline().run()
+            (recorder_span,) = get_tracer().spans("stage.recorder")
+            assert recorder_span.tags["value"] == 42.0
+            snapshot = get_registry().snapshot()
+            assert snapshot["counters"]["pipeline.stage.runs"] == 3.0
+            assert snapshot["histograms"]["pipeline.stage.seconds"]["count"] == 3
+            assert snapshot["gauges"]["pipeline.demo.recorder.value"] == 42.0
+
+    def test_disabled_pipeline_traces_nothing(self):
+        get_tracer().reset()
+        get_registry().reset()
+        _three_stage_pipeline().run()
+        assert get_tracer().spans() == []
+        assert get_registry().snapshot()["counters"] == {}
+
+    def test_failing_stage_appends_partial_report_and_reraises(self):
+        pipeline = ConstructionPipeline("crashy")
+        pipeline.add_function("ok", lambda ctx: None)
+        pipeline.add_stage(_Boom())
+        pipeline.add_function("never", lambda ctx: None)
+        with pytest.raises(RuntimeError, match="stage exploded"):
+            pipeline.run(PipelineContext())
+        assert [report.stage_name for report in pipeline.reports] == ["ok", "boom"]
+        failed = pipeline.reports[-1]
+        assert failed.error == "RuntimeError: stage exploded"
+        assert failed.metrics == {"partial": 1.0}
+        assert failed.seconds >= 0.0
+        assert pipeline.reports[0].error is None
+
+    def test_failing_stage_error_visible_in_span_and_registry(self):
+        pipeline = ConstructionPipeline("crashy").add_stage(_Boom())
+        with enabled_scope():
+            with pytest.raises(RuntimeError):
+                pipeline.run()
+            (boom_span,) = get_tracer().spans("stage.boom")
+            assert "RuntimeError: stage exploded" in str(boom_span.tags["error"])
+            snapshot = get_registry().snapshot()
+            assert snapshot["counters"]["pipeline.stage.errors"] == 1.0
+
+    def test_failing_stage_report_table_row_carries_error(self):
+        pipeline = ConstructionPipeline("crashy").add_stage(_Boom())
+        with pytest.raises(RuntimeError):
+            pipeline.run()
+        (row,) = pipeline.report_table()
+        assert row["error"] == "RuntimeError: stage exploded"
