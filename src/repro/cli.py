@@ -7,12 +7,17 @@ Usage::
     python -m repro run all              # run the whole benchmark suite
     python -m repro info T-LLMQA         # claim + bench path for one id
     python -m repro trace FIG4           # traced in-process run -> JSONL
+    python -m repro report FIG4A         # traced run -> md/json/prom report
 
 ``run`` shells out to pytest with ``--benchmark-only`` so the output is
 identical to running the benchmark directly.  ``trace`` instead runs a
 compact in-process workload with observability enabled and writes
 ``results/trace_<id>.jsonl`` (spans plus a final metrics record) next to
-a printed per-span summary table.
+a printed per-span summary table.  ``report`` runs the same workload but
+writes ``results/report_<id>.md`` / ``.json`` / ``.prom`` — span tree,
+metric tables, quality snapshots, lineage samples — and, when a previous
+``report_<id>.json`` exists (or ``--baseline`` points at one), diffs the
+quality snapshots against it and exits non-zero on regressions.
 """
 
 from __future__ import annotations
@@ -137,6 +142,59 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Traced run -> report artifacts; exit 1 on baseline regressions."""
+    from repro.evalx.report import build_report, load_baseline, write_report
+    from repro.evalx.tracerun import TRACE_WORKLOADS, run_trace
+    from repro.obs.quality import RegressionThresholds
+
+    experiment_id = args.experiment_id.upper()
+    if experiment_id not in TRACE_WORKLOADS:
+        print(
+            f"no trace workload for experiment {args.experiment_id!r}; "
+            f"traceable ids: {', '.join(sorted(TRACE_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    directory = args.output_dir or os.path.join(_repo_root(), "results")
+    basename = f"report_{experiment_id.lower().replace('-', '_')}"
+    baseline_path = args.baseline or os.path.join(directory, f"{basename}.json")
+    baseline = load_baseline(baseline_path)
+
+    result = run_trace(experiment_id)
+    thresholds = RegressionThresholds(relative_tolerance=args.relative_tolerance)
+    report = build_report(
+        result,
+        baseline=baseline,
+        baseline_path=baseline_path if baseline is not None else None,
+        thresholds=thresholds,
+    )
+    paths = write_report(report, directory, basename=basename)
+
+    print(f"report {experiment_id}:")
+    for kind in ("markdown", "json", "prometheus"):
+        print(f"  {kind:<10} {paths[kind]}")
+    if baseline is None:
+        print("no baseline found; this run is the new baseline")
+        return 0
+    if report.has_regressions:
+        print(
+            f"{report.n_regressions} quality regression(s) vs {baseline_path}",
+            file=sys.stderr,
+        )
+        for diff in report.diffs:
+            for delta in diff.regressions:
+                print(
+                    f"  {diff.snapshot_name}: {delta.metric} "
+                    f"{delta.baseline} -> {delta.current}",
+                    file=sys.stderr,
+                )
+        return 1
+    print(f"no regressions vs {baseline_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -167,6 +225,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file path (default: results/trace_<id>.jsonl)",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run an experiment and write md/json/prom run reports"
+    )
+    report_parser.add_argument("experiment_id", help="a traceable experiment id")
+    report_parser.add_argument(
+        "-o",
+        "--output-dir",
+        default=None,
+        help="directory for report artifacts (default: results/)",
+    )
+    report_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report JSON to diff against "
+        "(default: the existing report_<id>.json in the output directory)",
+    )
+    report_parser.add_argument(
+        "--relative-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed relative drop in count-like quality metrics (default: 0.02)",
+    )
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.core.ontology import Ontology
 from repro.core.triple import AttributedTriple, Provenance, Triple, Value
+from repro.obs import lineage as obs_lineage
 
 
 @dataclass
@@ -147,6 +148,15 @@ class KnowledgeGraph:
             self._osp[triple.object][triple.subject].add(triple.predicate)
         if provenance is not None:
             self._provenance[triple].append(provenance)
+            obs_lineage.record_observation(
+                triple.subject,
+                triple.predicate,
+                triple.object,
+                source=provenance.source,
+                extractor=provenance.extractor,
+                confidence=provenance.confidence,
+                stage="graph.add_triple",
+            )
         return is_new
 
     def add(self, subject: str, predicate: str, obj: Value, **kwargs) -> bool:
@@ -300,6 +310,9 @@ class KnowledgeGraph:
             self._name_index[alias.lower()].add(keep_id)
         keep.aliases.discard(keep.name)
         del self._entities[drop_id]
+        obs_lineage.record_merge(
+            keep_id, drop_id, n_rewritten=rewritten, stage="graph.merge_entities"
+        )
         return rewritten
 
     # ------------------------------------------------------------------

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import quality as obs_quality
+from repro.obs._flags import FLAGS as _OBS_FLAGS
 from repro.obs.tracing import span
 
 
@@ -150,7 +152,27 @@ class ConstructionPipeline:
                 self._fold_report(report, stage_span)
                 for metric, value in report.metrics.items():
                     context.metrics[f"{stage.name}.{metric}"] = value
+            self._snapshot_quality(context)
         return context
+
+    def _snapshot_quality(self, context: PipelineContext) -> None:
+        """Take a run-end quality snapshot of the constructed graph.
+
+        Only with observability on and a ``kg`` artifact present; the
+        snapshot lands in the registry (``quality.<pipeline>.*`` gauges),
+        the global snapshot holder, and ``artifacts["quality_snapshot"]``.
+        """
+        if not _OBS_FLAGS.enabled:
+            return
+        graph = context.artifacts.get("kg")
+        if graph is None:
+            return
+        with span(f"quality.snapshot.{self.name}", pipeline=self.name):
+            try:
+                snapshot = obs_quality.capture(graph, name=self.name)
+            except TypeError:
+                return  # artifact is not a snapshot-able graph
+        context.artifacts["quality_snapshot"] = snapshot
 
     def _fold_report(self, report: StageReport, stage_span) -> None:
         """Push one stage report into the span tags + metrics registry."""

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.ontology import Ontology
 from repro.core.triple import Provenance, Triple
+from repro.obs import lineage as obs_lineage
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,14 @@ class TextRichKG:
         """
         if entity_id not in self._topics:
             raise KeyError(f"unknown topic: {entity_id!r}")
+        obs_lineage.record_observation(
+            entity_id,
+            value.attribute,
+            value.value,
+            source=value.source,
+            confidence=value.confidence,
+            stage="textrich.add_value",
+        )
         existing = self._values[entity_id]
         for index, record in enumerate(existing):
             if record.attribute == value.attribute and record.value == value.value:

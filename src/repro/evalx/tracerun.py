@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.obs import profiling
+from repro.obs import quality as obs_quality
+from repro.obs.lineage import get_ledger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer, span
 
@@ -29,6 +31,8 @@ class TraceResult:
     experiment_id: str
     spans: List[Dict[str, object]] = field(default_factory=list)
     snapshot: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    quality: List[Dict[str, object]] = field(default_factory=list)
+    lineage: List[Dict[str, object]] = field(default_factory=list)
 
     def span_summary_rows(self) -> List[List[object]]:
         """Aggregate rows (name, calls, wall total/mean, cpu total) by span name."""
@@ -108,9 +112,21 @@ def _workload_fig2() -> None:
 
 def _workload_fig4() -> None:
     """Both Fig. 4 architectures end-to-end (scaled down)."""
-    from repro.evalx.architectures import build_entity_based_kg, build_text_rich_kg
+    _workload_fig4a()
+    _workload_fig4b()
+
+
+def _workload_fig4a() -> None:
+    """The Fig. 4(a) entity-based architecture only."""
+    from repro.evalx.architectures import build_entity_based_kg
 
     build_entity_based_kg(_small_world(), label_budget=200, n_sites=2, pages_per_site=10)
+
+
+def _workload_fig4b() -> None:
+    """The Fig. 4(b) text-rich (AutoKnow-style) architecture only."""
+    from repro.evalx.architectures import build_text_rich_kg
+
     domain = _small_domain()
     build_text_rich_kg(domain, _small_behavior(domain), n_epochs=2)
 
@@ -191,6 +207,8 @@ def _workload_web_fusion() -> None:
 TRACE_WORKLOADS: Dict[str, Callable[[], None]] = {
     "FIG2": _workload_fig2,
     "FIG4": _workload_fig4,
+    "FIG4A": _workload_fig4a,
+    "FIG4B": _workload_fig4b,
     "FIG5": _workload_fig5,
     "T-AUTOKNOW": _workload_autoknow,
     "T-GROWTH": _workload_fig4,
@@ -204,7 +222,8 @@ def run_trace(
 ) -> TraceResult:
     """Run one experiment's workload with observability on; collect the trace.
 
-    The tracer and registry are reset before the run and the previous
+    All global observability state (tracer, registry, lineage ledger, and
+    quality snapshots) is reset before the run and the previous
     enabled-state is restored afterwards, so tracing one experiment never
     contaminates another run in the same process.
     """
@@ -219,8 +238,7 @@ def run_trace(
     previous_enabled = profiling.enabled()
     tracer = get_tracer()
     registry = get_registry()
-    tracer.reset()
-    registry.reset()
+    profiling.reset_all()
     profiling.enable()
     try:
         with span(f"experiment.{experiment_id}", experiment=experiment_id):
@@ -229,6 +247,8 @@ def run_trace(
             experiment_id=experiment_id,
             spans=[finished.to_dict() for finished in tracer.spans()],
             snapshot=registry.snapshot(),
+            quality=[snapshot.to_dict() for snapshot in obs_quality.snapshots()],
+            lineage=[chain.to_dict() for chain in get_ledger().sample_chains(5)],
         )
     finally:
         if not previous_enabled:

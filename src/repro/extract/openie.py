@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.extract.dom import DomNode
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -110,7 +111,9 @@ class OpenIEExtractor:
                 results.append(
                     OpenPair(attribute=key, value=value, confidence=min(confidence, 0.99))
                 )
-        return _deduplicate(results)
+        deduplicated = _deduplicate(results)
+        obs_metrics.count("extract.openie.pairs", len(deduplicated))
+        return deduplicated
 
 
 def _deduplicate(pairs: List[OpenPair]) -> List[OpenPair]:

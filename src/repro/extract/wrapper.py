@@ -17,6 +17,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.triple import AttributedTriple, Provenance, Triple
 from repro.extract.dom import DomNode, preceding_text, resolve_path
 from repro.obs import metrics as obs_metrics
 from repro.obs.profiling import profiled
@@ -78,6 +79,21 @@ class InducedWrapper:
                         values[attribute] = landmark_value
         obs_metrics.count("extract.wrapper.values", len(values))
         return values
+
+    def extract_triples(self, page_root: DomNode, topic: str) -> List[AttributedTriple]:
+        """Extraction as provenance-carrying triples (mirrors Ceres).
+
+        ``topic`` is the page's subject; every triple carries the site as
+        source and ``"wrapper"`` as extractor identity, which is what the
+        lineage ledger records when the triples land in a graph.
+        """
+        return [
+            AttributedTriple(
+                Triple(topic, attribute, value),
+                Provenance(source=self.site_name, extractor="wrapper"),
+            )
+            for attribute, value in sorted(self.extract(page_root).items())
+        ]
 
     @staticmethod
     def _value_after_landmark(page_root: DomNode, landmark: str) -> Optional[str]:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.triple import Value
+from repro.obs import lineage as obs_lineage
 from repro.obs import metrics as obs_metrics
 from repro.obs.profiling import profiled
 
@@ -72,6 +73,16 @@ class GraphicalFusion:
         if not observations:
             return []
         obs_metrics.count("fusion.graphical.observations", len(observations))
+        if obs_lineage.lineage_enabled():
+            for obs in observations:
+                obs_lineage.record_observation(
+                    obs.subject,
+                    obs.attribute,
+                    obs.value,
+                    source=obs.source,
+                    extractor=obs.extractor,
+                    stage="fuse.graphical.observe",
+                )
         sources = sorted({obs.source for obs in observations})
         extractors = sorted({obs.extractor for obs in observations})
         accuracy = {source: self.initial_source_accuracy for source in sources}
@@ -190,10 +201,17 @@ class GraphicalFusion:
         self.source_accuracy_ = dict(accuracy)
         self.extractor_precision_ = dict(precision)
         beliefs: List[FusedBelief] = []
+        n_accepted = n_rejected = 0
+        record_lineage = obs_lineage.lineage_enabled()
         for (subject, attribute), posterior in sorted(truth_posterior.items()):
-            for value, probability in sorted(posterior.items(), key=lambda kv: str(kv[0])):
-                if value == _OTHER:
-                    continue
+            observed = {v: p for v, p in posterior.items() if v != _OTHER}
+            winner = (
+                max(observed.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+                if observed
+                else None
+            )
+            per_source = by_item[(subject, attribute)]
+            for value, probability in sorted(observed.items(), key=lambda kv: str(kv[0])):
                 beliefs.append(
                     FusedBelief(
                         subject=subject,
@@ -202,6 +220,30 @@ class GraphicalFusion:
                         probability=float(probability),
                     )
                 )
+                accepted = value == winner
+                if accepted:
+                    n_accepted += 1
+                else:
+                    n_rejected += 1
+                if record_lineage:
+                    item_extractors = {
+                        extractor
+                        for value_extractors in per_source.values()
+                        for extractor_list in value_extractors.values()
+                        for extractor in extractor_list
+                    }
+                    obs_lineage.record_fusion(
+                        subject,
+                        attribute,
+                        value,
+                        verdict="accepted" if accepted else "rejected",
+                        confidence=float(probability),
+                        source_trust={s: accuracy[s] for s in per_source},
+                        extractor_trust={e: precision[e] for e in sorted(item_extractors)},
+                        stage="fusion.graphical",
+                    )
+        obs_metrics.count("fusion.graphical.accepted", n_accepted)
+        obs_metrics.count("fusion.graphical.rejected", n_rejected)
         return beliefs
 
     def high_confidence(

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.fuse.graphical import ExtractionObservation, GraphicalFusion
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,11 @@ class KnowledgeBasedTrust:
                     n_extractions=per_source_count[source],
                 )
             )
+        obs_metrics.count("kbt.sources_evaluated", len(results))
+        for trust in results:
+            # Trust scores land as gauges so quality snapshots and the
+            # Prometheus export carry the source-trust distribution.
+            obs_metrics.gauge(f"kbt.trust.{trust.source}", trust.kbt_score)
         return sorted(results, key=lambda trust: -trust.kbt_score)
 
     def rank_sources(self, observations: Sequence[ExtractionObservation]) -> List[str]:

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.triple import Value
+from repro.obs import lineage as obs_lineage
 from repro.obs import metrics as obs_metrics
 from repro.obs.profiling import profiled
 
@@ -128,6 +129,8 @@ class AccuFusion:
                     )
         self.source_accuracy_ = dict(accuracy)
         results = []
+        n_rejected = 0
+        record_lineage = obs_lineage.lineage_enabled()
         for (subject, attribute), posterior in sorted(posteriors.items()):
             value, probability = max(
                 posterior.items(), key=lambda item: (item[1], str(item[0]))
@@ -141,6 +144,28 @@ class AccuFusion:
                     n_claims=len(grouped[(subject, attribute)]),
                 )
             )
+            n_rejected += len(posterior) - 1
+            if record_lineage:
+                # The decision chain: every candidate value gets a verdict
+                # carrying the learned trust of the sources that claimed it.
+                item_claims = grouped[(subject, attribute)]
+                source_trust = {
+                    claim.source: accuracy[claim.source] for claim in item_claims
+                }
+                for candidate, candidate_probability in sorted(
+                    posterior.items(), key=lambda kv: str(kv[0])
+                ):
+                    obs_lineage.record_fusion(
+                        subject,
+                        attribute,
+                        candidate,
+                        verdict="accepted" if candidate == value else "rejected",
+                        confidence=float(candidate_probability),
+                        source_trust=source_trust,
+                        stage="fusion.accu",
+                    )
+        obs_metrics.count("fusion.accepted", len(results))
+        obs_metrics.count("fusion.rejected", n_rejected)
         return results
 
     def _item_posterior(

@@ -232,4 +232,5 @@ def apply_linkage(
         if graph.has_entity(keep_id) and graph.has_entity(drop_id) and keep_id != drop_id:
             graph.merge_entities(keep_id, drop_id)
             merges += 1
+    obs_metrics.count("linkage.merges_applied", merges)
     return merges

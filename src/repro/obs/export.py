@@ -1,0 +1,129 @@
+"""Machine-readable exports: Prometheus text format and stable JSON.
+
+The registry and quality snapshots become scrapeable/diffable documents
+here — the boundary where the observability layer meets dashboards, drift
+alerts, and the ``repro report`` artifacts:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` lines, cumulative ``_bucket{le=...}`` histogram series,
+  quality gauges labeled by snapshot), directly scrapeable;
+* :func:`build_document` — one stable JSON document (versioned schema)
+  bundling spans, the metrics snapshot, quality snapshots, lineage
+  samples, and an optional baseline diff.
+
+Metric names are sanitized to Prometheus conventions (``repro_`` prefix,
+``[a-zA-Z0-9_]`` only); empty histograms export zero-count series rather
+than raising.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Schema version of the JSON document; bump on breaking layout changes.
+DOCUMENT_VERSION = 1
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str) -> str:
+    """A Prometheus-legal metric name: ``repro_`` prefix, dots to underscores."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized.startswith("repro_"):
+        sanitized = f"repro_{sanitized}"
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(
+    registry: Optional[MetricsRegistry] = None,
+    quality_snapshots: Optional[Sequence[Mapping[str, object]]] = None,
+) -> str:
+    """The registry (+ optional quality snapshot dicts) as Prometheus text.
+
+    Counters and gauges export one sample each; histograms export the
+    full cumulative ``_bucket`` series plus ``_sum``/``_count``.  Quality
+    snapshots export as gauges labeled ``{snapshot="<name>"}`` so several
+    graphs built in one process stay distinguishable.
+    """
+    registry = registry or get_registry()
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot["gauges"].items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, state in registry.histogram_states().items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds: Sequence[float] = state["bounds"]  # type: ignore[assignment]
+        counts: Sequence[int] = state["bucket_counts"]  # type: ignore[assignment]
+        for bound, bucket_count in zip(bounds, counts):
+            cumulative += bucket_count
+            lines.append(f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {state["count"]}')
+        lines.append(f"{metric}_sum {_format_value(float(state['sum']))}")
+        lines.append(f"{metric}_count {state['count']}")
+    for record in quality_snapshots or []:
+        label = _escape_label(str(record.get("name", "kg")))
+        for key in ("n_triples", "n_entities", "fusion_accepted", "fusion_rejected"):
+            metric = prometheus_name(f"quality_{key}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f'{metric}{{snapshot="{label}"}} {_format_value(float(record.get(key, 0) or 0))}')
+        for key in ("coverage", "accuracy"):
+            value = record.get(key)
+            if value is None:
+                continue
+            metric = prometheus_name(f"quality_{key}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f'{metric}{{snapshot="{label}"}} {_format_value(float(value))}')
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def build_document(
+    experiment_id: str,
+    spans: Sequence[Mapping[str, object]],
+    metrics_snapshot: Mapping[str, object],
+    quality_snapshots: Sequence[Mapping[str, object]] = (),
+    lineage_samples: Sequence[Mapping[str, object]] = (),
+    baseline_diff: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """The stable JSON document for one observed run.
+
+    Key order and nesting are part of the contract: CI diffs these
+    documents, so additions must be backward-compatible (new keys only)
+    and breaking changes must bump :data:`DOCUMENT_VERSION`.
+    """
+    return {
+        "version": DOCUMENT_VERSION,
+        "experiment_id": experiment_id,
+        "spans": [dict(record) for record in spans],
+        "metrics": dict(metrics_snapshot),
+        "quality": [dict(record) for record in quality_snapshots],
+        "lineage": [dict(record) for record in lineage_samples],
+        "baseline_diff": dict(baseline_diff) if baseline_diff is not None else None,
+    }
+
+
+def dump_document(document: Mapping[str, object]) -> str:
+    """Serialize a document deterministically (sorted keys, stable floats)."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"

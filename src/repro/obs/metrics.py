@@ -113,7 +113,12 @@ class Histogram:
             self.max = value
 
     def percentile(self, quantile: float) -> float:
-        """Interpolated value at ``quantile`` in [0, 1] (0.0 when empty)."""
+        """Interpolated value at ``quantile`` in [0, 1].
+
+        An empty histogram answers 0.0 — never raises — so summary and
+        export paths stay safe on instruments that were registered but
+        never observed (e.g. an error counter's latency twin).
+        """
         if not 0.0 <= quantile <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {quantile}")
         if self.count == 0:
@@ -133,7 +138,11 @@ class Histogram:
         return self.max  # pragma: no cover - guarded by the loop above
 
     def summary(self) -> Dict[str, float]:
-        """Count, sum, mean, exact min/max, and p50/p95/p99."""
+        """Count, sum, mean, exact min/max, and p50/p95/p99.
+
+        Empty histograms return all-zero summaries (the sentinel
+        ``min=inf``/``max=-inf`` internals never leak to callers).
+        """
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0}
@@ -146,6 +155,20 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
+        }
+
+    def state(self) -> Dict[str, object]:
+        """Raw bucket state for exporters (Prometheus needs the buckets).
+
+        Empty histograms report zeroed extremes, not the inf sentinels.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
         }
 
 
@@ -214,6 +237,11 @@ class MetricsRegistry:
                     name: h.summary() for name, h in sorted(self._histograms.items())
                 },
             }
+
+    def histogram_states(self) -> Dict[str, Dict[str, object]]:
+        """Raw bucket state per histogram (the Prometheus exporter's input)."""
+        with self._lock:
+            return {name: h.state() for name, h in sorted(self._histograms.items())}
 
     def reset(self) -> None:
         """Forget every instrument (test isolation)."""

@@ -51,26 +51,39 @@ def enabled() -> bool:
     return FLAGS.enabled
 
 
+def reset_all() -> None:
+    """Clear every global collector: tracer, registry, ledger, snapshots.
+
+    The one call CLI entry points (``repro trace`` / ``repro report``) and
+    tests make so back-to-back runs in one process never bleed state.
+    """
+    from repro.obs import lineage, quality
+
+    get_tracer().reset()
+    get_registry().reset()
+    lineage.get_ledger().reset()
+    quality.reset_snapshots()
+
+
 @contextmanager
 def enabled_scope(reset: bool = True) -> Iterator[None]:
     """Enable observability for a block, restoring the previous state.
 
-    With ``reset`` (default) the tracer and registry are cleared on entry
-    *and* exit, so surrounding code — e.g. other pytest tests — never sees
-    spans or counts from the block.
+    With ``reset`` (default) the tracer, registry, lineage ledger, and
+    quality-snapshot holder are cleared on entry *and* exit, so
+    surrounding code — e.g. other pytest tests — never sees spans,
+    counts, or chains from the block.
     """
     previous = FLAGS.enabled
     if reset:
-        get_tracer().reset()
-        get_registry().reset()
+        reset_all()
     FLAGS.enabled = True
     try:
         yield
     finally:
         FLAGS.enabled = previous
         if reset:
-            get_tracer().reset()
-            get_registry().reset()
+            reset_all()
 
 
 def profiled(name: str, **tags: object) -> Callable[[CallableT], CallableT]:

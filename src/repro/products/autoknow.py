@@ -22,7 +22,9 @@ from repro.core.textrich import AttributeValue, TextRichKG
 from repro.datagen.behavior import BehaviorLog
 from repro.datagen.products import ProductDomain
 from repro.ml.metrics import BinaryConfusion
+from repro.obs import lineage as obs_lineage
 from repro.obs import metrics as obs_metrics
+from repro.obs import quality as obs_quality
 from repro.obs.profiling import profiled
 from repro.obs.tracing import span
 from repro.products.cleaning import KnowledgeCleaner
@@ -143,6 +145,15 @@ class AutoKnow:
                     extraction_confusion += _judge(product, attribute, value)
                 kept = cleaner.clean(extracted, product.product_type)
                 report.n_cleaned_triples += len(extracted) - len(kept)
+                for attribute, value in sorted(extracted.items()):
+                    if kept.get(attribute) != value:
+                        obs_lineage.record_rejection(
+                            product.product_id,
+                            attribute,
+                            value,
+                            reason="catalog-statistics cleaning",
+                            stage="autoknow.cleaning",
+                        )
                 for attribute, value in sorted(kept.items()):
                     if product.catalog_values.get(attribute, "").lower() == value.lower():
                         continue  # already in the catalog
@@ -190,6 +201,8 @@ class AutoKnow:
         obs_metrics.count("autoknow.imputed_triples", report.n_imputed_triples)
         obs_metrics.gauge("autoknow.final_triples", report.n_final_triples)
         obs_metrics.gauge("autoknow.final_accuracy", report.final_accuracy)
+        if obs_lineage.lineage_enabled():
+            obs_quality.capture(kg, name=kg.name)
         self.kg_ = kg
         self.report_ = report
         return report

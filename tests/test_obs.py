@@ -140,6 +140,25 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").percentile(1.5)
 
+    def test_empty_histogram_never_raises(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(0.99) == 0.0
+        summary = histogram.summary()
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+
+    def test_state_zeroes_empty_extremes(self):
+        state = Histogram("h", buckets=[1.0]).state()
+        assert state["count"] == 0
+        assert state["min"] == 0.0 and state["max"] == 0.0
+        assert state["bucket_counts"] == [0, 0]
+
+    def test_state_buckets_sum_to_count(self):
+        histogram = Histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        state = histogram.state()
+        assert sum(state["bucket_counts"]) == state["count"] == 3
+
 
 class TestRegistry:
     def test_counter_accumulates(self):
@@ -271,6 +290,22 @@ class TestProfiling:
             pass
         assert get_registry().snapshot()["counters"]["region.x.calls"] == 1.0
         assert [s.name for s in get_tracer().spans()] == ["region.x"]
+
+    def test_reset_all_clears_every_global(self):
+        from repro.obs import reset_all
+        from repro.obs.lineage import get_ledger
+        from repro.obs.quality import snapshots
+
+        with enabled_scope():
+            count("some.counter")
+            with span("some.span"):
+                pass
+            get_ledger().observation("s", "p", "o", source="src")
+            reset_all()
+            assert get_registry().snapshot()["counters"] == {}
+            assert get_tracer().spans() == []
+            assert len(get_ledger()) == 0
+            assert snapshots() == []
 
     def test_enabled_scope_restores_and_clears(self):
         assert not enabled()

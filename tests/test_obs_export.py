@@ -1,0 +1,133 @@
+"""Tests for the Prometheus/JSON exporters (repro.obs.export)."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import (
+    DOCUMENT_VERSION,
+    build_document,
+    dump_document,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+)
+
+
+def _parse_prometheus(text):
+    """Parse exposition text into (types, samples); raises on bad lines."""
+    types = {}
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match is not None, f"unparseable sample line: {line!r}"
+        samples.append(
+            (match.group("name"), match.group("labels") or "", float(match.group("value")))
+        )
+    return types, samples
+
+
+def _loaded_registry():
+    registry = MetricsRegistry()
+    registry.counter("fusion.accepted").inc(12)
+    registry.gauge("kbt.trust.imdb").set(0.93)
+    histogram = registry.histogram("stage.seconds", buckets=[0.1, 1.0, 10.0])
+    for value in (0.05, 0.5, 0.7, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prometheus_name("fusion.accu.accepted") == "repro_fusion_accu_accepted"
+
+    def test_existing_prefix_not_doubled(self):
+        assert prometheus_name("repro_x") == "repro_x"
+
+    def test_arbitrary_junk_sanitized(self):
+        name = prometheus_name("quality.kg-1/coverage %")
+        assert re.fullmatch(r"[a-zA-Z_][a-zA-Z0-9_]*", name)
+
+
+class TestRenderPrometheus:
+    def test_output_parses_and_types_declared(self):
+        types, samples = _parse_prometheus(render_prometheus(_loaded_registry()))
+        assert types["repro_fusion_accepted"] == "counter"
+        assert types["repro_kbt_trust_imdb"] == "gauge"
+        assert types["repro_stage_seconds"] == "histogram"
+        assert ("repro_fusion_accepted", "", 12.0) in samples
+        assert ("repro_kbt_trust_imdb", "", 0.93) in samples
+
+    def test_histogram_buckets_cumulative_and_inf_equals_count(self):
+        _, samples = _parse_prometheus(render_prometheus(_loaded_registry()))
+        buckets = [
+            (labels, value)
+            for name, labels, value in samples
+            if name == "repro_stage_seconds_bucket"
+        ]
+        values = [value for _, value in buckets]
+        assert values == sorted(values)  # cumulative => monotone
+        assert buckets[-1][0] == '{le="+Inf"}'
+        count = [v for n, _, v in samples if n == "repro_stage_seconds_count"][0]
+        assert buckets[-1][1] == count == 5.0
+        total = [v for n, _, v in samples if n == "repro_stage_seconds_sum"][0]
+        assert total == pytest.approx(56.25)
+
+    def test_empty_histogram_exports_zero_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.h", buckets=[1.0])
+        types, samples = _parse_prometheus(render_prometheus(registry))
+        assert types["repro_empty_h"] == "histogram"
+        assert ("repro_empty_h_count", "", 0.0) in samples
+        assert ("repro_empty_h_sum", "", 0.0) in samples
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_quality_snapshots_export_labeled_gauges(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            quality_snapshots=[
+                {"name": "movies", "n_triples": 42, "coverage": 0.8, "accuracy": None},
+            ],
+        )
+        types, samples = _parse_prometheus(text)
+        assert types["repro_quality_n_triples"] == "gauge"
+        assert ("repro_quality_n_triples", '{snapshot="movies"}', 42.0) in samples
+        assert ("repro_quality_coverage", '{snapshot="movies"}', 0.8) in samples
+        assert all(name != "repro_quality_accuracy" for name, _, _ in samples)
+
+
+class TestJsonDocument:
+    def test_document_shape_and_version(self):
+        document = build_document(
+            experiment_id="FIG4A",
+            spans=[{"name": "root", "span_id": "s1", "parent_id": None}],
+            metrics_snapshot={"counters": {"c": 1.0}, "gauges": {}, "histograms": {}},
+            quality_snapshots=[{"name": "kg", "n_triples": 3}],
+            lineage_samples=[{"subject": "m1", "predicate": "p", "object": "o"}],
+        )
+        assert document["version"] == DOCUMENT_VERSION
+        assert document["experiment_id"] == "FIG4A"
+        assert document["baseline_diff"] is None
+        round_tripped = json.loads(dump_document(document))
+        assert round_tripped == document
+
+    def test_dump_is_deterministic(self):
+        document = build_document(
+            experiment_id="X",
+            spans=[],
+            metrics_snapshot={"counters": {"b": 2.0, "a": 1.0}},
+        )
+        assert dump_document(document) == dump_document(json.loads(dump_document(document)))

@@ -1,0 +1,230 @@
+"""Tests for the knowledge lineage ledger (repro.obs.lineage)."""
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.pipeline import ConstructionPipeline
+from repro.core.triple import Provenance, Triple
+from repro.integrate.fusion import AccuFusion, ValueClaim
+from repro.obs import enabled_scope
+from repro.obs.lineage import (
+    LineageLedger,
+    explain,
+    get_ledger,
+    record_fusion,
+    record_merge,
+    record_observation,
+    record_rejection,
+)
+
+
+class TestLedger:
+    def test_observation_explain_round_trip(self):
+        ledger = LineageLedger()
+        ledger.observation(
+            "m1", "directed_by", "mann", source="imdb", extractor="wrapper", confidence=0.9
+        )
+        chain = ledger.explain("m1", "directed_by", "mann")
+        assert (chain.subject, chain.predicate, chain.object) == ("m1", "directed_by", "mann")
+        (event,) = chain.events
+        assert event.kind == "observation"
+        assert event.detail["source"] == "imdb"
+        assert event.detail["extractor"] == "wrapper"
+        assert event.detail["confidence"] == 0.9
+
+    def test_untracked_triple_yields_empty_chain(self):
+        chain = LineageLedger().explain("nobody", "p", "o")
+        assert chain.events == []
+        assert chain.verdict is None
+
+    def test_object_is_stringified_for_keying(self):
+        ledger = LineageLedger()
+        ledger.observation("m1", "year", 1995, source="imdb")
+        assert len(ledger.explain("m1", "year", "1995").events) == 1
+
+    def test_merge_makes_pre_merge_events_reachable(self):
+        ledger = LineageLedger()
+        ledger.observation("m1_dup", "year", "1995", source="freebase")
+        ledger.merge("m1", "m1_dup", n_rewritten=1)
+        chain = ledger.explain("m1", "year", "1995")
+        kinds = [event.kind for event in chain.events]
+        assert kinds == ["observation", "merge"]
+        assert chain.events[1].detail["dropped"] == "m1_dup"
+
+    def test_merge_aliases_are_transitive(self):
+        ledger = LineageLedger()
+        ledger.observation("m1_oldest", "year", "1995", source="s1")
+        ledger.merge("m1_dup", "m1_oldest")
+        ledger.merge("m1", "m1_dup")
+        assert any(
+            event.kind == "observation"
+            for event in ledger.explain("m1", "year", "1995").events
+        )
+
+    def test_fusion_verdict_and_trust_scores(self):
+        ledger = LineageLedger()
+        ledger.observation("m1", "year", "1995", source="imdb")
+        ledger.fusion(
+            "m1",
+            "year",
+            "1995",
+            verdict="accepted",
+            confidence=0.97,
+            source_trust={"imdb": 0.9, "junk": 0.2},
+            extractor_trust={"wrapper": 0.95},
+        )
+        chain = ledger.explain("m1", "year", "1995")
+        assert chain.verdict == "accepted"
+        fusion_event = chain.events[-1]
+        assert fusion_event.detail["source_trust"] == {"imdb": 0.9, "junk": 0.2}
+        assert fusion_event.detail["extractor_trust"] == {"wrapper": 0.95}
+
+    def test_rejection_is_the_verdict(self):
+        ledger = LineageLedger()
+        ledger.rejection("p1", "flavor", "purple", reason="not in catalog vocabulary")
+        chain = ledger.explain("p1", "flavor", "purple")
+        assert chain.verdict == "rejected"
+        assert chain.events[0].detail["reason"] == "not in catalog vocabulary"
+
+    def test_fused_keys_filters_by_verdict(self):
+        ledger = LineageLedger()
+        ledger.fusion("a", "p", "x", verdict="accepted", confidence=0.9)
+        ledger.fusion("b", "p", "y", verdict="rejected", confidence=0.1)
+        assert ledger.fused_keys("accepted") == [("a", "p", "x")]
+        assert ledger.fused_keys("rejected") == [("b", "p", "y")]
+
+    def test_sample_chains_prefers_fused(self):
+        ledger = LineageLedger()
+        for index in range(5):
+            ledger.observation(f"e{index}", "p", "v", source="s")
+        ledger.fusion("winner", "p", "v", verdict="accepted", confidence=0.9)
+        samples = ledger.sample_chains(3)
+        assert samples[0].subject == "winner"
+        assert len(samples) == 3
+
+    def test_events_sorted_by_global_sequence(self):
+        ledger = LineageLedger()
+        ledger.observation("dup", "p", "v", source="s1")
+        ledger.merge("keep", "dup")
+        ledger.observation("keep", "p", "v", source="s2")
+        sequences = [e.sequence for e in ledger.explain("keep", "p", "v").events]
+        assert sequences == sorted(sequences)
+
+    def test_reset_forgets_everything(self):
+        ledger = LineageLedger()
+        ledger.observation("a", "p", "x", source="s")
+        ledger.merge("a", "b")
+        ledger.reset()
+        assert len(ledger) == 0
+        assert ledger.explain("a", "p", "x").events == []
+
+    def test_chain_serializes_and_describes(self):
+        import json
+
+        ledger = LineageLedger()
+        ledger.observation("m1", "year", "1995", source="imdb", extractor="ceres")
+        ledger.fusion("m1", "year", "1995", verdict="accepted", confidence=0.9)
+        record = ledger.explain("m1", "year", "1995").to_dict()
+        json.dumps(record)
+        assert record["verdict"] == "accepted"
+        assert [event["kind"] for event in record["events"]] == ["observation", "fusion"]
+        lines = ledger.explain("m1", "year", "1995").describe()
+        assert lines[0] == "(m1, year, 1995)"
+        assert "source=imdb" in lines[1]
+
+
+class TestGlobalHelpers:
+    def test_helpers_no_op_while_disabled(self):
+        get_ledger().reset()
+        record_observation("x", "p", "o", source="s")
+        record_merge("x", "y")
+        record_fusion("x", "p", "o", verdict="accepted", confidence=1.0)
+        record_rejection("x", "p", "o", reason="r")
+        assert len(get_ledger()) == 0
+
+    def test_helpers_record_while_enabled(self):
+        with enabled_scope():
+            record_observation("x", "p", "o", source="s")
+            assert len(get_ledger()) == 1
+        # enabled_scope resets global state on exit
+        assert len(get_ledger()) == 0
+
+
+class TestPipelineRoundTrip:
+    def test_explain_round_trips_through_full_pipeline_run(self):
+        """Observation -> merge -> fusion chain out of a real pipeline run."""
+        with enabled_scope():
+            ontology = Ontology()
+            ontology.add_class("Movie")
+            graph = KnowledgeGraph(ontology=ontology, name="roundtrip")
+
+            def build(context):
+                graph.add_entity("m1", "Heat", "Movie")
+                graph.add_entity("m1_dup", "Heat (1995)", "Movie")
+                graph.add_triple(
+                    Triple("m1", "release_year", "1995"),
+                    Provenance(source="imdb", extractor="wrapper", confidence=0.95),
+                )
+                graph.add_triple(
+                    Triple("m1_dup", "release_year", "1995"),
+                    Provenance(source="freebase"),
+                )
+                context.artifacts["kg"] = graph
+
+            def link(context):
+                graph.merge_entities("m1", "m1_dup")
+
+            def fuse(context):
+                claims = [
+                    ValueClaim("m1", "release_year", "1995", "imdb"),
+                    ValueClaim("m1", "release_year", "1995", "freebase"),
+                    ValueClaim("m1", "release_year", "1996", "junk"),
+                ]
+                AccuFusion(n_iterations=4).fuse(claims)
+
+            pipeline = (
+                ConstructionPipeline("roundtrip")
+                .add_function("build", build)
+                .add_function("link", link)
+                .add_function("fuse", fuse)
+            )
+            context = pipeline.run()
+
+            chain = explain("m1", "release_year", "1995")
+            kinds = [event.kind for event in chain.events]
+            # Both source observations (one recorded under the pre-merge
+            # subject), the linkage merge, and the fusion verdict.
+            assert kinds.count("observation") == 2
+            assert "merge" in kinds
+            assert kinds[-1] == "fusion"
+            assert chain.verdict == "accepted"
+            sources = {
+                event.detail["source"]
+                for event in chain.events
+                if event.kind == "observation"
+            }
+            assert sources == {"imdb", "freebase"}
+            assert any(
+                event.detail.get("extractor") == "wrapper"
+                for event in chain.events
+                if event.kind == "observation"
+            )
+            trust = chain.events[-1].detail["source_trust"]
+            assert set(trust) == {"imdb", "freebase", "junk"}
+            # The outvoted value carries a rejected fusion verdict.
+            assert explain("m1", "release_year", "1996").verdict == "rejected"
+            # The pipeline took its run-end quality snapshot of the graph.
+            snapshot = context.artifacts["quality_snapshot"]
+            assert snapshot.name == "roundtrip"
+            assert snapshot.n_triples >= 1
+
+    def test_disabled_pipeline_records_nothing(self):
+        get_ledger().reset()
+        ontology = Ontology()
+        ontology.add_class("Movie")
+        graph = KnowledgeGraph(ontology=ontology, name="dark")
+        graph.add_entity("m1", "Heat", "Movie")
+        graph.add_triple(
+            Triple("m1", "release_year", "1995"), Provenance(source="imdb")
+        )
+        assert len(get_ledger()) == 0
+        assert explain("m1", "release_year", "1995").events == []
