@@ -8,6 +8,8 @@ Usage::
     python -m repro info T-LLMQA         # claim + bench path for one id
     python -m repro trace FIG4           # traced in-process run -> JSONL
     python -m repro report FIG4A         # traced run -> md/json/prom report
+    python -m repro bench                # perf workloads -> BENCH_core.json
+    python -m repro bench --quick        # small scales (CI smoke)
 
 ``run`` shells out to pytest with ``--benchmark-only`` so the output is
 identical to running the benchmark directly.  ``trace`` instead runs a
@@ -18,6 +20,11 @@ writes ``results/report_<id>.md`` / ``.json`` / ``.prom`` — span tree,
 metric tables, quality snapshots, lineage samples — and, when a previous
 ``report_<id>.json`` exists (or ``--baseline`` points at one), diffs the
 quality snapshots against it and exits non-zero on regressions.
+``bench`` runs the core performance workloads (batch ingestion,
+merge-heavy linkage, the query mix, fusion), appends a git-SHA-keyed
+entry to the ``BENCH_core.json`` trajectory, and exits non-zero when any
+workload's throughput regresses beyond ``--tolerance`` vs the previous
+same-mode entry (``--warn-only`` downgrades that to a warning).
 """
 
 from __future__ import annotations
@@ -195,6 +202,64 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the core perf workloads; append a BENCH_core.json trajectory entry."""
+    from repro.evalx import bench
+    from repro.evalx.tables import render_table
+
+    run = bench.run_bench(
+        quick=args.quick, workloads=args.workload or None, repeats=args.repeats
+    )
+    entry = run.to_entry()
+    output_path = args.output or os.path.join(_repo_root(), bench.TRAJECTORY_BASENAME)
+    document = bench.load_trajectory(output_path)
+    baseline = bench.previous_entry(document, quick=args.quick)
+    bench.append_entry(output_path, entry)
+
+    rows = []
+    for name, result in sorted(run.results.items()):
+        speedup = result.speedup_vs_naive
+        rows.append(
+            [
+                name,
+                result.n_ops,
+                f"{result.wall_s:.4f}",
+                f"{result.ops_per_s:.1f}",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+            ]
+        )
+    mode = "quick" if args.quick else "full"
+    print(
+        render_table(
+            title=f"bench core ({mode}) @ {entry['git_sha'][:12]}",
+            columns=["workload", "ops", "wall_s", "ops_per_s", "vs_naive"],
+            rows=rows,
+            note=f"entry {len(document['entries']) + 1} -> {output_path}",
+        )
+    )
+    regressions = bench.check_regressions(entry, baseline, tolerance=args.tolerance)
+    if not regressions:
+        if baseline is None:
+            print("no previous same-mode entry; this run starts the trajectory")
+        else:
+            print(
+                f"no regressions beyond {args.tolerance:.0%} vs entry "
+                f"{baseline.get('git_sha', 'unknown')[:12]}"
+            )
+        return 0
+    stream = sys.stdout if args.warn_only else sys.stderr
+    print(
+        f"{len(regressions)} throughput regression(s) beyond {args.tolerance:.0%}:",
+        file=stream,
+    )
+    for regression in regressions:
+        print(f"  {regression.describe()}", file=stream)
+    if args.warn_only:
+        print("warn-only mode: not failing the run")
+        return 0
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -249,6 +314,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative drop in count-like quality metrics (default: 0.02)",
     )
     report_parser.set_defaults(func=cmd_report)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run core perf workloads and extend BENCH_core.json"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="small scales, one repeat (CI smoke)"
+    )
+    bench_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="trajectory file (default: BENCH_core.json at the repo root)",
+    )
+    bench_parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        help="run only this workload (repeatable; default: all)",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per workload, best-of wins (default: 3, quick: 1)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative throughput drop vs the previous entry (default: 0.20)",
+    )
+    bench_parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print regressions but exit 0 (PR smoke mode)",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 

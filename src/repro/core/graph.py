@@ -8,17 +8,43 @@ triple-store layout.
 
 Provenance is kept per (triple, source) pair, which is what the fusion and
 trust machinery of Sec. 2.4 consumes.
+
+Performance layer (the "as fast as the hardware allows" track):
+
+* **generation-counter cached views** — sorted triple/entity snapshots are
+  built once per mutation generation, so ``triples()`` / all-wildcard
+  ``query()`` calls stop paying O(|T| log |T|) sorts on a read-mostly
+  graph;
+* **interned id table** — subject/predicate strings are interned into one
+  canonical object per distinct string (``_interned``) and the canonical
+  objects key all three indexes, cutting index memory and letting dict
+  probes short-circuit on pointer identity;
+* **index-backed merges** — ``merge_entities`` walks the SPO/OSP rows of
+  the dropped entity (O(degree)) instead of scanning every triple, which
+  is what entity linkage (Sec. 2.2) calls thousands of times;
+* **batch ingestion** — ``add_triples_batch`` does one pass over primary
+  storage with hoisted bookkeeping and a single deferred lineage flush;
+  SPO/POS/OSP row construction is queued and materialized lazily by the
+  first index-backed read (``_ensure_indexes``), the bulk-load shape
+  Knowledge Vault-style web-scale construction loads arrive in.
+
+Every fast path preserves the exact results, provenance, and lineage
+records of the per-call API (guarded by the equivalence tests in
+``tests/test_perf_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.ontology import Ontology
 from repro.core.triple import AttributedTriple, Provenance, Triple, Value
 from repro.obs import lineage as obs_lineage
+
+#: One item of a batch ingest: a bare triple or a (triple, provenance) pair.
+BatchItem = Union[Triple, Tuple[Triple, Optional[Provenance]]]
 
 
 @dataclass
@@ -48,11 +74,75 @@ class KnowledgeGraph:
         self._entities: Dict[str, Entity] = {}
         self._triples: Set[Triple] = set()
         self._provenance: Dict[Triple, List[Provenance]] = defaultdict(list)
-        # Indexes: subject -> predicate -> set(object), etc.
+        # Indexes: subject -> predicate -> set(object), etc.  Keys are the
+        # canonical (interned) string objects from ``_interned``.
         self._spo: Dict[str, Dict[str, Set[Value]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[str, Dict[Value, Set[str]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Value, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
         self._name_index: Dict[str, Set[str]] = defaultdict(set)
+        # Id table: one canonical object per distinct subject/predicate string.
+        self._interned: Dict[str, str] = {}
+        # Triples ingested by ``add_triples_batch`` whose index rows have not
+        # been built yet; drained by ``_ensure_indexes`` on first index read.
+        self._pending_index: List[Triple] = []
+        # Mutation generation plus the generation-stamped cached views.
+        self._generation = 0
+        self._triples_view: List[Triple] = []
+        self._triples_view_generation = -1
+        self._entities_view: List[Entity] = []
+        self._entities_view_generation = -1
+
+    # ------------------------------------------------------------------
+    # cached sorted views
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter; unchanged generation ⇒ unchanged views."""
+        return self._generation
+
+    def _sorted_triples(self) -> List[Triple]:
+        """The sorted triple snapshot for the current generation.
+
+        Callers must not mutate the returned list; public APIs copy or
+        wrap it in an iterator.
+        """
+        if self._triples_view_generation != self._generation:
+            self._triples_view = sorted(self._triples)
+            self._triples_view_generation = self._generation
+        return self._triples_view
+
+    def _ensure_indexes(self) -> None:
+        """Materialize index rows for batch-ingested triples.
+
+        ``add_triples_batch`` appends straight to the triple set and defers
+        SPO/POS/OSP row construction here — the bulk-load pattern: writes
+        pay only for primary storage, and the first index-backed read
+        builds the rows in one tight pass.  Idempotent; a no-op when
+        nothing is pending.
+        """
+        pending = self._pending_index
+        if not pending:
+            return
+        self._pending_index = []
+        spo, pos, osp = self._spo, self._pos, self._osp
+        intern = self._interned.setdefault
+        for triple in pending:
+            subject = triple.subject
+            predicate = triple.predicate
+            canonical_subject = intern(subject, subject)
+            canonical_predicate = intern(predicate, predicate)
+            obj = triple.object
+            spo[canonical_subject][canonical_predicate].add(obj)
+            pos[canonical_predicate][obj].add(canonical_subject)
+            osp[obj][canonical_subject].add(canonical_predicate)
+
+    def _sorted_entities(self) -> List[Entity]:
+        if self._entities_view_generation != self._generation:
+            self._entities_view = sorted(
+                self._entities.values(), key=lambda entity: entity.entity_id
+            )
+            self._entities_view_generation = self._generation
+        return self._entities_view
 
     # ------------------------------------------------------------------
     # entities
@@ -74,14 +164,15 @@ class KnowledgeGraph:
         if not self.ontology.has_class(entity_class):
             raise ValueError(f"unknown entity class: {entity_class!r}")
         entity = Entity(
-            entity_id=entity_id,
+            entity_id=self._interned.setdefault(entity_id, entity_id),
             name=name,
             entity_class=entity_class,
             aliases=set(aliases),
         )
-        self._entities[entity_id] = entity
+        self._entities[entity.entity_id] = entity
         for alias in entity.all_names():
             self._name_index[alias.lower()].add(entity_id)
+        self._generation += 1
         return entity
 
     def entity(self, entity_id: str) -> Entity:
@@ -96,7 +187,7 @@ class KnowledgeGraph:
 
     def entities(self, entity_class: Optional[str] = None) -> Iterator[Entity]:
         """Iterate entities, optionally restricted to a class subtree."""
-        for entity in sorted(self._entities.values(), key=lambda e: e.entity_id):
+        for entity in self._sorted_entities():
             if entity_class is None or self.ontology.is_subclass_of(
                 entity.entity_class, entity_class
             ):
@@ -133,19 +224,28 @@ class KnowledgeGraph:
         signal.  With ``validate=True`` the ontology must accept the triple
         (entity-based rigidity); by default validation is advisory.
         """
-        if triple.subject not in self._entities:
-            raise ValueError(f"unknown subject entity: {triple.subject!r}")
+        subject = triple.subject
+        if subject not in self._entities:
+            raise ValueError(f"unknown subject entity: {subject!r}")
         if validate:
-            subject_class = self._entities[triple.subject].entity_class
+            subject_class = self._entities[subject].entity_class
             problems = self.ontology.validate_triple(triple, subject_class)
             if problems:
                 raise ValueError(f"triple rejected: {'; '.join(problems)}")
-        is_new = triple not in self._triples
+        triples = self._triples
+        before = len(triples)
+        triples.add(triple)
+        is_new = len(triples) != before
         if is_new:
-            self._triples.add(triple)
-            self._spo[triple.subject][triple.predicate].add(triple.object)
-            self._pos[triple.predicate][triple.object].add(triple.subject)
-            self._osp[triple.object][triple.subject].add(triple.predicate)
+            interned = self._interned
+            canonical_subject = interned.setdefault(subject, subject)
+            predicate = triple.predicate
+            canonical_predicate = interned.setdefault(predicate, predicate)
+            obj = triple.object
+            self._spo[canonical_subject][canonical_predicate].add(obj)
+            self._pos[canonical_predicate][obj].add(canonical_subject)
+            self._osp[obj][canonical_subject].add(canonical_predicate)
+            self._generation += 1
         if provenance is not None:
             self._provenance[triple].append(provenance)
             obs_lineage.record_observation(
@@ -163,15 +263,113 @@ class KnowledgeGraph:
         """Convenience wrapper around :meth:`add_triple`."""
         return self.add_triple(Triple(subject, predicate, obj), **kwargs)
 
+    def add_triples_batch(
+        self, items: Iterable[BatchItem], validate: bool = False
+    ) -> int:
+        """Ingest many triples in one pass; returns how many were new.
+
+        ``items`` mixes bare :class:`Triple` objects and
+        ``(triple, provenance)`` pairs.  Observably identical to calling
+        :meth:`add_triple` per item — same query answers, provenance lists,
+        and lineage events in the same order — but the loop touches only
+        primary storage: SPO/POS/OSP row construction is deferred to
+        :meth:`_ensure_indexes` (paid once by the first index-backed read),
+        and lineage recording is flushed to the ledger once, under a single
+        lock acquisition.
+        """
+        entities = self._entities
+        triples = self._triples
+        triples_add = triples.add
+        # setdefault instead of defaultdict __getitem__: a miss would hash
+        # the triple twice (lookup + __missing__ insertion).
+        provenance_row = self._provenance.setdefault
+        ontology = self.ontology
+        lineage_on = obs_lineage.lineage_enabled()
+        pending: List[Tuple[str, str, Value, str, Optional[str], float]] = []
+        pending_append = pending.append
+        # Duplicates are harmless in the deferred-index queue (row inserts
+        # are idempotent set adds), so every item is queued without a
+        # per-item newness probe; the new-triple count falls out of the
+        # triple-set size delta once at the end.
+        index_queue_append = self._pending_index.append
+        n_before = len(triples)
+        n_new = 0
+        try:
+            for item in items:
+                if type(item) is tuple:
+                    triple, provenance = item
+                else:
+                    triple = item
+                    provenance = None
+                subject = triple.subject
+                if subject not in entities:
+                    raise ValueError(f"unknown subject entity: {subject!r}")
+                if validate:
+                    problems = ontology.validate_triple(
+                        triple, entities[subject].entity_class
+                    )
+                    if problems:
+                        raise ValueError(f"triple rejected: {'; '.join(problems)}")
+                triples_add(triple)
+                index_queue_append(triple)
+                if provenance is not None:
+                    provenance_row(triple, []).append(provenance)
+                    if lineage_on:
+                        pending_append(
+                            (
+                                subject,
+                                triple.predicate,
+                                triple.object,
+                                provenance.source,
+                                provenance.extractor,
+                                provenance.confidence,
+                            )
+                        )
+        finally:
+            # One generation bump and one ledger flush per batch — also on
+            # mid-batch errors, so partial state matches the per-call path.
+            n_new = len(triples) - n_before
+            if n_new:
+                self._generation += 1
+            if pending:
+                obs_lineage.record_observation_batch(pending, stage="graph.add_triple")
+        return n_new
+
     def remove_triple(self, triple: Triple) -> bool:
-        """Delete a triple and its provenance; True when it existed."""
-        if triple not in self._triples:
+        """Delete a triple and its provenance; True when it existed.
+
+        Emptied index rows are pruned so heavy merge/remove churn cannot
+        grow ``_spo``/``_pos``/``_osp`` without bound.
+        """
+        triples = self._triples
+        if triple not in triples:
             return False
-        self._triples.discard(triple)
+        self._ensure_indexes()
+        triples.discard(triple)
         self._provenance.pop(triple, None)
-        self._spo[triple.subject][triple.predicate].discard(triple.object)
-        self._pos[triple.predicate][triple.object].discard(triple.subject)
-        self._osp[triple.object][triple.subject].discard(triple.predicate)
+        subject, predicate, obj = triple.subject, triple.predicate, triple.object
+        by_predicate = self._spo[subject]
+        objects = by_predicate[predicate]
+        objects.discard(obj)
+        if not objects:
+            del by_predicate[predicate]
+            if not by_predicate:
+                del self._spo[subject]
+        by_object = self._pos[predicate]
+        subjects = by_object[obj]
+        subjects.discard(subject)
+        if not subjects:
+            del by_object[obj]
+            if not by_object:
+                del self._pos[predicate]
+        by_subject = self._osp[obj]
+        predicates = by_subject[subject]
+        predicates.discard(predicate)
+        if not predicates:
+            del by_subject[subject]
+            if not by_subject:
+                del self._osp[obj]
+        self._generation += 1
         return True
 
     def __contains__(self, triple: Triple) -> bool:
@@ -181,8 +379,8 @@ class KnowledgeGraph:
         return len(self._triples)
 
     def triples(self) -> Iterator[Triple]:
-        """Iterate all triples in deterministic order."""
-        return iter(sorted(self._triples))
+        """Iterate all triples in deterministic order (cached view)."""
+        return iter(self._sorted_triples())
 
     def provenance(self, triple: Triple) -> List[Provenance]:
         """All provenance records attached to a triple."""
@@ -210,9 +408,13 @@ class KnowledgeGraph:
     ) -> List[Triple]:
         """Match a triple pattern; ``None`` components are wildcards.
 
-        Uses whichever index binds the most components, so no full scan is
-        needed unless all three components are wildcards.
+        Uses whichever index binds the most components; the all-wildcard
+        case returns the cached sorted view, so no per-call sort or scan
+        is needed.
         """
+        if subject is None and predicate is None and obj is None:
+            return list(self._sorted_triples())
+        self._ensure_indexes()
         if subject is not None and predicate is not None:
             objects = self._spo.get(subject, {}).get(predicate, set())
             if obj is not None:
@@ -241,14 +443,46 @@ class KnowledgeGraph:
                 for pred in predicates:
                     results.append(Triple(subj, pred, obj))
             return sorted(results)
-        return list(self.triples())
+        raise AssertionError("unreachable: all-wildcard handled above")  # pragma: no cover
+
+    def pattern_cardinality(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Optional[Value] = None,
+    ) -> int:
+        """Exact size of ``query(...)``'s answer from index row sizes alone.
+
+        Costs one or two dict probes (plus a row-length sum for single
+        bound components) and never materializes triples — the selectivity
+        estimate join planning (``conjunctive_query``) orders patterns by.
+        """
+        if subject is None and predicate is None and obj is None:
+            return len(self._triples)
+        self._ensure_indexes()
+        if subject is not None and predicate is not None:
+            objects = self._spo.get(subject, {}).get(predicate, ())
+            if obj is not None:
+                return 1 if obj in objects else 0
+            return len(objects)
+        if subject is not None:
+            if obj is not None:
+                return len(self._osp.get(obj, {}).get(subject, ()))
+            return sum(len(objects) for objects in self._spo.get(subject, {}).values())
+        if predicate is not None:
+            if obj is not None:
+                return len(self._pos.get(predicate, {}).get(obj, ()))
+            return sum(len(subjects) for subjects in self._pos.get(predicate, {}).values())
+        return sum(len(predicates) for predicates in self._osp.get(obj, {}).values())
 
     def objects(self, subject: str, predicate: str) -> List[Value]:
         """All objects of (subject, predicate, ?)."""
+        self._ensure_indexes()
         return sorted(self._spo.get(subject, {}).get(predicate, set()), key=str)
 
     def one_object(self, subject: str, predicate: str) -> Optional[Value]:
         """A single object if exactly one exists, else None."""
+        self._ensure_indexes()
         objects = self._spo.get(subject, {}).get(predicate, set())
         if len(objects) == 1:
             return next(iter(objects))
@@ -256,6 +490,7 @@ class KnowledgeGraph:
 
     def subjects(self, predicate: str, obj: Value) -> List[str]:
         """All subjects of (?, predicate, object)."""
+        self._ensure_indexes()
         return sorted(self._pos.get(predicate, {}).get(obj, set()))
 
     def neighbors(self, entity_id: str) -> List[Tuple[str, str, bool]]:
@@ -264,6 +499,7 @@ class KnowledgeGraph:
         Only object-valued edges whose object is itself an entity count —
         the "connected graph" structure of Fig. 1(a).
         """
+        self._ensure_indexes()
         result: List[Tuple[str, str, bool]] = []
         for predicate, objects in self._spo.get(entity_id, {}).items():
             for obj in objects:
@@ -284,25 +520,40 @@ class KnowledgeGraph:
         This is how entity linkage decisions materialize: "we have a
         distinct node in the KG to represent a real-world entity" (Sec. 2.2).
         Aliases and provenance move over; duplicate triples collapse.
+
+        Walks the dropped entity's SPO row (outgoing triples) and OSP row
+        (incoming references) instead of scanning the whole triple set, so
+        one merge costs O(degree(drop)) — the linkage stage applies
+        thousands of these.
         """
         keep = self.entity(keep_id)
         drop = self.entity(drop_id)
+        if keep_id == drop_id:
+            raise ValueError(f"cannot merge entity {keep_id!r} into itself")
+        self._ensure_indexes()
         rewritten = 0
-        for triple in [t for t in self._triples if t.subject == drop_id]:
-            records = self._provenance.get(triple, [])
-            self.remove_triple(triple)
-            replacement = triple.replace_subject(keep_id)
-            self.add_triple(replacement)
-            for record in records:
-                self._provenance[replacement].append(record)
+        # Outgoing first, then incoming — the incoming row is re-read after
+        # the first pass so a (drop, p, drop) self-loop is rewritten twice,
+        # exactly like the scan-based algorithm.
+        outgoing = [
+            (predicate, obj)
+            for predicate, objects in self._spo.get(drop_id, {}).items()
+            for obj in objects
+        ]
+        for predicate, obj in outgoing:
+            self._rewrite_triple(
+                Triple(drop_id, predicate, obj), Triple(keep_id, predicate, obj)
+            )
             rewritten += 1
-        for triple in [t for t in self._triples if t.object == drop_id]:
-            records = self._provenance.get(triple, [])
-            self.remove_triple(triple)
-            replacement = triple.replace_object(keep_id)
-            self.add_triple(replacement)
-            for record in records:
-                self._provenance[replacement].append(record)
+        incoming = [
+            (subject, predicate)
+            for subject, predicates in self._osp.get(drop_id, {}).items()
+            for predicate in predicates
+        ]
+        for subject, predicate in incoming:
+            self._rewrite_triple(
+                Triple(subject, predicate, drop_id), Triple(subject, predicate, keep_id)
+            )
             rewritten += 1
         for alias in drop.all_names():
             keep.aliases.add(alias)
@@ -310,10 +561,19 @@ class KnowledgeGraph:
             self._name_index[alias.lower()].add(keep_id)
         keep.aliases.discard(keep.name)
         del self._entities[drop_id]
+        self._generation += 1
         obs_lineage.record_merge(
             keep_id, drop_id, n_rewritten=rewritten, stage="graph.merge_entities"
         )
         return rewritten
+
+    def _rewrite_triple(self, old: Triple, new: Triple) -> None:
+        """Replace ``old`` with ``new``, carrying provenance records over."""
+        records = self._provenance.get(old, [])
+        self.remove_triple(old)
+        self.add_triple(new)
+        if records:
+            self._provenance[new].extend(records)
 
     # ------------------------------------------------------------------
     # stats
@@ -339,8 +599,8 @@ class KnowledgeGraph:
             clone.add_entity(
                 entity.entity_id, entity.name, entity.entity_class, aliases=entity.aliases
             )
-        for triple in self._triples:
-            clone.add_triple(triple)
-            for record in self._provenance.get(triple, []):
-                clone._provenance[triple].append(record)
+        clone.add_triples_batch(self._triples)
+        for triple, records in self._provenance.items():
+            if records:
+                clone._provenance[triple].extend(records)
         return clone

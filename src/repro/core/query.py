@@ -64,16 +64,37 @@ def match_pattern(graph: KnowledgeGraph, pattern: TriplePattern) -> Iterator[Bin
         yield binding
 
 
+def pattern_selectivity(graph: KnowledgeGraph, pattern: TriplePattern) -> int:
+    """Estimated matches for one pattern (variables as wildcards).
+
+    Exact for the pattern in isolation — it reads index row sizes via
+    :meth:`KnowledgeGraph.pattern_cardinality` without materializing
+    triples — and an upper bound once earlier join steps bind variables.
+    """
+    return graph.pattern_cardinality(
+        subject=None if is_variable(pattern.subject) else pattern.subject,
+        predicate=None if is_variable(pattern.predicate) else pattern.predicate,
+        obj=None if is_variable(pattern.object) else pattern.object,
+    )
+
+
 def conjunctive_query(
-    graph: KnowledgeGraph, patterns: Sequence[TriplePattern]
+    graph: KnowledgeGraph, patterns: Sequence[TriplePattern], reorder: bool = True
 ) -> List[Binding]:
     """Join a sequence of patterns; returns all consistent variable bindings.
 
-    Patterns are evaluated left-to-right with bindings threaded through, so
-    order the most selective pattern first for speed (as in any join).
+    Patterns are evaluated left-to-right with bindings threaded through.
+    By default they are first reordered most-selective-first (smallest
+    index-estimated match count leads, ties keeping caller order), so the
+    join frontier stays small regardless of how the caller wrote the
+    query; ``reorder=False`` restores strict caller ordering.  The
+    solution *set* is order-independent either way.
     """
+    ordered = list(patterns)
+    if reorder and len(ordered) > 1 and hasattr(graph, "pattern_cardinality"):
+        ordered.sort(key=lambda pattern: pattern_selectivity(graph, pattern))
     solutions: List[Binding] = [{}]
-    for pattern in patterns:
+    for pattern in ordered:
         next_solutions: List[Binding] = []
         for binding in solutions:
             bound = pattern.bind(binding)
@@ -111,21 +132,35 @@ class PathQuery:
         if not self.graph.has_entity(start) or not self.graph.has_entity(goal):
             return []
         results: List[List[Tuple[str, int, str]]] = []
-        stack: List[Tuple[str, List[Tuple[str, int, str]]]] = [(start, [])]
+        # Each frame carries its own visited set (start + path nodes), so
+        # it is extended incrementally on push instead of being rebuilt
+        # from the path on every pop; neighbor lists are fetched from the
+        # graph once per node within one search.
+        stack: List[Tuple[str, List[Tuple[str, int, str]], frozenset]] = [
+            (start, [], frozenset((start,)))
+        ]
+        neighbor_cache: Dict[str, List[Tuple[str, str, bool]]] = {}
         while stack and len(results) < max_paths:
-            node, path = stack.pop()
+            node, path, visited = stack.pop()
             if node == goal and path:
                 results.append(path)
                 continue
             if len(path) >= self.max_length:
                 continue
-            visited = {start} | {step[2] for step in path}
-            for relation, neighbor, outgoing in self.graph.neighbors(node):
+            neighbors = neighbor_cache.get(node)
+            if neighbors is None:
+                neighbors = neighbor_cache[node] = self.graph.neighbors(node)
+            for relation, neighbor, outgoing in neighbors:
                 if neighbor in visited and neighbor != goal:
                     continue
-                if neighbor == goal or neighbor not in visited:
-                    direction = 1 if outgoing else -1
-                    stack.append((neighbor, path + [(relation, direction, neighbor)]))
+                direction = 1 if outgoing else -1
+                stack.append(
+                    (
+                        neighbor,
+                        path + [(relation, direction, neighbor)],
+                        visited | {neighbor},
+                    )
+                )
         return results
 
     def relation_paths(self, start: str, goal: str, max_paths: int = 100) -> List[Tuple]:

@@ -10,6 +10,7 @@ reasons over.
 
 from __future__ import annotations
 
+
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
@@ -74,6 +75,12 @@ class Triple:
             raise ValueError("triple predicate must be non-empty")
         if self.object is None or (isinstance(self.object, str) and not self.object):
             raise ValueError("triple object must be non-empty")
+        # Triples are hashed several times per graph insertion (triple set,
+        # provenance table, index rows); computing the tuple hash once here
+        # keeps every later probe a single attribute load.
+        object.__setattr__(
+            self, "_hash", hash((self.subject, self.predicate, self.object))
+        )
 
     def as_tuple(self) -> Tuple[str, str, Value]:
         """The plain (s, p, o) tuple."""
@@ -89,6 +96,16 @@ class Triple:
 
     def __str__(self) -> str:  # pragma: no cover - repr convenience
         return f"({self.subject}, {self.predicate}, {self.object})"
+
+
+def _cached_triple_hash(self: "Triple") -> int:
+    return self._hash
+
+
+# Replace the dataclass-generated __hash__ (which rebuilds and hashes the
+# field tuple on every call) with a read of the value cached at
+# construction; same hash value, one attribute load per probe.
+Triple.__hash__ = _cached_triple_hash  # type: ignore[assignment]
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.graph import KnowledgeGraph
+from repro.core.parallel import pmap
 from repro.core.triple import AttributedTriple, Provenance, Triple
 from repro.extract.dom import DomNode, preceding_text
 from repro.ml.logistic import LogisticRegression
@@ -142,11 +143,14 @@ class DistantSupervisor:
 
         Returns ``(feature_lists, labels, n_annotated_pages)``.
         """
+        # Pages are labeled independently, so distant annotation fans out
+        # through pmap; pmap preserves page order, keeping the training
+        # rows (and hence the fitted model) identical in every mode.
+        annotated_pages = pmap(self.annotate_page, pages)
         feature_lists: List[List[str]] = []
         labels: List[str] = []
         n_annotated = 0
-        for page_root in pages:
-            annotated = self.annotate_page(page_root)
+        for annotated in annotated_pages:
             if annotated is None:
                 continue
             n_annotated += 1
@@ -225,7 +229,7 @@ class CeresExtractor:
         nodes = list(page_root.text_nodes())
         if not nodes:
             return {}
-        feature_lists = [node_feature_strings(node) for node in nodes]
+        feature_lists = pmap(node_feature_strings, nodes)
         probabilities = self._model.predict_proba(self._vocabulary.transform(feature_lists))
         best: Dict[str, Tuple[str, float]] = {}
         for node, row in zip(nodes, probabilities):

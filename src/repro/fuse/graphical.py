@@ -20,10 +20,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.parallel import pmap
 from repro.core.triple import Value
 from repro.obs import lineage as obs_lineage
 from repro.obs import metrics as obs_metrics
@@ -54,6 +56,42 @@ class FusedBelief:
     attribute: str
     value: Value
     probability: float
+
+
+def _statement_posterior(
+    n_distractors: int,
+    precision: Dict[str, float],
+    accuracy: Dict[str, float],
+    payload: Tuple[str, Dict[Value, List[str]], Dict[Value, float]],
+) -> Dict[Value, float]:
+    """Posterior over what one source states for one item.
+
+    ``payload`` is ``(source, value -> extractors, truth posterior)``.
+    Module-level so process-mode :func:`pmap` can pickle it; one call is
+    one independent E-step cell.
+    """
+    source, value_extractors, truth = payload
+    scores: Dict[Value, float] = {}
+    for value in value_extractors:
+        log_score = 0.0
+        for value2, extractor_list in value_extractors.items():
+            for extractor in extractor_list:
+                p = precision[extractor]
+                if value2 == value:
+                    log_score += np.log(p)
+                else:
+                    log_score += np.log((1 - p) / n_distractors)
+        if truth:
+            a = accuracy[source]
+            believed = truth.get(value, 0.0)
+            log_score += np.log(
+                believed * a + (1.0 - believed) * (1.0 - a) / n_distractors
+            )
+        scores[value] = log_score
+    peak = max(scores.values())
+    unnormalized = {v: np.exp(s - peak) for v, s in scores.items()}
+    total = sum(unnormalized.values())
+    return {v: s / total for v, s in unnormalized.items()}
 
 
 @dataclass
@@ -97,6 +135,11 @@ class GraphicalFusion:
 
         truth_posterior: Dict[Item, Dict[Value, float]] = {}
         statement_posterior: Dict[Tuple[Item, str], Dict[Value, float]] = {}
+        statement_cells = [
+            (item, source)
+            for item, per_source in by_item.items()
+            for source in per_source
+        ]
         for _ in range(self.n_iterations):
             # ---- E-step part 1: what does each source actually state? ----
             # Evidence combines (a) extractor readings weighted by their
@@ -105,34 +148,17 @@ class GraphicalFusion:
             # garbled reading that contradicts the cross-source consensus
             # is attributed to the extractor, not the source.  This
             # coupling is what lets the model "distinguish extraction
-            # errors and source errors" (Sec. 2.4).
-            statement_posterior = {}
-            for item, per_source in by_item.items():
-                for source, value_extractors in per_source.items():
-                    scores: Dict[Value, float] = {}
-                    truth = truth_posterior.get(item, {})
-                    for value, value_extractor_list in value_extractors.items():
-                        log_score = 0.0
-                        for value2, extractor_list in value_extractors.items():
-                            for extractor in extractor_list:
-                                p = precision[extractor]
-                                if value2 == value:
-                                    log_score += np.log(p)
-                                else:
-                                    log_score += np.log((1 - p) / self.n_distractors)
-                        if truth:
-                            a = accuracy[source]
-                            believed = truth.get(value, 0.0)
-                            log_score += np.log(
-                                believed * a + (1.0 - believed) * (1.0 - a) / self.n_distractors
-                            )
-                        scores[value] = log_score
-                    peak = max(scores.values())
-                    unnormalized = {v: np.exp(s - peak) for v, s in scores.items()}
-                    total = sum(unnormalized.values())
-                    statement_posterior[(item, source)] = {
-                        v: s / total for v, s in unnormalized.items()
-                    }
+            # errors and source errors" (Sec. 2.4).  Cells are independent
+            # given the current parameters, so they fan out through pmap;
+            # zip against ``statement_cells`` keeps key order fixed.
+            cell_posteriors = pmap(
+                partial(_statement_posterior, self.n_distractors, precision, accuracy),
+                [
+                    (source, by_item[item][source], truth_posterior.get(item, {}))
+                    for item, source in statement_cells
+                ],
+            )
+            statement_posterior = dict(zip(statement_cells, cell_posteriors))
             # ---- E-step part 2: truth posterior per item over sources. ----
             # Candidates are the observed values PLUS the hypothesis that
             # the truth is some never-extracted value ("other").  Without

@@ -9,8 +9,10 @@ reduction is one of the DESIGN.md ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Sequence, Set, Tuple
 
+from repro.core.parallel import pmap
 from repro.ml.similarity import tokenize
 
 KeyFunction = Callable[[Dict[str, object]], List[str]]
@@ -61,6 +63,11 @@ class BlockingStrategy:
         return keys
 
 
+def _record_keys(strategy: BlockingStrategy, record: Dict[str, object]) -> List[str]:
+    """Module-level key extraction so :func:`pmap` can ship it to workers."""
+    return strategy.keys(record)
+
+
 def candidate_pairs(
     left_records: Sequence[Dict[str, object]],
     right_records: Sequence[Dict[str, object]],
@@ -70,14 +77,21 @@ def candidate_pairs(
 
     Oversized blocks (beyond ``strategy.max_block_size`` on either side)
     are dropped — the classic guard against stop-word-like keys.
+
+    Key extraction — the per-record tokenize/normalize work — fans out
+    through :func:`repro.core.parallel.pmap`; block assembly stays serial
+    and keyed on record order, so results are mode-independent.
     """
+    keys_of = partial(_record_keys, strategy)
+    left_keys = pmap(keys_of, left_records)
+    right_keys = pmap(keys_of, right_records)
     left_blocks: Dict[str, List[int]] = {}
-    for index, record in enumerate(left_records):
-        for key in strategy.keys(record):
+    for index, keys in enumerate(left_keys):
+        for key in keys:
             left_blocks.setdefault(key, []).append(index)
     right_blocks: Dict[str, List[int]] = {}
-    for index, record in enumerate(right_records):
-        for key in strategy.keys(record):
+    for index, keys in enumerate(right_keys):
+        for key in keys:
             right_blocks.setdefault(key, []).append(index)
     pairs: Set[Tuple[int, int]] = set()
     for key, left_indexes in left_blocks.items():

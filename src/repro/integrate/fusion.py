@@ -15,12 +15,15 @@ Two resolvers are provided:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.parallel import pmap
 from repro.core.triple import Value
 from repro.obs import lineage as obs_lineage
 from repro.obs import metrics as obs_metrics
@@ -61,25 +64,33 @@ def _group_claims(
     return grouped
 
 
+def _vote_one_item(
+    entry: Tuple[Tuple[str, str], List[ValueClaim]],
+) -> FusionResult:
+    """Resolve one (subject, attribute) group by plurality."""
+    (subject, attribute), item_claims = entry
+    votes: Dict[Value, int] = defaultdict(int)
+    for claim in item_claims:
+        votes[claim.value] += 1
+    value, count = max(votes.items(), key=lambda item: (item[1], str(item[0])))
+    return FusionResult(
+        subject=subject,
+        attribute=attribute,
+        value=value,
+        confidence=count / len(item_claims),
+        n_claims=len(item_claims),
+    )
+
+
 @profiled("fusion.majority_vote")
 def majority_vote(claims: Iterable[ValueClaim]) -> List[FusionResult]:
-    """Most-claimed value per data item; confidence = vote share."""
-    results = []
-    for (subject, attribute), item_claims in sorted(_group_claims(claims).items()):
-        votes: Dict[Value, int] = defaultdict(int)
-        for claim in item_claims:
-            votes[claim.value] += 1
-        value, count = max(votes.items(), key=lambda item: (item[1], str(item[0])))
-        results.append(
-            FusionResult(
-                subject=subject,
-                attribute=attribute,
-                value=value,
-                confidence=count / len(item_claims),
-                n_claims=len(item_claims),
-            )
-        )
-    return results
+    """Most-claimed value per data item; confidence = vote share.
+
+    Groups are independent, so per-item resolution fans out through
+    :func:`repro.core.parallel.pmap`; the sorted grouping fixes result
+    order in every mode.
+    """
+    return pmap(_vote_one_item, sorted(_group_claims(claims).items()))
 
 
 @dataclass
@@ -107,12 +118,20 @@ class AccuFusion:
         obs_metrics.count("fusion.data_items", len(grouped))
         sources = sorted({claim.source for claim in claims})
         accuracy = {source: self.initial_accuracy for source in sources}
+        items = list(grouped.items())
         posteriors: Dict[Tuple[str, str], Dict[Value, float]] = {}
         for _ in range(self.n_iterations):
-            # E-step: value posteriors per item.
-            posteriors = {}
-            for item, item_claims in grouped.items():
-                posteriors[item] = self._item_posterior(item_claims, accuracy)
+            # E-step: value posteriors per item — items are independent
+            # given the accuracies, so the per-item computation fans out
+            # through pmap (order-preserved, results zip back to items).
+            item_posteriors = pmap(
+                partial(_accu_item_posterior, self.n_distractors, accuracy),
+                [item_claims for _, item_claims in items],
+            )
+            posteriors = {
+                item: posterior
+                for (item, _), posterior in zip(items, item_posteriors)
+            }
             # M-step: source accuracies from expected correctness.
             totals: Dict[str, float] = defaultdict(float)
             counts: Dict[str, int] = defaultdict(int)
@@ -171,21 +190,36 @@ class AccuFusion:
     def _item_posterior(
         self, item_claims: Sequence[ValueClaim], accuracy: Dict[str, float]
     ) -> Dict[Value, float]:
-        candidate_values = sorted({claim.value for claim in item_claims}, key=str)
-        log_scores = {}
-        for candidate in candidate_values:
-            log_score = 0.0
-            for claim in item_claims:
-                source_accuracy = accuracy[claim.source]
-                if claim.value == candidate:
-                    log_score += np.log(source_accuracy)
-                else:
-                    log_score += np.log((1.0 - source_accuracy) / self.n_distractors)
-            log_scores[candidate] = log_score
-        peak = max(log_scores.values())
-        unnormalized = {value: np.exp(score - peak) for value, score in log_scores.items()}
-        total = sum(unnormalized.values())
-        return {value: score / total for value, score in unnormalized.items()}
+        return _accu_item_posterior(self.n_distractors, accuracy, item_claims)
+
+
+def _accu_item_posterior(
+    n_distractors: int,
+    accuracy: Dict[str, float],
+    item_claims: Sequence[ValueClaim],
+) -> Dict[Value, float]:
+    """Posterior over one item's candidate values given source accuracies.
+
+    Module-level (not a method) so process-mode :func:`pmap` can pickle it.
+    """
+    candidate_values = sorted({claim.value for claim in item_claims}, key=str)
+    log_scores = {}
+    # math.log/math.exp, not np.log/np.exp: these are scalar calls in the
+    # EM hot loop, and the numpy ufunc dispatch costs ~2x per call for the
+    # same IEEE-754 result.
+    for candidate in candidate_values:
+        log_score = 0.0
+        for claim in item_claims:
+            source_accuracy = accuracy[claim.source]
+            if claim.value == candidate:
+                log_score += math.log(source_accuracy)
+            else:
+                log_score += math.log((1.0 - source_accuracy) / n_distractors)
+        log_scores[candidate] = log_score
+    peak = max(log_scores.values())
+    unnormalized = {value: math.exp(score - peak) for value, score in log_scores.items()}
+    total = sum(unnormalized.values())
+    return {value: score / total for value, score in unnormalized.items()}
 
 
 def claims_from_sources(

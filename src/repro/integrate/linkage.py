@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.parallel import pmap
 from repro.datagen.sources import SourceRecord, StructuredSource, true_match
 from repro.integrate.blocking import BlockingStrategy, candidate_pairs
 from repro.integrate.schema_alignment import canonicalize_record
@@ -74,6 +76,19 @@ class LinkageTask:
         )
 
 
+def _pair_feature_vector(
+    left_canonical: Sequence[Dict[str, object]],
+    right_canonical: Sequence[Dict[str, object]],
+    attributes: Tuple[str, ...],
+    pair: Tuple[int, int],
+) -> List[float]:
+    """Similarity features for one candidate pair (pmap-shippable)."""
+    left_index, right_index = pair
+    return feature_vector(
+        left_canonical[left_index], right_canonical[right_index], attributes
+    )
+
+
 @profiled("linkage.build_task")
 def build_linkage_task(
     left: StructuredSource,
@@ -94,11 +109,14 @@ def build_linkage_task(
     left_canonical = [canonicalize_record(record, left_alignment) for record in left_records]
     right_canonical = [canonicalize_record(record, right_alignment) for record in right_records]
     pairs = candidate_pairs(left_canonical, right_canonical, strategy)
+    # Pairwise similarity scoring is the linkage hot loop; fan it out
+    # through pmap (order-preserving, so the feature matrix rows always
+    # line up with ``pairs`` regardless of mode).
     features = np.array(
-        [
-            feature_vector(left_canonical[i], right_canonical[j], attributes)
-            for i, j in pairs
-        ]
+        pmap(
+            partial(_pair_feature_vector, left_canonical, right_canonical, attributes),
+            pairs,
+        )
     ) if pairs else np.zeros((0, len(attributes) + 1))
     labels = np.array(
         [1 if true_match(left_records[i], right_records[j]) else 0 for i, j in pairs],

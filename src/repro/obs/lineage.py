@@ -145,6 +145,35 @@ class LineageLedger:
             detail["extractor"] = extractor
         self._append(triple_key(subject, predicate, obj), "observation", stage, detail)
 
+    def observation_batch(
+        self,
+        items: Iterable[Tuple[str, str, object, str, Optional[str], float]],
+        *,
+        stage: str = "observe",
+    ) -> None:
+        """Record many observations under one lock acquisition.
+
+        ``items`` are ``(subject, predicate, object, source, extractor,
+        confidence)`` tuples.  Events get exactly the sequence numbers,
+        kinds, and details that per-item :meth:`observation` calls would
+        have produced — batch ingestion must leave a byte-identical
+        ledger — but the lock is taken once per batch instead of once per
+        triple.
+        """
+        with self._lock:
+            events = self._events
+            for subject, predicate, obj, source, extractor, confidence in items:
+                detail: Dict[str, object] = {
+                    "source": source,
+                    "confidence": round(float(confidence), 4),
+                }
+                if extractor is not None:
+                    detail["extractor"] = extractor
+                self._sequence += 1
+                events.setdefault((subject, predicate, str(obj)), []).append(
+                    LineageEvent(self._sequence, "observation", stage, detail)
+                )
+
     def merge(
         self,
         keep_id: str,
@@ -318,6 +347,17 @@ def record_observation(
             confidence=confidence,
             stage=stage,
         )
+
+
+def record_observation_batch(
+    items: Iterable[Tuple[str, str, object, str, Optional[str], float]],
+    *,
+    stage: str = "observe",
+) -> None:
+    """Record a batch of observations on the global ledger (no-op while
+    disabled).  See :meth:`LineageLedger.observation_batch`."""
+    if FLAGS.enabled:
+        _GLOBAL_LEDGER.observation_batch(items, stage=stage)
 
 
 def record_merge(

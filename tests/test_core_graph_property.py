@@ -1,0 +1,190 @@
+"""Property tests: index consistency and fast/naive equivalence under churn.
+
+Random interleavings of ``add_triple`` / ``add_triples_batch`` /
+``remove_triple`` / ``merge_entities`` are applied twice — once through the
+fast paths (batch ingestion with deferred index rows, index-walk merges)
+and once through the naive reference paths (per-call adds, full-scan
+merges from :mod:`repro.evalx.bench`).  Both runs must end in identical
+graph state and identical lineage ledgers, and the SPO/POS/OSP indexes
+must always be exactly the triples' projections with no empty shells.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.parallel import pmap
+from repro.core.triple import Provenance, Triple
+from repro.evalx.bench import naive_merge_entities
+from repro.obs import enabled_scope
+from repro.obs.lineage import get_ledger
+
+_ENTITY_IDS = ("e0", "e1", "e2", "e3", "e4")
+_subjects = st.sampled_from(_ENTITY_IDS)
+_predicates = st.sampled_from(("p", "q", "r"))
+_objects = st.one_of(
+    st.sampled_from(_ENTITY_IDS),
+    st.sampled_from(("x", "y", "z")),
+    st.integers(0, 9),
+)
+_prov_index = st.one_of(st.none(), st.integers(0, 2))
+_spec = st.tuples(_subjects, _predicates, _objects, _prov_index)
+
+_add_op = st.tuples(st.just("add"), _spec)
+_batch_op = st.tuples(st.just("batch"), st.lists(_spec, max_size=8))
+_remove_op = st.tuples(
+    st.just("remove"), st.tuples(_subjects, _predicates, _objects)
+)
+_merge_op = st.tuples(st.just("merge"), st.tuples(st.integers(0, 9), st.integers(0, 9)))
+
+_op_lists = st.lists(
+    st.one_of(_add_op, _batch_op, _remove_op, _merge_op), max_size=25
+)
+
+
+def _provenance(index):
+    if index is None:
+        return None
+    return Provenance(source=f"s{index}", confidence=0.5 + index / 10.0)
+
+
+def _fresh_graph():
+    ontology = Ontology()
+    ontology.add_class("Thing")
+    graph = KnowledgeGraph(ontology=ontology, name="prop")
+    for entity_id in _ENTITY_IDS:
+        graph.add_entity(entity_id, entity_id.upper(), "Thing")
+    return graph
+
+
+def _apply_ops(graph, ops, fast):
+    """Run one op sequence; ``fast`` picks batch/index-walk vs naive paths."""
+    for kind, payload in ops:
+        if kind == "add":
+            subject, predicate, obj, prov = payload
+            if graph.has_entity(subject):
+                graph.add_triple(
+                    Triple(subject, predicate, obj), provenance=_provenance(prov)
+                )
+        elif kind == "batch":
+            items = [
+                (Triple(subject, predicate, obj), _provenance(prov))
+                for subject, predicate, obj, prov in payload
+                if graph.has_entity(subject)
+            ]
+            if fast:
+                graph.add_triples_batch(items)
+            else:
+                for triple, provenance in items:
+                    graph.add_triple(triple, provenance=provenance)
+        elif kind == "remove":
+            graph.remove_triple(Triple(*payload))
+        else:  # merge
+            ids = sorted(graph._entities)
+            keep = ids[payload[0] % len(ids)]
+            drop = ids[payload[1] % len(ids)]
+            if keep == drop:
+                continue
+            if fast:
+                graph.merge_entities(keep, drop)
+            else:
+                naive_merge_entities(graph, keep, drop)
+
+
+def _expected_indexes(graph):
+    spo, pos, osp = {}, {}, {}
+    for triple in graph._triples:
+        subject, predicate, obj = triple.subject, triple.predicate, triple.object
+        spo.setdefault(subject, {}).setdefault(predicate, set()).add(obj)
+        pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
+        osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+    return spo, pos, osp
+
+
+def _actual_indexes(graph):
+    graph._ensure_indexes()
+
+    def materialize(index):
+        return {
+            key: {inner: set(values) for inner, values in row.items()}
+            for key, row in index.items()
+        }
+
+    return (
+        materialize(graph._spo),
+        materialize(graph._pos),
+        materialize(graph._osp),
+    )
+
+
+def _state(graph):
+    return {
+        "triples": set(graph._triples),
+        "provenance": {
+            triple: list(records)
+            for triple, records in graph._provenance.items()
+            if records
+        },
+        "entities": sorted(graph._entities),
+        "indexes": _actual_indexes(graph),
+    }
+
+
+def _ledger_events():
+    return {
+        key: [event.to_dict() for event in events]
+        for key, events in get_ledger()._events.items()
+    }
+
+
+@given(_op_lists)
+@settings(max_examples=30, deadline=None)
+def test_indexes_always_exact_projection(ops):
+    """Actual indexes equal the triples' projections — no stale or empty rows."""
+    graph = _fresh_graph()
+    _apply_ops(graph, ops, fast=True)
+    assert _actual_indexes(graph) == _expected_indexes(graph)
+    # Exact equality above also forbids empty shells: an empty row/set in
+    # the actual index could never appear in the projection.
+
+
+@given(_op_lists)
+@settings(max_examples=30, deadline=None)
+def test_fast_and_naive_paths_equivalent(ops):
+    """Fast batch/merge paths leave the same state and lineage as naive ones."""
+    with enabled_scope():
+        fast = _fresh_graph()
+        _apply_ops(fast, ops, fast=True)
+        fast_state = _state(fast)
+        fast_events = _ledger_events()
+        fast_sequence = get_ledger()._sequence
+    with enabled_scope():
+        naive = _fresh_graph()
+        _apply_ops(naive, ops, fast=False)
+        naive_state = _state(naive)
+        naive_events = _ledger_events()
+        naive_sequence = get_ledger()._sequence
+    assert fast_state == naive_state
+    assert fast_events == naive_events
+    assert fast_sequence == naive_sequence
+
+
+def _double(x):
+    return 2 * x
+
+
+@given(st.lists(st.integers(-100, 100), max_size=40), st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_pmap_serial_and_thread_agree(values, chunk_size):
+    expected = [_double(value) for value in values]
+    assert pmap(_double, values, mode="serial") == expected
+    assert pmap(_double, values, mode="thread", chunk_size=chunk_size) == expected
+
+
+def test_pmap_process_agrees_once():
+    """Process mode checked outside hypothesis (pool startup is slow)."""
+    values = list(range(64))
+    assert pmap(_double, values, mode="process", chunk_size=7) == [
+        2 * value for value in values
+    ]

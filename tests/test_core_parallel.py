@@ -1,0 +1,84 @@
+"""pmap: ordering, chunking, mode selection, and graceful degradation."""
+
+import pytest
+
+from repro.core import parallel
+from repro.core.parallel import MODE_ENV_VAR, default_mode, pmap
+
+
+def _square(x):
+    return x * x
+
+
+def _pair_sum(pair):
+    left, right = pair
+    return left + right
+
+
+class TestModes:
+    def test_serial_matches_comprehension(self):
+        items = list(range(37))
+        assert pmap(_square, items, mode="serial") == [x * x for x in items]
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_all_modes_agree(self, mode):
+        items = list(range(53))
+        assert pmap(_square, items, mode=mode) == [x * x for x in items]
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown pmap mode"):
+            pmap(_square, [1, 2], mode="gpu")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV_VAR, "thread")
+        assert default_mode() == "thread"
+        monkeypatch.setenv(MODE_ENV_VAR, "not-a-mode")
+        assert default_mode() == "serial"
+        monkeypatch.delenv(MODE_ENV_VAR)
+        assert default_mode() == "serial"
+
+    def test_env_default_is_used_by_pmap(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV_VAR, "thread")
+        assert pmap(_square, range(10)) == [x * x for x in range(10)]
+
+
+class TestOrderingAndChunking:
+    def test_order_preserved_with_tiny_chunks(self):
+        items = list(range(101))
+        result = pmap(_square, items, mode="thread", max_workers=4, chunk_size=3)
+        assert result == [x * x for x in items]
+
+    def test_chunked_partitions_exactly(self):
+        items = list(range(10))
+        chunks = parallel._chunked(items, 3)
+        assert [list(chunk) for chunk in chunks] == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_tuple_items(self):
+        pairs = [(i, i + 1) for i in range(20)]
+        assert pmap(_pair_sum, pairs, mode="process") == [2 * i + 1 for i in range(20)]
+
+    def test_generator_input(self):
+        assert pmap(_square, (x for x in range(12)), mode="thread") == [
+            x * x for x in range(12)
+        ]
+
+    def test_empty_and_singleton(self):
+        assert pmap(_square, [], mode="process") == []
+        assert pmap(_square, [7], mode="process") == [49]
+
+
+class TestDegradation:
+    def test_unpicklable_fn_degrades_to_serial(self):
+        captured = []
+
+        def closure(x):  # closures cannot cross a process boundary
+            captured.append(x)
+            return x + 1
+
+        assert pmap(closure, [1, 2, 3], mode="process") == [2, 3, 4]
+        assert captured == [1, 2, 3]  # really ran in this process
+
+    def test_max_workers_one_is_serial(self):
+        assert pmap(_square, range(9), mode="process", max_workers=1) == [
+            x * x for x in range(9)
+        ]

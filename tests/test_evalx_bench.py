@@ -1,0 +1,132 @@
+"""Tests for the ``repro bench`` trajectory harness."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.evalx import bench
+
+
+class TestWorkloads:
+    def test_make_triples_deterministic(self):
+        first = bench.make_triples(30, 200, seed=9)
+        second = bench.make_triples(30, 200, seed=9)
+        assert first == second
+        assert len(first) == 200
+
+    def test_run_bench_quick_single_workload(self):
+        run = bench.run_bench(quick=True, workloads=["ingest_batch"], repeats=1)
+        assert set(run.results) == {"ingest_batch"}
+        result = run.results["ingest_batch"]
+        assert result.wall_s > 0
+        assert result.ops_per_s > 0
+        assert result.speedup_vs_naive is not None and result.speedup_vs_naive > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            bench.run_bench(quick=True, workloads=["nope"], repeats=1)
+
+    def test_entry_shape(self):
+        run = bench.run_bench(quick=True, workloads=["ingest_batch"], repeats=1)
+        entry = run.to_entry()
+        assert entry["quick"] is True
+        assert "ingest_batch" in entry["workloads"]
+        workload = entry["workloads"]["ingest_batch"]
+        for key in ("wall_s", "n_ops", "ops_per_s", "speedup_vs_naive"):
+            assert key in workload
+        assert isinstance(entry["git_sha"], str)
+
+
+class TestTrajectory:
+    def _entry(self, ops_per_s, quick=False, sha="abc123"):
+        return {
+            "git_sha": sha,
+            "timestamp": 0.0,
+            "quick": quick,
+            "workloads": {
+                "ingest_batch": {
+                    "wall_s": 1.0,
+                    "n_ops": 100,
+                    "ops_per_s": ops_per_s,
+                    "speedup_vs_naive": 1.0,
+                }
+            },
+            "metrics": {},
+        }
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_core.json")
+        bench.append_entry(path, self._entry(100.0))
+        bench.append_entry(path, self._entry(120.0, sha="def456"))
+        document = bench.load_trajectory(path)
+        assert document["schema"] == bench.SCHEMA_VERSION
+        assert [e["git_sha"] for e in document["entries"]] == ["abc123", "def456"]
+
+    def test_load_missing_file_is_empty_document(self, tmp_path):
+        document = bench.load_trajectory(str(tmp_path / "nope.json"))
+        assert document["entries"] == []
+
+    def test_previous_entry_matches_mode(self, tmp_path):
+        path = str(tmp_path / "BENCH_core.json")
+        bench.append_entry(path, self._entry(100.0, quick=False, sha="full1"))
+        bench.append_entry(path, self._entry(50.0, quick=True, sha="quick1"))
+        document = bench.load_trajectory(path)
+        assert bench.previous_entry(document, quick=False)["git_sha"] == "full1"
+        assert bench.previous_entry(document, quick=True)["git_sha"] == "quick1"
+        assert bench.previous_entry({"entries": []}, quick=False) is None
+
+    def test_check_regressions_flags_big_drop(self):
+        baseline = self._entry(100.0)
+        slower = self._entry(70.0)  # 30% drop > 20% tolerance
+        regressions = bench.check_regressions(slower, baseline, tolerance=0.20)
+        assert len(regressions) == 1
+        assert regressions[0].workload == "ingest_batch"
+        assert "ingest_batch" in regressions[0].describe()
+
+    def test_check_regressions_tolerates_small_drop(self):
+        baseline = self._entry(100.0)
+        slightly_slower = self._entry(90.0)  # 10% drop within tolerance
+        assert bench.check_regressions(slightly_slower, baseline) == []
+        assert bench.check_regressions(self._entry(150.0), baseline) == []
+        assert bench.check_regressions(self._entry(10.0), None) == []
+
+
+class TestCliBench:
+    def test_bench_quick_writes_trajectory(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_core.json")
+        code = main(
+            ["bench", "--quick", "--workload", "ingest_batch", "--repeats", "1", "-o", path]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ingest_batch" in output
+        assert "starts the trajectory" in output
+        document = json.loads(open(path).read())
+        assert len(document["entries"]) == 1
+        assert document["entries"][0]["quick"] is True
+
+    def test_bench_regression_gate(self, tmp_path, capsys, monkeypatch):
+        path = str(tmp_path / "BENCH_core.json")
+        args = ["bench", "--quick", "--workload", "fusion_accu", "--repeats", "1", "-o", path]
+        assert main(args) == 0
+        capsys.readouterr()
+
+        # Fake a massive slowdown on the second run to trip the gate.
+        real_run_bench = bench.run_bench
+
+        def slowed(*call_args, **call_kwargs):
+            run = real_run_bench(*call_args, **call_kwargs)
+            for name, result in run.results.items():
+                run.results[name] = bench.WorkloadResult(
+                    name=result.name,
+                    wall_s=result.wall_s * 1000.0,
+                    n_ops=result.n_ops,
+                    naive_wall_s=result.naive_wall_s,
+                )
+            return run
+
+        monkeypatch.setattr(bench, "run_bench", slowed)
+        assert main(args) == 1
+        assert "regression" in capsys.readouterr().err
+        assert main(args + ["--warn-only"]) == 0

@@ -1,0 +1,311 @@
+"""Fast paths must be byte-identical to the naive reference algorithms.
+
+Every optimization in the performance layer (batch ingestion with deferred
+index builds, index-walk merges, join reordering, pmap fan-out) claims to
+change *speed only*.  These tests pin that claim: graph state, provenance,
+lineage ledgers, and query answers are compared structure-for-structure
+against the naive implementations the fast paths replaced.
+"""
+
+import os
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.query import PathQuery, TriplePattern, conjunctive_query
+from repro.core.triple import Provenance, Triple
+from repro.evalx import bench
+from repro.obs import enabled_scope
+from repro.obs.lineage import get_ledger
+
+
+def _ledger_events():
+    """The global ledger's event structure as plain comparable data."""
+    ledger = get_ledger()
+    return {
+        key: [event.to_dict() for event in events]
+        for key, events in ledger._events.items()
+    }
+
+
+def _index_snapshot(graph):
+    """All three indexes as plain nested dicts (empty rows dropped)."""
+    graph._ensure_indexes()
+
+    def norm(index):
+        return {
+            key: {inner: set(values) for inner, values in row.items() if values}
+            for key, row in index.items()
+            if row
+        }
+
+    return norm(graph._spo), norm(graph._pos), norm(graph._osp)
+
+
+def _graph_state(graph):
+    return {
+        "triples": set(graph._triples),
+        "provenance": {
+            triple: list(records)
+            for triple, records in graph._provenance.items()
+            if records
+        },
+        "entities": sorted(graph._entities),
+        "aliases": {
+            entity_id: set(entity.aliases)
+            for entity_id, entity in graph._entities.items()
+        },
+        "name_index": {
+            name: set(ids) for name, ids in graph._name_index.items() if ids
+        },
+        "indexes": _index_snapshot(graph),
+    }
+
+
+@pytest.fixture
+def items():
+    return bench.make_triples(n_entities=60, n_triples=700, seed=11)
+
+
+class TestBatchIngestEquivalence:
+    def test_state_identical_to_per_call_loop(self, items):
+        fast = bench._empty_graph(60)
+        fast.add_triples_batch(items)
+        slow = bench._empty_graph(60)
+        for triple, provenance in items:
+            slow.add_triple(triple, provenance=provenance)
+        assert _graph_state(fast) == _graph_state(slow)
+
+    def test_lineage_ledger_identical(self, items):
+        with enabled_scope():
+            fast = bench._empty_graph(60)
+            fast.add_triples_batch(items)
+            fast_events = _ledger_events()
+            fast_sequence = get_ledger()._sequence
+        with enabled_scope():
+            slow = bench._empty_graph(60)
+            for triple, provenance in items:
+                slow.add_triple(triple, provenance=provenance)
+            slow_events = _ledger_events()
+            slow_sequence = get_ledger()._sequence
+        assert fast_events == slow_events
+        assert fast_sequence == slow_sequence
+
+    def test_returns_new_triple_count(self, items):
+        graph = bench._empty_graph(60)
+        n_new = graph.add_triples_batch(items)
+        assert n_new == len(graph)
+        assert graph.add_triples_batch(items) == 0  # all duplicates now
+
+    def test_mixed_bare_and_provenanced_items(self):
+        graph = bench._empty_graph(4)
+        mixed = [
+            Triple("e0", "p", "x"),
+            (Triple("e1", "p", "y"), Provenance(source="s1")),
+            (Triple("e2", "p", "z"), None),
+        ]
+        assert graph.add_triples_batch(mixed) == 3
+        assert graph.provenance(Triple("e1", "p", "y")) == [Provenance(source="s1")]
+        assert graph.provenance(Triple("e0", "p", "x")) == []
+
+    def test_unknown_subject_raises_and_keeps_partial_state(self):
+        graph = bench._empty_graph(2)
+        batch = [
+            (Triple("e0", "p", "x"), None),
+            (Triple("ghost", "p", "y"), None),
+            (Triple("e1", "p", "z"), None),
+        ]
+        with pytest.raises(ValueError, match="unknown subject"):
+            graph.add_triples_batch(batch)
+        # Items before the bad one landed, exactly like the per-call loop.
+        assert Triple("e0", "p", "x") in graph
+        assert Triple("e1", "p", "z") not in graph
+        assert graph.query(subject="e0") == [Triple("e0", "p", "x")]
+
+    def test_deferred_indexes_invisible_to_readers(self, items):
+        graph = bench._empty_graph(60)
+        graph.add_triples_batch(items)
+        # Before any read the rows are pending; every read path drains them.
+        sample = items[0][0]
+        assert sample in graph
+        assert graph.query(subject=sample.subject, predicate=sample.predicate)
+        assert graph.pattern_cardinality(subject=sample.subject) > 0
+        assert not graph._pending_index
+
+
+class TestMergeEquivalence:
+    def _linked_graph(self):
+        graph = bench._build_graph(40, 400)
+        return graph
+
+    def test_fast_merge_matches_naive_scan(self):
+        pairs = bench._merge_pairs(bench.WorkloadScale(40, 400, 12, 0, 0))
+        with enabled_scope():
+            fast = self._linked_graph()
+            fast_rewrites = [
+                fast.merge_entities(keep, drop) for keep, drop in pairs
+            ]
+            fast_state = _graph_state(fast)
+            fast_events = _ledger_events()
+        with enabled_scope():
+            slow = self._linked_graph()
+            slow_rewrites = [
+                bench.naive_merge_entities(slow, keep, drop) for keep, drop in pairs
+            ]
+            slow_state = _graph_state(slow)
+            slow_events = _ledger_events()
+        assert fast_rewrites == slow_rewrites
+        assert fast_state == slow_state
+        assert fast_events == slow_events
+
+    def test_merge_after_batch_ingest(self, items):
+        fast = bench._empty_graph(60)
+        fast.add_triples_batch(items)
+        slow = bench._empty_graph(60)
+        for triple, provenance in items:
+            slow.add_triple(triple, provenance=provenance)
+        fast.merge_entities("e0", "e1")
+        bench.naive_merge_entities(slow, "e0", "e1")
+        assert _graph_state(fast) == _graph_state(slow)
+
+    def test_self_merge_rejected_by_both_paths(self):
+        graph = self._linked_graph()
+        with pytest.raises(ValueError, match="into itself"):
+            graph.merge_entities("e0", "e0")
+        with pytest.raises(ValueError, match="into itself"):
+            bench.naive_merge_entities(graph, "e0", "e0")
+
+    def test_self_loop_triple_rewrites_like_scan(self):
+        for merge in (
+            KnowledgeGraph.merge_entities,
+            bench.naive_merge_entities,
+        ):
+            ontology = Ontology()
+            ontology.add_class("Thing")
+            graph = KnowledgeGraph(ontology=ontology)
+            graph.add_entity("keep", "Keep", "Thing")
+            graph.add_entity("drop", "Drop", "Thing")
+            graph.add("drop", "knows", "drop")
+            merge(graph, "keep", "drop")
+            assert set(graph._triples) == {Triple("keep", "knows", "keep")}
+
+
+class TestRemoveTriplePruning:
+    def test_empty_rows_are_pruned(self):
+        graph = bench._empty_graph(3)
+        graph.add("e0", "p", "x")
+        graph.add("e0", "q", "e1")
+        assert graph.remove_triple(Triple("e0", "p", "x"))
+        assert "p" not in graph._spo.get("e0", {})
+        assert "p" not in graph._pos
+        assert "x" not in graph._osp
+        assert graph.remove_triple(Triple("e0", "q", "e1"))
+        assert "e0" not in graph._spo
+        assert "e1" not in graph._osp
+
+    def test_remove_missing_is_false(self):
+        graph = bench._empty_graph(2)
+        assert not graph.remove_triple(Triple("e0", "p", "x"))
+
+
+class TestQueryEquivalence:
+    def test_conjunctive_reorder_same_solutions(self):
+        graph = bench._build_graph(50, 600)
+        patterns = [
+            TriplePattern("?a", "related_to", "?b"),
+            TriplePattern("?b", "part_of", "?c"),
+            TriplePattern("?a", "label", "?name"),
+        ]
+        reordered = conjunctive_query(graph, patterns, reorder=True)
+        in_order = conjunctive_query(graph, patterns, reorder=False)
+
+        def canonical(solutions):
+            return sorted(sorted(binding.items()) for binding in solutions)
+
+        assert canonical(reordered) == canonical(in_order)
+        assert reordered  # non-degenerate join
+
+    def test_paths_match_recursive_reference(self):
+        graph = bench._build_graph(25, 200)
+        query = PathQuery(graph, max_length=3)
+
+        def reference_paths(start, goal, max_paths):
+            results = []
+
+            def walk(node, path, visited):
+                if len(results) >= max_paths:
+                    return
+                if node == goal and path:
+                    results.append(path)
+                    return
+                if len(path) >= query.max_length:
+                    return
+                for relation, neighbor, outgoing in graph.neighbors(node):
+                    if neighbor in visited and neighbor != goal:
+                        continue
+                    walk(
+                        neighbor,
+                        path + [(relation, 1 if outgoing else -1, neighbor)],
+                        visited | {neighbor},
+                    )
+
+            walk(start, [], frozenset((start,)))
+            return results
+
+        checked = 0
+        for start, goal in [("e0", "e5"), ("e3", "e9"), ("e1", "e2")]:
+            fast = query.paths(start, goal, max_paths=10_000)
+            slow = reference_paths(start, goal, max_paths=10_000)
+            assert sorted(map(tuple, (map(tuple, p) for p in fast))) == sorted(
+                map(tuple, (map(tuple, p) for p in slow))
+            )
+            checked += len(fast)
+        assert checked > 0
+
+
+class TestPmapPipelineEquivalence:
+    """Whole pipeline stages give identical results in every pmap mode."""
+
+    @pytest.fixture
+    def modes(self, monkeypatch):
+        def run_in(mode, fn):
+            monkeypatch.setenv("REPRO_PMAP_MODE", mode)
+            try:
+                return fn()
+            finally:
+                monkeypatch.delenv("REPRO_PMAP_MODE", raising=False)
+
+        return run_in
+
+    def test_fusion_identical_across_modes(self, modes):
+        from repro.integrate.fusion import AccuFusion, majority_vote
+
+        claims = bench.make_claims(n_items=80, n_sources=5, seed=5)
+
+        def run():
+            fusion = AccuFusion(n_iterations=4)
+            return (
+                majority_vote(claims),
+                fusion.fuse(claims),
+                dict(fusion.source_accuracy_),
+            )
+
+        serial = modes("serial", run)
+        assert modes("thread", run) == serial
+        assert modes("process", run) == serial
+
+    def test_linkage_features_identical_across_modes(self, modes):
+        from repro.integrate.blocking import BlockingStrategy, candidate_pairs
+
+        left = [{"name": f"Movie number {i}", "release_year": 1990 + i % 9} for i in range(40)]
+        right = [{"name": f"Movie number {i}", "release_year": 1990 + i % 9} for i in range(40)]
+        strategy = BlockingStrategy()
+
+        def run():
+            return candidate_pairs(left, right, strategy)
+
+        serial = modes("serial", run)
+        assert serial  # blocking actually produced candidates
+        assert modes("thread", run) == serial
+        assert modes("process", run) == serial
