@@ -1,0 +1,90 @@
+"""T-SERVE: per-route serving latency over a published KG snapshot.
+
+The serving claim (Sec. 1: KGs "serve heavy traffic from millions of
+users"; Sec. 5's readiness test) comes down to the request path being a
+handful of index lookups: these benchmarks time each of the four routes
+through the full serving spine — admission, read-through cache,
+scatter/gather planner over sharded replicas — plus the cache-hit path
+and the atomic snapshot publish itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController
+from repro.serve.server import InProcessClient
+from repro.serve.service import build_fixture_service
+
+
+@pytest.fixture(scope="module")
+def serve_client():
+    """A 2-shard WORLD service with a bucket too big to ever shed."""
+    admission = AdmissionController(rate=1_000_000.0, max_concurrent=64)
+    service = build_fixture_service(
+        "WORLD", n_shards=2, scale="quick", admission=admission
+    )
+    return InProcessClient(service)
+
+
+@pytest.fixture(scope="module")
+def vocab(serve_client):
+    _code, stats = serve_client.stats()
+    sample = [e for e in stats["entity_sample"] if e["predicates"]]
+    assert sample, "fixture sample must contain entities with predicates"
+    return sample
+
+
+@pytest.mark.benchmark(group="serve-latency")
+def test_serve_lookup_latency(benchmark, serve_client, vocab):
+    entity = vocab[0]
+    code, body = benchmark(
+        lambda: serve_client.lookup(entity["entity_id"], entity["predicates"][0])
+    )
+    assert code == 200 and body["status"] == "ok"
+
+
+@pytest.mark.benchmark(group="serve-latency")
+def test_serve_query_latency(benchmark, serve_client, vocab):
+    predicate = vocab[0]["predicates"][0]
+    code, body = benchmark(lambda: serve_client.query([["?s", predicate, "?o"]]))
+    assert code == 200 and body["payload"]["n_bindings"] >= 1
+
+
+@pytest.mark.benchmark(group="serve-latency")
+def test_serve_paths_latency(benchmark, serve_client, vocab):
+    start, goal = vocab[0]["entity_id"], vocab[1]["entity_id"]
+    code, body = benchmark(lambda: serve_client.paths(start, goal, max_length=3))
+    assert code == 200 and body["payload"]["resolved"]
+
+
+@pytest.mark.benchmark(group="serve-latency")
+def test_serve_ask_latency(benchmark, serve_client, vocab):
+    entity = vocab[0]
+    code, body = benchmark(
+        lambda: serve_client.ask(entity["name"], entity["predicates"][0])
+    )
+    assert code == 200 and body["payload"]["answer"]
+
+
+@pytest.mark.benchmark(group="serve-latency")
+def test_serve_cached_lookup_latency(benchmark, serve_client, vocab):
+    """The read-through hit path: same request, warmed cache."""
+    entity = vocab[2]
+    serve_client.lookup(entity["entity_id"], entity["predicates"][0])  # warm
+    code, body = benchmark(
+        lambda: serve_client.lookup(entity["entity_id"], entity["predicates"][0])
+    )
+    assert code == 200 and body["cached"]
+
+
+@pytest.mark.benchmark(group="serve-latency")
+def test_serve_publish_swap(benchmark, serve_client):
+    """Atomic snapshot publish (copy + shard + swap) on the live service."""
+    service = serve_client.service
+    snapshot = service.store.current()
+    graph = snapshot.graph
+
+    published = benchmark(lambda: service.publish(graph))
+    assert published.version > snapshot.version
+    assert service.store.current_version() == published.version

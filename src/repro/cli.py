@@ -10,6 +10,8 @@ Usage::
     python -m repro report FIG4A         # traced run -> md/json/prom report
     python -m repro bench                # perf workloads -> BENCH_core.json
     python -m repro bench --quick        # small scales (CI smoke)
+    python -m repro serve WORLD          # publish a fixture KG, serve HTTP
+    python -m repro loadgen WORLD        # load-test -> BENCH_serve.json
 
 ``run`` shells out to pytest with ``--benchmark-only`` so the output is
 identical to running the benchmark directly.  ``trace`` instead runs a
@@ -25,6 +27,14 @@ merge-heavy linkage, the query mix, fusion), appends a git-SHA-keyed
 entry to the ``BENCH_core.json`` trajectory, and exits non-zero when any
 workload's throughput regresses beyond ``--tolerance`` vs the previous
 same-mode entry (``--warn-only`` downgrades that to a warning).
+``serve`` builds one of the serving fixtures (``WORLD``, ``FIG4A``),
+publishes it as an immutable snapshot across ``--shards`` replicas, and
+serves the four-route JSON API over HTTP until interrupted (or for
+``--duration`` seconds).  ``loadgen`` drives a running server (pass its
+URL) or an in-process service (pass a fixture id) with a deterministic
+request mix in a closed or open loop, prints throughput and latency
+percentiles, and appends an entry to the ``BENCH_serve.json`` trajectory
+with the same regression gate as ``bench``.
 """
 
 from __future__ import annotations
@@ -260,6 +270,145 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Publish a fixture snapshot and serve the JSON API over HTTP."""
+    import time
+
+    from repro.serve.server import start_server
+    from repro.serve.service import SERVE_FIXTURES, build_fixture_service
+
+    fixture_id = args.fixture_id.upper()
+    if fixture_id not in SERVE_FIXTURES:
+        print(
+            f"unknown serve fixture {args.fixture_id!r}; "
+            f"available: {', '.join(sorted(SERVE_FIXTURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    scale = "quick" if args.quick else "full"
+    print(f"building fixture {fixture_id} ({scale}, {args.shards} shard(s))...")
+    service = build_fixture_service(
+        fixture_id, n_shards=args.shards, scale=scale, with_lm=not args.no_lm
+    )
+    server, _thread = start_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    snapshot = service.store.current()
+    assert snapshot is not None
+    print(
+        f"serving {fixture_id} snapshot v{snapshot.version} "
+        f"({len(snapshot.graph)} triples, {args.shards} shard(s)) "
+        f"on http://{host}:{port}"
+    )
+    print("routes: /lookup /paths /query /ask /stats /healthz  (Ctrl-C to stop)")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Load-test a server (URL) or fixture (id); extend BENCH_serve.json."""
+    from repro.evalx import loadgen
+    from repro.evalx.tables import render_table
+    from repro.serve.server import HTTPClient, InProcessClient
+
+    target = args.target
+    if target.startswith("http://") or target.startswith("https://"):
+        client = HTTPClient(target)
+        where = target
+    else:
+        from repro.serve.service import SERVE_FIXTURES, build_fixture_service
+
+        fixture_id = target.upper()
+        if fixture_id not in SERVE_FIXTURES:
+            print(
+                f"loadgen target must be a URL or a fixture id "
+                f"({', '.join(sorted(SERVE_FIXTURES))}); got {target!r}",
+                file=sys.stderr,
+            )
+            return 2
+        scale = "quick" if args.quick else "full"
+        print(f"building fixture {fixture_id} ({scale}, {args.shards} shard(s))...")
+        service = build_fixture_service(fixture_id, n_shards=args.shards, scale=scale)
+        client = InProcessClient(service)
+        where = f"in-process {fixture_id}"
+
+    report = loadgen.run_loadgen(
+        client,
+        duration_s=args.duration,
+        mode=args.mode,
+        rps=args.rps,
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+
+    rows = []
+    for route in sorted({outcome.route for outcome in report.outcomes}):
+        summary = report.latency_summary(route)
+        rows.append(
+            [
+                route,
+                summary["n"],
+                f"{summary['n'] / report.duration_s:.1f}",
+                f"{summary['p50_ms']:.2f}",
+                f"{summary['p95_ms']:.2f}",
+                f"{summary['p99_ms']:.2f}",
+            ]
+        )
+    overall = report.latency_summary()
+    rows.append(
+        [
+            "overall",
+            report.n_requests,
+            f"{report.throughput_rps:.1f}",
+            f"{overall['p50_ms']:.2f}",
+            f"{overall['p95_ms']:.2f}",
+            f"{overall['p99_ms']:.2f}",
+        ]
+    )
+    print(
+        render_table(
+            title=f"loadgen {args.mode} loop vs {where} ({report.duration_s:.1f}s)",
+            columns=["route", "n", "rps", "p50_ms", "p95_ms", "p99_ms"],
+            rows=rows,
+            note=(
+                f"statuses {report.status_counts()} "
+                f"degraded {report.degraded_counts() or '{}'} "
+                f"5xx {report.n_server_errors}"
+            ),
+        )
+    )
+
+    output_path = args.output or os.path.join(_repo_root(), loadgen.TRAJECTORY_BASENAME)
+    entry, regressions = loadgen.record_trajectory(
+        report, output_path, tolerance=args.tolerance
+    )
+    print(f"trajectory entry ({'quick' if entry['quick'] else 'full'}) -> {output_path}")
+    exit_code = 0
+    if report.n_server_errors:
+        print(f"{report.n_server_errors} server error(s) (5xx)", file=sys.stderr)
+        exit_code = 1
+    if regressions:
+        print(
+            f"{len(regressions)} throughput regression(s) beyond {args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for regression in regressions:
+            print(f"  {regression.describe()}", file=sys.stderr)
+        exit_code = 1
+    if args.warn_only and exit_code:
+        print("warn-only mode: not failing the run")
+        return 0
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -351,6 +500,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="print regressions but exit 0 (PR smoke mode)",
     )
     bench_parser.set_defaults(func=cmd_bench)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="publish a fixture KG snapshot and serve the JSON API"
+    )
+    serve_parser.add_argument("fixture_id", help="a serve fixture id (WORLD, FIG4A)")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "-p", "--port", type=int, default=8901, help="port (0 = OS-assigned; default: 8901)"
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1, help="read-replica shard count (default: 1)"
+    )
+    serve_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (default: until Ctrl-C)",
+    )
+    serve_parser.add_argument(
+        "--quick", action="store_true", help="small fixture scale (CI smoke)"
+    )
+    serve_parser.add_argument(
+        "--no-lm", action="store_true", help="skip the LM; `ask` answers KG-only"
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="load-test a serving endpoint and extend BENCH_serve.json"
+    )
+    loadgen_parser.add_argument(
+        "target", help="a server URL (http://...) or a fixture id for in-process"
+    )
+    loadgen_parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed loop (back-to-back workers) or open loop (scheduled arrivals)",
+    )
+    loadgen_parser.add_argument(
+        "--rps", type=float, default=100.0, help="open-loop arrival rate (default: 100)"
+    )
+    loadgen_parser.add_argument(
+        "--duration", type=float, default=10.0, help="seconds to run (default: 10)"
+    )
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=8, help="worker threads (default: 8)"
+    )
+    loadgen_parser.add_argument(
+        "--shards", type=int, default=1, help="shards for in-process targets (default: 1)"
+    )
+    loadgen_parser.add_argument(
+        "--quick", action="store_true", help="small fixture scale for in-process targets"
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=31, help="request-plan seed (default: 31)"
+    )
+    loadgen_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="trajectory file (default: BENCH_serve.json at the repo root)",
+    )
+    loadgen_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative throughput drop vs the previous entry (default: 0.20)",
+    )
+    loadgen_parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print regressions/errors but exit 0 (PR smoke mode)",
+    )
+    loadgen_parser.set_defaults(func=cmd_loadgen)
     return parser
 
 

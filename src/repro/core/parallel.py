@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -39,15 +40,47 @@ MODE_ENV_VAR = "REPRO_PMAP_MODE"
 _MODES = ("serial", "thread", "process")
 
 
+class PmapWorkerError(Exception):
+    """Carries a worker's original traceback text across the pool boundary.
+
+    Raised as the ``__cause__`` of the re-raised worker exception (so the
+    failing item's real stack — lost when an exception crosses a process
+    boundary — still prints), and as the replacement exception when the
+    original does not pickle.
+    """
+
+
+class _WorkerFailure:
+    """A worker exception captured in-pool, returned instead of raised."""
+
+    __slots__ = ("exc", "formatted")
+
+    def __init__(self, exc: BaseException, formatted: str):
+        self.exc = exc
+        self.formatted = formatted
+
+
 def default_mode() -> str:
     """The mode used when a call site passes ``mode=None``."""
     mode = os.environ.get(MODE_ENV_VAR, "serial").strip().lower() or "serial"
     return mode if mode in _MODES else "serial"
 
 
-def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: Sequence[ItemT]) -> List[ResultT]:
-    """Worker body: apply ``fn`` to one chunk, preserving chunk order."""
-    return [fn(item) for item in chunk]
+def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: Sequence[ItemT]):
+    """Worker body: apply ``fn`` to one chunk, preserving chunk order.
+
+    Failures come back as :class:`_WorkerFailure` rather than raising, so
+    the coordinator can re-raise the *original* exception with the worker
+    traceback chained — ``pool.map`` alone loses the worker-side stack
+    for process pools.
+    """
+    try:
+        return [fn(item) for item in chunk]
+    except BaseException as exc:
+        formatted = traceback.format_exc()
+        if not _picklable(exc):
+            exc = PmapWorkerError(f"{type(exc).__name__}: {exc}")
+        return _WorkerFailure(exc, formatted)
 
 
 def _chunked(items: Sequence[ItemT], chunk_size: int) -> List[Sequence[ItemT]]:
@@ -115,5 +148,12 @@ def pmap(
         chunk_results = list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
     results: List[ResultT] = []
     for chunk_result in chunk_results:
+        if isinstance(chunk_result, _WorkerFailure):
+            # Re-raise the worker's exception with its original traceback
+            # chained, and deterministically: the first failing chunk in
+            # input order wins, regardless of completion order.
+            raise chunk_result.exc from PmapWorkerError(
+                f"pmap worker failed; original traceback:\n{chunk_result.formatted}"
+            )
         results.extend(chunk_result)
     return results

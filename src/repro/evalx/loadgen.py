@@ -1,0 +1,430 @@
+"""``repro loadgen`` — the serving load-test harness.
+
+Drives a serving endpoint (the in-process client or the HTTP client from
+:mod:`repro.serve.server` — both expose the same ``(status, body)``
+contract) with a deterministic request mix over the served entities, in
+one of two loops:
+
+* **closed loop** — ``concurrency`` workers issue requests back-to-back;
+  throughput is what the service can sustain, latency is per-request
+  service time.  The classic "how fast can it go" measurement.
+* **open loop** — requests arrive on a fixed schedule at ``rps``
+  regardless of completions, which is how real traffic behaves: when the
+  service falls behind, arrivals queue and measured latency includes the
+  queueing delay.  This is the loop that exercises the admission
+  controller's degradation ladder honestly.
+
+Each run produces a :class:`LoadgenReport` — throughput, p50/p95/p99
+latency (overall and per route), status and degradation counts — and
+appends one trajectory entry to ``BENCH_serve.json`` through the same
+machinery :mod:`repro.evalx.bench` uses for ``BENCH_core.json``, so the
+serving trajectory gates regressions exactly like the core one.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.evalx.bench import (
+    append_entry,
+    check_regressions,
+    current_git_sha,
+    load_trajectory,
+    previous_entry,
+    Regression,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Default trajectory file for serving runs (repo root, next to BENCH_core).
+TRAJECTORY_BASENAME = "BENCH_serve.json"
+
+#: Route mix weights: read-heavy, like real KG serving traffic (Sec. 1).
+DEFAULT_MIX: Dict[str, float] = {"lookup": 0.45, "query": 0.20, "paths": 0.15, "ask": 0.20}
+
+#: A run is "quick" (CI smoke scale) at or under this duration.
+QUICK_DURATION_S = 5.0
+
+
+# ---------------------------------------------------------------------------
+# request planning
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One request in the deterministic plan: a route and its kwargs."""
+
+    route: str
+    kwargs: Dict[str, object]
+
+
+def build_request_plan(
+    entity_sample: Sequence[Dict[str, object]],
+    n_requests: int,
+    mix: Optional[Dict[str, float]] = None,
+    seed: int = 31,
+) -> List[PlannedRequest]:
+    """A seeded request plan over the served vocabulary.
+
+    Drawing from a bounded entity sample means repeats are frequent —
+    deliberately, so the read-through cache sees realistic re-ask rates.
+    The plan is fully determined by ``(entity_sample, n_requests, mix,
+    seed)``: the shard-invariance tests replay the identical plan against
+    1-shard and 4-shard services.
+    """
+    usable = [e for e in entity_sample if e.get("predicates")]
+    if not usable:
+        raise ValueError("entity sample has no entities with predicates to query")
+    mix = dict(mix) if mix else dict(DEFAULT_MIX)
+    total_weight = sum(mix.values())
+    if total_weight <= 0:
+        raise ValueError(f"request mix weights must sum to > 0, got {mix}")
+    routes = sorted(mix)
+    weights = [mix[route] / total_weight for route in routes]
+    rng = random.Random(seed)
+    plan: List[PlannedRequest] = []
+    for _ in range(n_requests):
+        route = rng.choices(routes, weights=weights)[0]
+        entity = rng.choice(usable)
+        predicate = rng.choice(entity["predicates"])  # type: ignore[arg-type]
+        if route == "lookup":
+            kwargs: Dict[str, object] = {
+                "subject": entity["entity_id"],
+                "predicate": predicate,
+            }
+        elif route == "ask":
+            kwargs = {"subject": str(entity["name"]), "predicate": predicate}
+        elif route == "paths":
+            other = rng.choice(usable)
+            kwargs = {
+                "start": entity["entity_id"],
+                "goal": other["entity_id"],
+                "max_length": 3,
+                "max_paths": 10,
+            }
+        else:  # query
+            if rng.random() < 0.5:
+                kwargs = {"patterns": [[entity["entity_id"], predicate, "?o"]]}
+            else:
+                kwargs = {"patterns": [["?s", predicate, "?o"]]}
+        plan.append(PlannedRequest(route=route, kwargs=kwargs))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# measurement
+
+
+@dataclass
+class RequestOutcome:
+    """What one issued request came back with."""
+
+    route: str
+    status_code: int
+    latency_ms: float
+    cached: bool = False
+    degraded: Optional[str] = None
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(fraction * len(sorted_values))))
+    return sorted_values[index]
+
+
+@dataclass
+class LoadgenReport:
+    """One load-test run's results (and its trajectory entry)."""
+
+    mode: str
+    duration_s: float
+    target_rps: Optional[float]
+    concurrency: int
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def n_server_errors(self) -> int:
+        """5xx-equivalents (the overload acceptance gate: must be zero)."""
+        return sum(1 for outcome in self.outcomes if outcome.status_code >= 500)
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            key = str(outcome.status_code)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def degraded_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.degraded:
+                counts[outcome.degraded] = counts.get(outcome.degraded, 0) + 1
+        return counts
+
+    def latency_summary(self, route: Optional[str] = None) -> Dict[str, float]:
+        """p50/p95/p99/mean latency (ms), overall or for one route."""
+        values = sorted(
+            outcome.latency_ms
+            for outcome in self.outcomes
+            if route is None or outcome.route == route
+        )
+        if not values:
+            return {"n": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        return {
+            "n": len(values),
+            "mean_ms": round(sum(values) / len(values), 3),
+            "p50_ms": round(_percentile(values, 0.50), 3),
+            "p95_ms": round(_percentile(values, 0.95), 3),
+            "p99_ms": round(_percentile(values, 0.99), 3),
+        }
+
+    def cache_hit_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def to_entry(self) -> Dict[str, object]:
+        """A ``BENCH_serve.json`` trajectory entry.
+
+        Per-route blocks carry ``ops_per_s`` so the bench machinery's
+        regression gate applies unchanged; latency percentiles ride
+        along for the report.
+        """
+        routes = sorted({outcome.route for outcome in self.outcomes})
+        workloads: Dict[str, object] = {}
+        for route in routes:
+            summary = self.latency_summary(route)
+            n_ops = int(summary["n"])
+            workloads[f"route_{route}"] = {
+                "n_ops": n_ops,
+                "ops_per_s": round(n_ops / self.duration_s, 3) if self.duration_s else 0.0,
+                "p50_ms": summary["p50_ms"],
+                "p95_ms": summary["p95_ms"],
+                "p99_ms": summary["p99_ms"],
+            }
+        overall = self.latency_summary()
+        workloads["overall"] = {
+            "n_ops": self.n_requests,
+            "ops_per_s": round(self.throughput_rps, 3),
+            "p50_ms": overall["p50_ms"],
+            "p95_ms": overall["p95_ms"],
+            "p99_ms": overall["p99_ms"],
+        }
+        return {
+            "git_sha": current_git_sha(),
+            "timestamp": round(time.time(), 3),
+            "quick": self.duration_s <= QUICK_DURATION_S,
+            "mode": self.mode,
+            "target_rps": self.target_rps,
+            "concurrency": self.concurrency,
+            "duration_s": round(self.duration_s, 3),
+            "workloads": workloads,
+            "status_counts": self.status_counts(),
+            "degraded": self.degraded_counts(),
+            "n_server_errors": self.n_server_errors,
+            "cache_hits": self.cache_hit_count(),
+            "metrics": self.registry.snapshot(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# the two loops
+
+
+def _issue(client, planned: PlannedRequest) -> RequestOutcome:
+    """Send one planned request; all failures become outcomes, not raises."""
+    started = time.perf_counter()
+    try:
+        status_code, body = getattr(client, planned.route)(**planned.kwargs)
+    except Exception:
+        # Transport failure (connection refused, timeout): count as a
+        # client-side error so the run keeps going and the report shows it.
+        return RequestOutcome(
+            route=planned.route,
+            status_code=599,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+        )
+    latency_ms = (time.perf_counter() - started) * 1000.0
+    body = body if isinstance(body, dict) else {}
+    return RequestOutcome(
+        route=planned.route,
+        status_code=status_code,
+        latency_ms=latency_ms,
+        cached=bool(body.get("cached")),
+        degraded=body.get("degraded"),
+    )
+
+
+def _run_closed_loop(
+    client,
+    plan: Sequence[PlannedRequest],
+    duration_s: float,
+    concurrency: int,
+    outcomes: List[RequestOutcome],
+    lock: threading.Lock,
+) -> None:
+    """Workers issue back-to-back requests, cycling the plan, until time."""
+    deadline = time.monotonic() + duration_s
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        while time.monotonic() < deadline:
+            with lock:
+                index = cursor["next"]
+                cursor["next"] = index + 1
+            outcome = _issue(client, plan[index % len(plan)])
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True, name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def _run_open_loop(
+    client,
+    plan: Sequence[PlannedRequest],
+    duration_s: float,
+    rps: float,
+    concurrency: int,
+    outcomes: List[RequestOutcome],
+    lock: threading.Lock,
+) -> None:
+    """Arrivals on a fixed schedule; queueing delay is part of latency.
+
+    The scheduler stamps each request's *scheduled* arrival; workers
+    drain a queue, so when the service is slower than the arrival rate
+    the backlog (and the measured latency) grows — exactly the overload
+    signal the admission ladder is there to absorb.
+    """
+    work: "queue.Queue[Optional[Tuple[PlannedRequest, float]]]" = queue.Queue()
+    deadline = time.monotonic() + duration_s
+    interval = 1.0 / rps
+
+    def worker() -> None:
+        while True:
+            item = work.get()
+            if item is None:
+                return
+            planned, scheduled_at = item
+            outcome = _issue(client, planned)
+            # Open-loop latency counts from the scheduled arrival, not
+            # from when a worker got free: queueing is the point.
+            queued_ms = max(0.0, time.monotonic() - scheduled_at) * 1000.0
+            outcome.latency_ms = max(outcome.latency_ms, queued_ms)
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True, name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+
+    index = 0
+    next_arrival = time.monotonic()
+    while time.monotonic() < deadline:
+        now = time.monotonic()
+        if now < next_arrival:
+            time.sleep(min(next_arrival - now, 0.01))
+            continue
+        work.put((plan[index % len(plan)], next_arrival))
+        index += 1
+        next_arrival += interval
+    for _ in threads:
+        work.put(None)
+    for thread in threads:
+        thread.join()
+
+
+def run_loadgen(
+    client,
+    entity_sample: Optional[Sequence[Dict[str, object]]] = None,
+    duration_s: float = 10.0,
+    mode: str = "closed",
+    rps: float = 100.0,
+    concurrency: int = 8,
+    mix: Optional[Dict[str, float]] = None,
+    seed: int = 31,
+) -> LoadgenReport:
+    """Run one load test against ``client``; returns the report.
+
+    ``client`` is anything with the four route methods returning
+    ``(status_code, body)`` — :class:`repro.serve.server.InProcessClient`
+    or :class:`repro.serve.server.HTTPClient`.  ``entity_sample`` defaults
+    to what the endpoint's own ``/stats`` advertises.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if entity_sample is None:
+        status_code, stats = client.stats()
+        if status_code != 200:
+            raise RuntimeError(f"/stats returned {status_code}; cannot build request plan")
+        entity_sample = stats.get("entity_sample", [])
+    plan_size = max(64, int(duration_s * (rps if mode == "open" else 200)))
+    plan = build_request_plan(entity_sample, n_requests=plan_size, mix=mix, seed=seed)
+
+    outcomes: List[RequestOutcome] = []
+    lock = threading.Lock()
+    started = time.perf_counter()
+    if mode == "closed":
+        _run_closed_loop(client, plan, duration_s, concurrency, outcomes, lock)
+    else:
+        _run_open_loop(client, plan, duration_s, rps, concurrency, outcomes, lock)
+    wall = time.perf_counter() - started
+
+    report = LoadgenReport(
+        mode=mode,
+        duration_s=wall,
+        target_rps=rps if mode == "open" else None,
+        concurrency=concurrency,
+        outcomes=outcomes,
+    )
+    for outcome in outcomes:
+        report.registry.histogram(f"loadgen.{outcome.route}.seconds").observe(
+            outcome.latency_ms / 1000.0
+        )
+        report.registry.counter(f"loadgen.status.{outcome.status_code}").inc()
+    report.registry.gauge("loadgen.throughput_rps").set(report.throughput_rps)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# trajectory recording (shared by the CLI and the CI smoke job)
+
+
+def record_trajectory(
+    report: LoadgenReport, path: str, tolerance: float = 0.20
+) -> Tuple[Dict[str, object], List[Regression]]:
+    """Append the report to ``path``; returns (entry, regressions).
+
+    Regressions compare per-route throughput against the most recent
+    previous entry of the same quick/full mode, with the same tolerance
+    semantics as the core bench trajectory.
+    """
+    entry = report.to_entry()
+    document = load_trajectory(path)
+    baseline = previous_entry(document, bool(entry["quick"]))
+    append_entry(path, entry)
+    return entry, check_regressions(entry, baseline, tolerance=tolerance)

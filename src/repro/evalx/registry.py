@@ -149,6 +149,15 @@ EXPERIMENTS: Dict[str, Experiment] = {
             CycleStage.SCALABILITY,
         ),
         Experiment(
+            "T-SERVE",
+            "Sec. 1 / Sec. 5",
+            "A published KG snapshot serves lookups, paths, conjunctive queries, and "
+            "dual-routed QA behind admission control; overload degrades (LM shed, "
+            "stale cache) instead of erroring.",
+            "benchmarks/test_serve_latency.py",
+            CycleStage.UBIQUITY,
+        ),
+        Experiment(
             "T-SUCCESS",
             "Sec. 5",
             "Techniques split into industry successes vs not-yet by the ready+essential test.",

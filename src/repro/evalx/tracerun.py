@@ -203,6 +203,30 @@ def _workload_web_fusion() -> None:
     GraphicalFusion(n_iterations=6).fuse(observations)
 
 
+def _workload_serve() -> None:
+    """Online serving: publish a snapshot, drive the four routes under load.
+
+    A small token bucket plus a replayed request plan makes all the
+    serving signals appear in one compact run: per-route latency spans,
+    cache hits on the repeat pass, and LM-shed/stale degradations once
+    the bucket drains — so ``repro report T-SERVE`` shows the ladder.
+    """
+    from repro.evalx.loadgen import build_request_plan
+    from repro.serve.admission import AdmissionController
+    from repro.serve.server import InProcessClient
+    from repro.serve.service import build_fixture_service
+
+    admission = AdmissionController(rate=150.0, burst=60.0, max_concurrent=8)
+    service = build_fixture_service(
+        "WORLD", n_shards=2, scale="quick", admission=admission
+    )
+    client = InProcessClient(service)
+    plan = build_request_plan(service.entity_sample(), n_requests=150, seed=31)
+    for planned in plan * 2:  # the repeat pass exercises the read-through cache
+        getattr(client, planned.route)(**planned.kwargs)
+    service.stats()  # records the final cache hit ratio gauge
+
+
 #: Experiment id -> in-process workload.  ``repro trace`` accepts these ids.
 TRACE_WORKLOADS: Dict[str, Callable[[], None]] = {
     "FIG2": _workload_fig2,
@@ -212,6 +236,7 @@ TRACE_WORKLOADS: Dict[str, Callable[[], None]] = {
     "FIG5": _workload_fig5,
     "T-AUTOKNOW": _workload_autoknow,
     "T-GROWTH": _workload_fig4,
+    "T-SERVE": _workload_serve,
     "T-WEB": _workload_web_fusion,
 }
 

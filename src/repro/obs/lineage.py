@@ -15,6 +15,11 @@ no-op while observability is disabled, so construction hot paths pay one
 flag check.  Entity merges keep an alias map, so explaining a triple whose
 subject absorbed other entities surfaces the events recorded under the
 pre-merge subjects too.
+
+Thread safety (audited for the concurrent serving layer): every public
+:class:`LineageLedger` method takes the ledger lock, so recording from
+parallel construction stages and explaining from server worker threads
+are both safe without external synchronization.
 """
 
 from __future__ import annotations

@@ -49,33 +49,43 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Thread-safe: ``value += amount`` is a read-modify-write, and the
+    serving layer increments the same counter from many worker threads —
+    without the lock, concurrent ``inc`` calls lose updates.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins). Thread-safe."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
@@ -86,9 +96,13 @@ class Histogram:
     linearly within the winning bucket (clamped to the observed min/max,
     which are tracked exactly), so summaries stay honest at both tails
     without storing raw observations.
+
+    Thread-safe: ``observe`` updates five fields that must move together
+    (bucket, count, sum, min, max); summaries read them under the same
+    lock so concurrent server threads never see a torn histogram.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
         self.name = name
@@ -100,17 +114,20 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     def percentile(self, quantile: float) -> float:
         """Interpolated value at ``quantile`` in [0, 1].
@@ -121,6 +138,10 @@ class Histogram:
         """
         if not 0.0 <= quantile <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        with self._lock:
+            return self._percentile_locked(quantile)
+
+    def _percentile_locked(self, quantile: float) -> float:
         if self.count == 0:
             return 0.0
         rank = quantile * self.count
@@ -143,37 +164,43 @@ class Histogram:
         Empty histograms return all-zero summaries (the sentinel
         ``min=inf``/``max=-inf`` internals never leak to callers).
         """
-        if self.count == 0:
-            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.total / self.count,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.total / self.count,
+                "min": self.min,
+                "max": self.max,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
 
     def state(self) -> Dict[str, object]:
         """Raw bucket state for exporters (Prometheus needs the buckets).
 
         Empty histograms report zeroed extremes, not the inf sentinels.
         """
-        return {
-            "bounds": list(self.bounds),
-            "bucket_counts": list(self.bucket_counts),
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-        }
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self.bucket_counts),
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+            }
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and histograms behind one lock.
+    """Named counters, gauges, and histograms.
+
+    The registry lock guards instrument creation; each instrument carries
+    its own lock for updates, so high-rate serving threads contend on
+    their one metric, not on the whole registry.
 
     Instruments are created on first use (``registry.counter("x").inc()``)
     and a name belongs to exactly one instrument kind — re-registering

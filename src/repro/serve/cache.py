@@ -1,0 +1,130 @@
+"""Read-through LRU response cache, invalidated by snapshot generation.
+
+The cache maps ``(route, request_key)`` to the payload computed for one
+snapshot version.  Correctness comes from *version-checked reads*: a hit
+only counts when the cached entry was computed against the **current**
+snapshot version, so publishing a new snapshot implicitly invalidates
+every cached response at once — no flush pass, no stampede window where
+half-invalidated entries serve mixed generations.
+
+Entries from retired versions are deliberately **kept** (until LRU
+eviction): they are the *stale tier* the admission controller's
+degradation ladder falls back to under overload — "serve yesterday's
+answer" beats "serve an error" for the head-entity traffic that
+dominates real KG serving (Sec. 4's popularity skew).
+
+Thread safety: one lock around the ``OrderedDict``; every public method
+is safe to call from server worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+
+#: Cache key: (route, canonical request key).
+CacheKey = Tuple[str, str]
+
+
+class ResponseCache:
+    """A bounded LRU of ``(route, key) -> (snapshot_version, payload)``."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, Tuple[int, object]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stale_served = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, route: str, key: str, version: int) -> Optional[object]:
+        """The cached payload if it matches ``version``, else None.
+
+        A version mismatch is a miss (the entry survives as stale tier);
+        hit/miss counters feed the ``serve.cache.*`` metrics.
+        """
+        cache_key = (route, key)
+        with self._lock:
+            entry = self._entries.get(cache_key)
+            if entry is not None and entry[0] == version:
+                self._entries.move_to_end(cache_key)
+                self._hits += 1
+                hit = True
+                payload: Optional[object] = entry[1]
+            else:
+                self._misses += 1
+                hit = False
+                payload = None
+            ratio = self._hit_ratio_locked()
+        obs_metrics.count("serve.cache.hits" if hit else "serve.cache.misses")
+        obs_metrics.gauge("serve.cache.hit_ratio", ratio)
+        return payload
+
+    def get_stale(self, route: str, key: str) -> Optional[object]:
+        """The cached payload *ignoring* version — the degraded-serving tier.
+
+        Returns None when the pair was never cached (or was evicted).
+        """
+        with self._lock:
+            entry = self._entries.get((route, key))
+            if entry is None:
+                return None
+            self._entries.move_to_end((route, key))
+            self._stale_served += 1
+        obs_metrics.count("serve.cache.stale_served")
+        return entry[1]
+
+    def put(self, route: str, key: str, version: int, payload: object) -> None:
+        """Store a computed payload for ``version``; evicts LRU overflow."""
+        cache_key = (route, key)
+        with self._lock:
+            self._entries[cache_key] = (version, payload)
+            self._entries.move_to_end(cache_key)
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted:
+            obs_metrics.count("serve.cache.evictions", evicted)
+
+    # ------------------------------------------------------------------
+
+    def _hit_ratio_locked(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def hit_ratio(self) -> float:
+        """Fraction of version-checked reads answered from cache."""
+        with self._lock:
+            return self._hit_ratio_locked()
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for ``/stats`` and tests."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "stale_served": self._stale_served,
+                "evictions": self._evictions,
+                "hit_ratio": round(self._hit_ratio_locked(), 4),
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; tests reset by rebuilding)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

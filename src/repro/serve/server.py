@@ -1,0 +1,263 @@
+"""Transports: a stdlib ``ThreadingHTTPServer`` JSON API + clients.
+
+The HTTP layer is deliberately thin — all policy (admission, caching,
+degradation) lives in the router, so the in-process client and the HTTP
+server return byte-identical JSON bodies and status codes.  That is what
+lets the load generator drive either transport and lets the CI smoke job
+assert the same contract over real sockets.
+
+Endpoints::
+
+    GET  /healthz                              -> {"ok": true, ...}
+    GET  /stats                                -> service stats + entity sample
+    GET  /lookup?subject=S&predicate=P
+    GET  /paths?start=A&goal=B[&max_length=3][&max_paths=25]
+    GET  /ask?subject=S&predicate=P
+    POST /query   {"patterns": [["?m", "directed_by", "P0001"], ...]}
+
+Status mapping: ``ok``→200, ``bad_request``→400, ``shed``→429,
+``unavailable``→503, ``error``→500 (the overload tests assert zero).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.serve.router import RouteResponse
+from repro.serve.service import KGService
+
+#: JSON body + HTTP status, the shape both clients return.
+ClientResult = Tuple[int, Dict[str, object]]
+
+
+def _make_handler(service: KGService):
+    """A request-handler class bound to one service instance."""
+
+    class ServeHandler(BaseHTTPRequestHandler):
+        # Quiet: serving benchmarks must not pay for stderr logging.
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass
+
+        # ---- helpers -------------------------------------------------
+
+        def _write_json(self, status: int, body: Dict[str, object]) -> None:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _write_route(self, response: RouteResponse) -> None:
+            self._write_json(response.http_status, response.to_dict())
+
+        def _params(self) -> Dict[str, str]:
+            query = urllib.parse.urlparse(self.path).query
+            return {
+                key: values[0]
+                for key, values in urllib.parse.parse_qs(query).items()
+                if values
+            }
+
+        def _timeout(self, params: Dict[str, str]) -> Optional[float]:
+            raw = params.get("timeout_s")
+            try:
+                return float(raw) if raw is not None else None
+            except ValueError:
+                return None
+
+        # ---- verbs ---------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            route = urllib.parse.urlparse(self.path).path.rstrip("/") or "/"
+            params = self._params()
+            if route == "/healthz":
+                snapshot = service.store.current()
+                self._write_json(
+                    200 if snapshot is not None else 503,
+                    {
+                        "ok": snapshot is not None,
+                        "snapshot_version": service.store.current_version(),
+                    },
+                )
+            elif route == "/stats":
+                self._write_json(200, service.stats())
+            elif route == "/lookup":
+                self._write_route(
+                    service.lookup(
+                        params.get("subject", ""),
+                        params.get("predicate", ""),
+                        timeout_s=self._timeout(params),
+                    )
+                )
+            elif route == "/paths":
+                try:
+                    max_length = int(params.get("max_length", 3))
+                    max_paths = int(params.get("max_paths", 25))
+                except ValueError:
+                    self._write_json(400, {"error": "max_length/max_paths must be integers"})
+                    return
+                self._write_route(
+                    service.paths(
+                        params.get("start", ""),
+                        params.get("goal", ""),
+                        max_length=max_length,
+                        max_paths=max_paths,
+                        timeout_s=self._timeout(params),
+                    )
+                )
+            elif route == "/ask":
+                self._write_route(
+                    service.ask(
+                        params.get("subject", ""),
+                        params.get("predicate", ""),
+                        timeout_s=self._timeout(params),
+                    )
+                )
+            else:
+                self._write_json(404, {"error": f"unknown route {route!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            route = urllib.parse.urlparse(self.path).path.rstrip("/")
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8") or "{}")
+            except (ValueError, UnicodeDecodeError):
+                self._write_json(400, {"error": "request body must be JSON"})
+                return
+            if route == "/query":
+                patterns = body.get("patterns") if isinstance(body, dict) else None
+                self._write_route(
+                    service.query(
+                        patterns or [],
+                        timeout_s=body.get("timeout_s") if isinstance(body, dict) else None,
+                    )
+                )
+            else:
+                self._write_json(404, {"error": f"unknown route {route!r}"})
+
+    return ServeHandler
+
+
+def start_server(
+    service: KGService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the HTTP server on a daemon thread; returns (server, thread).
+
+    ``port=0`` lets the OS pick a free port (``server.server_address[1]``
+    holds the real one) — the shape tests and the CI smoke job use.
+    Call ``server.shutdown()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever, daemon=True, name="repro-serve")
+    thread.start()
+    return server, thread
+
+
+# ---------------------------------------------------------------------------
+# clients (one response contract, two transports)
+
+
+class InProcessClient:
+    """Drives the router directly; mirrors the HTTP JSON contract exactly."""
+
+    def __init__(self, service: KGService):
+        self.service = service
+
+    def lookup(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
+        response = self.service.lookup(subject, predicate, timeout_s=timeout_s)
+        return response.http_status, response.to_dict()
+
+    def paths(self, start: str, goal: str, max_length: int = 3, max_paths: int = 25,
+              timeout_s=None) -> ClientResult:
+        response = self.service.paths(
+            start, goal, max_length=max_length, max_paths=max_paths, timeout_s=timeout_s
+        )
+        return response.http_status, response.to_dict()
+
+    def query(self, patterns: Sequence[Sequence[object]], timeout_s=None) -> ClientResult:
+        response = self.service.query(patterns, timeout_s=timeout_s)
+        return response.http_status, response.to_dict()
+
+    def ask(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
+        response = self.service.ask(subject, predicate, timeout_s=timeout_s)
+        return response.http_status, response.to_dict()
+
+    def stats(self) -> ClientResult:
+        return 200, self.service.stats()
+
+
+class HTTPClient:
+    """The same client surface over real sockets (stdlib urllib only)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _get(self, path: str, params: Dict[str, object]) -> ClientResult:
+        query = urllib.parse.urlencode(
+            {key: value for key, value in params.items() if value is not None}
+        )
+        url = f"{self.base_url}{path}" + (f"?{query}" if query else "")
+        request = urllib.request.Request(url, method="GET")
+        return self._send(request)
+
+    def _post(self, path: str, body: Dict[str, object]) -> ClientResult:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._send(request)
+
+    def _send(self, request: urllib.request.Request) -> ClientResult:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
+                return reply.status, json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {"error": str(error)}
+            return error.code, body
+
+    def lookup(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
+        return self._get(
+            "/lookup", {"subject": subject, "predicate": predicate, "timeout_s": timeout_s}
+        )
+
+    def paths(self, start: str, goal: str, max_length: int = 3, max_paths: int = 25,
+              timeout_s=None) -> ClientResult:
+        return self._get(
+            "/paths",
+            {
+                "start": start,
+                "goal": goal,
+                "max_length": max_length,
+                "max_paths": max_paths,
+                "timeout_s": timeout_s,
+            },
+        )
+
+    def query(self, patterns: Sequence[Sequence[object]], timeout_s=None) -> ClientResult:
+        body: Dict[str, object] = {"patterns": [list(p) for p in patterns]}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._post("/query", body)
+
+    def ask(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
+        return self._get(
+            "/ask", {"subject": subject, "predicate": predicate, "timeout_s": timeout_s}
+        )
+
+    def stats(self) -> ClientResult:
+        return self._get("/stats", {})

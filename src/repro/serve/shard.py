@@ -1,0 +1,259 @@
+"""Subject-hash sharded read replicas and the scatter/gather planner.
+
+A snapshot's triples are partitioned across ``N`` replica graphs by a
+stable hash of the triple's subject (``crc32``, so the placement is
+deterministic across processes and runs).  Entity records are small and
+every query path needs them (name resolution, entity-object checks in
+``neighbors``), so *entities are replicated to every shard* while triples
+live on exactly one — the classic "partition the edges, replicate the
+vertex directory" layout.
+
+The :class:`ScatterGatherPlanner` answers the same queries
+:mod:`repro.core.query` answers over one graph, with identical results
+regardless of shard count (the shard-invariance tests pin this):
+
+* **lookup** — subject-bound reads route to the single owning shard;
+* **pattern scatter** — an unbound pattern fans out to every shard; the
+  gathered triples are merged and re-sorted, so downstream consumers see
+  exactly the ordering a single-graph ``query()`` produces;
+* **conjunctive queries** — the same most-selective-first join as
+  :func:`repro.core.query.conjunctive_query`, with per-pattern
+  cardinality summed across shards (exact, because each triple lives on
+  one shard);
+* **path queries** — the planner exposes ``has_entity``/``neighbors``
+  (incoming and outgoing edges gathered across shards), so
+  :class:`repro.core.query.PathQuery` runs against the planner unchanged.
+
+Fan-out goes through :func:`repro.core.parallel.pmap`, so the per-shard
+work can be flipped to a thread pool process-wide (``REPRO_PMAP_MODE=
+thread``) without touching call sites.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.graph import Entity, KnowledgeGraph
+from repro.core.parallel import pmap
+from repro.core.query import (
+    Binding,
+    PathQuery,
+    TriplePattern,
+    is_variable,
+)
+from repro.core.triple import Triple, Value
+
+
+def shard_of(subject: str, n_shards: int) -> int:
+    """The shard index owning ``subject`` (stable across processes)."""
+    if n_shards <= 1:
+        return 0
+    return zlib.crc32(subject.encode("utf-8")) % n_shards
+
+
+def build_shards(graph: KnowledgeGraph, n_shards: int) -> List[KnowledgeGraph]:
+    """Partition ``graph`` into subject-hash shard replicas.
+
+    With one shard the graph itself is returned (the snapshot layer
+    already owns a private copy, so no second copy is needed).  Shards
+    carry entities (replicated) and triples (partitioned); provenance
+    stays on the snapshot's full graph — serving reads never consult it.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return [graph]
+    shards = [
+        KnowledgeGraph(ontology=graph.ontology, name=f"{graph.name}.shard{index}")
+        for index in range(n_shards)
+    ]
+    for entity in graph.entities():
+        for shard in shards:
+            shard.add_entity(
+                entity.entity_id, entity.name, entity.entity_class, aliases=entity.aliases
+            )
+    batches: List[List[Triple]] = [[] for _ in range(n_shards)]
+    for triple in graph.triples():
+        batches[shard_of(triple.subject, n_shards)].append(triple)
+    for shard, batch in zip(shards, batches):
+        shard.add_triples_batch(batch)
+    return shards
+
+
+class ScatterGatherPlanner:
+    """Query planner over shard replicas with single-graph semantics.
+
+    Duck-types the slice of the :class:`~repro.core.graph.KnowledgeGraph`
+    API the query layer and :class:`repro.neural.qa.KGQA` consume
+    (``has_entity`` / ``entity`` / ``find_by_name`` / ``objects`` /
+    ``neighbors``), so existing consumers run against shards unchanged.
+    """
+
+    def __init__(self, shards: Sequence[KnowledgeGraph]):
+        if not shards:
+            raise ValueError("planner needs at least one shard")
+        self.shards = list(shards)
+        self.n_shards = len(self.shards)
+
+    # ------------------------------------------------------------------
+    # entity directory (replicated on every shard; shard 0 answers)
+
+    def has_entity(self, entity_id: str) -> bool:
+        return self.shards[0].has_entity(entity_id)
+
+    def entity(self, entity_id: str) -> Entity:
+        return self.shards[0].entity(entity_id)
+
+    def find_by_name(self, name: str) -> List[Entity]:
+        return self.shards[0].find_by_name(name)
+
+    # ------------------------------------------------------------------
+    # single-shard routed reads
+
+    def owning_shard(self, subject: str) -> KnowledgeGraph:
+        """The replica owning ``subject``'s triples."""
+        return self.shards[shard_of(subject, self.n_shards)]
+
+    def objects(self, subject: str, predicate: str) -> List[Value]:
+        """All objects of ``(subject, predicate, ?)`` — one shard probe."""
+        return self.owning_shard(subject).objects(subject, predicate)
+
+    def lookup(self, subject: str, predicate: str) -> List[Value]:
+        """Alias of :meth:`objects`; the ``lookup`` endpoint's engine."""
+        return self.objects(subject, predicate)
+
+    # ------------------------------------------------------------------
+    # scatter/gather reads
+
+    def query(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Optional[Value] = None,
+    ) -> List[Triple]:
+        """Triple-pattern match with single-graph result ordering.
+
+        A bound subject routes to its owning shard; anything else
+        scatters, gathers, and re-sorts (each triple lives on exactly one
+        shard, so the merged list *is* the single-graph answer).
+        """
+        if subject is not None:
+            return self.owning_shard(subject).query(
+                subject=subject, predicate=predicate, obj=obj
+            )
+        per_shard = pmap(
+            lambda shard: shard.query(subject=None, predicate=predicate, obj=obj),
+            self.shards,
+        )
+        gathered: List[Triple] = []
+        for rows in per_shard:
+            gathered.extend(rows)
+        gathered.sort()
+        return gathered
+
+    def pattern_cardinality(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Optional[Value] = None,
+    ) -> int:
+        """Exact match count for a pattern (summed across shards)."""
+        if subject is not None:
+            return self.owning_shard(subject).pattern_cardinality(
+                subject=subject, predicate=predicate, obj=obj
+            )
+        return sum(
+            shard.pattern_cardinality(subject=None, predicate=predicate, obj=obj)
+            for shard in self.shards
+        )
+
+    def neighbors(self, entity_id: str) -> List[Tuple[str, str, bool]]:
+        """Adjacent entity edges gathered across shards, single-graph order.
+
+        Outgoing edges live on the owning shard; incoming edges live on
+        the owning shards of *their* subjects — hence the gather.
+        """
+        per_shard = pmap(lambda shard: shard.neighbors(entity_id), self.shards)
+        gathered: List[Tuple[str, str, bool]] = []
+        for rows in per_shard:
+            gathered.extend(rows)
+        return sorted(gathered)
+
+    # ------------------------------------------------------------------
+    # conjunctive queries (the Sec. 1 "understanding" workload)
+
+    def match_pattern(self, pattern: TriplePattern) -> List[Binding]:
+        """One binding per matching triple, in single-graph order."""
+        subject = None if is_variable(pattern.subject) else pattern.subject
+        predicate = None if is_variable(pattern.predicate) else pattern.predicate
+        obj = None if is_variable(pattern.object) else pattern.object
+        bindings: List[Binding] = []
+        for triple in self.query(subject=subject, predicate=predicate, obj=obj):
+            binding: Binding = {}
+            if subject is None:
+                binding[pattern.subject] = triple.subject
+            if predicate is None:
+                binding[pattern.predicate] = triple.predicate
+            if obj is None:
+                binding[pattern.object] = triple.object
+            bindings.append(binding)
+        return bindings
+
+    def _selectivity(self, pattern: TriplePattern) -> int:
+        return self.pattern_cardinality(
+            subject=None if is_variable(pattern.subject) else pattern.subject,
+            predicate=None if is_variable(pattern.predicate) else pattern.predicate,
+            obj=None if is_variable(pattern.object) else pattern.object,
+        )
+
+    def conjunctive_query(
+        self, patterns: Sequence[TriplePattern], reorder: bool = True
+    ) -> List[Binding]:
+        """Join patterns across shards; identical output to the one-graph
+        :func:`repro.core.query.conjunctive_query` (same reordering rule,
+        same binding order)."""
+        ordered = list(patterns)
+        if reorder and len(ordered) > 1:
+            ordered.sort(key=self._selectivity)
+        solutions: List[Binding] = [{}]
+        for pattern in ordered:
+            next_solutions: List[Binding] = []
+            for binding in solutions:
+                bound = pattern.bind(binding)
+                for new_binding in self.match_pattern(bound):
+                    merged = dict(binding)
+                    conflict = False
+                    for variable, value in new_binding.items():
+                        if variable in merged and merged[variable] != value:
+                            conflict = True
+                            break
+                        merged[variable] = value
+                    if not conflict:
+                        next_solutions.append(merged)
+            solutions = next_solutions
+            if not solutions:
+                break
+        return solutions
+
+    # ------------------------------------------------------------------
+    # path queries
+
+    def paths(
+        self, start: str, goal: str, max_length: int = 3, max_paths: int = 100
+    ) -> List[List[Tuple[str, int, str]]]:
+        """Bounded simple paths, via :class:`PathQuery` over the planner.
+
+        ``PathQuery`` only touches ``has_entity`` and ``neighbors``, both
+        of which the planner answers with single-graph semantics, so the
+        DFS explores in exactly the one-graph order.
+        """
+        return PathQuery(self, max_length=max_length).paths(  # type: ignore[arg-type]
+            start, goal, max_paths=max_paths
+        )
+
+    # ------------------------------------------------------------------
+
+    def shard_sizes(self) -> Dict[str, int]:
+        """Triples per shard (balance visibility for ``/stats``)."""
+        return {f"shard{index}": len(shard) for index, shard in enumerate(self.shards)}

@@ -1,0 +1,143 @@
+"""Versioned, immutable graph snapshots with atomic publish/swap.
+
+Construction pipelines mutate a :class:`~repro.core.graph.KnowledgeGraph`
+in place — linkage merges rewrite subjects, fusion drops triples.  An
+online service cannot read that moving target: a query must see one
+consistent graph from its first index probe to its last.  The snapshot
+layer separates the two worlds:
+
+* :meth:`SnapshotStore.publish` deep-copies the construction graph (so
+  later ``merge_entities`` / ``add_triple`` calls never leak into served
+  answers), builds the shard replicas, and installs the result as the
+  *current* snapshot with a single reference swap under a lock;
+* a request takes one ``store.current()`` reference up front and runs
+  entirely against it — in-flight requests finish on the old generation
+  while new requests see the new one, with no read locks at all;
+* every snapshot carries a monotonically increasing ``version`` plus the
+  source graph's mutation ``generation`` (the counter
+  :class:`~repro.core.graph.KnowledgeGraph` already maintains), which is
+  what keys cache invalidation in :mod:`repro.serve.cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.core.graph import KnowledgeGraph
+from repro.obs import metrics as obs_metrics
+from repro.serve.shard import ScatterGatherPlanner, build_shards
+
+
+class GraphSnapshot:
+    """One published, immutable generation of the serving graph.
+
+    Holds a private copy of the source graph (readers never observe
+    construction mutations), the subject-hash shard replicas, and the
+    scatter/gather planner the router queries through.  Snapshots are
+    never mutated after construction; the store only ever swaps whole
+    snapshot references.
+    """
+
+    def __init__(
+        self,
+        version: int,
+        graph: KnowledgeGraph,
+        n_shards: int = 1,
+        source_generation: Optional[int] = None,
+    ):
+        self.version = version
+        self.source_generation = (
+            source_generation if source_generation is not None else graph.generation
+        )
+        self.published_unix = time.time()
+        self.graph = graph
+        self.shards = build_shards(graph, n_shards)
+        self.planner = ScatterGatherPlanner(self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serializable snapshot metadata (the ``/stats`` payload)."""
+        stats = self.graph.stats()
+        return {
+            "version": self.version,
+            "source_generation": self.source_generation,
+            "published_unix": round(self.published_unix, 3),
+            "n_shards": self.n_shards,
+            "n_entities": stats["n_entities"],
+            "n_triples": stats["n_triples"],
+        }
+
+
+class SnapshotStore:
+    """Holds the current snapshot and performs atomic publishes.
+
+    The expensive work of a publish (graph copy, shard builds) happens
+    *outside* the lock; only the final reference swap is serialized, so
+    readers are never blocked by a publish and a half-built snapshot is
+    never observable.  A bounded history of previous snapshots is kept so
+    tests (and debugging) can reach recently retired generations.
+    """
+
+    def __init__(self, n_shards: int = 1, keep_history: int = 3):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self._keep_history = max(0, keep_history)
+        self._lock = threading.Lock()
+        self._current: Optional[GraphSnapshot] = None
+        self._history: List[GraphSnapshot] = []
+        self._next_version = 0
+
+    def publish(self, graph: KnowledgeGraph) -> GraphSnapshot:
+        """Copy ``graph``, build shards, and atomically install the result.
+
+        The copy is taken eagerly, so construction code is free to keep
+        mutating ``graph`` the moment this returns (or concurrently — the
+        caller must simply not mutate *during* the copy).
+        """
+        source_generation = graph.generation
+        frozen = graph.copy()
+        with self._lock:
+            self._next_version += 1
+            version = self._next_version
+        snapshot = GraphSnapshot(
+            version=version,
+            graph=frozen,
+            n_shards=self.n_shards,
+            source_generation=source_generation,
+        )
+        with self._lock:
+            if self._current is not None:
+                self._history.append(self._current)
+                if len(self._history) > self._keep_history:
+                    self._history = self._history[-self._keep_history :]
+            self._current = snapshot
+        obs_metrics.count("serve.snapshot.publishes")
+        obs_metrics.gauge("serve.snapshot.version", snapshot.version)
+        obs_metrics.gauge("serve.snapshot.n_triples", len(frozen))
+        return snapshot
+
+    def current(self) -> Optional[GraphSnapshot]:
+        """The live snapshot reference (None before the first publish).
+
+        Callers hold the returned reference for the whole request; a
+        concurrent publish swaps the store pointer but never touches
+        snapshots already handed out.
+        """
+        with self._lock:
+            return self._current
+
+    def current_version(self) -> int:
+        """The live snapshot's version, 0 before the first publish."""
+        snapshot = self.current()
+        return snapshot.version if snapshot is not None else 0
+
+    def history(self) -> List[GraphSnapshot]:
+        """Recently retired snapshots, oldest first."""
+        with self._lock:
+            return list(self._history)

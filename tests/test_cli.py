@@ -67,6 +67,24 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_help_covers_every_subcommand(self, capsys):
+        """`repro --help` must list all subcommands, serving included."""
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--help"])
+        assert exc_info.value.code == 0
+        output = capsys.readouterr().out
+        for subcommand in (
+            "list",
+            "info",
+            "run",
+            "trace",
+            "report",
+            "bench",
+            "serve",
+            "loadgen",
+        ):
+            assert subcommand in output, f"--help missing subcommand {subcommand!r}"
+
 
 class TestTraceCommand:
     def test_trace_unknown_id(self, capsys):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import parallel
-from repro.core.parallel import MODE_ENV_VAR, default_mode, pmap
+from repro.core.parallel import MODE_ENV_VAR, PmapWorkerError, default_mode, pmap
 
 
 def _square(x):
@@ -13,6 +13,24 @@ def _square(x):
 def _pair_sum(pair):
     left, right = pair
     return left + right
+
+
+def _explode_on_seven(x):
+    if x == 7:
+        raise ValueError(f"cannot handle {x}")
+    return x * x
+
+
+class _UnpicklableError(Exception):
+    def __init__(self):
+        super().__init__("unpicklable")
+        self.handle = lambda: None  # lambdas do not pickle
+
+
+def _raise_unpicklable(x):
+    if x == 3:
+        raise _UnpicklableError()
+    return x
 
 
 class TestModes:
@@ -82,3 +100,38 @@ class TestDegradation:
         assert pmap(_square, range(9), mode="process", max_workers=1) == [
             x * x for x in range(9)
         ]
+
+
+class TestWorkerExceptions:
+    """Worker failures re-raise the original exception, traceback chained."""
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_original_exception_type_survives(self, mode):
+        # max_workers forces the pool path even on single-CPU machines,
+        # where pmap would otherwise degrade to serial.
+        with pytest.raises(ValueError, match="cannot handle 7") as exc_info:
+            pmap(_explode_on_seven, range(20), mode=mode, max_workers=2, chunk_size=2)
+        # The worker's own stack rides along as the chained cause.
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, PmapWorkerError)
+        assert "_explode_on_seven" in str(cause)
+        assert "cannot handle 7" in str(cause)
+
+    def test_serial_raises_directly(self):
+        with pytest.raises(ValueError, match="cannot handle 7"):
+            pmap(_explode_on_seven, range(20), mode="serial")
+
+    def test_first_failure_in_input_order_wins(self):
+        def fail_on_even(x):
+            if x % 2 == 0:
+                raise ValueError(f"even {x}")
+            return x
+
+        with pytest.raises(ValueError, match="even 0"):
+            pmap(fail_on_even, range(10), mode="thread", max_workers=4, chunk_size=1)
+
+    def test_unpicklable_exception_degrades_to_worker_error(self):
+        """Process mode: an exception that cannot pickle still surfaces."""
+        with pytest.raises((PmapWorkerError, _UnpicklableError)) as exc_info:
+            pmap(_raise_unpicklable, range(8), mode="process", max_workers=2, chunk_size=1)
+        assert "unpicklable" in str(exc_info.value)

@@ -1,0 +1,97 @@
+"""Response cache: LRU bounds, version invalidation, the stale tier."""
+
+from repro.serve.cache import ResponseCache
+
+
+class TestVersionedReads:
+    def test_miss_then_hit(self):
+        cache = ResponseCache()
+        assert cache.get("lookup", "k1", version=1) is None
+        cache.put("lookup", "k1", version=1, payload={"values": [1]})
+        assert cache.get("lookup", "k1", version=1) == {"values": [1]}
+
+    def test_publish_invalidates_every_entry_at_once(self):
+        """A new snapshot version makes every cached read miss implicitly."""
+        cache = ResponseCache()
+        for key in ("a", "b", "c"):
+            cache.put("lookup", key, version=1, payload=key.upper())
+        for key in ("a", "b", "c"):
+            assert cache.get("lookup", key, version=1) == key.upper()
+        # Version rolls (a publish happened): all three now miss.
+        for key in ("a", "b", "c"):
+            assert cache.get("lookup", key, version=2) is None
+
+    def test_routes_do_not_collide(self):
+        cache = ResponseCache()
+        cache.put("lookup", "k", version=1, payload="from-lookup")
+        assert cache.get("ask", "k", version=1) is None
+
+    def test_put_overwrites_old_version(self):
+        cache = ResponseCache()
+        cache.put("lookup", "k", version=1, payload="old")
+        cache.put("lookup", "k", version=2, payload="new")
+        assert cache.get("lookup", "k", version=1) is None
+        assert cache.get("lookup", "k", version=2) == "new"
+
+
+class TestStaleTier:
+    def test_stale_read_ignores_version(self):
+        cache = ResponseCache()
+        cache.put("lookup", "k", version=1, payload="yesterday")
+        assert cache.get("lookup", "k", version=2) is None
+        assert cache.get_stale("lookup", "k") == "yesterday"
+
+    def test_stale_read_misses_when_never_cached(self):
+        assert ResponseCache().get_stale("lookup", "never") is None
+
+    def test_stale_counter(self):
+        cache = ResponseCache()
+        cache.put("ask", "k", version=1, payload="x")
+        cache.get_stale("ask", "k")
+        cache.get_stale("ask", "k")
+        assert cache.stats()["stale_served"] == 2
+
+
+class TestLru:
+    def test_eviction_at_capacity(self):
+        cache = ResponseCache(capacity=3)
+        for index in range(5):
+            cache.put("lookup", f"k{index}", version=1, payload=index)
+        assert len(cache) == 3
+        assert cache.get("lookup", "k0", version=1) is None
+        assert cache.get("lookup", "k4", version=1) == 4
+        assert cache.stats()["evictions"] == 2
+
+    def test_recent_reads_are_protected(self):
+        cache = ResponseCache(capacity=2)
+        cache.put("lookup", "a", version=1, payload="A")
+        cache.put("lookup", "b", version=1, payload="B")
+        cache.get("lookup", "a", version=1)  # refresh a: b is now LRU
+        cache.put("lookup", "c", version=1, payload="C")
+        assert cache.get("lookup", "a", version=1) == "A"
+        assert cache.get("lookup", "b", version=1) is None
+
+    def test_capacity_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResponseCache(capacity=0)
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        cache = ResponseCache()
+        cache.put("lookup", "k", version=1, payload="x")
+        cache.get("lookup", "k", version=1)  # hit
+        cache.get("lookup", "other", version=1)  # miss
+        assert cache.hit_ratio() == 0.5
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = ResponseCache()
+        cache.put("lookup", "k", version=1, payload="x")
+        cache.get("lookup", "k", version=1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1

@@ -1,0 +1,149 @@
+"""Sharded replicas: partitioning correctness and shard-count invariance."""
+
+import random
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.query import PathQuery, TriplePattern, conjunctive_query
+from repro.serve.shard import ScatterGatherPlanner, build_shards, shard_of
+
+
+def build_test_graph(n_entities=40, n_triples=220, seed=5):
+    ontology = Ontology()
+    ontology.add_class("Thing")
+    graph = KnowledgeGraph(ontology=ontology, name="shardtest")
+    for index in range(n_entities):
+        graph.add_entity(f"e{index}", f"Entity {index}", "Thing")
+    rng = random.Random(seed)
+    for _ in range(n_triples):
+        subject = f"e{rng.randrange(n_entities)}"
+        if rng.random() < 0.7:
+            graph.add(subject, rng.choice(["related_to", "part_of"]), f"e{rng.randrange(n_entities)}")
+        else:
+            graph.add(subject, "label", f"value-{rng.randrange(30)}")
+    return graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_test_graph()
+
+
+@pytest.fixture(scope="module")
+def planner1(graph):
+    return ScatterGatherPlanner(build_shards(graph, 1))
+
+
+@pytest.fixture(scope="module")
+def planner4(graph):
+    return ScatterGatherPlanner(build_shards(graph, 4))
+
+
+class TestShardOf:
+    def test_deterministic(self):
+        assert shard_of("e7", 4) == shard_of("e7", 4)
+
+    def test_single_shard_short_circuits(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_spreads_subjects(self):
+        owners = {shard_of(f"e{i}", 4) for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestBuildShards:
+    def test_one_shard_reuses_graph(self, graph):
+        (only,) = build_shards(graph, 1)
+        assert only is graph
+
+    def test_triples_partition_exactly(self, graph):
+        shards = build_shards(graph, 4)
+        assert sum(len(shard) for shard in shards) == len(graph)
+        for shard_index, shard in enumerate(shards):
+            for triple in shard.triples():
+                assert shard_of(triple.subject, 4) == shard_index
+
+    def test_entities_replicated_everywhere(self, graph):
+        shards = build_shards(graph, 3)
+        for shard in shards:
+            for entity in graph.entities():
+                assert shard.has_entity(entity.entity_id)
+
+    def test_rejects_zero_shards(self, graph):
+        with pytest.raises(ValueError):
+            build_shards(graph, 0)
+
+
+class TestShardInvariance:
+    """The acceptance gate: 1-shard and 4-shard answers are identical."""
+
+    def test_lookup_invariant(self, graph, planner1, planner4):
+        for index in range(0, 40, 3):
+            subject = f"e{index}"
+            for predicate in ("related_to", "part_of", "label"):
+                assert planner1.objects(subject, predicate) == planner4.objects(
+                    subject, predicate
+                ), (subject, predicate)
+
+    def test_scatter_query_invariant(self, graph, planner1, planner4):
+        for predicate in ("related_to", "part_of", "label", "missing"):
+            assert planner1.query(predicate=predicate) == planner4.query(
+                predicate=predicate
+            )
+        assert planner1.query(obj="e3") == planner4.query(obj="e3")
+        assert planner1.query() == planner4.query()
+
+    def test_query_matches_unsharded_graph(self, graph, planner4):
+        assert planner4.query(predicate="related_to") == graph.query(
+            predicate="related_to"
+        )
+        assert planner4.query() == sorted(graph.query())
+
+    def test_cardinality_is_exact(self, graph, planner4):
+        for predicate in ("related_to", "part_of", "label"):
+            assert planner4.pattern_cardinality(
+                predicate=predicate
+            ) == graph.pattern_cardinality(predicate=predicate)
+
+    def test_neighbors_invariant(self, graph, planner1, planner4):
+        for index in range(0, 40, 5):
+            assert planner1.neighbors(f"e{index}") == planner4.neighbors(f"e{index}")
+
+    def test_conjunctive_query_invariant(self, planner1, planner4):
+        patterns = [
+            TriplePattern("?x", "related_to", "?y"),
+            TriplePattern("?y", "part_of", "?z"),
+        ]
+        assert planner1.conjunctive_query(patterns) == planner4.conjunctive_query(
+            patterns
+        )
+
+    def test_conjunctive_query_matches_core(self, graph, planner4):
+        patterns = [
+            TriplePattern("?x", "related_to", "?y"),
+            TriplePattern("?y", "part_of", "?z"),
+        ]
+        assert planner4.conjunctive_query(patterns) == conjunctive_query(
+            graph, patterns
+        )
+
+    def test_paths_invariant(self, graph, planner1, planner4):
+        cases = [("e0", "e9"), ("e3", "e17"), ("e5", "e5x-missing")]
+        for start, goal in cases:
+            if not graph.has_entity(goal):
+                continue
+            assert planner1.paths(start, goal, max_length=3, max_paths=10) == (
+                planner4.paths(start, goal, max_length=3, max_paths=10)
+            )
+
+    def test_paths_match_core_pathquery(self, graph, planner4):
+        expected = PathQuery(graph, max_length=3).paths("e0", "e9", max_paths=10)
+        assert planner4.paths("e0", "e9", max_length=3, max_paths=10) == expected
+
+    def test_entity_directory(self, graph, planner4):
+        assert planner4.has_entity("e1")
+        assert not planner4.has_entity("nope")
+        assert planner4.entity("e1").name == "Entity 1"
+        assert [e.entity_id for e in planner4.find_by_name("Entity 2")] == ["e2"]

@@ -1,0 +1,110 @@
+"""Snapshot publishing: atomic swap, versioning, construction isolation."""
+
+import pytest
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.serve.snapshot import SnapshotStore
+
+
+def small_graph(n=12):
+    ontology = Ontology()
+    ontology.add_class("Thing")
+    graph = KnowledgeGraph(ontology=ontology, name="t")
+    for index in range(n):
+        graph.add_entity(f"e{index}", f"Entity {index}", "Thing")
+    for index in range(n):
+        graph.add(f"e{index}", "related_to", f"e{(index + 1) % n}")
+        graph.add(f"e{index}", "label", f"value-{index}")
+    return graph
+
+
+class TestSnapshotStore:
+    def test_empty_store_has_no_snapshot(self):
+        store = SnapshotStore()
+        assert store.current() is None
+        assert store.current_version() == 0
+
+    def test_publish_installs_versioned_snapshot(self):
+        store = SnapshotStore()
+        graph = small_graph()
+        snapshot = store.publish(graph)
+        assert snapshot.version == 1
+        assert store.current() is snapshot
+        assert snapshot.source_generation == graph.generation
+        assert len(snapshot.graph) == len(graph)
+
+    def test_versions_are_monotonic(self):
+        store = SnapshotStore()
+        graph = small_graph()
+        versions = [store.publish(graph).version for _ in range(4)]
+        assert versions == [1, 2, 3, 4]
+        assert store.current_version() == 4
+
+    def test_publish_copies_construction_mutations_never_leak(self):
+        """Post-publish merge_entities must not appear in the served graph."""
+        store = SnapshotStore()
+        graph = small_graph()
+        snapshot = store.publish(graph)
+
+        graph.merge_entities("e0", "e1")
+        graph.add("e0", "label", "added-after-publish")
+
+        served = snapshot.graph
+        assert served.has_entity("e1")
+        assert "added-after-publish" not in served.objects("e0", "label")
+        # And the planner (what the router actually queries) agrees.
+        assert snapshot.planner.has_entity("e1")
+
+    def test_merge_during_construction_before_publish_is_served(self):
+        store = SnapshotStore()
+        graph = small_graph()
+        graph.merge_entities("e0", "e1")
+        snapshot = store.publish(graph)
+        assert not snapshot.graph.has_entity("e1")
+
+    def test_in_flight_reference_survives_republish(self):
+        """A request holding the old snapshot finishes against it unchanged."""
+        store = SnapshotStore()
+        graph = small_graph()
+        old = store.publish(graph)
+        old_values = old.planner.objects("e3", "label")
+
+        graph.merge_entities("e2", "e3")
+        new = store.publish(graph)
+
+        assert store.current() is new
+        # The retired snapshot still answers exactly as before the swap.
+        assert old.planner.objects("e3", "label") == old_values
+        assert old.planner.has_entity("e3")
+        assert not new.planner.has_entity("e3")
+
+    def test_history_is_bounded(self):
+        store = SnapshotStore(keep_history=2)
+        graph = small_graph(4)
+        for _ in range(5):
+            store.publish(graph)
+        history = store.history()
+        assert [snapshot.version for snapshot in history] == [3, 4]
+
+    def test_sharded_publish(self):
+        store = SnapshotStore(n_shards=3)
+        snapshot = store.publish(small_graph())
+        assert snapshot.n_shards == 3
+        sizes = snapshot.planner.shard_sizes()
+        assert sum(sizes.values()) == len(snapshot.graph)
+
+    def test_describe_is_json_shaped(self):
+        import json
+
+        store = SnapshotStore(n_shards=2)
+        snapshot = store.publish(small_graph())
+        description = snapshot.describe()
+        json.dumps(description)
+        assert description["version"] == 1
+        assert description["n_shards"] == 2
+        assert description["n_triples"] == len(snapshot.graph)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotStore(n_shards=0)
