@@ -274,6 +274,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Publish a fixture snapshot and serve the JSON API over HTTP."""
     import time
 
+    from repro.obs import profiling
+    from repro.serve.context import AccessLog
     from repro.serve.server import start_server
     from repro.serve.service import SERVE_FIXTURES, build_fixture_service
 
@@ -290,6 +292,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = build_fixture_service(
         fixture_id, n_shards=args.shards, scale=scale, with_lm=not args.no_lm
     )
+    # A server someone deliberately started should be observable out of
+    # the box: /metrics and /statusz are live surfaces, and head sampling
+    # keeps the per-request cost inside the <5% budget.
+    if not args.no_obs:
+        profiling.enable()
+    service.trace_sample = args.trace_sample
+    if args.access_log:
+        service.access_log = AccessLog(args.access_log, sample=args.access_log_sample)
     server, _thread = start_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     snapshot = service.store.current()
@@ -299,7 +309,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"({len(snapshot.graph)} triples, {args.shards} shard(s)) "
         f"on http://{host}:{port}"
     )
-    print("routes: /lookup /paths /query /ask /stats /healthz  (Ctrl-C to stop)")
+    if args.access_log:
+        print(f"access log -> {args.access_log}")
+    print(
+        "routes: /lookup /paths /query /ask /stats /statusz /metrics /healthz"
+        "  (Ctrl-C to stop)"
+    )
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -310,6 +325,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.shutdown()
+        if service.access_log is not None:
+            service.access_log.close()
     return 0
 
 
@@ -321,6 +338,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     target = args.target
     if target.startswith("http://") or target.startswith("https://"):
+        if args.obs_compare:
+            print(
+                "--obs-compare needs an in-process fixture target (it must "
+                "flip observability on the service it is measuring)",
+                file=sys.stderr,
+            )
+            return 2
         client = HTTPClient(target)
         where = target
     else:
@@ -335,6 +359,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             )
             return 2
         scale = "quick" if args.quick else "full"
+        if args.obs_compare:
+            return _loadgen_obs_compare(args, fixture_id, scale)
         print(f"building fixture {fixture_id} ({scale}, {args.shards} shard(s))...")
         service = build_fixture_service(fixture_id, n_shards=args.shards, scale=scale)
         client = InProcessClient(service)
@@ -407,6 +433,186 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print("warn-only mode: not failing the run")
         return 0
     return exit_code
+
+
+def _loadgen_obs_compare(args: argparse.Namespace, fixture_id: str, scale: str) -> int:
+    """Back-to-back obs-off/obs-on closed loops; gate the p95 overhead.
+
+    Both runs append to the trajectory (tagged ``"obs": "off"/"on"``), so
+    ``BENCH_serve.json`` carries the overhead evidence alongside the
+    regular entries.
+    """
+    from repro.evalx import loadgen
+    from repro.evalx.tables import render_table
+    from repro.serve.admission import AdmissionController
+    from repro.serve.service import build_fixture_service
+
+    # Wide-open admission: a closed loop saturates the default ladder into
+    # ~100% sheds, and sheds are force-sampled by design — that measures
+    # the always-on shed-trace path, not the serving overhead the gate is
+    # about.
+    def build():
+        return build_fixture_service(
+            fixture_id,
+            n_shards=args.shards,
+            scale=scale,
+            admission=AdmissionController(rate=1_000_000.0, max_concurrent=64),
+        )
+
+    # Many short interleaved rounds beat few long ones: single-core VMs
+    # jitter in scheduler epochs that span seconds, and fine interleaving
+    # spreads each epoch across both labels before pooling.
+    rounds = 9
+    round_duration = max(0.5, args.duration / 3.0)
+    print(
+        f"obs-compare: {rounds} interleaved off/on {round_duration:.1f}s "
+        f"single-worker closed-loop rounds over HTTP vs fresh {fixture_id} "
+        f"({scale}, {args.shards} shard(s))..."
+    )
+    comparison = loadgen.measure_obs_overhead(
+        build,
+        duration_s=round_duration,
+        seed=args.seed,
+        max_p95_overhead=args.max_obs_overhead,
+        rounds=rounds,
+    )
+    rows = []
+    for label in ("off", "on"):
+        report = comparison[label]
+        overall = report.latency_summary()
+        rows.append(
+            [
+                f"obs {label}",
+                report.n_requests,
+                f"{report.throughput_rps:.1f}",
+                f"{overall['p50_ms']:.2f}",
+                f"{overall['p95_ms']:.2f}",
+                f"{overall['p99_ms']:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            title=f"loadgen obs-compare vs in-process {fixture_id}",
+            columns=["run", "n", "rps", "p50_ms", "p95_ms", "p99_ms"],
+            rows=rows,
+            note=(
+                f"pooled p95 overhead {comparison['p95_overhead']:+.1%} "
+                f"(gate {comparison['max_p95_overhead']:.0%}; rounds "
+                + ", ".join(f"{o:+.1%}" for o in comparison["round_overheads"])
+                + ")"
+            ),
+        )
+    )
+    output_path = args.output or os.path.join(_repo_root(), loadgen.TRAJECTORY_BASENAME)
+    for label in ("off", "on"):
+        entry, _regressions = loadgen.record_trajectory(
+            comparison[label], output_path, tolerance=args.tolerance
+        )
+        print(f"trajectory entry (obs {label}) -> {output_path}")
+    if comparison["passed"]:
+        print(
+            f"observability overhead within budget: "
+            f"{comparison['p95_overhead']:+.1%} p95"
+        )
+        return 0
+    print(
+        f"observability overhead {comparison['p95_overhead']:+.1%} p95 exceeds "
+        f"the {comparison['max_p95_overhead']:.0%} gate",
+        file=sys.stderr,
+    )
+    if args.warn_only:
+        print("warn-only mode: not failing the run")
+        return 0
+    return 1
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Print a serving endpoint's SLO summary; optionally gate on burn."""
+    from repro.evalx.tables import render_table
+
+    target = args.target
+    if target.startswith("http://") or target.startswith("https://"):
+        from repro.serve.server import HTTPClient
+
+        status_code, payload = HTTPClient(target).statusz()
+        if status_code != 200:
+            print(f"/statusz returned {status_code}: {payload}", file=sys.stderr)
+            return 2
+        where = target
+    else:
+        from repro.evalx import loadgen
+        from repro.obs import profiling
+        from repro.serve.server import InProcessClient
+        from repro.serve.service import SERVE_FIXTURES, build_fixture_service
+
+        fixture_id = target.upper()
+        if fixture_id not in SERVE_FIXTURES:
+            print(
+                f"slo target must be a URL or a fixture id "
+                f"({', '.join(sorted(SERVE_FIXTURES))}); got {target!r}",
+                file=sys.stderr,
+            )
+            return 2
+        scale = "quick" if args.quick else "full"
+        print(f"building fixture {fixture_id} ({scale}, {args.shards} shard(s))...")
+        service = build_fixture_service(fixture_id, n_shards=args.shards, scale=scale)
+        previous_enabled = profiling.enabled()
+        profiling.reset_all()
+        profiling.enable()
+        try:
+            print(f"driving {args.duration:.0f}s of traffic to fill the SLO window...")
+            loadgen.run_loadgen(
+                InProcessClient(service),
+                duration_s=args.duration,
+                mode="closed",
+                concurrency=args.concurrency,
+                seed=args.seed,
+            )
+            payload = service.statusz()
+        finally:
+            if not previous_enabled:
+                profiling.disable()
+        where = f"in-process {fixture_id}"
+
+    slo = payload.get("slo", {}) if isinstance(payload, dict) else {}
+    routes = slo.get("routes", {}) if isinstance(slo, dict) else {}
+    rows = [
+        [
+            route,
+            block.get("requests", 0),
+            block.get("rate_rps", 0.0),
+            block.get("errors", 0),
+            block.get("shed", 0),
+            block.get("degraded", 0),
+            f"{block.get('p95_ms', 0.0):.2f}",
+            f"{block.get('budget_burn_rate', 0.0):.2f}",
+            "yes" if block.get("burning") else "no",
+        ]
+        for route, block in sorted(routes.items())
+    ]
+    print(
+        render_table(
+            title=f"slo {where} (window {slo.get('window_s', '?')}s)",
+            columns=[
+                "route", "req", "rps", "err", "shed", "degr", "p95_ms", "burn", "burning",
+            ],
+            rows=rows or [["(no routes)", 0, 0, 0, 0, 0, "-", "-", "-"]],
+            note=(
+                f"degradation level {payload.get('degradation_level', '?')}; "
+                f"snapshot v{payload.get('snapshot_version', '?')}; "
+                f"worst burn {slo.get('worst_burn_rate', 0.0)}"
+            ),
+        )
+    )
+    worst_burn = float(slo.get("worst_burn_rate", 0.0) or 0.0)
+    if args.fail_on_burn and worst_burn > args.burn_threshold:
+        print(
+            f"error budget burning: worst burn rate {worst_burn} exceeds "
+            f"threshold {args.burn_threshold}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -526,6 +732,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-lm", action="store_true", help="skip the LM; `ask` answers KG-only"
     )
+    serve_parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="do not enable observability (spans, SLO windows, /metrics stay empty)",
+    )
+    serve_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        help="head-sampling rate for request traces "
+        "(default: REPRO_TRACE_SAMPLE env or 0.01)",
+    )
+    serve_parser.add_argument(
+        "--access-log",
+        default=None,
+        help="write a structured JSONL access log to this path (default: off)",
+    )
+    serve_parser.add_argument(
+        "--access-log-sample",
+        type=float,
+        default=1.0,
+        help="fraction of OK requests logged; shed/error always logged (default: 1.0)",
+    )
     serve_parser.set_defaults(func=cmd_serve)
 
     loadgen_parser = subparsers.add_parser(
@@ -575,7 +804,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print regressions/errors but exit 0 (PR smoke mode)",
     )
+    loadgen_parser.add_argument(
+        "--obs-compare",
+        action="store_true",
+        help="run obs-off then obs-on closed loops against fresh fixtures and "
+        "gate the p95 latency overhead (in-process targets only)",
+    )
+    loadgen_parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="allowed relative p95 overhead for --obs-compare (default: 0.05)",
+    )
     loadgen_parser.set_defaults(func=cmd_loadgen)
+
+    slo_parser = subparsers.add_parser(
+        "slo", help="print a serving endpoint's rolling SLO summary"
+    )
+    slo_parser.add_argument(
+        "target", help="a server URL (scrapes /statusz) or a fixture id "
+        "(drives in-process traffic first)"
+    )
+    slo_parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="seconds of traffic to drive for fixture targets (default: 5)",
+    )
+    slo_parser.add_argument(
+        "--concurrency", type=int, default=8, help="worker threads (default: 8)"
+    )
+    slo_parser.add_argument(
+        "--shards", type=int, default=1, help="shards for fixture targets (default: 1)"
+    )
+    slo_parser.add_argument(
+        "--quick", action="store_true", help="small fixture scale (CI smoke)"
+    )
+    slo_parser.add_argument(
+        "--seed", type=int, default=31, help="request-plan seed (default: 31)"
+    )
+    slo_parser.add_argument(
+        "--fail-on-burn",
+        action="store_true",
+        help="exit non-zero when the worst burn rate exceeds --burn-threshold",
+    )
+    slo_parser.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=1.0,
+        help="burn-rate threshold for --fail-on-burn (default: 1.0)",
+    )
+    slo_parser.set_defaults(func=cmd_slo)
     return parser
 
 

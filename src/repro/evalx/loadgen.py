@@ -148,6 +148,8 @@ class LoadgenReport:
     concurrency: int
     outcomes: List[RequestOutcome] = field(default_factory=list)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: "on"/"off" for obs-overhead comparison runs, None for plain runs.
+    obs: Optional[str] = None
 
     @property
     def n_requests(self) -> int:
@@ -227,6 +229,7 @@ class LoadgenReport:
             "git_sha": current_git_sha(),
             "timestamp": round(time.time(), 3),
             "quick": self.duration_s <= QUICK_DURATION_S,
+            "obs": self.obs,
             "mode": self.mode,
             "target_rps": self.target_rps,
             "concurrency": self.concurrency,
@@ -408,6 +411,146 @@ def run_loadgen(
         report.registry.counter(f"loadgen.status.{outcome.status_code}").inc()
     report.registry.gauge("loadgen.throughput_rps").set(report.throughput_rps)
     return report
+
+
+# ---------------------------------------------------------------------------
+# observability overhead measurement
+
+
+def measure_obs_overhead(
+    build_service,
+    duration_s: float = 5.0,
+    concurrency: int = 1,
+    mix: Optional[Dict[str, float]] = None,
+    seed: int = 31,
+    max_p95_overhead: float = 0.05,
+    rounds: int = 3,
+    transport: str = "http",
+) -> Dict[str, object]:
+    """Loadgen with observability off vs on; compare paired p95s.
+
+    ``build_service`` is a zero-argument callable returning a *fresh*
+    :class:`~repro.serve.service.KGService` — each run gets its own
+    service so every side starts with cold caches and full token buckets
+    (a shared service would hand the second run a warmed cache and call
+    it speedup).  The observability ledger (tracer, registry, SLO
+    windows) is reset around each run and the prior enabled-state is
+    restored.
+
+    Three things make the measurement honest and robust on a noisy
+    machine:
+
+    * **the HTTP transport** (the default) — overhead is gated relative
+      to what a *client* sees, and clients talk to the server, not to
+      Python function calls.  The in-process client's ~50µs round trip
+      exists to factor transport out of functional tests; against it no
+      per-request bookkeeping in pure Python can look small.
+      ``transport="inprocess"`` remains for socket-free smoke runs.
+    * **single-worker closed loop** (the default ``concurrency=1``) —
+      back-to-back requests on one thread make latency service time plus
+      one transport round trip.  A multi-worker closed loop measures
+      GIL/queueing contention and an open loop measures thread-wake
+      jitter (~1ms on a small VM); both swamp the cost being gated and
+      make p95 swing 2x run-to-run with zero code change.
+    * **paired interleaved rounds, trimmed and pooled** — off/on run
+      adjacent in time, ``rounds`` times, so a host that throttles
+      mid-measurement (CPU burst credits, a neighbor) degrades nearby
+      runs together instead of landing entirely on one label.  The gated
+      overhead compares the p95 of each side's samples *pooled across
+      rounds* — a single round's p95 rests on a few dozen tail samples
+      and swings ±20% run-to-run — and, when ``rounds >= 3``, each side
+      first drops its own worst round: a preemption burst lands inside
+      one round, and trimming it symmetrically keeps one stall from
+      deciding the gate.
+
+    Returns the median round's two reports (for trajectory recording),
+    the pooled p95s, the per-round overheads (for transparency), and
+    whether the pooled overhead stayed under ``max_p95_overhead`` (the
+    <5% acceptance gate).
+    """
+    from repro.obs import profiling
+    from repro.serve.server import HTTPClient, InProcessClient, start_server
+
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if transport not in ("http", "inprocess"):
+        raise ValueError(f"transport must be 'http' or 'inprocess', got {transport!r}")
+    previous_enabled = profiling.enabled()
+    round_reports: List[Dict[str, LoadgenReport]] = []
+    try:
+        for round_index in range(rounds):
+            pair: Dict[str, LoadgenReport] = {}
+            for label in ("off", "on"):
+                profiling.disable()  # fixture construction is not the measurement
+                service = build_service()
+                server = None
+                if transport == "http":
+                    server, _thread = start_server(service)
+                    client = HTTPClient(
+                        f"http://127.0.0.1:{server.server_address[1]}"
+                    )
+                else:
+                    client = InProcessClient(service)
+                profiling.reset_all()
+                if label == "on":
+                    profiling.enable()
+                try:
+                    report = run_loadgen(
+                        client,
+                        duration_s=duration_s,
+                        mode="closed",
+                        concurrency=concurrency,
+                        mix=mix,
+                        seed=seed,
+                    )
+                finally:
+                    if server is not None:
+                        server.shutdown()
+                report.obs = label
+                pair[label] = report
+            round_reports.append(pair)
+    finally:
+        profiling.reset_all()
+        if previous_enabled:
+            profiling.enable()
+        else:
+            profiling.disable()
+
+    overheads: List[float] = []
+    for pair in round_reports:
+        p95_off = pair["off"].latency_summary()["p95_ms"]
+        p95_on = pair["on"].latency_summary()["p95_ms"]
+        overheads.append((p95_on - p95_off) / p95_off if p95_off > 0 else 0.0)
+    ranked = sorted(range(rounds), key=lambda i: overheads[i])
+    median = round_reports[ranked[rounds // 2]]
+
+    def pooled_p95(label: str) -> float:
+        per_round = [
+            pair[label].latency_summary()["p95_ms"] for pair in round_reports
+        ]
+        keep = set(range(rounds))
+        if rounds >= 3:
+            keep.discard(max(keep, key=lambda i: per_round[i]))
+        values = sorted(
+            outcome.latency_ms
+            for index in keep
+            for outcome in round_reports[index][label].outcomes
+        )
+        return round(_percentile(values, 0.95), 3)
+
+    p95_off = pooled_p95("off")
+    p95_on = pooled_p95("on")
+    overhead = (p95_on - p95_off) / p95_off if p95_off > 0 else 0.0
+    return {
+        "off": median["off"],
+        "on": median["on"],
+        "p95_off_ms": p95_off,
+        "p95_on_ms": p95_on,
+        "p95_overhead": round(overhead, 4),
+        "round_overheads": [round(value, 4) for value in overheads],
+        "max_p95_overhead": max_p95_overhead,
+        "passed": overhead <= max_p95_overhead,
+    }
 
 
 # ---------------------------------------------------------------------------

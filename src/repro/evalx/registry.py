@@ -149,6 +149,15 @@ EXPERIMENTS: Dict[str, Experiment] = {
             CycleStage.SCALABILITY,
         ),
         Experiment(
+            "T-OBS",
+            "Sec. 5",
+            "Request-scoped observability (span trees, rolling RED/SLO windows, "
+            "error-budget burn) makes the serving degradation ladder visible at "
+            "<5% p95 latency overhead.",
+            "benchmarks/test_obs_overhead.py",
+            CycleStage.UBIQUITY,
+        ),
+        Experiment(
             "T-SERVE",
             "Sec. 1 / Sec. 5",
             "A published KG snapshot serves lookups, paths, conjunctive queries, and "

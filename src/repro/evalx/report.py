@@ -135,6 +135,7 @@ class RunReport:
             quality_snapshots=self.result.quality,
             lineage_samples=self.result.lineage,
             baseline_diff=baseline_diff,
+            slo=self.result.slo or None,
         )
 
     def to_markdown(self) -> str:
@@ -176,6 +177,46 @@ class RunReport:
                         ]
                         for name, summary in histograms.items()
                     ],
+                )
+            )
+            sections += ["```", ""]
+
+        slo = result.slo
+        if slo and slo.get("routes"):
+            sections += ["## Serving SLO", "", "```"]
+            sections.append(
+                render_table(
+                    title=(
+                        f"{result.experiment_id} per-route RED "
+                        f"(window {slo.get('window_s', 0)}s)"
+                    ),
+                    columns=[
+                        "route", "req", "rps", "err", "shed", "degr",
+                        "p50ms", "p95ms", "burn", "burning",
+                    ],
+                    rows=[
+                        [
+                            route,
+                            block.get("requests", 0),
+                            block.get("rate_rps", 0.0),
+                            block.get("errors", 0),
+                            block.get("shed", 0),
+                            block.get("degraded", 0),
+                            block.get("p50_ms", 0.0),
+                            block.get("p95_ms", 0.0),
+                            block.get("budget_burn_rate", 0.0),
+                            "yes" if block.get("burning") else "no",
+                        ]
+                        for route, block in sorted(slo["routes"].items())  # type: ignore[union-attr]
+                    ],
+                    note=(
+                        f"worst burn rate {slo.get('worst_burn_rate', 0.0)}; "
+                        + (
+                            "error budget burning"
+                            if slo.get("burning")
+                            else "within error budget"
+                        )
+                    ),
                 )
             )
             sections += ["```", ""]

@@ -21,6 +21,7 @@ from repro.obs import profiling
 from repro.obs import quality as obs_quality
 from repro.obs.lineage import get_ledger
 from repro.obs.metrics import get_registry
+from repro.obs.slo import get_slo_tracker
 from repro.obs.tracing import get_tracer, span
 
 
@@ -33,6 +34,7 @@ class TraceResult:
     snapshot: Dict[str, Dict[str, object]] = field(default_factory=dict)
     quality: List[Dict[str, object]] = field(default_factory=list)
     lineage: List[Dict[str, object]] = field(default_factory=list)
+    slo: Dict[str, object] = field(default_factory=dict)
 
     def span_summary_rows(self) -> List[List[object]]:
         """Aggregate rows (name, calls, wall total/mean, cpu total) by span name."""
@@ -220,11 +222,42 @@ def _workload_serve() -> None:
     service = build_fixture_service(
         "WORLD", n_shards=2, scale="quick", admission=admission
     )
+    # Keep every request's span tree: a traced run exists to be looked
+    # at, so the production 1% head-sample would defeat the point.
+    service.trace_sample = 1.0
     client = InProcessClient(service)
     plan = build_request_plan(service.entity_sample(), n_requests=150, seed=31)
     for planned in plan * 2:  # the repeat pass exercises the read-through cache
         getattr(client, planned.route)(**planned.kwargs)
     service.stats()  # records the final cache hit ratio gauge
+
+
+def _workload_obs() -> None:
+    """The observability layer itself: traced serving plus the live surfaces.
+
+    Drives the four routes through a degrading service with full trace
+    sampling, then exercises everything ``/statusz`` and ``/metrics``
+    serve — the SLO summary (burn rates flip once the small bucket
+    drains) and the Prometheus render — so the report shows the whole
+    request-scoped pipeline end to end.
+    """
+    from repro.evalx.loadgen import build_request_plan
+    from repro.obs.export import render_prometheus
+    from repro.serve.admission import AdmissionController
+    from repro.serve.server import InProcessClient
+    from repro.serve.service import build_fixture_service
+
+    admission = AdmissionController(rate=120.0, burst=40.0, max_concurrent=8)
+    service = build_fixture_service(
+        "WORLD", n_shards=2, scale="quick", admission=admission
+    )
+    service.trace_sample = 1.0
+    client = InProcessClient(service)
+    plan = build_request_plan(service.entity_sample(), n_requests=150, seed=33)
+    for planned in plan:
+        getattr(client, planned.route)(**planned.kwargs)
+    service.statusz()
+    render_prometheus()
 
 
 #: Experiment id -> in-process workload.  ``repro trace`` accepts these ids.
@@ -236,6 +269,7 @@ TRACE_WORKLOADS: Dict[str, Callable[[], None]] = {
     "FIG5": _workload_fig5,
     "T-AUTOKNOW": _workload_autoknow,
     "T-GROWTH": _workload_fig4,
+    "T-OBS": _workload_obs,
     "T-SERVE": _workload_serve,
     "T-WEB": _workload_web_fusion,
 }
@@ -268,12 +302,18 @@ def run_trace(
     try:
         with span(f"experiment.{experiment_id}", experiment=experiment_id):
             workload()
+        slo_summary = get_slo_tracker().summary(registry)
+        served_any = any(
+            block.get("requests", 0)
+            for block in slo_summary.get("routes", {}).values()  # type: ignore[union-attr]
+        )
         return TraceResult(
             experiment_id=experiment_id,
             spans=[finished.to_dict() for finished in tracer.spans()],
             snapshot=registry.snapshot(),
             quality=[snapshot.to_dict() for snapshot in obs_quality.snapshots()],
             lineage=[chain.to_dict() for chain in get_ledger().sample_chains(5)],
+            slo=slo_summary if served_any else {},
         )
     finally:
         if not previous_enabled:

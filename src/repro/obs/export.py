@@ -106,12 +106,15 @@ def build_document(
     quality_snapshots: Sequence[Mapping[str, object]] = (),
     lineage_samples: Sequence[Mapping[str, object]] = (),
     baseline_diff: Optional[Mapping[str, object]] = None,
+    slo: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """The stable JSON document for one observed run.
 
     Key order and nesting are part of the contract: CI diffs these
     documents, so additions must be backward-compatible (new keys only)
-    and breaking changes must bump :data:`DOCUMENT_VERSION`.
+    and breaking changes must bump :data:`DOCUMENT_VERSION`.  ``slo`` is
+    such an addition: the serving SLO summary for runs that drove the
+    serving layer, ``None`` for everything else.
     """
     return {
         "version": DOCUMENT_VERSION,
@@ -121,6 +124,7 @@ def build_document(
         "quality": [dict(record) for record in quality_snapshots],
         "lineage": [dict(record) for record in lineage_samples],
         "baseline_diff": dict(baseline_diff) if baseline_diff is not None else None,
+        "slo": dict(slo) if slo else None,
     }
 
 

@@ -57,12 +57,13 @@ def reset_all() -> None:
     The one call CLI entry points (``repro trace`` / ``repro report``) and
     tests make so back-to-back runs in one process never bleed state.
     """
-    from repro.obs import lineage, quality
+    from repro.obs import lineage, quality, slo
 
     get_tracer().reset()
     get_registry().reset()
     lineage.get_ledger().reset()
     quality.reset_snapshots()
+    slo.reset_slo_tracker()
 
 
 @contextmanager

@@ -1,0 +1,262 @@
+"""SLO tracking: rolling-window RED metrics and error-budget burn rates.
+
+The serving layer's counters and histograms are cumulative-since-start,
+which answers "how much work happened" but not the operator's question —
+"is the service healthy *right now*?".  This module adds the missing
+time dimension:
+
+* **RED per route** — Rate (requests/s over a rolling window), Errors
+  (5xx-equivalents, plus the shed/degraded responses the degradation
+  ladder substitutes for them), Duration (p50/p95/p99 read from the
+  cumulative ``serve.route.<route>.seconds`` histograms the router
+  already maintains);
+* **declarative SLO targets** (:class:`SLOTarget`) — an availability
+  objective (fraction of requests that must be served *healthy*: OK and
+  undegraded) and a p95 latency bound per route;
+* **error-budget burn rate** — ``unhealthy_ratio / (1 - availability)``:
+  1.0 means the budget is being spent exactly as fast as the SLO allows,
+  above 1.0 the ladder is degrading (or erroring) faster than the
+  objective tolerates.  Because shed and stale-served responses count as
+  budget spend, the burn rate *flips above 1.0 the moment the admission
+  ladder engages* — which is exactly the pageable signal: the service is
+  still answering, but it is paying for it.
+
+The window is a ring of one-second buckets (no per-request allocation,
+O(window) reads), and the process-global tracker mirrors the metrics
+registry: router code records into it when observability is enabled, the
+``/statusz`` endpoint and ``repro slo`` read :meth:`SLOTracker.summary`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Routes tracked by default (mirrors ``repro.serve.router.ROUTES``;
+#: restated here so obs never imports serve).
+DEFAULT_ROUTES = ("lookup", "paths", "query", "ask")
+
+#: Default rolling-window width, seconds.
+DEFAULT_WINDOW_S = 60.0
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One route's service-level objective.
+
+    ``availability`` is the fraction of requests that must be *healthy* —
+    status OK with no degradation; shed (429), stale/LM-shed serving, and
+    5xx all spend error budget.  ``latency_p95_ms`` bounds the route's
+    p95 as read from its cumulative latency histogram.
+    """
+
+    route: str
+    availability: float = 0.99
+    latency_p95_ms: float = 250.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError(
+                f"availability must be in (0, 1), got {self.availability}"
+            )
+        if self.latency_p95_ms <= 0:
+            raise ValueError(
+                f"latency_p95_ms must be positive, got {self.latency_p95_ms}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed unhealthy fraction (1 - availability)."""
+        return 1.0 - self.availability
+
+
+def default_targets() -> Dict[str, SLOTarget]:
+    """The out-of-the-box per-route targets.
+
+    ``ask`` gets a looser latency bound (it may traverse the LM path);
+    everything else is an index read and should be fast.
+    """
+    targets = {route: SLOTarget(route=route) for route in DEFAULT_ROUTES}
+    targets["ask"] = SLOTarget(route="ask", latency_p95_ms=500.0)
+    return targets
+
+
+class _RouteWindow:
+    """A ring of one-second buckets for one route's rolling counts.
+
+    Each bucket is ``[stamp, requests, errors, shed, degraded]`` where
+    ``stamp`` is the integer second it covers; a record into a bucket
+    whose stamp is stale zeroes it first, so idle seconds cost nothing
+    and the ring never needs a sweeper thread.
+    """
+
+    __slots__ = ("window_s", "_size", "_buckets", "_lock")
+
+    def __init__(self, window_s: float):
+        self.window_s = float(window_s)
+        self._size = max(2, int(window_s) + 1)
+        self._buckets: List[List[float]] = [[-1, 0, 0, 0, 0] for _ in range(self._size)]
+        self._lock = threading.Lock()
+
+    def record(self, now: float, error: bool, shed: bool, degraded: bool) -> None:
+        second = int(now)
+        bucket = self._buckets[second % self._size]
+        with self._lock:
+            if bucket[0] != second:
+                bucket[0] = second
+                bucket[1] = bucket[2] = bucket[3] = bucket[4] = 0
+            bucket[1] += 1
+            if error:
+                bucket[2] += 1
+            if shed:
+                bucket[3] += 1
+            if degraded:
+                bucket[4] += 1
+
+    def totals(self, now: float) -> Dict[str, float]:
+        """Counts over the trailing window ending at ``now``."""
+        floor = now - self.window_s
+        requests = errors = shed = degraded = 0.0
+        with self._lock:
+            for stamp, n, err, sh, deg in self._buckets:
+                if stamp >= floor and stamp >= 0:
+                    requests += n
+                    errors += err
+                    shed += sh
+                    degraded += deg
+        return {
+            "requests": requests,
+            "errors": errors,
+            "shed": shed,
+            "degraded": degraded,
+        }
+
+
+class SLOTracker:
+    """Per-route rolling RED state plus SLO/burn computation.
+
+    ``clock`` is injectable for deterministic tests; production uses
+    ``time.monotonic`` (bucket stamps only ever compare to each other).
+    """
+
+    def __init__(
+        self,
+        targets: Optional[Mapping[str, SLOTarget]] = None,
+        window_s: float = DEFAULT_WINDOW_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.window_s = float(window_s)
+        self.targets: Dict[str, SLOTarget] = dict(targets or default_targets())
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: Dict[str, _RouteWindow] = {}
+
+    def _window(self, route: str) -> _RouteWindow:
+        with self._lock:
+            window = self._windows.get(route)
+            if window is None:
+                window = self._windows[route] = _RouteWindow(self.window_s)
+            return window
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        route: str,
+        status: str,
+        http_status: int,
+        degraded: Optional[str] = None,
+    ) -> None:
+        """Fold one finished request into the route's rolling window."""
+        self._window(route).record(
+            self._clock(),
+            error=http_status >= 500,
+            shed=http_status == 429,
+            degraded=status == "ok" and degraded is not None,
+        )
+
+    # ------------------------------------------------------------------
+
+    def route_summary(
+        self, route: str, registry: Optional[MetricsRegistry] = None
+    ) -> Dict[str, object]:
+        """One route's RED + SLO block (the ``/statusz`` unit of output)."""
+        registry = registry or get_registry()
+        totals = self._window(route).totals(self._clock())
+        requests = totals["requests"]
+        unhealthy = totals["errors"] + totals["shed"] + totals["degraded"]
+        error_ratio = totals["errors"] / requests if requests else 0.0
+        unhealthy_ratio = unhealthy / requests if requests else 0.0
+        latency = registry.histogram(f"serve.route.{route}.seconds").summary()
+        target = self.targets.get(route, SLOTarget(route=route))
+        burn_rate = unhealthy_ratio / target.error_budget
+        p95_ms = latency["p95"] * 1000.0
+        return {
+            "route": route,
+            "window_s": self.window_s,
+            # R — rate
+            "rate_rps": round(requests / self.window_s, 4),
+            "requests": int(requests),
+            # E — errors (and the ladder's error-substitutes)
+            "errors": int(totals["errors"]),
+            "shed": int(totals["shed"]),
+            "degraded": int(totals["degraded"]),
+            "error_ratio": round(error_ratio, 6),
+            "unhealthy_ratio": round(unhealthy_ratio, 6),
+            # D — duration (cumulative histograms, ms)
+            "p50_ms": round(latency["p50"] * 1000.0, 3),
+            "p95_ms": round(p95_ms, 3),
+            "p99_ms": round(latency["p99"] * 1000.0, 3),
+            # the objective
+            "target_availability": target.availability,
+            "target_p95_ms": target.latency_p95_ms,
+            "budget_burn_rate": round(burn_rate, 4),
+            "burning": burn_rate > 1.0,
+            "latency_ok": latency["count"] == 0 or p95_ms <= target.latency_p95_ms,
+        }
+
+    def summary(self, registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+        """Every tracked route's summary plus the worst burn rate.
+
+        Routes with a declared target are always present (a silent route
+        reports zero rate, not absence); routes that saw traffic without
+        a target ride along with the default objective.
+        """
+        with self._lock:
+            routes = sorted(set(self.targets) | set(self._windows))
+        per_route = {
+            route: self.route_summary(route, registry=registry) for route in routes
+        }
+        worst_burn = max(
+            (block["budget_burn_rate"] for block in per_route.values()), default=0.0
+        )
+        return {
+            "window_s": self.window_s,
+            "routes": per_route,
+            "worst_burn_rate": worst_burn,
+            "burning": any(block["burning"] for block in per_route.values()),
+        }
+
+    def reset(self) -> None:
+        """Drop all rolling state (targets survive; test isolation)."""
+        with self._lock:
+            self._windows = {}
+
+
+_GLOBAL_TRACKER = SLOTracker()
+
+
+def get_slo_tracker() -> SLOTracker:
+    """The process-global SLO tracker (mirrors the metrics registry)."""
+    return _GLOBAL_TRACKER
+
+
+def reset_slo_tracker() -> None:
+    """Clear the global tracker's rolling windows (test isolation)."""
+    _GLOBAL_TRACKER.reset()

@@ -137,6 +137,19 @@ class Tracer:
         with self._lock:
             self._finished.append(span_)
 
+    def record_finished(self, spans: "List[Span]") -> None:
+        """Adopt externally finished spans (a request trace being flushed).
+
+        The serving layer buffers each request's spans on its
+        :class:`~repro.serve.context.RequestContext` — the thread-local
+        stack here cannot follow a request across pool threads — and
+        flushes sampled requests through this in one append.
+        """
+        if not spans:
+            return
+        with self._lock:
+            self._finished.extend(spans)
+
     # ---- inspection / export -------------------------------------------
 
     def spans(self, prefix: Optional[str] = None) -> List[Span]:

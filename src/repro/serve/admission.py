@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.obs import metrics as obs_metrics
+from repro.serve import context as serve_context
 
 #: Ladder levels (ordered: higher sheds more).
 LEVEL_NORMAL = 0
@@ -178,6 +179,8 @@ class AdmissionController:
                 self._rejected += 1
             obs_metrics.count("serve.admission.rejected")
             obs_metrics.count(f"serve.route.{route}.rejected")
+            serve_context.tag_request("admission.level", "rejected")
+            serve_context.tag_request("admission.reason", "queue_full")
             return AdmissionDecision(admitted=False, level=LEVEL_STALE, reason="queue_full")
         with self._lock:
             self._in_flight += 1
@@ -197,6 +200,8 @@ class AdmissionController:
                 self._degraded[level] = self._degraded.get(level, 0) + 1
             obs_metrics.count(f"serve.admission.degraded.{LEVEL_NAMES[level]}")
         obs_metrics.count("serve.admission.admitted")
+        serve_context.tag_request("admission.level", LEVEL_NAMES[level])
+        serve_context.tag_request("admission.reason", reason)
         return AdmissionDecision(admitted=True, level=level, reason=reason)
 
     def release(self) -> None:
@@ -210,6 +215,19 @@ class AdmissionController:
     def deadline(self, timeout_s: Optional[float] = None) -> Deadline:
         """A request deadline (explicit timeout wins over the default)."""
         return Deadline(timeout_s if timeout_s is not None else self.default_timeout_s)
+
+    def current_level(self) -> str:
+        """The ladder level the *next* request would be admitted at.
+
+        Read-only (no token is consumed): ``/statusz`` polls this to show
+        the live degradation level without perturbing admission.
+        """
+        fill = self.bucket.fill_fraction()
+        if fill < self.stale_fill:
+            return LEVEL_NAMES[LEVEL_STALE]
+        if fill < self.lm_shed_fill:
+            return LEVEL_NAMES[LEVEL_LM_SHED]
+        return LEVEL_NAMES[LEVEL_NORMAL]
 
     # ------------------------------------------------------------------
 

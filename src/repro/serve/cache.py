@@ -24,6 +24,7 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
+from repro.serve import context as serve_context
 
 #: Cache key: (route, canonical request key).
 CacheKey = Tuple[str, str]
@@ -66,6 +67,7 @@ class ResponseCache:
             ratio = self._hit_ratio_locked()
         obs_metrics.count("serve.cache.hits" if hit else "serve.cache.misses")
         obs_metrics.gauge("serve.cache.hit_ratio", ratio)
+        serve_context.tag_request("cache", "hit" if hit else "miss")
         return payload
 
     def get_stale(self, route: str, key: str) -> Optional[object]:
@@ -80,6 +82,7 @@ class ResponseCache:
             self._entries.move_to_end((route, key))
             self._stale_served += 1
         obs_metrics.count("serve.cache.stale_served")
+        serve_context.tag_request("cache", "stale")
         return entry[1]
 
     def put(self, route: str, key: str, version: int, payload: object) -> None:

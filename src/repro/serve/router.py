@@ -31,7 +31,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.query import TriplePattern
 from repro.neural.qa import DualRouterQA, KGQA, Question
 from repro.obs import metrics as obs_metrics
-from repro.obs.tracing import span
+from repro.obs._flags import FLAGS
+from repro.obs.slo import get_slo_tracker
+from repro.serve import context as serve_context
 from repro.serve.admission import AdmissionController, Deadline
 from repro.serve.cache import ResponseCache
 from repro.serve.snapshot import GraphSnapshot, SnapshotStore
@@ -194,6 +196,12 @@ class RequestRouter:
         started = time.perf_counter()
         obs_metrics.count("serve.requests")
         obs_metrics.count(f"serve.route.{route}.requests")
+        if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+            # A transport that forgot to validate must not become a 500
+            # (Deadline would TypeError outside the defensive try below).
+            return self._bad_request(
+                route, f"timeout_s must be a number, got {timeout_s!r}", counted=True
+            )
         snapshot = self.store.current()
         if snapshot is None:
             return self._finish(
@@ -235,7 +243,9 @@ class RequestRouter:
             )
         deadline = self.admission.deadline(timeout_s)
         try:
-            with span(f"serve.{route}", route=route, snapshot=snapshot.version):
+            with serve_context.request_span(
+                f"serve.{route}", route=route, snapshot=snapshot.version
+            ):
                 return self._finish(
                     self._serve_admitted(
                         route, params, key, snapshot, decision, deadline, compute
@@ -317,12 +327,24 @@ class RequestRouter:
         response.elapsed_ms = (time.perf_counter() - started) * 1000.0
         obs_metrics.observe(f"serve.route.{response.route}.seconds", response.elapsed_ms / 1000.0)
         obs_metrics.count(f"serve.route.{response.route}.{response.status}")
+        if FLAGS.enabled:
+            get_slo_tracker().record(
+                response.route, response.status, response.http_status, response.degraded
+            )
+        serve_context.tag_request("status", response.status)
+        if response.degraded:
+            serve_context.tag_request("degraded", response.degraded)
+        if response.cached:
+            serve_context.tag_request("cached", True)
         return response
 
-    def _bad_request(self, route: str, message: str) -> RouteResponse:
-        obs_metrics.count("serve.requests")
-        obs_metrics.count(f"serve.route.{route}.requests")
+    def _bad_request(self, route: str, message: str, counted: bool = False) -> RouteResponse:
+        if not counted:
+            obs_metrics.count("serve.requests")
+            obs_metrics.count(f"serve.route.{route}.requests")
         obs_metrics.count(f"serve.route.{route}.bad_request")
+        if FLAGS.enabled:
+            get_slo_tracker().record(route, "bad_request", 400, None)
         return RouteResponse(
             status="bad_request", route=route, payload={"error": message}
         )
@@ -442,10 +464,12 @@ class RequestRouter:
         if lm_shed:
             if decision.shed_lm and dual is not None:
                 obs_metrics.count("serve.shed.lm")
-            answer = kgqa.answer(question)
+            with serve_context.request_span("serve.qa", engine="kg", lm_shed=True):
+                answer = kgqa.answer(question)
         else:
             with self._lm_lock:
-                answer = dual.answer(question)
+                with serve_context.request_span("serve.qa", engine="dual", lm_shed=False):
+                    answer = dual.answer(question)
         return {
             "subject": subject,
             "predicate": predicate,

@@ -10,6 +10,8 @@ Endpoints::
 
     GET  /healthz                              -> {"ok": true, ...}
     GET  /stats                                -> service stats + entity sample
+    GET  /statusz                              -> SLO summary + degradation level
+    GET  /metrics                              -> Prometheus exposition (text)
     GET  /lookup?subject=S&predicate=P
     GET  /paths?start=A&goal=B[&max_length=3][&max_paths=25]
     GET  /ask?subject=S&predicate=P
@@ -17,45 +19,87 @@ Endpoints::
 
 Status mapping: ``ok``→200, ``bad_request``→400, ``shed``→429,
 ``unavailable``→503, ``error``→500 (the overload tests assert zero).
+
+Every response carries an ``X-Repro-Request-Id`` header — echoed when the
+caller supplied one, minted otherwise — and the four serving routes run
+inside a :func:`repro.serve.context.request_scope`, so the id keys the
+request's span tree and access-log line across both transports.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
-import urllib.error
 import urllib.parse
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import render_prometheus
+from repro.serve import context as serve_context
+from repro.serve.context import REQUEST_ID_HEADER
 from repro.serve.router import RouteResponse
 from repro.serve.service import KGService
 
 #: JSON body + HTTP status, the shape both clients return.
 ClientResult = Tuple[int, Dict[str, object]]
 
+#: Sentinel for a ``timeout_s`` parameter that failed to parse.
+_INVALID_TIMEOUT = object()
+
 
 def _make_handler(service: KGService):
     """A request-handler class bound to one service instance."""
 
     class ServeHandler(BaseHTTPRequestHandler):
+        # HTTP/1.1 keep-alive: every response already carries an exact
+        # Content-Length, and a persistent connection saves a TCP
+        # handshake plus a ThreadingHTTPServer thread spawn per request —
+        # the dominant (and noisiest) share of the measured round trip.
+        protocol_version = "HTTP/1.1"
+
+        # Nagle + delayed ACK turns the header/body write pair into a
+        # ~40ms stall per keep-alive request; flush segments immediately.
+        disable_nagle_algorithm = True
+
         # Quiet: serving benchmarks must not pay for stderr logging.
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass
 
         # ---- helpers -------------------------------------------------
 
+        def _request_id(self) -> str:
+            """The caller-supplied request id, minting one if absent."""
+            rid = getattr(self, "_rid", None)
+            if rid is None:
+                rid = self.headers.get(REQUEST_ID_HEADER) or serve_context.new_request_id()
+                self._rid = rid
+            return rid
+
+        def _begin_request(self) -> None:
+            """Per-request reset: one handler serves many keep-alive
+            requests, so the memoized id must not leak across them."""
+            self._rid = None
+
         def _write_json(self, status: int, body: Dict[str, object]) -> None:
             data = json.dumps(body, sort_keys=True).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            self.send_header(REQUEST_ID_HEADER, self._request_id())
             self.end_headers()
             self.wfile.write(data)
 
-        def _write_route(self, response: RouteResponse) -> None:
-            self._write_json(response.http_status, response.to_dict())
+        def _write_text(self, status: int, text: str, content_type: str) -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.send_header(REQUEST_ID_HEADER, self._request_id())
+            self.end_headers()
+            self.wfile.write(data)
 
         def _params(self) -> Dict[str, str]:
             query = urllib.parse.urlparse(self.path).query
@@ -65,18 +109,49 @@ def _make_handler(service: KGService):
                 if values
             }
 
-        def _timeout(self, params: Dict[str, str]) -> Optional[float]:
+        def _timeout(self, params: Dict[str, str]):
+            """``timeout_s`` as a float, None when absent, or the invalid
+            sentinel — a malformed value must 400, not silently drop the
+            caller's deadline."""
             raw = params.get("timeout_s")
-            try:
-                return float(raw) if raw is not None else None
-            except ValueError:
+            if raw is None:
                 return None
+            try:
+                return float(raw)
+            except ValueError:
+                return _INVALID_TIMEOUT
+
+        def _serve_route(self, route: str, compute, timeout_s=None) -> None:
+            """Run one routed request inside its observability scope."""
+            with serve_context.request_scope(
+                route,
+                request_id=self._request_id(),
+                timeout_s=timeout_s if isinstance(timeout_s, (int, float)) else None,
+                sample_rate=service.trace_sample,
+                access_log=service.access_log,
+            ) as context:
+                response = compute()
+                context.status = response.status
+                context.http_status = response.http_status
+                self._write_json(response.http_status, response.to_dict())
+
+        def _unknown_route(self, route: str) -> None:
+            obs_metrics.count("serve.http.404")
+            self._write_json(404, {"error": f"unknown route {route!r}"})
 
         # ---- verbs ---------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            self._begin_request()
             route = urllib.parse.urlparse(self.path).path.rstrip("/") or "/"
             params = self._params()
+            timeout_s = self._timeout(params)
+            if timeout_s is _INVALID_TIMEOUT:
+                self._write_json(
+                    400,
+                    {"error": f"timeout_s must be a number, got {params['timeout_s']!r}"},
+                )
+                return
             if route == "/healthz":
                 snapshot = service.store.current()
                 self._write_json(
@@ -88,13 +163,23 @@ def _make_handler(service: KGService):
                 )
             elif route == "/stats":
                 self._write_json(200, service.stats())
+            elif route == "/statusz":
+                self._write_json(200, service.statusz())
+            elif route == "/metrics":
+                self._write_text(
+                    200,
+                    render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif route == "/lookup":
-                self._write_route(
-                    service.lookup(
+                self._serve_route(
+                    "lookup",
+                    lambda: service.lookup(
                         params.get("subject", ""),
                         params.get("predicate", ""),
-                        timeout_s=self._timeout(params),
-                    )
+                        timeout_s=timeout_s,
+                    ),
+                    timeout_s=timeout_s,
                 )
             elif route == "/paths":
                 try:
@@ -103,28 +188,33 @@ def _make_handler(service: KGService):
                 except ValueError:
                     self._write_json(400, {"error": "max_length/max_paths must be integers"})
                     return
-                self._write_route(
-                    service.paths(
+                self._serve_route(
+                    "paths",
+                    lambda: service.paths(
                         params.get("start", ""),
                         params.get("goal", ""),
                         max_length=max_length,
                         max_paths=max_paths,
-                        timeout_s=self._timeout(params),
-                    )
+                        timeout_s=timeout_s,
+                    ),
+                    timeout_s=timeout_s,
                 )
             elif route == "/ask":
-                self._write_route(
-                    service.ask(
+                self._serve_route(
+                    "ask",
+                    lambda: service.ask(
                         params.get("subject", ""),
                         params.get("predicate", ""),
-                        timeout_s=self._timeout(params),
-                    )
+                        timeout_s=timeout_s,
+                    ),
+                    timeout_s=timeout_s,
                 )
             else:
-                self._write_json(404, {"error": f"unknown route {route!r}"})
+                self._unknown_route(route)
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-            route = urllib.parse.urlparse(self.path).path.rstrip("/")
+            self._begin_request()
+            route = urllib.parse.urlparse(self.path).path.rstrip("/") or "/"
             length = int(self.headers.get("Content-Length", 0) or 0)
             raw = self.rfile.read(length) if length else b"{}"
             try:
@@ -134,14 +224,14 @@ def _make_handler(service: KGService):
                 return
             if route == "/query":
                 patterns = body.get("patterns") if isinstance(body, dict) else None
-                self._write_route(
-                    service.query(
-                        patterns or [],
-                        timeout_s=body.get("timeout_s") if isinstance(body, dict) else None,
-                    )
+                timeout_s = body.get("timeout_s") if isinstance(body, dict) else None
+                self._serve_route(
+                    "query",
+                    lambda: service.query(patterns or [], timeout_s=timeout_s),
+                    timeout_s=timeout_s,
                 )
             else:
-                self._write_json(404, {"error": f"unknown route {route!r}"})
+                self._unknown_route(route)
 
     return ServeHandler
 
@@ -167,68 +257,171 @@ def start_server(
 
 
 class InProcessClient:
-    """Drives the router directly; mirrors the HTTP JSON contract exactly."""
+    """Drives the router directly; mirrors the HTTP JSON contract exactly.
+
+    Each call runs inside the same :func:`request_scope` bracket the HTTP
+    transport uses, so traces, SLO windows, and access logs see identical
+    request streams from either client.  ``last_request_id`` holds the id
+    of the most recent call (the in-process analogue of the HTTP header;
+    the JSON body stays byte-identical across transports).
+    """
 
     def __init__(self, service: KGService):
         self.service = service
+        self.last_request_id: Optional[str] = None
+
+    def _call(self, route: str, compute, timeout_s=None) -> ClientResult:
+        with serve_context.request_scope(
+            route,
+            timeout_s=timeout_s if isinstance(timeout_s, (int, float)) else None,
+            sample_rate=self.service.trace_sample,
+            access_log=self.service.access_log,
+        ) as context:
+            response = compute()
+            context.status = response.status
+            context.http_status = response.http_status
+            self.last_request_id = context.request_id
+        return response.http_status, response.to_dict()
 
     def lookup(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
-        response = self.service.lookup(subject, predicate, timeout_s=timeout_s)
-        return response.http_status, response.to_dict()
+        return self._call(
+            "lookup",
+            lambda: self.service.lookup(subject, predicate, timeout_s=timeout_s),
+            timeout_s=timeout_s,
+        )
 
     def paths(self, start: str, goal: str, max_length: int = 3, max_paths: int = 25,
               timeout_s=None) -> ClientResult:
-        response = self.service.paths(
-            start, goal, max_length=max_length, max_paths=max_paths, timeout_s=timeout_s
+        return self._call(
+            "paths",
+            lambda: self.service.paths(
+                start, goal, max_length=max_length, max_paths=max_paths,
+                timeout_s=timeout_s,
+            ),
+            timeout_s=timeout_s,
         )
-        return response.http_status, response.to_dict()
 
     def query(self, patterns: Sequence[Sequence[object]], timeout_s=None) -> ClientResult:
-        response = self.service.query(patterns, timeout_s=timeout_s)
-        return response.http_status, response.to_dict()
+        return self._call(
+            "query",
+            lambda: self.service.query(patterns, timeout_s=timeout_s),
+            timeout_s=timeout_s,
+        )
 
     def ask(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
-        response = self.service.ask(subject, predicate, timeout_s=timeout_s)
-        return response.http_status, response.to_dict()
+        return self._call(
+            "ask",
+            lambda: self.service.ask(subject, predicate, timeout_s=timeout_s),
+            timeout_s=timeout_s,
+        )
 
     def stats(self) -> ClientResult:
         return 200, self.service.stats()
 
+    def statusz(self) -> ClientResult:
+        return 200, self.service.statusz()
+
 
 class HTTPClient:
-    """The same client surface over real sockets (stdlib urllib only)."""
+    """The same client surface over real sockets (stdlib only).
+
+    Connections are persistent (HTTP/1.1 keep-alive) and thread-local:
+    the load generator shares one client across worker threads, and a
+    single shared socket would interleave concurrent request/response
+    pairs.  A connection that errors is closed and rebuilt on the next
+    call, so a restarted server just costs one 599.
+    """
 
     def __init__(self, base_url: str, timeout_s: float = 10.0):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: The ``X-Repro-Request-Id`` of the most recent response.
+        self.last_request_id: Optional[str] = None
+        parsed = urllib.parse.urlsplit(self.base_url)
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._local = threading.local()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout_s
+            )
+            connection.connect()
+            # Same Nagle/delayed-ACK stall on the POST side (headers and
+            # body go out as separate writes).
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
 
     def _get(self, path: str, params: Dict[str, object]) -> ClientResult:
         query = urllib.parse.urlencode(
             {key: value for key, value in params.items() if value is not None}
         )
-        url = f"{self.base_url}{path}" + (f"?{query}" if query else "")
-        request = urllib.request.Request(url, method="GET")
-        return self._send(request)
+        return self._send("GET", path + (f"?{query}" if query else ""))
 
     def _post(self, path: str, body: Dict[str, object]) -> ClientResult:
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
+        return self._send(
+            "POST",
+            path,
             data=json.dumps(body).encode("utf-8"),
             headers={"Content-Type": "application/json"},
-            method="POST",
         )
-        return self._send(request)
 
-    def _send(self, request: urllib.request.Request) -> ClientResult:
+    def _send(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ClientResult:
+        status, reply_headers, raw = self._roundtrip(method, path, data, headers)
+        if status == 599:
+            self.last_request_id = None
+            return 599, {"error": raw.decode("utf-8", "replace")}
+        self.last_request_id = reply_headers.get(REQUEST_ID_HEADER)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
-                return reply.status, json.loads(reply.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            try:
-                body = json.loads(error.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                body = {"error": str(error)}
-            return error.code, body
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            # A non-JSON body (a proxy error page, a crashed handler's
+            # half-write) must surface as an error dict, not a raise.
+            body = {"error": raw.decode("utf-8", "replace") or f"HTTP {status}"}
+        if not isinstance(body, dict):
+            body = {"error": f"non-object JSON body: {body!r}"}
+        return status, body
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Optional[Dict[str, str]],
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request over the thread's persistent connection.
+
+        Returns ``(status, headers, raw_body)``; transport failures
+        (refused, reset, timeout) come back as the 599 convention with
+        the error text as the body rather than raising.
+        """
+        try:
+            connection = self._connection()
+            connection.request(method, path, body=data, headers=headers or {})
+            reply = connection.getresponse()
+            raw = reply.read()
+            reply_headers = {key: value for key, value in reply.getheaders()}
+            if reply.will_close:
+                self._drop_connection()
+            return reply.status, reply_headers, raw
+        except (http.client.HTTPException, OSError) as error:
+            self._drop_connection()
+            return 599, {}, f"transport: {error}".encode("utf-8")
 
     def lookup(self, subject: str, predicate: str, timeout_s=None) -> ClientResult:
         return self._get(
@@ -261,3 +454,14 @@ class HTTPClient:
 
     def stats(self) -> ClientResult:
         return self._get("/stats", {})
+
+    def statusz(self) -> ClientResult:
+        return self._get("/statusz", {})
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics`` (not JSON)."""
+        status, headers, raw = self._roundtrip("GET", "/metrics", None, None)
+        if status != 200:
+            raise RuntimeError(f"/metrics returned {status}: {raw[:200]!r}")
+        self.last_request_id = headers.get(REQUEST_ID_HEADER)
+        return raw.decode("utf-8")

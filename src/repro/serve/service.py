@@ -11,10 +11,14 @@ is what ``repro serve <ID>`` and ``repro loadgen <ID>`` publish.
 from __future__ import annotations
 
 import random
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.graph import KnowledgeGraph
 from repro.obs import metrics as obs_metrics
+from repro.obs._flags import FLAGS
+from repro.obs.slo import get_slo_tracker
+from repro.serve import context as serve_context
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import ResponseCache
 from repro.serve.router import RequestRouter, RouteResponse
@@ -31,6 +35,8 @@ class KGService:
         admission: Optional[AdmissionController] = None,
         model=None,
         name: str = "kg",
+        trace_sample: Optional[float] = None,
+        access_log: Optional[serve_context.AccessLog] = None,
     ):
         self.name = name
         self.store = SnapshotStore(n_shards=n_shards)
@@ -39,6 +45,12 @@ class KGService:
         self.router = RequestRouter(
             self.store, cache=self.cache, admission=self.admission, model=model
         )
+        #: Head-sampling rate for request traces; None defers to the
+        #: REPRO_TRACE_SAMPLE environment variable (default 1%).
+        self.trace_sample = trace_sample
+        #: Structured JSONL access log; None (the default) writes nothing.
+        self.access_log = access_log
+        self.started_unix = time.time()
 
     # ------------------------------------------------------------------
 
@@ -99,6 +111,30 @@ class KGService:
         }
         obs_metrics.gauge("serve.cache.hit_ratio", self.cache.hit_ratio())
         return payload
+
+    def statusz(self) -> Dict[str, object]:
+        """The operator's one-page health view (the ``/statusz`` payload).
+
+        Combines identity (service name, snapshot version, uptime), the
+        admission ladder's *live* degradation level, and the rolling SLO
+        summary — per-route RED, error-budget burn rates, and whether any
+        route is currently burning faster than its objective allows.
+        """
+        snapshot = self.store.current()
+        return {
+            "service": self.name,
+            "snapshot_version": snapshot.version if snapshot is not None else 0,
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "degradation_level": self.admission.current_level(),
+            "admission": self.admission.stats(),
+            "observability_enabled": FLAGS.enabled,
+            "trace_sample": (
+                self.trace_sample
+                if self.trace_sample is not None
+                else serve_context.trace_sample_rate()
+            ),
+            "slo": get_slo_tracker().summary(),
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,7 @@ from repro.core.query import (
     is_variable,
 )
 from repro.core.triple import Triple, Value
+from repro.serve import context as serve_context
 
 
 def shard_of(subject: str, n_shards: int) -> int:
@@ -142,10 +143,22 @@ class ScatterGatherPlanner:
             return self.owning_shard(subject).query(
                 subject=subject, predicate=predicate, obj=obj
             )
-        per_shard = pmap(
-            lambda shard: shard.query(subject=None, predicate=predicate, obj=obj),
-            self.shards,
-        )
+        # Capture the request context *before* fanning out: pmap's pool
+        # threads cannot see the contextvars, so each probe gets explicit
+        # (context, parent) and its child span still joins the request tree.
+        context = serve_context.current_context()
+        parent = serve_context.current_request_span()
+
+        def probe(indexed: Tuple[int, KnowledgeGraph]) -> List[Triple]:
+            index, shard = indexed
+            with serve_context.shard_span(
+                context, parent, "serve.shard.query", shard=index
+            ) as span_:
+                rows = shard.query(subject=None, predicate=predicate, obj=obj)
+                span_.set_tag("rows", len(rows))
+                return rows
+
+        per_shard = pmap(probe, list(enumerate(self.shards)))
         gathered: List[Triple] = []
         for rows in per_shard:
             gathered.extend(rows)
@@ -174,7 +187,19 @@ class ScatterGatherPlanner:
         Outgoing edges live on the owning shard; incoming edges live on
         the owning shards of *their* subjects — hence the gather.
         """
-        per_shard = pmap(lambda shard: shard.neighbors(entity_id), self.shards)
+        context = serve_context.current_context()
+        parent = serve_context.current_request_span()
+
+        def probe(indexed: Tuple[int, KnowledgeGraph]) -> List[Tuple[str, str, bool]]:
+            index, shard = indexed
+            with serve_context.shard_span(
+                context, parent, "serve.shard.neighbors", shard=index
+            ) as span_:
+                rows = shard.neighbors(entity_id)
+                span_.set_tag("rows", len(rows))
+                return rows
+
+        per_shard = pmap(probe, list(enumerate(self.shards)))
         gathered: List[Tuple[str, str, bool]] = []
         for rows in per_shard:
             gathered.extend(rows)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.core.graph import KnowledgeGraph
 from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span as obs_span
 from repro.serve.shard import ScatterGatherPlanner, build_shards
 
 
@@ -100,26 +101,32 @@ class SnapshotStore:
         mutating ``graph`` the moment this returns (or concurrently — the
         caller must simply not mutate *during* the copy).
         """
-        source_generation = graph.generation
-        frozen = graph.copy()
-        with self._lock:
-            self._next_version += 1
-            version = self._next_version
-        snapshot = GraphSnapshot(
-            version=version,
-            graph=frozen,
-            n_shards=self.n_shards,
-            source_generation=source_generation,
-        )
-        with self._lock:
-            if self._current is not None:
-                self._history.append(self._current)
-                if len(self._history) > self._keep_history:
-                    self._history = self._history[-self._keep_history :]
-            self._current = snapshot
+        started = time.perf_counter()
+        with obs_span("serve.snapshot.publish", n_shards=self.n_shards) as span_:
+            source_generation = graph.generation
+            frozen = graph.copy()
+            with self._lock:
+                self._next_version += 1
+                version = self._next_version
+            snapshot = GraphSnapshot(
+                version=version,
+                graph=frozen,
+                n_shards=self.n_shards,
+                source_generation=source_generation,
+            )
+            with self._lock:
+                if self._current is not None:
+                    self._history.append(self._current)
+                    if len(self._history) > self._keep_history:
+                        self._history = self._history[-self._keep_history :]
+                self._current = snapshot
+            span_.set_tag("version", snapshot.version)
         obs_metrics.count("serve.snapshot.publishes")
         obs_metrics.gauge("serve.snapshot.version", snapshot.version)
         obs_metrics.gauge("serve.snapshot.n_triples", len(frozen))
+        obs_metrics.observe(
+            "serve.snapshot.publish_seconds", time.perf_counter() - started
+        )
         return snapshot
 
     def current(self) -> Optional[GraphSnapshot]:

@@ -82,6 +82,7 @@ class TestCli:
             "bench",
             "serve",
             "loadgen",
+            "slo",
         ):
             assert subcommand in output, f"--help missing subcommand {subcommand!r}"
 
@@ -132,3 +133,45 @@ class TestTraceCommand:
         from repro.evalx.tracerun import TRACE_WORKLOADS
 
         assert set(TRACE_WORKLOADS) <= set(EXPERIMENTS)
+
+
+class TestObservabilityFlags:
+    def test_slo_parser_defaults(self):
+        from repro.cli import cmd_slo
+
+        args = build_parser().parse_args(["slo", "WORLD", "--quick"])
+        assert args.func is cmd_slo
+        assert args.target == "WORLD"
+        assert args.duration == 5.0 and args.concurrency == 8
+        assert args.burn_threshold == 1.0
+        assert args.fail_on_burn is False
+
+    def test_slo_accepts_a_url_target(self):
+        args = build_parser().parse_args(
+            ["slo", "http://127.0.0.1:8080", "--fail-on-burn", "--burn-threshold", "2.0"]
+        )
+        assert args.target == "http://127.0.0.1:8080"
+        assert args.fail_on_burn is True and args.burn_threshold == 2.0
+
+    def test_loadgen_obs_compare_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "WORLD", "--obs-compare", "--max-obs-overhead", "0.1"]
+        )
+        assert args.obs_compare is True and args.max_obs_overhead == 0.1
+        defaults = build_parser().parse_args(["loadgen", "WORLD"])
+        assert defaults.obs_compare is False and defaults.max_obs_overhead == 0.05
+
+    def test_serve_observability_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "WORLD",
+                "--no-obs",
+                "--trace-sample", "0.25",
+                "--access-log", "/tmp/a.jsonl",
+                "--access-log-sample", "0.5",
+            ]
+        )
+        assert args.no_obs is True
+        assert args.trace_sample == 0.25
+        assert args.access_log == "/tmp/a.jsonl"
+        assert args.access_log_sample == 0.5

@@ -1,0 +1,202 @@
+"""SLO tracking: rolling RED windows, targets, and burn-rate semantics."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_ROUTES,
+    SLOTarget,
+    SLOTracker,
+    default_targets,
+    get_slo_tracker,
+    reset_slo_tracker,
+)
+
+
+class FakeClock:
+    """A settable monotonic clock for deterministic window tests."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_tracker(window_s=10.0, targets=None):
+    clock = FakeClock()
+    tracker = SLOTracker(targets=targets, window_s=window_s, clock=clock)
+    return tracker, clock
+
+
+class TestTargets:
+    def test_availability_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            SLOTarget(route="lookup", availability=1.0)
+        with pytest.raises(ValueError):
+            SLOTarget(route="lookup", availability=0.0)
+        with pytest.raises(ValueError):
+            SLOTarget(route="lookup", latency_p95_ms=0)
+
+    def test_error_budget_is_the_complement(self):
+        assert SLOTarget(route="lookup", availability=0.99).error_budget == pytest.approx(0.01)
+
+    def test_default_targets_cover_every_route(self):
+        targets = default_targets()
+        assert set(targets) == set(DEFAULT_ROUTES)
+        # ask may traverse the LM path: looser latency bound.
+        assert targets["ask"].latency_p95_ms > targets["lookup"].latency_p95_ms
+
+    def test_tracker_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            SLOTracker(window_s=0)
+
+
+class TestRollingWindow:
+    def test_counts_inside_the_window(self):
+        tracker, _clock = make_tracker()
+        for _ in range(8):
+            tracker.record("lookup", "ok", 200)
+        tracker.record("lookup", "shed", 429)
+        tracker.record("lookup", "error", 500)
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        assert block["requests"] == 10
+        assert block["shed"] == 1 and block["errors"] == 1
+        assert block["rate_rps"] == pytest.approx(1.0)  # 10 over a 10s window
+
+    def test_old_seconds_age_out(self):
+        tracker, clock = make_tracker(window_s=10.0)
+        tracker.record("lookup", "ok", 200)
+        clock.advance(5.0)
+        tracker.record("lookup", "ok", 200)
+        registry = MetricsRegistry()
+        assert tracker.route_summary("lookup", registry=registry)["requests"] == 2
+        clock.advance(7.0)  # first record now 12s old, second 7s old
+        assert tracker.route_summary("lookup", registry=registry)["requests"] == 1
+        clock.advance(10.0)
+        assert tracker.route_summary("lookup", registry=registry)["requests"] == 0
+
+    def test_ring_reuses_buckets_across_laps(self):
+        tracker, clock = make_tracker(window_s=5.0)
+        # Two full laps of the ring: stale stamps must zero before reuse.
+        for _ in range(12):
+            tracker.record("lookup", "ok", 200)
+            clock.advance(1.0)
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        assert block["requests"] == 5  # only the trailing window survives
+
+    def test_degraded_only_counts_ok_responses(self):
+        tracker, _clock = make_tracker()
+        tracker.record("lookup", "ok", 200, degraded="stale")
+        tracker.record("lookup", "shed", 429, degraded="rejected")  # shed, not degraded
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        assert block["degraded"] == 1 and block["shed"] == 1
+
+    def test_concurrent_records_are_not_lost(self):
+        tracker, _clock = make_tracker()
+
+        def hammer():
+            for _ in range(500):
+                tracker.record("query", "ok", 200)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        block = tracker.route_summary("query", registry=MetricsRegistry())
+        assert block["requests"] == 2000
+
+
+class TestBurnRate:
+    def test_healthy_traffic_does_not_burn(self):
+        tracker, _clock = make_tracker()
+        for _ in range(100):
+            tracker.record("lookup", "ok", 200)
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        assert block["unhealthy_ratio"] == 0.0
+        assert block["budget_burn_rate"] == 0.0
+        assert block["burning"] is False
+
+    def test_burn_flips_when_the_ladder_engages(self):
+        """Degraded-but-200 responses spend budget: burn > 1.0 means the
+        service is answering but paying for it — the pageable signal."""
+        tracker, _clock = make_tracker()
+        for index in range(100):
+            degraded = "stale" if index < 5 else None
+            tracker.record("lookup", "ok", 200, degraded=degraded)
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        # 5% unhealthy against a 1% budget: burning 5x as fast as allowed.
+        assert block["budget_burn_rate"] == pytest.approx(5.0)
+        assert block["burning"] is True
+
+    def test_burn_exactly_at_budget_is_not_burning(self):
+        tracker, _clock = make_tracker()
+        for index in range(100):
+            tracker.record("lookup", "error" if index == 0 else "ok",
+                           500 if index == 0 else 200)
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        assert block["budget_burn_rate"] == pytest.approx(1.0)
+        assert block["burning"] is False
+
+    def test_latency_gate_reads_the_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("serve.route.lookup.seconds")
+        for _ in range(100):
+            histogram.observe(0.4)  # 400ms against a 250ms target
+        tracker, _clock = make_tracker()
+        tracker.record("lookup", "ok", 200)
+        block = tracker.route_summary("lookup", registry=registry)
+        assert block["p95_ms"] > 250.0
+        assert block["latency_ok"] is False
+
+    def test_empty_histogram_passes_the_latency_gate(self):
+        tracker, _clock = make_tracker()
+        block = tracker.route_summary("lookup", registry=MetricsRegistry())
+        assert block["latency_ok"] is True
+
+
+class TestSummary:
+    def test_silent_routes_report_zero_not_absence(self):
+        tracker, _clock = make_tracker()
+        tracker.record("lookup", "ok", 200)
+        summary = tracker.summary(registry=MetricsRegistry())
+        assert set(summary["routes"]) == set(DEFAULT_ROUTES)
+        assert summary["routes"]["paths"]["requests"] == 0
+
+    def test_untargeted_route_rides_along_with_defaults(self):
+        tracker, _clock = make_tracker(targets={"lookup": SLOTarget(route="lookup")})
+        tracker.record("custom", "ok", 200)
+        summary = tracker.summary(registry=MetricsRegistry())
+        assert "custom" in summary["routes"]
+        assert summary["routes"]["custom"]["target_availability"] == 0.99
+
+    def test_worst_burn_rate_and_burning_flag(self):
+        tracker, _clock = make_tracker()
+        tracker.record("lookup", "ok", 200)
+        for _ in range(10):
+            tracker.record("ask", "shed", 429)
+        summary = tracker.summary(registry=MetricsRegistry())
+        assert summary["worst_burn_rate"] == summary["routes"]["ask"]["budget_burn_rate"]
+        assert summary["worst_burn_rate"] > 1.0
+        assert summary["burning"] is True
+
+    def test_reset_drops_windows_but_keeps_targets(self):
+        tracker, _clock = make_tracker()
+        tracker.record("lookup", "shed", 429)
+        tracker.reset()
+        summary = tracker.summary(registry=MetricsRegistry())
+        assert summary["routes"]["lookup"]["requests"] == 0
+        assert set(tracker.targets) == set(DEFAULT_ROUTES)
+
+    def test_global_tracker_reset_helper(self):
+        tracker = get_slo_tracker()
+        tracker.record("lookup", "ok", 200)
+        reset_slo_tracker()
+        summary = tracker.summary(registry=MetricsRegistry())
+        assert summary["routes"]["lookup"]["requests"] == 0

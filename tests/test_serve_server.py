@@ -278,15 +278,12 @@ class TestHTTPServer:
         assert "cache" in stats and "admission" in stats
 
     def test_malformed_query_body_is_400(self, http):
-        import urllib.request
-
-        request = urllib.request.Request(
-            f"{http.base_url}/query",
+        code, body = http._send(
+            "POST",
+            "/query",
             data=b"this is not json",
             headers={"Content-Type": "application/json"},
-            method="POST",
         )
-        code, body = http._send(request)
         assert code == 400
 
     def test_concurrent_http_load_zero_5xx(self):
