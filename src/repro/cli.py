@@ -10,6 +10,8 @@ Usage::
     python -m repro report FIG4A         # traced run -> md/json/prom report
     python -m repro bench                # perf workloads -> BENCH_core.json
     python -m repro bench --quick        # small scales (CI smoke)
+    python -m repro runs list            # the persistent run registry
+    python -m repro runs drift           # trajectory drift check (median+MAD)
     python -m repro serve WORLD          # publish a fixture KG, serve HTTP
     python -m repro loadgen WORLD        # load-test -> BENCH_serve.json
 
@@ -22,6 +24,13 @@ writes ``results/report_<id>.md`` / ``.json`` / ``.prom`` — span tree,
 metric tables, quality snapshots, lineage samples — and, when a previous
 ``report_<id>.json`` exists (or ``--baseline`` points at one), diffs the
 quality snapshots against it and exits non-zero on regressions.
+``trace``, ``report``, and ``bench`` each also append one record (git
+SHA, per-stage wall/CPU, peak RSS, quality snapshots, flat metrics) to
+the persistent run registry under ``results/runs/``, which ``runs
+[list|show|diff|drift]`` queries — ``drift`` scores the latest run
+against the rolling median+MAD trajectory and exits non-zero when a
+metric drops off it, and ``report`` applies the same check as a second
+regression gate.
 ``bench`` runs the core performance workloads (batch ingestion,
 merge-heavy linkage, the query mix, fusion), appends a git-SHA-keyed
 entry to the ``BENCH_core.json`` trajectory, and exits non-zero when any
@@ -104,14 +113,72 @@ def cmd_run(args: argparse.Namespace) -> int:
     return subprocess.call(command, cwd=root)
 
 
+def _print_trace_summary(result, note: str) -> None:
+    """The per-span summary + counters tables both trace paths print."""
+    from repro.evalx.tables import render_table
+
+    print(
+        render_table(
+            title=f"trace {result.experiment_id} - per-span summary",
+            columns=["span", "calls", "wall_s", "wall_mean_s", "cpu_s"],
+            rows=result.span_summary_rows(),
+            note=note,
+        )
+    )
+    counters = result.snapshot.get("counters", {})
+    if counters:
+        print()
+        print(
+            render_table(
+                title=f"trace {result.experiment_id} - counters",
+                columns=["counter", "value"],
+                rows=[[name, value] for name, value in counters.items()],
+            )
+        )
+
+
+def _append_run_record(args: argparse.Namespace, record) -> None:
+    """Append one RunRecord to the persistent registry (unless --no-runs)."""
+    from repro.obs import runs
+
+    if getattr(args, "no_runs", False):
+        return
+    directory = getattr(args, "runs_dir", None) or runs.default_runs_dir(
+        os.path.join(_repo_root(), "results")
+    )
+    registry = runs.RunRegistry(directory)
+    registry.append(record)
+    print(f"run {record.run_id} -> {registry.path}")
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one experiment in-process with observability on; write the trace."""
     import json
 
-    from repro.evalx.tables import render_table
-    from repro.evalx.tracerun import TRACE_WORKLOADS, run_trace
+    from repro.evalx.tracerun import TRACE_WORKLOADS, TraceResult, run_trace
 
     experiment_id = args.experiment_id.upper()
+
+    if args.from_file is not None:
+        # Inspection mode: summarize an existing trace file, run nothing.
+        from repro.evalx.report import ReportInputError, load_trace_file
+
+        try:
+            loaded = load_trace_file(args.from_file)
+        except ReportInputError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        snapshot = {
+            key: value for key, value in loaded["metrics"].items() if key != "kind"
+        }
+        result = TraceResult(
+            experiment_id=experiment_id, spans=loaded["spans"], snapshot=snapshot
+        )
+        _print_trace_summary(
+            result, note=f"{len(result.spans)} spans <- {args.from_file}"
+        )
+        return 0
+
     if experiment_id not in TRACE_WORKLOADS:
         print(
             f"no trace workload for experiment {args.experiment_id!r}; "
@@ -119,7 +186,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = run_trace(experiment_id)
+    result = run_trace(
+        experiment_id,
+        progress_log=args.progress_log,
+        progress_tty=args.progress,
+    )
 
     output_path = args.output
     if output_path is None:
@@ -138,30 +209,36 @@ def cmd_trace(args: argparse.Namespace) -> int:
             json.dumps({"kind": "metrics", **result.snapshot}, sort_keys=True) + "\n"
         )
 
-    print(
-        render_table(
-            title=f"trace {experiment_id} - per-span summary",
-            columns=["span", "calls", "wall_s", "wall_mean_s", "cpu_s"],
-            rows=result.span_summary_rows(),
-            note=f"{len(result.spans)} spans -> {output_path}",
-        )
+    _print_trace_summary(result, note=f"{len(result.spans)} spans -> {output_path}")
+
+    from repro.obs import profiling, runs
+
+    _append_run_record(
+        args,
+        runs.RunRecord(
+            kind="trace",
+            experiment_id=experiment_id,
+            config={"output": output_path},
+            stages=runs.stages_from_spans(result.spans),
+            resources=profiling.rusage(),
+            quality=[dict(record) for record in result.quality],
+            metrics={
+                f"counter.{name}": float(value)
+                for name, value in result.snapshot.get("counters", {}).items()
+            },
+        ),
     )
-    counters = result.snapshot.get("counters", {})
-    if counters:
-        print()
-        print(
-            render_table(
-                title=f"trace {experiment_id} - counters",
-                columns=["counter", "value"],
-                rows=[[name, value] for name, value in counters.items()],
-            )
-        )
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Traced run -> report artifacts; exit 1 on baseline regressions."""
-    from repro.evalx.report import build_report, load_baseline, write_report
+    """Traced run -> report artifacts; exit 1 on baseline or drift regressions."""
+    from repro.evalx.report import (
+        ReportInputError,
+        build_report,
+        load_baseline,
+        write_report,
+    )
     from repro.evalx.tracerun import TRACE_WORKLOADS, run_trace
     from repro.obs.quality import RegressionThresholds
 
@@ -177,9 +254,17 @@ def cmd_report(args: argparse.Namespace) -> int:
     directory = args.output_dir or os.path.join(_repo_root(), "results")
     basename = f"report_{experiment_id.lower().replace('-', '_')}"
     baseline_path = args.baseline or os.path.join(directory, f"{basename}.json")
-    baseline = load_baseline(baseline_path)
+    try:
+        baseline = load_baseline(baseline_path)
+    except ReportInputError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
 
-    result = run_trace(experiment_id)
+    result = run_trace(
+        experiment_id,
+        progress_log=args.progress_log,
+        progress_tty=args.progress,
+    )
     thresholds = RegressionThresholds(relative_tolerance=args.relative_tolerance)
     report = build_report(
         result,
@@ -192,10 +277,41 @@ def cmd_report(args: argparse.Namespace) -> int:
     print(f"report {experiment_id}:")
     for kind in ("markdown", "json", "prometheus"):
         print(f"  {kind:<10} {paths[kind]}")
+
+    # The second regression gate: this run vs the registry *trajectory*
+    # (rolling median + MAD), which catches slow drift the single-baseline
+    # diff above cannot see.
+    drift_alerts = []
+    if not args.no_runs:
+        from repro.obs import profiling, runs
+
+        runs_dir = args.runs_dir or runs.default_runs_dir(directory)
+        registry = runs.RunRegistry(runs_dir)
+        record = registry.append(
+            runs.RunRecord(
+                kind="report",
+                experiment_id=experiment_id,
+                config={"baseline": baseline_path if baseline is not None else None},
+                stages=runs.stages_from_spans(result.spans),
+                resources=profiling.rusage(),
+                quality=[dict(q) for q in result.quality],
+                metrics={
+                    f"counter.{name}": float(value)
+                    for name, value in result.snapshot.get("counters", {}).items()
+                },
+            )
+        )
+        print(f"run {record.run_id} -> {registry.path}")
+        drift_alerts = registry.drift(
+            experiment_id=experiment_id,
+            window=args.drift_window,
+            threshold=args.drift_threshold,
+        )
+
+    exit_code = 0
     if baseline is None:
         print("no baseline found; this run is the new baseline")
-        return 0
-    if report.has_regressions:
+    elif report.has_regressions:
         print(
             f"{report.n_regressions} quality regression(s) vs {baseline_path}",
             file=sys.stderr,
@@ -207,9 +323,24 @@ def cmd_report(args: argparse.Namespace) -> int:
                     f"{delta.baseline} -> {delta.current}",
                     file=sys.stderr,
                 )
-        return 1
-    print(f"no regressions vs {baseline_path}")
-    return 0
+        exit_code = 1
+    else:
+        print(f"no regressions vs {baseline_path}")
+
+    drops = [alert for alert in drift_alerts if alert.direction == "drop"]
+    if drops:
+        print(
+            f"{len(drops)} metric(s) drifted below the registry trajectory "
+            f"(|z| > {args.drift_threshold:g}):",
+            file=sys.stderr,
+        )
+        for alert in drops:
+            print(f"  {alert.describe()}", file=sys.stderr)
+        exit_code = 1
+    for alert in drift_alerts:
+        if alert.direction == "rise":
+            print(f"drift (rise, not gating): {alert.describe()}")
+    return exit_code
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -247,6 +378,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
             note=f"entry {len(document['entries']) + 1} -> {output_path}",
         )
     )
+
+    from repro.obs import profiling, runs
+
+    _append_run_record(
+        args,
+        runs.RunRecord(
+            kind="bench",
+            experiment_id=f"BENCH-{mode.upper()}",
+            config={
+                "quick": bool(args.quick),
+                "repeats": args.repeats,
+                "workloads": sorted(run.results),
+            },
+            resources=profiling.rusage(),
+            metrics={
+                f"{name}.ops_per_s": float(result.ops_per_s)
+                for name, result in run.results.items()
+            },
+        ),
+    )
+
     regressions = bench.check_regressions(entry, baseline, tolerance=args.tolerance)
     if not regressions:
         if baseline is None:
@@ -268,6 +420,121 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("warn-only mode: not failing the run")
         return 0
     return 1
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Query the persistent run registry: list, show, diff, drift."""
+    import json
+    import time as time_module
+
+    from repro.evalx.tables import render_table
+    from repro.obs import runs
+
+    directory = args.runs_dir or runs.default_runs_dir(
+        os.path.join(_repo_root(), "results")
+    )
+    registry = runs.RunRegistry(directory)
+    action = args.runs_command
+
+    if action == "list":
+        records = registry.load()
+        if args.experiment:
+            wanted = args.experiment.upper()
+            records = [
+                record for record in records if record.experiment_id.upper() == wanted
+            ]
+        note = f"{len(records)} run(s) in {registry.path}"
+        if registry.skipped_lines:
+            note += f"; {registry.skipped_lines} corrupt line(s) skipped"
+        if not records:
+            print(note)
+            return 0
+        print(
+            render_table(
+                title="run registry",
+                columns=[
+                    "run", "kind", "experiment", "git_sha", "created", "quality", "metrics",
+                ],
+                rows=[
+                    [
+                        record.run_id,
+                        record.kind,
+                        record.experiment_id,
+                        record.git_sha[:12] or "-",
+                        time_module.strftime(
+                            "%Y-%m-%d %H:%M:%S",
+                            time_module.localtime(record.created_unix),
+                        ),
+                        len(record.quality),
+                        len(record.metrics),
+                    ]
+                    for record in records
+                ],
+                note=note,
+            )
+        )
+        return 0
+
+    if action == "show":
+        record = registry.get(args.run_id)
+        if record is None:
+            print(
+                f"run {args.run_id!r} not in registry {registry.path}", file=sys.stderr
+            )
+            return 2
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if action == "diff":
+        from repro.obs.quality import RegressionThresholds
+
+        try:
+            diffs = registry.diff(
+                args.run_a,
+                args.run_b,
+                RegressionThresholds(relative_tolerance=args.relative_tolerance),
+            )
+        except KeyError as exc:
+            print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+            return 2
+        if not diffs:
+            print("no comparable quality snapshots between the two runs")
+            return 0
+        n_regressions = 0
+        for diff in diffs:
+            change_rows = diff.rows(only_changed=True)
+            n_regressions += len(diff.regressions)
+            print(
+                render_table(
+                    title=f"quality diff: {diff.snapshot_name} "
+                    f"({args.run_a} -> {args.run_b})",
+                    columns=["metric", "baseline", "current", "delta", "status"],
+                    rows=change_rows
+                    or [["(all metrics unchanged)", "-", "-", "-", "ok"]],
+                    note=f"{len(diff.regressions)} regression(s)",
+                )
+            )
+        return 1 if n_regressions else 0
+
+    # drift
+    alerts = registry.drift(
+        experiment_id=args.experiment, window=args.window, threshold=args.threshold
+    )
+    if not alerts:
+        where = f" for {args.experiment.upper()}" if args.experiment else ""
+        print(f"no drift beyond |z| > {args.threshold:g}{where} in {registry.path}")
+        return 0
+    drops = [alert for alert in alerts if alert.direction == "drop"]
+    rises = [alert for alert in alerts if alert.direction == "rise"]
+    if drops:
+        print(f"{len(drops)} metric(s) drifted DOWN off the trajectory:", file=sys.stderr)
+        for alert in drops:
+            print(f"  {alert.describe()}", file=sys.stderr)
+    if rises:
+        print(f"{len(rises)} metric(s) drifted up (informational):")
+        for alert in rises:
+            print(f"  {alert.describe()}")
+    return 1 if drops else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -312,8 +579,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.access_log:
         print(f"access log -> {args.access_log}")
     print(
-        "routes: /lookup /paths /query /ask /stats /statusz /metrics /healthz"
-        "  (Ctrl-C to stop)"
+        "routes: /lookup /paths /query /ask /stats /statusz /buildz /metrics "
+        "/healthz  (Ctrl-C to stop)"
     )
     try:
         if args.duration is not None:
@@ -644,6 +911,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="trace file path (default: results/trace_<id>.jsonl)",
     )
+    trace_parser.add_argument(
+        "--from-file",
+        default=None,
+        help="summarize an existing trace JSONL file instead of running",
+    )
+    trace_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live build-progress line on stderr while running",
+    )
+    trace_parser.add_argument(
+        "--progress-log",
+        default=None,
+        help="append build-progress heartbeats (JSONL) to this path",
+    )
+    trace_parser.add_argument(
+        "--no-runs",
+        action="store_true",
+        help="do not record this run in the persistent run registry",
+    )
+    trace_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run-registry directory (default: results/runs/)",
+    )
     trace_parser.set_defaults(func=cmd_trace)
 
     report_parser = subparsers.add_parser(
@@ -667,6 +959,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.02,
         help="allowed relative drop in count-like quality metrics (default: 0.02)",
+    )
+    report_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live build-progress line on stderr while running",
+    )
+    report_parser.add_argument(
+        "--progress-log",
+        default=None,
+        help="append build-progress heartbeats (JSONL) to this path",
+    )
+    report_parser.add_argument(
+        "--no-runs",
+        action="store_true",
+        help="skip the run registry (and its trajectory drift gate)",
+    )
+    report_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run-registry directory (default: the output directory's runs/)",
+    )
+    report_parser.add_argument(
+        "--drift-window",
+        type=int,
+        default=10,
+        help="prior runs in the rolling drift window (default: 10)",
+    )
+    report_parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=3.0,
+        help="modified z-score that flags trajectory drift (default: 3.0)",
     )
     report_parser.set_defaults(func=cmd_report)
 
@@ -705,7 +1029,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print regressions but exit 0 (PR smoke mode)",
     )
+    bench_parser.add_argument(
+        "--no-runs",
+        action="store_true",
+        help="do not record this run in the persistent run registry",
+    )
+    bench_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run-registry directory (default: results/runs/)",
+    )
     bench_parser.set_defaults(func=cmd_bench)
+
+    runs_parser = subparsers.add_parser(
+        "runs", help="query the persistent run registry (results/runs/)"
+    )
+    runs_subparsers = runs_parser.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_subparsers.add_parser("list", help="list recorded runs")
+    runs_list.add_argument(
+        "--experiment", default=None, help="only runs of this experiment id"
+    )
+    runs_list.add_argument(
+        "--runs-dir", default=None, help="registry directory (default: results/runs/)"
+    )
+    runs_list.set_defaults(func=cmd_runs)
+
+    runs_show = runs_subparsers.add_parser("show", help="print one run's full record")
+    runs_show.add_argument("run_id", help="a run id from `runs list` (e.g. r0004)")
+    runs_show.add_argument(
+        "--runs-dir", default=None, help="registry directory (default: results/runs/)"
+    )
+    runs_show.set_defaults(func=cmd_runs)
+
+    runs_diff = runs_subparsers.add_parser(
+        "diff", help="diff two runs' quality snapshots (exit 1 on regressions)"
+    )
+    runs_diff.add_argument("run_a", help="baseline run id")
+    runs_diff.add_argument("run_b", help="current run id")
+    runs_diff.add_argument(
+        "--relative-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed relative drop in count-like quality metrics (default: 0.02)",
+    )
+    runs_diff.add_argument(
+        "--runs-dir", default=None, help="registry directory (default: results/runs/)"
+    )
+    runs_diff.set_defaults(func=cmd_runs)
+
+    runs_drift = runs_subparsers.add_parser(
+        "drift",
+        help="score the latest run(s) vs the rolling trajectory "
+        "(exit 1 on drop-direction drift)",
+    )
+    runs_drift.add_argument(
+        "--experiment", default=None, help="only this experiment id (default: all)"
+    )
+    runs_drift.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="prior runs in the rolling window (default: 10)",
+    )
+    runs_drift.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="modified z-score that flags drift (default: 3.0)",
+    )
+    runs_drift.add_argument(
+        "--runs-dir", default=None, help="registry directory (default: results/runs/)"
+    )
+    runs_drift.set_defaults(func=cmd_runs)
 
     serve_parser = subparsers.add_parser(
         "serve", help="publish a fixture KG snapshot and serve the JSON API"
@@ -862,7 +1258,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro runs show ... | head` closing the pipe early is not an
+        # error; detach stdout so the interpreter's flush-at-exit stays
+        # quiet too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

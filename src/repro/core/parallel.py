@@ -12,30 +12,50 @@ page.  :func:`pmap` is the one choke point those stages fan out through:
 * ``mode="process"`` — a process pool with chunking; wins for CPU-bound
   Python when the callable and items pickle.  Unpicklable work degrades
   to serial instead of failing, so call sites never need mode-specific
-  guards.
+  guards — but never silently: every degradation increments the
+  ``pmap.degraded`` counter, so a pipeline that *thinks* it is running
+  on processes and is not shows up on the first metrics snapshot.
 
 Results are **always** returned in input order, regardless of mode,
 chunking, or completion order — parallelism must never change what a
 pipeline computes, only how fast.  ``REPRO_PMAP_MODE`` overrides the
-default mode process-wide, so a pipeline can be flipped to threads or
-processes without touching call sites.
+mode process-wide — *including over an explicit ``mode=`` argument* (an
+operator flipping a whole pipeline wins over per-call-site defaults);
+``REPRO_PMAP_WORKERS`` overrides the default pool size the same way.
+
+Observability crosses the process boundary: when tracing is enabled,
+each worker chunk runs under a fresh collector set inside a
+``pmap.worker`` span, buffers its spans/counters/lineage locally, and
+ships them back with the chunk results; the coordinator merges payloads
+in chunk input order, so the merged trace/metrics/lineage state is
+deterministic and equal to a serial run's (see
+``repro.obs.profiling.worker_begin``/``worker_collect``/``worker_merge``
+and DESIGN.md §10).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.obs._flags import FLAGS as _OBS_FLAGS
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
-#: Environment variable that picks the process-wide default mode.
+#: Environment variable that picks the process-wide mode.  A valid value
+#: beats even an explicit ``mode=`` argument at a call site.
 MODE_ENV_VAR = "REPRO_PMAP_MODE"
+
+#: Environment variable overriding the default pool size (``max_workers``
+#: arguments at call sites still win; this replaces the cpu-count default).
+WORKERS_ENV_VAR = "REPRO_PMAP_WORKERS"
 
 _MODES = ("serial", "thread", "process")
 
@@ -60,10 +80,55 @@ class _WorkerFailure:
         self.formatted = formatted
 
 
+class _ShippedChunk:
+    """One process chunk's results plus its observability payload."""
+
+    __slots__ = ("value", "obs")
+
+    def __init__(self, value, obs):
+        self.value = value
+        self.obs = obs
+
+
 def default_mode() -> str:
     """The mode used when a call site passes ``mode=None``."""
-    mode = os.environ.get(MODE_ENV_VAR, "serial").strip().lower() or "serial"
-    return mode if mode in _MODES else "serial"
+    return resolve_mode(None)
+
+
+def resolve_mode(mode: Optional[str]) -> str:
+    """The effective mode: a valid ``REPRO_PMAP_MODE`` beats everything.
+
+    An explicit but unknown ``mode`` argument raises (a typo at a call
+    site is a bug); an unknown *environment* value is ignored (a typo in
+    a shell must not break the pipeline it was trying to tune).
+    """
+    if mode is not None and mode not in _MODES:
+        raise ValueError(f"unknown pmap mode {mode!r}; use one of {_MODES}")
+    env_mode = os.environ.get(MODE_ENV_VAR, "").strip().lower()
+    if env_mode in _MODES:
+        return env_mode
+    if mode is not None:
+        return mode
+    return "serial"
+
+
+def default_workers() -> int:
+    """Pool size when a call site passes ``max_workers=None``.
+
+    ``REPRO_PMAP_WORKERS`` (a positive integer) wins; otherwise
+    ``min(8, cpu_count)``.  The env override matters on single-core CI
+    runners, where the cpu-count default collapses every parallel mode
+    back to serial before a worker ever forks.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return min(8, os.cpu_count() or 1)
 
 
 def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: Sequence[ItemT]):
@@ -83,6 +148,65 @@ def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: Sequence[ItemT]):
         return _WorkerFailure(exc, formatted)
 
 
+def _apply_chunk_shipped(
+    fn: Callable[[ItemT], ResultT], chunk: Sequence[ItemT], chunk_index: int
+):
+    """Process-worker body under observability: trace locally, ship back.
+
+    Fresh collectors per *chunk* (not per worker process), so the shipped
+    payload depends only on the chunk's work — never on which worker
+    handled it or what that worker did before — which is what lets the
+    coordinator merge payloads deterministically in input order.
+    """
+    from repro.obs import profiling as obs_profiling
+    from repro.obs import tracing as obs_tracing
+
+    obs_profiling.worker_begin()
+    failure: Optional[_WorkerFailure] = None
+    results: Optional[List[ResultT]] = None
+    try:
+        with obs_tracing.span("pmap.worker", chunk=chunk_index, n_items=len(chunk)):
+            results = [fn(item) for item in chunk]
+    except BaseException as exc:
+        formatted = traceback.format_exc()
+        if not _picklable(exc):
+            exc = PmapWorkerError(f"{type(exc).__name__}: {exc}")
+        failure = _WorkerFailure(exc, formatted)
+    payload = obs_profiling.worker_collect()
+    return _ShippedChunk(failure if failure is not None else results, payload)
+
+
+def _apply_chunk_linked(
+    fn: Callable[[ItemT], ResultT],
+    chunk: Sequence[ItemT],
+    link,
+    chunk_index: int,
+):
+    """Thread-worker body under observability: span in the parent's trace.
+
+    Threads share the global tracer, so nothing ships — but the pool
+    thread's span stack is empty, so the ``pmap.worker`` span links to
+    the submitting thread's captured context explicitly, keeping the
+    trace a single connected tree.
+    """
+    from repro.obs import tracing as obs_tracing
+
+    tracer = obs_tracing.get_tracer()
+    opened = tracer.start_span(
+        "pmap.worker", parent_link=link, chunk=chunk_index, n_items=len(chunk)
+    )
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        return _apply_chunk(fn, chunk)
+    finally:
+        tracer.finish_span(
+            opened,
+            wall_seconds=time.perf_counter() - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+        )
+
+
 def _chunked(items: Sequence[ItemT], chunk_size: int) -> List[Sequence[ItemT]]:
     return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
 
@@ -94,6 +218,18 @@ def _picklable(*objects: object) -> bool:
     except Exception:
         return False
     return True
+
+
+def _serial_map(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]) -> List[ResultT]:
+    """The serial execution path, still feeding the progress heartbeat."""
+    if not (_OBS_FLAGS.enabled and items):
+        return [fn(item) for item in items]
+    obs_progress.add_total(len(items))
+    results: List[ResultT] = []
+    for item in items:
+        results.append(fn(item))
+        obs_progress.advance()
+    return results
 
 
 def pmap(
@@ -109,9 +245,11 @@ def pmap(
     ----------
     mode:
         ``"serial"``, ``"thread"``, or ``"process"``; ``None`` reads
-        ``REPRO_PMAP_MODE`` (default serial).
+        ``REPRO_PMAP_MODE`` (default serial).  A valid ``REPRO_PMAP_MODE``
+        also *overrides* an explicit argument — the operator knob wins.
     max_workers:
-        Pool size; defaults to ``min(8, cpu_count)``.
+        Pool size; defaults to ``REPRO_PMAP_WORKERS`` or
+        ``min(8, cpu_count)``.
     chunk_size:
         Items handed to a worker at a time; defaults to an even split
         across ~4 chunks per worker (amortizes task dispatch without
@@ -120,32 +258,74 @@ def pmap(
     Returns results in input order in every mode.
     """
     materialized = items if isinstance(items, (list, tuple)) else list(items)
-    resolved_mode = mode if mode is not None else default_mode()
-    if resolved_mode not in _MODES:
-        raise ValueError(f"unknown pmap mode {resolved_mode!r}; use one of {_MODES}")
+    resolved_mode = resolve_mode(mode)
     n_items = len(materialized)
     if resolved_mode == "serial" or n_items <= 1:
-        return [fn(item) for item in materialized]
-    workers = max_workers if max_workers is not None else min(8, os.cpu_count() or 1)
+        return _serial_map(fn, materialized)
+    workers = max_workers if max_workers is not None else default_workers()
     workers = min(workers, n_items)
     if workers <= 1:
-        return [fn(item) for item in materialized]
+        return _serial_map(fn, materialized)
     if resolved_mode == "process" and not (
         _picklable(fn) and _picklable(materialized[0])
     ):
         # Closures / local state can't cross a process boundary; degrade
-        # rather than fail so call sites stay mode-agnostic.
-        obs_metrics.count("parallel.pmap.process_fallbacks")
-        return [fn(item) for item in materialized]
+        # rather than fail so call sites stay mode-agnostic — but count
+        # it, so silent serial execution is visible in any snapshot.
+        obs_metrics.count("pmap.degraded")
+        return _serial_map(fn, materialized)
     if chunk_size is None:
         chunk_size = max(1, (n_items + workers * 4 - 1) // (workers * 4))
     chunks = _chunked(materialized, chunk_size)
     pool_class = ThreadPoolExecutor if resolved_mode == "thread" else ProcessPoolExecutor
     obs_metrics.count(f"parallel.pmap.{resolved_mode}_calls")
+
+    observing = _OBS_FLAGS.enabled
+    context = None
+    if observing:
+        from repro.obs import tracing as obs_tracing
+
+        context = obs_tracing.capture_context()
+        obs_progress.add_total(n_items)
+
+    shipping = observing and resolved_mode == "process" and context.recording
     with pool_class(max_workers=workers) as pool:
         # map() yields chunk results in submission order — determinism is
         # structural, not sorted after the fact.
-        chunk_results = list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
+        if shipping:
+            mapped = pool.map(
+                _apply_chunk_shipped, [fn] * len(chunks), chunks, range(len(chunks))
+            )
+        elif observing and resolved_mode == "thread" and context.recording:
+            mapped = pool.map(
+                _apply_chunk_linked,
+                [fn] * len(chunks),
+                chunks,
+                [context] * len(chunks),
+                range(len(chunks)),
+            )
+        else:
+            mapped = pool.map(_apply_chunk, [fn] * len(chunks), chunks)
+        if observing:
+            chunk_results = []
+            for chunk, chunk_result in zip(chunks, mapped):
+                chunk_results.append(chunk_result)
+                obs_progress.advance(len(chunk))
+        else:
+            chunk_results = list(mapped)
+
+    if shipping:
+        from repro.obs import profiling as obs_profiling
+
+        # Merge every chunk's payload — in input order, failed chunks
+        # included — *before* raising, so a failing build still accounts
+        # for the work its workers did.
+        unwrapped = []
+        for shipped in chunk_results:
+            obs_profiling.worker_merge(shipped.obs, context)
+            unwrapped.append(shipped.value)
+        chunk_results = unwrapped
+
     results: List[ResultT] = []
     for chunk_result in chunk_results:
         if isinstance(chunk_result, _WorkerFailure):

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
 from repro.obs import quality as obs_quality
 from repro.obs._flags import FLAGS as _OBS_FLAGS
 from repro.obs.tracing import span
@@ -125,34 +126,41 @@ class ConstructionPipeline:
         """
         context = context or PipelineContext()
         self.reports = []
-        with span(f"pipeline.{self.name}", pipeline=self.name):
-            for stage in self.stages:
-                started = time.perf_counter()
-                with span(
-                    f"stage.{stage.name}", pipeline=self.name, stage=stage.name
-                ) as stage_span:
-                    try:
-                        stage.run(context)
-                    except BaseException as exc:
-                        report = StageReport(
-                            stage_name=stage.name,
-                            seconds=time.perf_counter() - started,
-                            metrics=stage._take_metrics(),
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
-                        self.reports.append(report)
-                        self._fold_report(report, stage_span)
-                        raise
-                report = StageReport(
-                    stage_name=stage.name,
-                    seconds=time.perf_counter() - started,
-                    metrics=stage._take_metrics(),
-                )
-                self.reports.append(report)
-                self._fold_report(report, stage_span)
-                for metric, value in report.metrics.items():
-                    context.metrics[f"{stage.name}.{metric}"] = value
-            self._snapshot_quality(context)
+        obs_progress.begin_pipeline(self.name, len(self.stages))
+        try:
+            with span(f"pipeline.{self.name}", pipeline=self.name):
+                for stage in self.stages:
+                    started = time.perf_counter()
+                    obs_progress.begin_stage(stage.name)
+                    with span(
+                        f"stage.{stage.name}", pipeline=self.name, stage=stage.name
+                    ) as stage_span:
+                        try:
+                            stage.run(context)
+                        except BaseException as exc:
+                            report = StageReport(
+                                stage_name=stage.name,
+                                seconds=time.perf_counter() - started,
+                                metrics=stage._take_metrics(),
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            self.reports.append(report)
+                            self._fold_report(report, stage_span)
+                            obs_progress.end_stage(error=report.error)
+                            raise
+                    report = StageReport(
+                        stage_name=stage.name,
+                        seconds=time.perf_counter() - started,
+                        metrics=stage._take_metrics(),
+                    )
+                    self.reports.append(report)
+                    self._fold_report(report, stage_span)
+                    obs_progress.end_stage()
+                    for metric, value in report.metrics.items():
+                        context.metrics[f"{stage.name}.{metric}"] = value
+                self._snapshot_quality(context)
+        finally:
+            obs_progress.end_pipeline()
         return context
 
     def _snapshot_quality(self, context: PipelineContext) -> None:

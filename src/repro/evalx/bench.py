@@ -34,7 +34,6 @@ from __future__ import annotations
 import json
 import os
 import random
-import subprocess
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -45,6 +44,7 @@ from repro.core.query import PathQuery, TriplePattern, conjunctive_query
 from repro.core.triple import Provenance, Triple
 from repro.integrate.fusion import AccuFusion, ValueClaim
 from repro.obs import lineage as obs_lineage
+from repro.obs import runs
 from repro.obs.metrics import MetricsRegistry
 
 #: Trajectory document version (bump on incompatible schema changes).
@@ -392,19 +392,7 @@ class BenchRun:
 
 def current_git_sha() -> str:
     """The repo HEAD SHA, or ``"unknown"`` outside a git checkout."""
-    try:
-        output = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-        )
-    except OSError:  # pragma: no cover - git missing entirely
-        return "unknown"
-    if output.returncode != 0:
-        return "unknown"
-    return output.stdout.strip()
+    return runs.git_sha()
 
 
 def run_bench(

@@ -93,12 +93,80 @@ def diff_against_baseline(
     return diffs
 
 
+class ReportInputError(ValueError):
+    """A missing, truncated, or unparseable report/trace artifact.
+
+    Raised with a one-line, actionable message; the CLI prints it and
+    exits non-zero instead of dumping a traceback at the operator.
+    """
+
+
 def load_baseline(path: str) -> Optional[Dict[str, object]]:
-    """A previously written report JSON document, or None when absent."""
+    """A previously written report JSON document, or None when absent.
+
+    A file that exists but does not parse (a truncated write, a merge
+    conflict) raises :class:`ReportInputError` rather than a raw
+    ``JSONDecodeError`` traceback.
+    """
     if not os.path.exists(path):
         return None
-    with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except ValueError as exc:
+        raise ReportInputError(
+            f"baseline {path} is not valid JSON ({exc}); delete it to rebaseline "
+            f"or pass --baseline pointing at a good report"
+        ) from exc
+    except OSError as exc:
+        raise ReportInputError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ReportInputError(
+            f"baseline {path} is not a report document (expected a JSON object)"
+        )
+    return document
+
+
+def load_trace_file(path: str) -> Dict[str, object]:
+    """Parse a ``repro trace`` JSONL file: span records plus the metrics tail.
+
+    Returns ``{"spans": [...], "metrics": {...}}``.  Raises
+    :class:`ReportInputError` — with the offending line number — when the
+    file is missing, any line fails to parse (a truncated write cuts the
+    last line mid-object), or the final metrics record is absent.
+    """
+    if not os.path.exists(path):
+        raise ReportInputError(
+            f"trace file {path} not found; run `repro trace <ID> -o {path}` first"
+        )
+    spans: List[Dict[str, object]] = []
+    metrics: Optional[Dict[str, object]] = None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise ReportInputError(
+                        f"trace file {path} is truncated or corrupt at line "
+                        f"{line_number}; re-run `repro trace` to regenerate it"
+                    ) from exc
+                kind = record.get("kind") if isinstance(record, dict) else None
+                if kind == "span":
+                    spans.append(record)
+                elif kind == "metrics":
+                    metrics = record
+    except OSError as exc:
+        raise ReportInputError(f"cannot read trace file {path}: {exc}") from exc
+    if metrics is None:
+        raise ReportInputError(
+            f"trace file {path} has no final metrics record (truncated write?); "
+            f"re-run `repro trace` to regenerate it"
+        )
+    return {"spans": spans, "metrics": metrics}
 
 
 @dataclass

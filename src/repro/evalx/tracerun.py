@@ -278,13 +278,18 @@ TRACE_WORKLOADS: Dict[str, Callable[[], None]] = {
 def run_trace(
     experiment_id: str,
     workload: Optional[Callable[[], None]] = None,
+    progress_log: Optional[str] = None,
+    progress_tty: bool = False,
 ) -> TraceResult:
     """Run one experiment's workload with observability on; collect the trace.
 
     All global observability state (tracer, registry, lineage ledger, and
     quality snapshots) is reset before the run and the previous
     enabled-state is restored afterwards, so tracing one experiment never
-    contaminates another run in the same process.
+    contaminates another run in the same process.  ``progress_log`` /
+    ``progress_tty`` attach the live build-progress heartbeat (a JSONL
+    file / a stderr line) for the duration of the run; they must be wired
+    here because the pre-run reset detaches any earlier configuration.
     """
     experiment_id = experiment_id.upper()
     if workload is None:
@@ -298,6 +303,11 @@ def run_trace(
     tracer = get_tracer()
     registry = get_registry()
     profiling.reset_all()
+    watching_progress = progress_log is not None or progress_tty
+    if watching_progress:
+        from repro.obs import progress as obs_progress
+
+        obs_progress.configure(log_path=progress_log, to_tty=progress_tty)
     profiling.enable()
     try:
         with span(f"experiment.{experiment_id}", experiment=experiment_id):
@@ -316,5 +326,7 @@ def run_trace(
             slo=slo_summary if served_any else {},
         )
     finally:
+        if watching_progress:
+            obs_progress.get_progress().close()
         if not previous_enabled:
             profiling.disable()

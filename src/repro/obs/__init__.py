@@ -16,7 +16,17 @@ each stage; this package is that measurement layer:
 * :mod:`repro.obs.quality` — graph-quality snapshots with run-over-run
   regression diffs, folded into the registry as ``quality.*`` gauges;
 * :mod:`repro.obs.export` — Prometheus text format and the stable JSON
-  run document.
+  run document;
+* :mod:`repro.obs.progress` — the live build-progress heartbeat (TTY
+  line, JSONL log, the ``/buildz`` payload);
+* :mod:`repro.obs.runs` — the persistent run registry under
+  ``results/runs/`` with rolling median+MAD drift detection.
+
+Observability crosses process boundaries: ``pmap(mode="process")``
+workers inherit a :class:`~repro.obs.tracing.TraceContext`, buffer their
+spans/counters/lineage locally, and ship them back for a deterministic
+in-order merge (see DESIGN.md §10), so a process-parallel build traces
+exactly like a serial one plus ``pmap.worker`` child spans.
 
 Everything is off by default and near-free while off; enable with
 :func:`enable` or ``REPRO_OBS=1``.  ``repro trace <EXPERIMENT_ID>`` runs
@@ -55,17 +65,31 @@ from repro.obs.profiling import (
     profile_block,
     profiled,
     reset_all,
+    rusage,
 )
+from repro.obs.progress import BuildProgress, get_progress
 from repro.obs.quality import (
     QualityDiff,
     QualitySnapshot,
     RegressionThresholds,
     capture,
 )
-from repro.obs.tracing import Span, Tracer, current_span, get_tracer, span
+from repro.obs.runs import DriftAlert, RunRecord, RunRegistry
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    capture_context,
+    current_span,
+    get_tracer,
+    span,
+    span_tree_signature,
+)
 
 __all__ = [
+    "BuildProgress",
     "Counter",
+    "DriftAlert",
     "Gauge",
     "Histogram",
     "LineageChain",
@@ -75,10 +99,14 @@ __all__ = [
     "QualityDiff",
     "QualitySnapshot",
     "RegressionThresholds",
+    "RunRecord",
+    "RunRegistry",
     "Span",
+    "TraceContext",
     "Tracer",
     "build_document",
     "capture",
+    "capture_context",
     "count",
     "current_span",
     "disable",
@@ -88,6 +116,7 @@ __all__ = [
     "explain",
     "gauge",
     "get_ledger",
+    "get_progress",
     "get_registry",
     "get_tracer",
     "observe",
@@ -99,5 +128,7 @@ __all__ = [
     "record_rejection",
     "render_prometheus",
     "reset_all",
+    "rusage",
     "span",
+    "span_tree_signature",
 ]

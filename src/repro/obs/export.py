@@ -63,17 +63,28 @@ def render_prometheus(
     registry = registry or get_registry()
     snapshot = registry.snapshot()
     lines: List[str] = []
+    # The exposition format allows one `# TYPE` per metric family: a
+    # family appearing with several label sets (each quality snapshot is
+    # one label set of the same gauges) still gets exactly one TYPE line,
+    # emitted before the family's first sample.
+    typed: set = set()
+
+    def declare(metric: str, kind: str) -> None:
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in snapshot["counters"].items():
         metric = prometheus_name(name)
-        lines.append(f"# TYPE {metric} counter")
+        declare(metric, "counter")
         lines.append(f"{metric} {_format_value(value)}")
     for name, value in snapshot["gauges"].items():
         metric = prometheus_name(name)
-        lines.append(f"# TYPE {metric} gauge")
+        declare(metric, "gauge")
         lines.append(f"{metric} {_format_value(value)}")
     for name, state in registry.histogram_states().items():
         metric = prometheus_name(name)
-        lines.append(f"# TYPE {metric} histogram")
+        declare(metric, "histogram")
         cumulative = 0
         bounds: Sequence[float] = state["bounds"]  # type: ignore[assignment]
         counts: Sequence[int] = state["bucket_counts"]  # type: ignore[assignment]
@@ -87,14 +98,14 @@ def render_prometheus(
         label = _escape_label(str(record.get("name", "kg")))
         for key in ("n_triples", "n_entities", "fusion_accepted", "fusion_rejected"):
             metric = prometheus_name(f"quality_{key}")
-            lines.append(f"# TYPE {metric} gauge")
+            declare(metric, "gauge")
             lines.append(f'{metric}{{snapshot="{label}"}} {_format_value(float(record.get(key, 0) or 0))}')
         for key in ("coverage", "accuracy"):
             value = record.get(key)
             if value is None:
                 continue
             metric = prometheus_name(f"quality_{key}")
-            lines.append(f"# TYPE {metric} gauge")
+            declare(metric, "gauge")
             lines.append(f'{metric}{{snapshot="{label}"}} {_format_value(float(value))}')
     return "\n".join(lines) + ("\n" if lines else "")
 

@@ -301,6 +301,71 @@ class LineageLedger:
                         break
         return [self.explain(*key) for key in chosen]
 
+    def export_state(self) -> Dict[str, object]:
+        """The ledger's full mergeable state (pmap worker shipping).
+
+        Events flatten to one list sorted by the worker-local sequence —
+        recording order inside the worker — plus the absorbed-alias map.
+        :meth:`merge_state` replays the list against a parent ledger.
+        """
+        records: List[Dict[str, object]] = []
+        with self._lock:
+            for key, events in self._events.items():
+                for event in events:
+                    records.append(
+                        {
+                            "scope": "triple",
+                            "key": list(key),
+                            "sequence": event.sequence,
+                            "kind": event.kind,
+                            "stage": event.stage,
+                            "detail": dict(event.detail),
+                        }
+                    )
+            for entity_id, events in self._entity_events.items():
+                for event in events:
+                    records.append(
+                        {
+                            "scope": "entity",
+                            "key": entity_id,
+                            "sequence": event.sequence,
+                            "kind": event.kind,
+                            "stage": event.stage,
+                            "detail": dict(event.detail),
+                        }
+                    )
+            absorbed = {
+                survivor: sorted(dropped)
+                for survivor, dropped in sorted(self._absorbed.items())
+            }
+        records.sort(key=lambda record: record["sequence"])  # type: ignore[arg-type, return-value]
+        return {"events": records, "absorbed": absorbed}
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Replay a worker ledger's :meth:`export_state` into this one.
+
+        Events get fresh sequence numbers from this ledger's counter, in
+        shipped order, so merging worker states in input order gives every
+        event the same number run over run — the chains read exactly as if
+        the parent had recorded them itself.
+        """
+        with self._lock:
+            for record in state.get("events", []):  # type: ignore[union-attr]
+                self._sequence += 1
+                event = LineageEvent(
+                    self._sequence,
+                    str(record["kind"]),
+                    str(record["stage"]),
+                    dict(record["detail"]),
+                )
+                if record["scope"] == "entity":
+                    self._entity_events.setdefault(str(record["key"]), []).append(event)
+                else:
+                    subject, predicate, obj = record["key"]
+                    self._events.setdefault((subject, predicate, obj), []).append(event)
+            for survivor, dropped in sorted(state.get("absorbed", {}).items()):  # type: ignore[union-attr]
+                self._absorbed.setdefault(survivor, set()).update(dropped)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)

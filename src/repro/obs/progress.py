@@ -1,0 +1,313 @@
+"""Live build progress: the heartbeat of a running construction pipeline.
+
+The paper's pipelines are long-lived and repeatedly re-run; between
+"started" and "done" the operator deserves more than silence.
+:class:`BuildProgress` tracks where a build is — pipeline, current stage,
+items done vs. total, per-stage throughput, and an ETA when a total is
+known — fed by two producers:
+
+* :meth:`ConstructionPipeline.run` brackets each stage with
+  ``begin_stage``/``end_stage``;
+* :func:`repro.core.parallel.pmap` registers its item total and advances
+  the count as worker chunks complete.
+
+The state surfaces three ways: a carriage-return TTY progress line
+(``repro trace --progress``), a JSONL heartbeat log
+(``--progress-log``), and the ``GET /buildz`` endpoint when serving.
+
+Like everything in :mod:`repro.obs`, the module-level helpers no-op while
+observability is disabled — one flag check, no locks, no allocation — so
+the heartbeat costs nothing on the benchmarked hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Dict, IO, List, Optional
+
+from repro.obs._flags import FLAGS
+
+#: Minimum seconds between rate-limited emissions (advance() calls).
+DEFAULT_EMIT_INTERVAL = 0.25
+
+
+class BuildProgress:
+    """Thread-safe progress state for one process's builds.
+
+    One instance tracks one pipeline at a time (nested pipelines are rare
+    and the innermost wins); stages run strictly in sequence, matching
+    :class:`~repro.core.pipeline.ConstructionPipeline` semantics.  All
+    mutators are safe to call from pmap coordinator threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stream: Optional[IO[str]] = None
+        self._log_handle: Optional[IO[str]] = None
+        self._log_path: Optional[str] = None
+        self._emit_interval = DEFAULT_EMIT_INTERVAL
+        self._last_emit = 0.0
+        self._line_width = 0
+        self._reset_state_locked()
+
+    def _reset_state_locked(self) -> None:
+        self._pipeline: Optional[str] = None
+        self._pipeline_started = 0.0
+        self._n_stages = 0
+        self._stage: Optional[str] = None
+        self._stage_started = 0.0
+        self._stage_done = 0
+        self._stage_total: Optional[int] = None
+        self._completed: List[Dict[str, object]] = []
+        self._items_done = 0
+        self._items_total = 0
+
+    # ---- configuration -------------------------------------------------
+
+    def configure(
+        self,
+        stream: Optional[IO[str]] = None,
+        log_path: Optional[str] = None,
+        emit_interval: Optional[float] = None,
+    ) -> None:
+        """Attach a TTY stream and/or a JSONL heartbeat log.
+
+        ``stream`` gets a single self-overwriting progress line;
+        ``log_path`` gets one JSON object per emission.  Either can be
+        None (the default: track state silently for ``/buildz``).
+        """
+        with self._lock:
+            self._stream = stream
+            if self._log_handle is not None:
+                self._log_handle.close()
+                self._log_handle = None
+            self._log_path = log_path
+            if log_path is not None:
+                self._log_handle = open(log_path, "a", encoding="utf-8")
+            if emit_interval is not None:
+                self._emit_interval = emit_interval
+
+    def close(self) -> None:
+        """Finish the TTY line and close the heartbeat log."""
+        with self._lock:
+            if self._stream is not None and self._line_width:
+                self._stream.write("\n")
+                self._stream.flush()
+                self._line_width = 0
+            self._stream = None
+            if self._log_handle is not None:
+                self._log_handle.close()
+                self._log_handle = None
+            self._log_path = None
+
+    def reset(self) -> None:
+        """Drop all state and detach outputs (CLI/test isolation)."""
+        self.close()
+        with self._lock:
+            self._reset_state_locked()
+            self._last_emit = 0.0
+
+    # ---- producers -----------------------------------------------------
+
+    def begin_pipeline(self, name: str, n_stages: int) -> None:
+        with self._lock:
+            self._reset_state_locked()
+            self._pipeline = name
+            self._pipeline_started = time.monotonic()
+            self._n_stages = n_stages
+            self._emit_locked(event="pipeline", force=True)
+
+    def begin_stage(self, name: str, total: Optional[int] = None) -> None:
+        with self._lock:
+            self._stage = name
+            self._stage_started = time.monotonic()
+            self._stage_done = 0
+            self._stage_total = total
+            self._emit_locked(event="stage", force=True)
+
+    def add_total(self, n: int) -> None:
+        """Announce ``n`` upcoming items (a pmap fan-out registering work)."""
+        with self._lock:
+            if self._stage_total is None:
+                self._stage_total = 0
+            self._stage_total += n
+            self._items_total += n
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` completed items (rate-limited emission)."""
+        with self._lock:
+            self._stage_done += n
+            self._items_done += n
+            self._emit_locked(event="advance")
+
+    def end_stage(self, error: Optional[str] = None) -> None:
+        with self._lock:
+            if self._stage is None:
+                return
+            wall = time.monotonic() - self._stage_started
+            record: Dict[str, object] = {
+                "stage": self._stage,
+                "wall_s": round(wall, 6),
+                "items": self._stage_done,
+            }
+            if wall > 0 and self._stage_done:
+                record["items_per_s"] = round(self._stage_done / wall, 3)
+            if error is not None:
+                record["error"] = error
+            self._completed.append(record)
+            self._stage = None
+            self._stage_total = None
+            self._stage_done = 0
+            self._emit_locked(event="stage_done", force=True)
+
+    def end_pipeline(self) -> None:
+        with self._lock:
+            self._emit_locked(event="pipeline_done", force=True)
+            if self._stream is not None and self._line_width:
+                self._stream.write("\n")
+                self._stream.flush()
+                self._line_width = 0
+            self._pipeline = None
+            self._stage = None
+
+    # ---- consumers -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The current build state as a plain dict (the /buildz payload)."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, object]:
+        now = time.monotonic()
+        state: Dict[str, object] = {
+            "active": self._pipeline is not None,
+            "pipeline": self._pipeline,
+            "n_stages": self._n_stages,
+            "stages_done": len(self._completed),
+            "stage": self._stage,
+            "items_done": self._items_done,
+            "items_total": self._items_total,
+            "stages": list(self._completed),
+        }
+        if self._pipeline is not None:
+            state["elapsed_s"] = round(now - self._pipeline_started, 3)
+        if self._stage is not None:
+            stage_wall = now - self._stage_started
+            state["stage_items_done"] = self._stage_done
+            state["stage_items_total"] = self._stage_total
+            if stage_wall > 0 and self._stage_done:
+                throughput = self._stage_done / stage_wall
+                state["stage_items_per_s"] = round(throughput, 3)
+                if self._stage_total is not None and self._stage_total > self._stage_done:
+                    state["stage_eta_s"] = round(
+                        (self._stage_total - self._stage_done) / throughput, 3
+                    )
+        return state
+
+    # ---- emission ------------------------------------------------------
+
+    def _emit_locked(self, event: str, force: bool = False) -> None:
+        if self._stream is None and self._log_handle is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self._emit_interval:
+            return
+        self._last_emit = now
+        state = self._snapshot_locked()
+        if self._log_handle is not None:
+            record = {"event": event, "unix": round(time.time(), 3), **state}
+            record.pop("stages", None)  # per-line state, not the whole history
+            self._log_handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._log_handle.flush()
+        if self._stream is not None:
+            line = self._render_line(state, event)
+            padded = line.ljust(self._line_width)
+            self._line_width = len(line)
+            self._stream.write("\r" + padded)
+            self._stream.flush()
+
+    @staticmethod
+    def _render_line(state: Dict[str, object], event: str) -> str:
+        parts = [f"[build] {state.get('pipeline') or '-'}"]
+        parts.append(f"stage {state.get('stages_done', 0)}/{state.get('n_stages', 0)}")
+        stage = state.get("stage")
+        if stage:
+            parts.append(str(stage))
+            total = state.get("stage_items_total")
+            done = state.get("stage_items_done", 0)
+            if total:
+                parts.append(f"{done}/{total}")
+            elif done:
+                parts.append(str(done))
+            throughput = state.get("stage_items_per_s")
+            if throughput:
+                parts.append(f"{throughput:.1f}/s")
+            eta = state.get("stage_eta_s")
+            if eta is not None:
+                parts.append(f"eta {eta:.1f}s")
+        if event == "pipeline_done":
+            parts.append(f"done in {state.get('elapsed_s', 0.0)}s")
+        return " ".join(parts)
+
+
+_GLOBAL_PROGRESS = BuildProgress()
+
+
+def get_progress() -> BuildProgress:
+    """The process-global progress tracker (always present, often idle)."""
+    return _GLOBAL_PROGRESS
+
+
+# ---------------------------------------------------------------------------
+# One-line producer helpers (no-ops while observability is disabled).
+
+
+def begin_pipeline(name: str, n_stages: int) -> None:
+    """Mark a pipeline start on the global tracker (no-op while disabled)."""
+    if FLAGS.enabled:
+        _GLOBAL_PROGRESS.begin_pipeline(name, n_stages)
+
+
+def begin_stage(name: str, total: Optional[int] = None) -> None:
+    """Mark a stage start on the global tracker (no-op while disabled)."""
+    if FLAGS.enabled:
+        _GLOBAL_PROGRESS.begin_stage(name, total=total)
+
+
+def add_total(n: int) -> None:
+    """Register upcoming items on the global tracker (no-op while disabled)."""
+    if FLAGS.enabled:
+        _GLOBAL_PROGRESS.add_total(n)
+
+
+def advance(n: int = 1) -> None:
+    """Record completed items on the global tracker (no-op while disabled)."""
+    if FLAGS.enabled:
+        _GLOBAL_PROGRESS.advance(n)
+
+
+def end_stage(error: Optional[str] = None) -> None:
+    """Mark a stage end on the global tracker (no-op while disabled)."""
+    if FLAGS.enabled:
+        _GLOBAL_PROGRESS.end_stage(error=error)
+
+
+def end_pipeline() -> None:
+    """Mark a pipeline end on the global tracker (no-op while disabled)."""
+    if FLAGS.enabled:
+        _GLOBAL_PROGRESS.end_pipeline()
+
+
+def configure(
+    log_path: Optional[str] = None,
+    to_tty: bool = False,
+    emit_interval: Optional[float] = None,
+) -> None:
+    """Point the global tracker at a heartbeat log and/or stderr TTY line."""
+    stream = sys.stderr if to_tty else None
+    _GLOBAL_PROGRESS.configure(
+        stream=stream, log_path=log_path, emit_interval=emit_interval
+    )

@@ -165,6 +165,8 @@ def _make_handler(service: KGService):
                 self._write_json(200, service.stats())
             elif route == "/statusz":
                 self._write_json(200, service.statusz())
+            elif route == "/buildz":
+                self._write_json(200, service.buildz())
             elif route == "/metrics":
                 self._write_text(
                     200,
@@ -321,6 +323,9 @@ class InProcessClient:
     def statusz(self) -> ClientResult:
         return 200, self.service.statusz()
 
+    def buildz(self) -> ClientResult:
+        return 200, self.service.buildz()
+
 
 class HTTPClient:
     """The same client surface over real sockets (stdlib only).
@@ -457,6 +462,9 @@ class HTTPClient:
 
     def statusz(self) -> ClientResult:
         return self._get("/statusz", {})
+
+    def buildz(self) -> ClientResult:
+        return self._get("/buildz", {})
 
     def metrics_text(self) -> str:
         """The raw Prometheus exposition from ``/metrics`` (not JSON)."""

@@ -136,6 +136,23 @@ class KGService:
             "slo": get_slo_tracker().summary(),
         }
 
+    def buildz(self) -> Dict[str, object]:
+        """Live build progress (the ``/buildz`` payload).
+
+        Surfaces the global :class:`~repro.obs.progress.BuildProgress`
+        heartbeat — what pipeline is building, which stage it is in, and
+        the current throughput/ETA — so an operator can watch a rebuild
+        from the serving side without shell access to the builder.
+        Inactive (or obs-off) processes report ``build: {active: false}``.
+        """
+        from repro.obs import progress as obs_progress
+
+        return {
+            "service": self.name,
+            "observability_enabled": FLAGS.enabled,
+            "build": obs_progress.get_progress().snapshot(),
+        }
+
 
 # ---------------------------------------------------------------------------
 # Serving fixtures: named graph+LM recipes for the CLI, CI, and tests.

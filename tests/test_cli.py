@@ -83,6 +83,7 @@ class TestCli:
             "serve",
             "loadgen",
             "slo",
+            "runs",
         ):
             assert subcommand in output, f"--help missing subcommand {subcommand!r}"
 
@@ -104,7 +105,7 @@ class TestTraceCommand:
 
         monkeypatch.setitem(tracerun.TRACE_WORKLOADS, "T-TINY", tiny_workload)
         output = tmp_path / "trace_tiny.jsonl"
-        assert main(["trace", "t-tiny", "-o", str(output)]) == 0
+        assert main(["trace", "t-tiny", "-o", str(output), "--no-runs"]) == 0
 
         records = [
             json.loads(line) for line in output.read_text().splitlines() if line
@@ -126,13 +127,178 @@ class TestTraceCommand:
 
         monkeypatch.setitem(tracerun.TRACE_WORKLOADS, "T-TINY", lambda: None)
         assert not obs.enabled()
-        assert main(["trace", "T-TINY", "-o", str(tmp_path / "t.jsonl")]) == 0
+        assert main(["trace", "T-TINY", "-o", str(tmp_path / "t.jsonl"), "--no-runs"]) == 0
         assert not obs.enabled()
 
     def test_trace_registry_ids_are_real(self):
         from repro.evalx.tracerun import TRACE_WORKLOADS
 
         assert set(TRACE_WORKLOADS) <= set(EXPERIMENTS)
+
+    def test_trace_records_run_in_registry(self, monkeypatch, capsys, tmp_path):
+        from repro.evalx import tracerun
+        from repro.obs.runs import RunRegistry
+
+        monkeypatch.setitem(tracerun.TRACE_WORKLOADS, "T-TINY", lambda: None)
+        runs_dir = tmp_path / "runs"
+        assert main(
+            [
+                "trace", "T-TINY",
+                "-o", str(tmp_path / "t.jsonl"),
+                "--runs-dir", str(runs_dir),
+            ]
+        ) == 0
+        assert "run r0001 ->" in capsys.readouterr().out
+        (record,) = RunRegistry(str(runs_dir)).load()
+        assert record.kind == "trace"
+        assert record.experiment_id == "T-TINY"
+        assert record.resources["peak_rss_kb"] > 0  # rusage rode along
+
+
+def _tiny_workload():
+    from repro.core.pipeline import ConstructionPipeline
+
+    pipeline = ConstructionPipeline("tiny")
+    pipeline.add_function("alpha", lambda ctx: None)
+    pipeline.run()
+
+
+@pytest.fixture
+def tiny_trace(monkeypatch):
+    from repro.evalx import tracerun
+
+    monkeypatch.setitem(tracerun.TRACE_WORKLOADS, "T-TINY", _tiny_workload)
+
+
+class TestTraceFromFile:
+    def test_missing_file_is_one_line_error(self, capsys):
+        assert main(["trace", "T-TINY", "--from-file", "/nonexistent/t.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert "not found" in err
+        assert len(err.strip().splitlines()) == 1  # actionable, not a traceback
+
+    def test_truncated_file_names_the_line(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "span", "name": "root", "span_id": "s1",
+                    "parent_id": None, "wall_seconds": 0.1, "cpu_seconds": 0.1,
+                }
+            )
+            + "\n"
+            + '{"kind": "span", "name": "chopped'  # a torn final write
+        )
+        assert main(["trace", "T-TINY", "--from-file", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "truncated or corrupt at line 2" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_round_trip_through_inspection_mode(self, tiny_trace, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert main(["trace", "T-TINY", "-o", str(path), "--no-runs"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "T-TINY", "--from-file", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "per-span summary" in output
+        assert "stage.alpha" in output
+
+
+class TestReportErrors:
+    def test_corrupt_baseline_is_one_line_error(self, tiny_trace, capsys, tmp_path):
+        baseline = tmp_path / "report_bad.json"
+        baseline.write_text('{"version": 1, "qual')  # truncated write
+        assert main(
+            [
+                "report", "T-TINY",
+                "-o", str(tmp_path),
+                "--baseline", str(baseline),
+                "--no-runs",
+            ]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_report_gates_on_registry_drift(self, tiny_trace, capsys, tmp_path):
+        """The trajectory gate end-to-end: a seeded history flags this run."""
+        from repro.obs.runs import RunRecord, RunRegistry
+
+        runs_dir = tmp_path / "runs"
+        registry = RunRegistry(str(runs_dir))
+        for _ in range(10):
+            registry.append(
+                RunRecord(
+                    kind="report",
+                    experiment_id="T-TINY",
+                    metrics={"counter.pipeline.stage.runs": 50.0},
+                )
+            )
+        assert main(
+            ["report", "T-TINY", "-o", str(tmp_path), "--runs-dir", str(runs_dir)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "drifted below the registry trajectory" in err
+        assert "counter.pipeline.stage.runs" in err
+
+    def test_report_on_trajectory_passes(self, tiny_trace, capsys, tmp_path):
+        assert main(
+            ["report", "T-TINY", "-o", str(tmp_path), "--runs-dir", str(tmp_path / "runs")]
+        ) == 0
+        assert "run r0001 ->" in capsys.readouterr().out
+
+
+class TestRunsCli:
+    def _seed(self, runs_dir, accuracies, experiment_id="SYN"):
+        from repro.obs.runs import RunRecord, RunRegistry
+
+        registry = RunRegistry(str(runs_dir))
+        for accuracy in accuracies:
+            registry.append(
+                RunRecord(
+                    kind="report",
+                    experiment_id=experiment_id,
+                    quality=[{"name": "kg", "n_triples": 100, "accuracy": accuracy}],
+                )
+            )
+        return registry
+
+    def test_list_empty_registry(self, capsys, tmp_path):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path / "runs")]) == 0
+        assert "0 run(s)" in capsys.readouterr().out
+
+    def test_list_shows_runs(self, capsys, tmp_path):
+        self._seed(tmp_path / "runs", [0.9, 0.91])
+        assert main(["runs", "list", "--runs-dir", str(tmp_path / "runs")]) == 0
+        output = capsys.readouterr().out
+        assert "r0001" in output and "r0002" in output and "SYN" in output
+
+    def test_show_unknown_run_exits_2(self, capsys, tmp_path):
+        self._seed(tmp_path / "runs", [0.9])
+        assert main(["runs", "show", "r0042", "--runs-dir", str(tmp_path / "runs")]) == 2
+        assert "not in registry" in capsys.readouterr().err
+
+    def test_diff_regression_exits_1(self, capsys, tmp_path):
+        self._seed(tmp_path / "runs", [0.95, 0.60])
+        assert main(
+            ["runs", "diff", "r0001", "r0002", "--runs-dir", str(tmp_path / "runs")]
+        ) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_drift_stable_exits_0(self, capsys, tmp_path):
+        self._seed(tmp_path / "runs", [0.950, 0.951, 0.949, 0.950, 0.951, 0.950])
+        assert main(["runs", "drift", "--runs-dir", str(tmp_path / "runs")]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_drift_injected_drop_exits_1(self, capsys, tmp_path):
+        self._seed(
+            tmp_path / "runs",
+            [0.950, 0.952, 0.948, 0.951, 0.949, 0.950, 0.953, 0.947, 0.951, 0.949, 0.80],
+        )
+        assert main(["runs", "drift", "--runs-dir", str(tmp_path / "runs")]) == 1
+        err = capsys.readouterr().err
+        assert "drifted DOWN" in err
+        assert "quality.kg.accuracy" in err
 
 
 class TestObservabilityFlags:

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.core import parallel
-from repro.core.parallel import MODE_ENV_VAR, PmapWorkerError, default_mode, pmap
+from repro.core.parallel import (
+    MODE_ENV_VAR,
+    WORKERS_ENV_VAR,
+    PmapWorkerError,
+    default_mode,
+    default_workers,
+    pmap,
+    resolve_mode,
+)
+from repro.obs import enabled_scope, get_registry
 
 
 def _square(x):
@@ -59,6 +68,32 @@ class TestModes:
         monkeypatch.setenv(MODE_ENV_VAR, "thread")
         assert pmap(_square, range(10)) == [x * x for x in range(10)]
 
+    def test_valid_env_overrides_explicit_mode(self, monkeypatch):
+        """The operator knob wins even over a hard-coded call-site mode."""
+        monkeypatch.setenv(MODE_ENV_VAR, "serial")
+        assert resolve_mode("process") == "serial"
+        assert resolve_mode("thread") == "serial"
+
+    def test_invalid_env_falls_back_to_explicit_mode(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV_VAR, "not-a-mode")
+        assert resolve_mode("thread") == "thread"
+
+    def test_explicit_invalid_mode_raises_even_with_env(self, monkeypatch):
+        # A typo at a call site is a bug regardless of the environment.
+        monkeypatch.setenv(MODE_ENV_VAR, "serial")
+        with pytest.raises(ValueError, match="unknown pmap mode"):
+            resolve_mode("gpu")
+
+    def test_workers_env_overrides_cpu_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "6")
+        assert default_workers() == 6
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        assert default_workers() >= 1  # nonsense values fall back
+        monkeypatch.setenv(WORKERS_ENV_VAR, "banana")
+        assert default_workers() >= 1
+        monkeypatch.delenv(WORKERS_ENV_VAR)
+        assert 1 <= default_workers() <= 8
+
 
 class TestOrderingAndChunking:
     def test_order_preserved_with_tiny_chunks(self):
@@ -100,6 +135,19 @@ class TestDegradation:
         assert pmap(_square, range(9), mode="process", max_workers=1) == [
             x * x for x in range(9)
         ]
+
+    def test_degradation_emits_counter(self):
+        """Silent serial fallback must be visible in any metrics snapshot."""
+        with enabled_scope():
+            pmap(lambda x: x + 1, [1, 2, 3], mode="process", max_workers=2)
+            counters = get_registry().snapshot()["counters"]
+        assert counters.get("pmap.degraded") == 1.0
+
+    def test_clean_process_run_emits_no_degraded_counter(self):
+        with enabled_scope():
+            pmap(_square, range(8), mode="process", max_workers=2, chunk_size=2)
+            counters = get_registry().snapshot()["counters"]
+        assert "pmap.degraded" not in counters
 
 
 class TestWorkerExceptions:

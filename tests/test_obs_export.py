@@ -109,6 +109,79 @@ class TestRenderPrometheus:
         assert all(name != "repro_quality_accuracy" for name, _, _ in samples)
 
 
+class TestExpositionHygiene:
+    """The format fine print: one TYPE per family, escaped label values."""
+
+    TWO_SNAPSHOTS = [
+        {"name": "movies", "n_triples": 42, "coverage": 0.8},
+        {"name": "products", "n_triples": 7, "coverage": 0.5},
+    ]
+
+    def test_type_declared_once_per_family_across_label_sets(self):
+        text = render_prometheus(
+            MetricsRegistry(), quality_snapshots=self.TWO_SNAPSHOTS
+        )
+        for family in ("repro_quality_n_triples", "repro_quality_coverage"):
+            assert text.count(f"# TYPE {family} gauge") == 1
+        _, samples = _parse_prometheus(text)
+        labels = {
+            labels for name, labels, _ in samples if name == "repro_quality_n_triples"
+        }
+        assert labels == {'{snapshot="movies"}', '{snapshot="products"}'}
+
+    def test_type_precedes_first_sample_of_family(self):
+        lines = render_prometheus(
+            MetricsRegistry(), quality_snapshots=self.TWO_SNAPSHOTS
+        ).splitlines()
+        first_type = lines.index("# TYPE repro_quality_n_triples gauge")
+        first_sample = next(
+            index
+            for index, line in enumerate(lines)
+            if line.startswith("repro_quality_n_triples{")
+        )
+        assert first_type < first_sample
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            'back\\slash and "quotes"',
+            "two\nlines",
+            'all \\ of "it"\ntogether\\n',
+        ],
+    )
+    def test_label_values_escape_and_round_trip(self, name):
+        text = render_prometheus(
+            MetricsRegistry(), quality_snapshots=[{"name": name, "n_triples": 1}]
+        )
+        # Every line must still be a well-formed single-line sample: a raw
+        # newline inside a label value would shear the exposition apart.
+        types, samples = _parse_prometheus(text)
+        assert types["repro_quality_n_triples"] == "gauge"
+        label_blobs = [
+            labels for n, labels, _ in samples if n == "repro_quality_n_triples"
+        ]
+        assert len(label_blobs) == 1
+        match = re.fullmatch(r'\{snapshot="((?:[^"\\]|\\.)*)"\}', label_blobs[0])
+        assert match is not None
+        assert _unescape_label(match.group(1)) == name
+
+
+def _unescape_label(value):
+    """Invert the exposition-format label escaping (the scraper's view)."""
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
 class TestJsonDocument:
     def test_document_shape_and_version(self):
         document = build_document(

@@ -1,0 +1,202 @@
+"""Live build progress: the heartbeat, its surfaces, and /buildz."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.parallel import pmap
+from repro.core.pipeline import ConstructionPipeline, FunctionStage
+from repro.obs import enabled_scope
+from repro.obs import progress as obs_progress
+from repro.obs.progress import BuildProgress
+
+
+@pytest.fixture
+def obs_on():
+    with enabled_scope():
+        yield
+
+
+@pytest.fixture
+def progress():
+    tracker = BuildProgress()
+    yield tracker
+    tracker.close()
+
+
+class TestLifecycle:
+    def test_idle_snapshot(self, progress):
+        state = progress.snapshot()
+        assert state["active"] is False
+        assert state["pipeline"] is None
+        assert state["items_done"] == 0
+        assert state["stages"] == []
+
+    def test_stage_progress_fields(self, progress):
+        progress.begin_pipeline("fig4a", n_stages=3)
+        progress.begin_stage("extract")
+        progress.add_total(10)
+        progress.advance(4)
+        state = progress.snapshot()
+        assert state["active"] is True
+        assert state["pipeline"] == "fig4a"
+        assert state["n_stages"] == 3
+        assert state["stages_done"] == 0
+        assert state["stage"] == "extract"
+        assert state["items_done"] == 4
+        assert state["items_total"] == 10
+        assert state["stage_items_done"] == 4
+        assert state["stage_items_total"] == 10
+        # With items moving, throughput and a finite ETA are derivable.
+        assert state["stage_items_per_s"] > 0
+        assert state["stage_eta_s"] >= 0
+
+    def test_end_stage_accumulates_history(self, progress):
+        progress.begin_pipeline("p", n_stages=2)
+        progress.begin_stage("a")
+        progress.advance(3)
+        progress.end_stage()
+        progress.begin_stage("b")
+        progress.end_stage(error="ValueError: boom")
+        progress.end_pipeline()
+        state = progress.snapshot()
+        assert state["active"] is False
+        assert state["stages_done"] == 2
+        names = [record["stage"] for record in state["stages"]]
+        assert names == ["a", "b"]
+        assert state["stages"][0]["items"] == 3
+        assert state["stages"][1]["error"] == "ValueError: boom"
+
+    def test_reset_drops_state(self, progress):
+        progress.begin_pipeline("p", n_stages=1)
+        progress.begin_stage("a")
+        progress.advance(5)
+        progress.reset()
+        state = progress.snapshot()
+        assert state["active"] is False and state["items_done"] == 0
+
+
+class TestHeartbeatLog:
+    def test_jsonl_log_records_every_event(self, progress, tmp_path):
+        log_path = str(tmp_path / "progress.jsonl")
+        progress.configure(log_path=log_path, emit_interval=0.0)
+        progress.begin_pipeline("p", n_stages=1)
+        progress.begin_stage("work", total=2)
+        progress.advance()
+        progress.advance()
+        progress.end_stage()
+        progress.end_pipeline()
+        progress.close()
+        with open(log_path, encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        kinds = [event["event"] for event in events]
+        assert kinds == [
+            "pipeline",
+            "stage",
+            "advance",
+            "advance",
+            "stage_done",
+            "pipeline_done",
+        ]
+        assert events[2]["stage_items_done"] == 1
+        assert events[3]["items_done"] == 2
+        assert all("unix" in event for event in events)
+
+    def test_emissions_are_rate_limited(self, progress, tmp_path):
+        log_path = str(tmp_path / "progress.jsonl")
+        progress.configure(log_path=log_path, emit_interval=3600.0)
+        progress.begin_pipeline("p", n_stages=1)  # forced emission
+        progress.begin_stage("work")  # forced emission
+        for _ in range(50):
+            progress.advance()  # all inside the interval: suppressed
+        progress.close()
+        with open(log_path, encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        assert [event["event"] for event in events] == ["pipeline", "stage"]
+
+    def test_tty_line_overwrites_in_place(self, progress):
+        stream = io.StringIO()
+        progress.configure(stream=stream, emit_interval=0.0)
+        progress.begin_pipeline("fig4a", n_stages=2)
+        progress.begin_stage("extract", total=4)
+        progress.advance(2)
+        output = stream.getvalue()
+        assert output.count("\r") == 3
+        assert "[build] fig4a" in output
+        assert "2/4" in output
+        progress.end_pipeline()
+        assert stream.getvalue().endswith("\n")
+
+
+class TestModuleHelpers:
+    def test_noop_while_disabled(self):
+        before = obs_progress.get_progress().snapshot()
+        obs_progress.begin_pipeline("ghost", 3)
+        obs_progress.begin_stage("ghost-stage")
+        obs_progress.advance(7)
+        obs_progress.end_stage()
+        obs_progress.end_pipeline()
+        assert obs_progress.get_progress().snapshot() == before
+
+    def test_global_tracker_records_when_enabled(self, obs_on):
+        obs_progress.begin_pipeline("live", 1)
+        obs_progress.begin_stage("s")
+        obs_progress.advance(2)
+        obs_progress.end_stage()
+        obs_progress.end_pipeline()
+        state = obs_progress.get_progress().snapshot()
+        assert state["stages_done"] == 1
+        assert state["items_done"] == 2
+        obs_progress.get_progress().reset()
+
+
+class TestPipelineIntegration:
+    def _pipeline(self):
+        return (
+            ConstructionPipeline(name="toy")
+            .add_stage(FunctionStage("first", lambda context: None))
+            .add_stage(FunctionStage("second", lambda context: None))
+        )
+
+    def test_run_brackets_stages(self, obs_on):
+        self._pipeline().run()
+        state = obs_progress.get_progress().snapshot()
+        assert state["active"] is False
+        assert state["n_stages"] == 2
+        assert [record["stage"] for record in state["stages"]] == ["first", "second"]
+        obs_progress.get_progress().reset()
+
+    def test_pmap_advances_item_counts(self, obs_on):
+        obs_progress.begin_pipeline("fanout", 1)
+        obs_progress.begin_stage("square")
+        pmap(lambda x: x * x, range(10), mode="serial")
+        obs_progress.end_stage()
+        obs_progress.end_pipeline()
+        state = obs_progress.get_progress().snapshot()
+        assert state["items_total"] == 10
+        assert state["items_done"] == 10
+        obs_progress.get_progress().reset()
+
+    def test_disabled_pipeline_leaves_tracker_idle(self):
+        self._pipeline().run()
+        state = obs_progress.get_progress().snapshot()
+        assert state["active"] is False
+        assert state["stages"] == []
+
+
+class TestBuildzEndpoint:
+    def test_buildz_reports_build_state(self):
+        from repro.serve.server import InProcessClient
+        from repro.serve.service import KGService
+
+        from tests.test_serve_server import build_graph
+
+        service = KGService()
+        service.publish(build_graph())
+        code, body = InProcessClient(service).buildz()
+        assert code == 200
+        assert body["service"] == service.name
+        assert body["observability_enabled"] in (True, False)
+        assert body["build"]["active"] is False
+        assert "items_done" in body["build"]

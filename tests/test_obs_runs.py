@@ -1,0 +1,220 @@
+"""The persistent run registry: storage, queries, drift detection."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.runs import (
+    DEFAULT_DRIFT_THRESHOLD,
+    MIN_DRIFT_HISTORY,
+    DriftAlert,
+    RunRecord,
+    RunRegistry,
+    default_runs_dir,
+    modified_z_score,
+    stages_from_spans,
+)
+
+
+def _quality(accuracy, n_triples=1000):
+    return {
+        "name": "kg",
+        "n_triples": n_triples,
+        "n_entities": 200,
+        "accuracy": accuracy,
+    }
+
+
+def _record(accuracy, experiment_id="SYN", kind="report", n_triples=1000):
+    return RunRecord(
+        kind=kind,
+        experiment_id=experiment_id,
+        quality=[_quality(accuracy, n_triples=n_triples)],
+    )
+
+
+#: A stable 10-run history: accuracy jitters around 0.950, triples constant.
+STABLE_ACCURACIES = [0.950, 0.952, 0.948, 0.951, 0.949, 0.950, 0.953, 0.947, 0.951, 0.949]
+
+
+class TestPersistence:
+    def test_append_assigns_ids_and_metadata(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        first = registry.append(_record(0.95))
+        second = registry.append(_record(0.96))
+        assert first.run_id == "r0001"
+        assert second.run_id == "r0002"
+        assert first.created_unix > 0
+        assert first.git_sha  # "unknown" at worst, never empty
+        loaded = registry.load()
+        assert [record.run_id for record in loaded] == ["r0001", "r0002"]
+        assert loaded[0].quality == [_quality(0.95)]
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        registry.append(_record(0.95))
+        registry.append(_record(0.96))
+        with open(registry.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "report", "experiment_id": "SYN", "qual\n')
+            handle.write('["not", "an", "object"]\n')
+        loaded = registry.load()
+        assert len(loaded) == 2
+        assert registry.skipped_lines == 2
+        # Appending after corruption never reuses or collides ids.
+        appended = registry.append(_record(0.97))
+        assert appended.run_id == "r0005"
+
+    def test_missing_registry_loads_empty(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "nowhere"))
+        assert registry.load() == []
+        assert registry.get("r0001") is None
+
+    def test_record_round_trips(self):
+        record = RunRecord(
+            kind="trace",
+            experiment_id="FIG4A",
+            run_id="r0007",
+            git_sha="abc123",
+            created_unix=1700000000.0,
+            config={"output": "x.jsonl"},
+            stages=[{"name": "fusion", "wall_s": 0.5, "cpu_s": 0.4}],
+            resources={"peak_rss_kb": 1024},
+            quality=[_quality(0.9)],
+            metrics={"counter.pipeline.stage.runs": 4.0},
+        )
+        assert RunRecord.from_dict(record.to_dict()).to_dict() == record.to_dict()
+
+    def test_tracked_metrics_namespaces_quality(self):
+        record = _record(0.9)
+        record.metrics = {"ingest.ops_per_s": 5000.0}
+        tracked = record.tracked_metrics()
+        assert tracked["quality.kg.accuracy"] == 0.9
+        assert tracked["quality.kg.n_triples"] == 1000.0
+        assert tracked["ingest.ops_per_s"] == 5000.0
+
+
+class TestDiff:
+    def test_diff_flags_quality_regressions(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        registry.append(_record(0.95))
+        registry.append(_record(0.70, n_triples=500))
+        diffs = registry.diff("r0001", "r0002")
+        assert len(diffs) == 1
+        regressed = {delta.metric for delta in diffs[0].regressions}
+        assert "accuracy" in regressed
+        assert "n_triples" in regressed
+
+    def test_diff_unknown_run_raises_keyerror(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        registry.append(_record(0.95))
+        with pytest.raises(KeyError, match="r9999"):
+            registry.diff("r0001", "r9999")
+
+
+class TestModifiedZScore:
+    def test_matches_iglewicz_hoaglin(self):
+        score = modified_z_score(10.0, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert score["median"] == 3.0
+        assert score["mad"] == 1.0
+        assert score["z"] == pytest.approx(0.6745 * 7.0)
+
+    def test_zero_mad_stable_history(self):
+        assert modified_z_score(5.0, [5.0, 5.0, 5.0])["z"] == 0.0
+        assert modified_z_score(6.0, [5.0, 5.0, 5.0])["z"] == pytest.approx(1e9)
+        assert modified_z_score(4.0, [5.0, 5.0, 5.0])["z"] == pytest.approx(-1e9)
+
+
+class TestDrift:
+    def _seed_history(self, registry, accuracies=STABLE_ACCURACIES):
+        for accuracy in accuracies:
+            registry.append(_record(accuracy))
+
+    def test_injected_regression_flags_drop(self, tmp_path):
+        """The acceptance pin: a >3-MAD drop across a 10-run history alerts."""
+        registry = RunRegistry(str(tmp_path / "runs"))
+        self._seed_history(registry)
+        registry.append(_record(0.80))  # far below the 0.950 +/- 0.002 band
+        alerts = registry.drift(experiment_id="SYN")
+        by_metric = {alert.metric: alert for alert in alerts}
+        alert = by_metric["quality.kg.accuracy"]
+        assert alert.direction == "drop"
+        assert abs(alert.z_score) > DEFAULT_DRIFT_THRESHOLD
+        assert alert.run_id == "r0011"
+        # The constant metric does not cry wolf.
+        assert "quality.kg.n_triples" not in by_metric
+        assert "drop" in alert.describe()
+
+    def test_stable_latest_run_is_quiet(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        self._seed_history(registry)
+        registry.append(_record(0.950))
+        assert registry.drift(experiment_id="SYN") == []
+
+    def test_young_history_never_alerts(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        for accuracy in STABLE_ACCURACIES[:MIN_DRIFT_HISTORY]:
+            registry.append(_record(accuracy))
+        registry.append(_record(0.10))
+        # MIN_DRIFT_HISTORY prior runs exist, which is exactly enough...
+        assert registry.drift(experiment_id="SYN") != []
+        fresh = RunRegistry(str(tmp_path / "young"))
+        fresh.append(_record(0.95))
+        fresh.append(_record(0.10))
+        # ...but fewer stays silent.
+        assert fresh.drift(experiment_id="SYN") == []
+
+    def test_rise_direction_reported(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        self._seed_history(registry)
+        registry.append(_record(0.999))
+        (alert,) = registry.drift(experiment_id="SYN")
+        assert alert.direction == "rise"
+
+    def test_experiments_scored_independently(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        self._seed_history(registry)
+        for accuracy in (0.5, 0.5, 0.5, 0.5):
+            registry.append(_record(accuracy, experiment_id="OTHER"))
+        registry.append(_record(0.80))
+        alerts = registry.drift()
+        assert {alert.experiment_id for alert in alerts} == {"SYN"}
+
+    def test_window_bounds_the_history(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        # Ancient bad era, then a recovered plateau the window should see.
+        self._seed_history(registry, [0.5] * 6 + [0.950, 0.951, 0.949, 0.950])
+        registry.append(_record(0.948))
+        assert registry.drift(experiment_id="SYN", window=4) == []
+
+    def test_alert_serializes(self):
+        alert = DriftAlert(
+            experiment_id="SYN",
+            run_id="r0011",
+            metric="quality.kg.accuracy",
+            value=0.8,
+            median=0.95,
+            mad=0.001,
+            z_score=-101.2,
+            direction="drop",
+        )
+        assert json.loads(json.dumps(alert.to_dict()))["direction"] == "drop"
+
+
+class TestHelpers:
+    def test_default_runs_dir(self):
+        assert default_runs_dir(os.path.join("x", "results")) == os.path.join(
+            "x", "results", "runs"
+        )
+
+    def test_stages_from_spans_picks_stage_spans(self):
+        spans = [
+            {"name": "pipeline.p", "wall_seconds": 1.0, "cpu_seconds": 0.9},
+            {"name": "stage.fusion", "wall_seconds": 0.5, "cpu_seconds": 0.4},
+            {"name": "stage.cleaning", "wall_seconds": 0.25, "cpu_seconds": 0.2},
+            {"name": "pmap.worker", "wall_seconds": 0.1, "cpu_seconds": 0.1},
+        ]
+        rows = stages_from_spans(spans)
+        assert [row["name"] for row in rows] == ["fusion", "cleaning"]
+        assert rows[0]["wall_s"] == 0.5
+        assert rows[1]["cpu_s"] == 0.2

@@ -277,6 +277,15 @@ class TestHTTPServer:
         assert stats["snapshot"]["version"] == 1
         assert "cache" in stats and "admission" in stats
 
+    def test_buildz_serves_build_progress(self, http):
+        code, body = http.buildz()
+        assert code == 200
+        assert body["build"]["active"] is False
+        assert "items_done" in body["build"]
+        # HTTP and in-process views agree (build state is process-global).
+        service = make_service()
+        assert set(body) == set(InProcessClient(service).buildz()[1])
+
     def test_malformed_query_body_is_400(self, http):
         code, body = http._send(
             "POST",
