@@ -541,24 +541,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Publish a fixture snapshot and serve the JSON API over HTTP."""
     import time
 
+    from repro.core.codec import CodecError
     from repro.obs import profiling
     from repro.serve.context import AccessLog
     from repro.serve.server import start_server
-    from repro.serve.service import SERVE_FIXTURES, build_fixture_service
+    from repro.serve.service import (
+        KGService,
+        SERVE_FIXTURES,
+        build_fixture_service,
+    )
 
-    fixture_id = args.fixture_id.upper()
-    if fixture_id not in SERVE_FIXTURES:
+    if args.snapshot is not None:
+        if args.fixture_id is not None:
+            print(
+                "pass a fixture id or --snapshot, not both "
+                "(a snapshot file already holds its graph)",
+                file=sys.stderr,
+            )
+            return 2
+        service = KGService(n_shards=args.shards, name="serve.snapshot")
+        print(f"loading snapshot {args.snapshot} ({args.backend} backend)...")
+        try:
+            service.publish_from_file(args.snapshot, backend=args.backend)
+        except CodecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        fixture_id = f"snapshot:{args.snapshot}"
+    elif args.fixture_id is None:
         print(
-            f"unknown serve fixture {args.fixture_id!r}; "
-            f"available: {', '.join(sorted(SERVE_FIXTURES))}",
+            "serve needs a fixture id (WORLD, FIG4A) or --snapshot PATH",
             file=sys.stderr,
         )
         return 2
-    scale = "quick" if args.quick else "full"
-    print(f"building fixture {fixture_id} ({scale}, {args.shards} shard(s))...")
-    service = build_fixture_service(
-        fixture_id, n_shards=args.shards, scale=scale, with_lm=not args.no_lm
-    )
+    else:
+        fixture_id = args.fixture_id.upper()
+        if fixture_id not in SERVE_FIXTURES:
+            print(
+                f"unknown serve fixture {args.fixture_id!r}; "
+                f"available: {', '.join(sorted(SERVE_FIXTURES))}",
+                file=sys.stderr,
+            )
+            return 2
+        scale = "quick" if args.quick else "full"
+        print(f"building fixture {fixture_id} ({scale}, {args.shards} shard(s))...")
+        service = build_fixture_service(
+            fixture_id, n_shards=args.shards, scale=scale, with_lm=not args.no_lm
+        )
     # A server someone deliberately started should be observable out of
     # the box: /metrics and /statusz are live surfaces, and head sampling
     # keeps the per-request cost inside the <5% budget.
@@ -594,6 +622,85 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         if service.access_log is not None:
             service.access_log.close()
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    """Build a serve fixture's graph and persist it as a binary snapshot."""
+    import time
+
+    from repro.core import codec
+    from repro.serve.service import SERVE_FIXTURES
+
+    fixture_id = args.fixture_id.upper()
+    builder = SERVE_FIXTURES.get(fixture_id)
+    if builder is None:
+        print(
+            f"unknown serve fixture {args.fixture_id!r}; "
+            f"available: {', '.join(sorted(SERVE_FIXTURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    scale = "quick" if args.quick else "full"
+    print(f"building fixture {fixture_id} ({scale})...")
+    started = time.perf_counter()
+    graph, _model = builder(scale)
+    build_s = time.perf_counter() - started
+    started = time.perf_counter()
+    n_bytes = codec.save_graph(graph, args.output)
+    save_s = time.perf_counter() - started
+    stats = graph.stats()
+    print(
+        f"saved {stats['n_triples']} triples / {stats['n_entities']} entities "
+        f"({stats['n_id_terms']} id terms) -> {args.output} "
+        f"({n_bytes} bytes; build {build_s:.2f}s, save {save_s:.3f}s)"
+    )
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Load a binary snapshot and print its stats (restore validation)."""
+    import time
+
+    from repro.core import codec
+
+    started = time.perf_counter()
+    try:
+        graph = codec.load_graph(args.path, backend=args.backend)
+    except codec.CodecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    load_s = time.perf_counter() - started
+    stats = graph.stats()
+    print(
+        f"loaded {args.path} in {load_s:.3f}s ({args.backend} backend): "
+        f"{stats['n_triples']} triples, {stats['n_entities']} entities, "
+        f"{stats['n_id_terms']} id terms, {stats['n_classes']} classes"
+    )
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Fold a WAL directory's segments into its base snapshot."""
+    from repro.core import codec
+
+    wal = codec.TripleWAL(args.wal_dir)
+    before = wal.stats()
+    try:
+        _graph, stats = wal.compact(
+            backend=args.backend, allow_partial=args.allow_partial
+        )
+    except codec.CodecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        wal.close()
+    print(
+        f"compacted {stats['n_segments_folded']} segment(s) "
+        f"({before['wal_bytes']} WAL bytes) -> {stats['base_path']} "
+        f"({stats['base_bytes']} bytes, {stats['n_triples']} triples, "
+        f"{stats['n_entities']} entities)"
+    )
     return 0
 
 
@@ -1106,7 +1213,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = subparsers.add_parser(
         "serve", help="publish a fixture KG snapshot and serve the JSON API"
     )
-    serve_parser.add_argument("fixture_id", help="a serve fixture id (WORLD, FIG4A)")
+    serve_parser.add_argument(
+        "fixture_id",
+        nargs="?",
+        default=None,
+        help="a serve fixture id (WORLD, FIG4A); omit with --snapshot",
+    )
+    serve_parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="boot from a `repro save` binary snapshot instead of building a fixture",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=("columnar", "dict"),
+        default="columnar",
+        help="storage backend for --snapshot boots (default: columnar)",
+    )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
     )
@@ -1152,6 +1276,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of OK requests logged; shed/error always logged (default: 1.0)",
     )
     serve_parser.set_defaults(func=cmd_serve)
+
+    save_parser = subparsers.add_parser(
+        "save", help="build a serve fixture and write a binary graph snapshot"
+    )
+    save_parser.add_argument("fixture_id", help="a serve fixture id (WORLD, FIG4A)")
+    save_parser.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="snapshot file to write (e.g. results/world.rkgs)",
+    )
+    save_parser.add_argument(
+        "--quick", action="store_true", help="small fixture scale (CI smoke)"
+    )
+    save_parser.set_defaults(func=cmd_save)
+
+    load_parser = subparsers.add_parser(
+        "load", help="load a binary graph snapshot and print its stats"
+    )
+    load_parser.add_argument("path", help="snapshot file written by `repro save`")
+    load_parser.add_argument(
+        "--backend",
+        choices=("columnar", "dict"),
+        default="columnar",
+        help="storage backend to load into (default: columnar)",
+    )
+    load_parser.set_defaults(func=cmd_load)
+
+    compact_parser = subparsers.add_parser(
+        "compact", help="fold a WAL directory's segments into its base snapshot"
+    )
+    compact_parser.add_argument("wal_dir", help="WAL directory (base.rkgs + wal-*.log)")
+    compact_parser.add_argument(
+        "--backend",
+        choices=("columnar", "dict"),
+        default="columnar",
+        help="storage backend for replay (default: columnar)",
+    )
+    compact_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="tolerate corrupt/truncated records (keeps the valid prefix)",
+    )
+    compact_parser.set_defaults(func=cmd_compact)
 
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="load-test a serving endpoint and extend BENCH_serve.json"

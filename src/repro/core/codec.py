@@ -1,0 +1,834 @@
+"""Binary snapshot codec + append-only WAL for knowledge graphs.
+
+Two durability surfaces on top of :mod:`repro.core.store`:
+
+**Snapshots** (``.rkgs``) — a versioned binary format holding the term
+dictionary, all three sorted SPO/POS/OSP permutation columns (stored
+raw, so loading is ``array.frombytes`` — no re-sort, no re-index),
+entities, ontology, provenance, and optionally the lineage ledger.
+Every section is crc32-checksummed, and every failure mode (bad magic,
+newer version, truncation, checksum mismatch) raises :class:`CodecError`
+with a one-line actionable message.  ``repro serve --snapshot`` boots
+from one of these instead of re-running construction.
+
+Provenance is *thawed lazily*: the section is checksum-verified at load,
+but decoding its records into ``Triple``-keyed lists is deferred until
+the first provenance-touching operation — the same deferred-work idiom
+as the graph's ``_pending_index``.  Serving never touches provenance,
+so a snapshot boot pays only for what it reads.
+
+**WAL** (:class:`TripleWAL`) — an append-only log of graph mutations
+(entity/alias/add/add_batch/remove/merge records, length+crc32-framed
+JSON; batch ingests commit as one ``add_batch`` record) in
+size-rotated segments, with :meth:`TripleWAL.compact` folding replayed
+segments into a ``base.rkgs`` snapshot.  A truncated final record in the
+*last* segment is tolerated (a crash mid-append is the normal case); any
+other corruption raises :class:`CodecError` unless ``allow_partial``.
+
+A :class:`~repro.core.graph.KnowledgeGraph` with an attached WAL
+(:meth:`~repro.core.graph.KnowledgeGraph.attach_wal`) logs every
+mutation; :meth:`TripleWAL.recover` replays base + segments through the
+public graph API, so recovery reproduces state, provenance, and (when
+observability is on) lineage events exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.graph import Entity, KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.store import ColumnarTripleStore, TermDict
+from repro.core.triple import Provenance, Triple, Value
+from repro.obs import lineage as obs_lineage
+from repro.obs import metrics as obs_metrics
+
+SNAPSHOT_MAGIC = b"RKGS"
+WAL_MAGIC = b"RKGW"
+FORMAT_VERSION = 1
+
+#: File header: magic, format version, reserved flags.
+_HEADER = struct.Struct("<4sHH")
+#: Section frame: section id, payload length, payload crc32.
+_SECTION = struct.Struct("<BQI")
+#: WAL record frame: payload length, payload crc32.
+_WAL_FRAME = struct.Struct("<II")
+
+# Section ids.
+SEC_META = 1
+SEC_ONTOLOGY = 2
+SEC_ENTITIES = 3
+SEC_TERMS = 4
+SEC_COLUMNS = 5
+SEC_PROVENANCE = 6
+SEC_LINEAGE = 7
+
+_SECTION_NAMES = {
+    SEC_META: "meta",
+    SEC_ONTOLOGY: "ontology",
+    SEC_ENTITIES: "entities",
+    SEC_TERMS: "terms",
+    SEC_COLUMNS: "columns",
+    SEC_PROVENANCE: "provenance",
+    SEC_LINEAGE: "lineage",
+}
+
+# Term tags in the TERMS section.
+_TAG_STR = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BOOL = 3
+_TAG_BIGINT = 4  # ints outside i64, as a decimal string
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class CodecError(ValueError):
+    """A snapshot or WAL file could not be read; the message says why
+    and what to do about it (always one line)."""
+
+
+# ---------------------------------------------------------------------------
+# term encoding
+
+
+def _encode_terms(terms: List[Value]) -> bytes:
+    chunks = [struct.pack("<I", len(terms))]
+    append = chunks.append
+    for term in terms:
+        kind = type(term)
+        if kind is str:
+            payload = term.encode("utf-8", "surrogatepass")
+            append(struct.pack("<BI", _TAG_STR, len(payload)))
+            append(payload)
+        elif kind is bool:
+            # Checked before int: bool is an int subclass.
+            append(struct.pack("<BB", _TAG_BOOL, 1 if term else 0))
+        elif kind is int:
+            if _I64_MIN <= term <= _I64_MAX:
+                append(struct.pack("<Bq", _TAG_INT, term))
+            else:
+                payload = str(term).encode("ascii")
+                append(struct.pack("<BI", _TAG_BIGINT, len(payload)))
+                append(payload)
+        elif kind is float:
+            append(struct.pack("<Bd", _TAG_FLOAT, term))
+        else:  # pragma: no cover - Value is closed over these four types
+            raise CodecError(f"cannot encode term of type {kind.__name__}")
+    return b"".join(chunks)
+
+
+def _decode_terms(payload: bytes, path: str) -> List[Value]:
+    view = memoryview(payload)
+    offset = 4
+    try:
+        (count,) = struct.unpack_from("<I", view, 0)
+        terms: List[Value] = []
+        for _ in range(count):
+            (tag,) = struct.unpack_from("<B", view, offset)
+            offset += 1
+            if tag == _TAG_STR:
+                (length,) = struct.unpack_from("<I", view, offset)
+                offset += 4
+                terms.append(
+                    bytes(view[offset : offset + length]).decode("utf-8", "surrogatepass")
+                )
+                offset += length
+            elif tag == _TAG_INT:
+                (value,) = struct.unpack_from("<q", view, offset)
+                offset += 8
+                terms.append(value)
+            elif tag == _TAG_FLOAT:
+                (value,) = struct.unpack_from("<d", view, offset)
+                offset += 8
+                terms.append(value)
+            elif tag == _TAG_BOOL:
+                (value,) = struct.unpack_from("<B", view, offset)
+                offset += 1
+                terms.append(bool(value))
+            elif tag == _TAG_BIGINT:
+                (length,) = struct.unpack_from("<I", view, offset)
+                offset += 4
+                terms.append(int(bytes(view[offset : offset + length]).decode("ascii")))
+                offset += length
+            else:
+                raise CodecError(
+                    f"{path}: unknown term tag {tag} in the terms section; "
+                    f"file is corrupt — re-create it with `repro save`"
+                )
+    except struct.error as exc:
+        raise CodecError(
+            f"{path}: terms section ended mid-term; file is corrupt — "
+            f"re-create it with `repro save`"
+        ) from exc
+    if len(terms) != count:  # pragma: no cover - loop guarantees this
+        raise CodecError(f"{path}: terms section count mismatch")
+    return terms
+
+
+# ---------------------------------------------------------------------------
+# section plumbing
+
+
+def _json_section(document: object) -> bytes:
+    return zlib.compress(json.dumps(document, sort_keys=True).encode("utf-8"), 6)
+
+
+def _load_json_section(payload: bytes, name: str, path: str) -> object:
+    try:
+        return json.loads(zlib.decompress(payload).decode("utf-8"))
+    except (zlib.error, ValueError) as exc:
+        raise CodecError(
+            f"{path}: {name} section does not decode (passed its checksum but "
+            f"not its parser); re-create the file with `repro save`"
+        ) from exc
+
+
+def _pack_section(section_id: int, payload: bytes) -> bytes:
+    return _SECTION.pack(section_id, len(payload), zlib.crc32(payload)) + payload
+
+
+def _ontology_document(ontology: Ontology) -> Dict[str, object]:
+    # Classes parents-first so one load pass can re-add them.
+    classes: List[List[Optional[str]]] = []
+    emitted = set()
+    pending = list(ontology.classes())
+    while pending:
+        remaining = []
+        for class_name in pending:
+            parent = ontology.parent(class_name)
+            if parent is None or parent in emitted:
+                classes.append([class_name, parent])
+                emitted.add(class_name)
+            else:
+                remaining.append(class_name)
+        if len(remaining) == len(pending):  # pragma: no cover - defensive
+            raise CodecError("cycle detected while serializing the ontology")
+        pending = remaining
+    return {
+        "name": ontology.name,
+        "classes": classes,
+        "relations": [
+            [r.name, r.domain, r.range_class, r.functional] for r in ontology.relations()
+        ],
+    }
+
+
+def _load_ontology(document: Dict[str, object]) -> Ontology:
+    ontology = Ontology(name=str(document.get("name", "ontology")))
+    for class_name, parent in document.get("classes", []):  # type: ignore[union-attr]
+        ontology.add_class(class_name, parent)
+    for name, domain, range_class, functional in document.get("relations", []):  # type: ignore[union-attr]
+        ontology.add_relation(name, domain, range_class, functional=functional)
+    return ontology
+
+
+def _provenance_document(graph: KnowledgeGraph) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for triple, records in graph._provenance.items():
+        if not records:
+            continue
+        rows.append(
+            [
+                triple.subject,
+                triple.predicate,
+                triple.object,
+                [[p.source, p.extractor, p.confidence] for p in records],
+            ]
+        )
+    rows.sort(key=lambda row: (row[0], row[1], type(row[2]).__name__, str(row[2])))
+    return rows
+
+
+def _thaw_provenance(payload: bytes, path: str):
+    """A thaw hook decoding the raw provenance section into a graph's
+    ``_provenance``.
+
+    Installed on loaded graphs as ``_provenance_thaw`` and invoked by the
+    first provenance-touching operation (see ``KnowledgeGraph
+    ._materialize_provenance``).  The closure holds the *checksummed but
+    unparsed* section bytes — decompression, JSON parsing, and object
+    construction are all deferred, so snapshot boots that never read
+    provenance pay nothing for it (the JSON parse is the single largest
+    cost of an eager load).
+    """
+
+    def thaw(graph: KnowledgeGraph) -> None:
+        rows = _load_json_section(payload, "provenance", path)
+        provenance = graph._provenance
+        for subject, predicate, obj, records in rows:  # type: ignore[union-attr]
+            provenance[Triple(subject, predicate, obj)] = [
+                Provenance(source=source, extractor=extractor, confidence=confidence)
+                for source, extractor, confidence in records
+            ]
+
+    return thaw
+
+
+# ---------------------------------------------------------------------------
+# snapshot save
+
+
+def save_graph(
+    graph: KnowledgeGraph, path: str, include_lineage: Optional[bool] = None
+) -> int:
+    """Write ``graph`` to ``path`` in the binary snapshot format.
+
+    Works for both backends: a columnar graph's store is compacted and
+    its columns written as-is; a dict-backed graph is dictionary-encoded
+    on the way out.  ``include_lineage=None`` snapshots the global
+    lineage ledger exactly when lineage recording is enabled.  The write
+    is atomic (temp file + rename).  Returns bytes written.
+    """
+    if include_lineage is None:
+        include_lineage = obs_lineage.lineage_enabled()
+    graph._materialize_provenance()
+
+    if graph._store is not None:
+        terms, spo, pos, osp = graph._store.sorted_columns()
+    else:
+        term_dict = TermDict()
+        encode = term_dict.add
+        rows = [
+            (encode(t.subject), encode(t.predicate), encode(t.object))
+            for t in graph._triples
+        ]
+        store = ColumnarTripleStore._from_id_rows(term_dict, rows)
+        terms, spo, pos, osp = store.sorted_columns()
+
+    n_rows = len(spo[0])
+    columns_payload = struct.pack("<Q", n_rows) + b"".join(
+        col.tobytes() for perm in (spo, pos, osp) for col in perm
+    )
+
+    entities_document = [
+        [e.entity_id, e.name, e.entity_class, sorted(e.aliases)]
+        for e in sorted(graph._entities.values(), key=lambda e: e.entity_id)
+    ]
+    meta = {
+        "graph_name": graph.name,
+        "backend": graph.backend,
+        "n_triples": len(graph),
+        "n_entities": len(graph._entities),
+        "n_terms": len(terms),
+    }
+
+    sections = [
+        _pack_section(SEC_META, _json_section(meta)),
+        _pack_section(SEC_ONTOLOGY, _json_section(_ontology_document(graph.ontology))),
+        _pack_section(SEC_ENTITIES, _json_section(entities_document)),
+        _pack_section(SEC_TERMS, _encode_terms(terms)),
+        _pack_section(SEC_COLUMNS, columns_payload),
+        _pack_section(SEC_PROVENANCE, _json_section(_provenance_document(graph))),
+    ]
+    if include_lineage:
+        ledger_state = obs_lineage.get_ledger().export_state()
+        sections.append(_pack_section(SEC_LINEAGE, _json_section(ledger_state)))
+
+    blob = _HEADER.pack(SNAPSHOT_MAGIC, FORMAT_VERSION, 0) + b"".join(sections)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp_path, path)
+    obs_metrics.count("store.snapshot.saves")
+    obs_metrics.gauge("store.snapshot.bytes", len(blob))
+    return len(blob)
+
+
+# ---------------------------------------------------------------------------
+# snapshot load
+
+
+def _read_sections(blob: bytes, path: str) -> Dict[int, bytes]:
+    if len(blob) < _HEADER.size:
+        raise CodecError(
+            f"{path}: truncated at byte {len(blob)} (needed an {_HEADER.size}-byte "
+            f"header); re-create the file with `repro save`"
+        )
+    magic, version, _flags = _HEADER.unpack_from(blob, 0)
+    if magic != SNAPSHOT_MAGIC:
+        raise CodecError(
+            f"{path}: not a repro snapshot (magic {magic!r}, expected "
+            f"{SNAPSHOT_MAGIC!r}); point --snapshot at a file written by `repro save`"
+        )
+    if version != FORMAT_VERSION:
+        raise CodecError(
+            f"{path}: snapshot format v{version} is not the supported v"
+            f"{FORMAT_VERSION}; re-save it with this checkout's `repro save`"
+        )
+    sections: Dict[int, bytes] = {}
+    offset = _HEADER.size
+    total = len(blob)
+    while offset < total:
+        if offset + _SECTION.size > total:
+            raise CodecError(
+                f"{path}: truncated at byte {offset} (needed a {_SECTION.size}-byte "
+                f"section frame); re-create the file with `repro save`"
+            )
+        section_id, length, crc = _SECTION.unpack_from(blob, offset)
+        offset += _SECTION.size
+        if offset + length > total:
+            name = _SECTION_NAMES.get(section_id, f"#{section_id}")
+            raise CodecError(
+                f"{path}: truncated at byte {offset} (the {name} section claims "
+                f"{length} bytes, {total - offset} remain); re-create the file "
+                f"with `repro save`"
+            )
+        payload = blob[offset : offset + length]
+        offset += length
+        actual = zlib.crc32(payload)
+        if actual != crc:
+            name = _SECTION_NAMES.get(section_id, f"#{section_id}")
+            raise CodecError(
+                f"{path}: {name} section checksum mismatch (stored {crc:#010x}, "
+                f"computed {actual:#010x}); file is corrupt — re-create it with "
+                f"`repro save`"
+            )
+        if section_id not in _SECTION_NAMES:
+            raise CodecError(
+                f"{path}: unknown section id {section_id}; file is corrupt — "
+                f"re-create it with `repro save`"
+            )
+        sections[section_id] = payload
+    return sections
+
+
+def _require(sections: Dict[int, bytes], section_id: int, path: str) -> bytes:
+    payload = sections.get(section_id)
+    if payload is None:
+        raise CodecError(
+            f"{path}: missing {_SECTION_NAMES[section_id]} section; "
+            f"re-create the file with `repro save`"
+        )
+    return payload
+
+
+def load_graph(
+    path: str, backend: str = "columnar", restore_lineage: bool = False
+) -> KnowledgeGraph:
+    """Read a snapshot written by :func:`save_graph` into a fresh graph.
+
+    ``backend`` picks the loaded graph's storage layer (columnar installs
+    the file's sorted columns directly; dict replays the rows through
+    batch ingestion).  ``restore_lineage=True`` merges the snapshot's
+    lineage section (if present) into the process-global ledger.
+    Provenance decoding is deferred to the first provenance-touching
+    operation on the returned graph.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        raise CodecError(
+            f"{path}: snapshot file not found; create it with `repro save`"
+        ) from None
+    sections = _read_sections(blob, path)
+
+    meta = _load_json_section(_require(sections, SEC_META, path), "meta", path)
+    ontology = _load_ontology(
+        _load_json_section(_require(sections, SEC_ONTOLOGY, path), "ontology", path)  # type: ignore[arg-type]
+    )
+    graph = KnowledgeGraph(
+        ontology=ontology, name=str(meta.get("graph_name", "kg")), backend=backend  # type: ignore[union-attr]
+    )
+
+    # Entities: constructed directly (the snapshot was validated at save
+    # time), so a boot does not re-pay per-entity ontology checks.
+    entities_document = _load_json_section(
+        _require(sections, SEC_ENTITIES, path), "entities", path
+    )
+    graph_entities = graph._entities
+    name_index = graph._name_index
+    for entity_id, name, entity_class, aliases in entities_document:  # type: ignore[union-attr]
+        if not ontology.has_class(entity_class):
+            raise CodecError(
+                f"{path}: entity {entity_id!r} names unknown class "
+                f"{entity_class!r}; file is corrupt — re-create it with `repro save`"
+            )
+        entity = Entity(
+            entity_id=entity_id,
+            name=name,
+            entity_class=entity_class,
+            aliases=set(aliases),
+        )
+        graph_entities[entity_id] = entity
+        for alias in entity.all_names():
+            name_index[alias.lower()].add(entity_id)
+
+    terms = _decode_terms(_require(sections, SEC_TERMS, path), path)
+    columns_payload = _require(sections, SEC_COLUMNS, path)
+    if len(columns_payload) < 8:
+        raise CodecError(
+            f"{path}: columns section shorter than its row-count header; "
+            f"file is corrupt — re-create it with `repro save`"
+        )
+    (n_rows,) = struct.unpack_from("<Q", columns_payload, 0)
+    expected = 8 + 9 * 8 * n_rows
+    if len(columns_payload) != expected:
+        raise CodecError(
+            f"{path}: columns section holds {len(columns_payload)} bytes but "
+            f"{n_rows} rows need {expected}; file is corrupt — re-create it "
+            f"with `repro save`"
+        )
+    columns: List[array] = []
+    columns_view = memoryview(columns_payload)
+    offset = 8
+    for _ in range(9):
+        col = array("q")
+        col.frombytes(columns_view[offset : offset + 8 * n_rows])
+        columns.append(col)
+        offset += 8 * n_rows
+    for term_id in (
+        max(columns[0], default=-1),
+        max(columns[1], default=-1),
+        max(columns[2], default=-1),
+    ):
+        if term_id >= len(terms):
+            raise CodecError(
+                f"{path}: columns reference term id {term_id} but the dictionary "
+                f"holds {len(terms)} terms; file is corrupt — re-create it with "
+                f"`repro save`"
+            )
+
+    if backend == "columnar":
+        graph._store = ColumnarTripleStore.from_sorted_columns(
+            terms, tuple(columns[0:3]), tuple(columns[3:6]), tuple(columns[6:9])
+        )
+        if n_rows:
+            graph._generation += 1
+    else:
+        spo_s, spo_p, spo_o = columns[0], columns[1], columns[2]
+        graph.add_triples_batch(
+            Triple(terms[spo_s[i]], terms[spo_p[i]], terms[spo_o[i]])
+            for i in range(n_rows)
+        )
+
+    graph._provenance_thaw = _thaw_provenance(
+        _require(sections, SEC_PROVENANCE, path), path
+    )
+
+    if restore_lineage and SEC_LINEAGE in sections:
+        state = _load_json_section(sections[SEC_LINEAGE], "lineage", path)
+        obs_lineage.get_ledger().merge_state(state)  # type: ignore[arg-type]
+
+    obs_metrics.count("store.snapshot.loads")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# the append-only WAL
+
+
+class TripleWAL:
+    """Append-only triple log: size-rotated segments + base compaction.
+
+    A directory of ``wal-<n>.log`` segments (length+crc32-framed JSON
+    records behind a magic header) plus an optional ``base.rkgs``
+    snapshot that :meth:`compact` folds replayed segments into.  Attach
+    to a graph with :meth:`KnowledgeGraph.attach_wal`; recover with
+    :meth:`recover`.
+    """
+
+    BASE_BASENAME = "base.rkgs"
+    _SEGMENT_FORMAT = "wal-{:08d}.log"
+
+    def __init__(self, directory: str, segment_bytes: int = 1 << 20):
+        if segment_bytes < 4096:
+            raise ValueError(f"segment_bytes must be >= 4096, got {segment_bytes}")
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        os.makedirs(directory, exist_ok=True)
+        self._handle = None
+        existing = self.segment_paths()
+        if existing:
+            self._segment_index = self._index_of(existing[-1])
+            self._open_segment(existing[-1], create=False)
+        else:
+            self._segment_index = 1
+            self._open_segment(self._segment_path(1), create=True)
+
+    # ------------------------------------------------------------------
+    # paths
+
+    @property
+    def base_path(self) -> str:
+        return os.path.join(self.directory, self.BASE_BASENAME)
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, self._SEGMENT_FORMAT.format(index))
+
+    @staticmethod
+    def _index_of(path: str) -> int:
+        basename = os.path.basename(path)
+        return int(basename[len("wal-") : -len(".log")])
+
+    def segment_paths(self) -> List[str]:
+        """Existing segment files, oldest first."""
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        segments = [
+            name
+            for name in names
+            if name.startswith("wal-") and name.endswith(".log")
+        ]
+        return [os.path.join(self.directory, name) for name in sorted(segments)]
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def _open_segment(self, path: str, create: bool) -> None:
+        if create:
+            with open(path, "wb") as handle:
+                handle.write(_HEADER.pack(WAL_MAGIC, FORMAT_VERSION, 0))
+        self._handle = open(path, "ab")
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one mutation record (flushed before returning)."""
+        self.append_many([record])
+
+    def append_many(self, records: List[Dict[str, object]]) -> None:
+        """Append a batch of records under one write + flush."""
+        if not records:
+            return
+        if self._handle is None:
+            raise ValueError("WAL is closed")
+        chunks = []
+        for record in records:
+            payload = json.dumps(record, sort_keys=True).encode("utf-8")
+            chunks.append(_WAL_FRAME.pack(len(payload), zlib.crc32(payload)))
+            chunks.append(payload)
+        self._handle.write(b"".join(chunks))
+        self._handle.flush()
+        obs_metrics.count("store.wal.records", len(records))
+        if self._handle.tell() >= self.segment_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self._segment_index += 1
+        self._open_segment(self._segment_path(self._segment_index), create=True)
+        obs_metrics.count("store.wal.rotations")
+        obs_metrics.gauge("store.wal.segments", len(self.segment_paths()))
+
+    def close(self) -> None:
+        """Close the write handle (the WAL can be reopened by constructing
+        a new :class:`TripleWAL` on the same directory)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def _iter_segment(
+        self, path: str, is_last: bool, allow_partial: bool
+    ) -> Iterator[Dict[str, object]]:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if len(blob) < _HEADER.size:
+            raise CodecError(
+                f"{path}: WAL segment shorter than its header; delete the "
+                f"segment or run `repro compact` with --allow-partial"
+            )
+        magic, version, _flags = _HEADER.unpack_from(blob, 0)
+        if magic != WAL_MAGIC:
+            raise CodecError(
+                f"{path}: not a repro WAL segment (magic {magic!r}, expected "
+                f"{WAL_MAGIC!r}); remove foreign files from the WAL directory"
+            )
+        if version != FORMAT_VERSION:
+            raise CodecError(
+                f"{path}: WAL format v{version} is not the supported "
+                f"v{FORMAT_VERSION}; compact it with the checkout that wrote it"
+            )
+        offset = _HEADER.size
+        total = len(blob)
+        while offset < total:
+            tail = total - offset
+            if tail < _WAL_FRAME.size:
+                if is_last or allow_partial:
+                    obs_metrics.count("store.wal.truncated_tail")
+                    return
+                raise CodecError(
+                    f"{path}: truncated record frame at byte {offset} in a "
+                    f"non-final segment; restore the segment or replay with "
+                    f"allow_partial=True"
+                )
+            length, crc = _WAL_FRAME.unpack_from(blob, offset)
+            if offset + _WAL_FRAME.size + length > total:
+                if is_last or allow_partial:
+                    obs_metrics.count("store.wal.truncated_tail")
+                    return
+                raise CodecError(
+                    f"{path}: truncated record payload at byte {offset} in a "
+                    f"non-final segment; restore the segment or replay with "
+                    f"allow_partial=True"
+                )
+            payload = blob[
+                offset + _WAL_FRAME.size : offset + _WAL_FRAME.size + length
+            ]
+            actual = zlib.crc32(payload)
+            if actual != crc:
+                if allow_partial:
+                    obs_metrics.count("store.wal.corrupt_records")
+                    return
+                raise CodecError(
+                    f"{path}: record checksum mismatch at byte {offset} (stored "
+                    f"{crc:#010x}, computed {actual:#010x}); the WAL is corrupt "
+                    f"— replay with allow_partial=True to keep the prefix"
+                )
+            offset += _WAL_FRAME.size + length
+            try:
+                yield json.loads(payload.decode("utf-8"))
+            except ValueError as exc:
+                raise CodecError(
+                    f"{path}: record at byte {offset - length} passed its "
+                    f"checksum but is not JSON; the WAL is corrupt"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    # recovery
+
+    def recover(
+        self, backend: str = "columnar", allow_partial: bool = False
+    ) -> KnowledgeGraph:
+        """Rebuild the graph: load ``base.rkgs`` (if any), replay segments.
+
+        Replay goes through the public graph API, so provenance — and,
+        when observability is enabled, lineage events — are reproduced
+        exactly as the original mutations recorded them.  Consecutive
+        ``add``/``add_batch`` records coalesce into one
+        ``add_triples_batch`` call, which on an empty columnar graph hits
+        the store's bulk-load path.
+        """
+        if os.path.exists(self.base_path):
+            graph = load_graph(self.base_path, backend=backend)
+        else:
+            ontology = Ontology()
+            graph = KnowledgeGraph(ontology=ontology, name="wal", backend=backend)
+        segments = self.segment_paths()
+        n_records = 0
+        for position, path in enumerate(segments):
+            is_last = position == len(segments) - 1
+            pending_adds: List[Tuple[Triple, Optional[Provenance]]] = []
+
+            def flush_adds() -> None:
+                if pending_adds:
+                    graph.add_triples_batch(pending_adds)
+                    pending_adds.clear()
+
+            for record in self._iter_segment(path, is_last, allow_partial):
+                n_records += 1
+                op = record.get("op")
+                if op == "add":
+                    prov = record.get("prov")
+                    pending_adds.append(
+                        (
+                            Triple(record["s"], record["p"], record["o"]),
+                            None
+                            if prov is None
+                            else Provenance(
+                                source=prov[0], extractor=prov[1], confidence=prov[2]
+                            ),
+                        )
+                    )
+                    continue
+                if op == "add_batch":
+                    pending_adds.extend(
+                        (
+                            Triple(s, p, o),
+                            None
+                            if prov is None
+                            else Provenance(
+                                source=prov[0], extractor=prov[1], confidence=prov[2]
+                            ),
+                        )
+                        for s, p, o, prov in record["rows"]
+                    )
+                    continue
+                flush_adds()
+                if op == "entity":
+                    entity_class = record["class"]
+                    if not graph.ontology.has_class(entity_class):
+                        graph.ontology.add_class(entity_class)
+                    # Idempotent: re-replay after a partially-complete
+                    # compaction may revisit entities already in the base.
+                    if not graph.has_entity(record["id"]):
+                        graph.add_entity(
+                            record["id"],
+                            record["name"],
+                            entity_class,
+                            aliases=record.get("aliases", ()),
+                        )
+                elif op == "alias":
+                    if graph.has_entity(record["id"]):
+                        graph.add_alias(record["id"], record["alias"])
+                elif op == "remove":
+                    graph.remove_triple(Triple(record["s"], record["p"], record["o"]))
+                elif op == "merge":
+                    if graph.has_entity(record["drop"]):
+                        graph.merge_entities(record["keep"], record["drop"])
+                else:
+                    raise CodecError(
+                        f"{path}: unknown WAL op {op!r}; the log was written by "
+                        f"a newer layout — compact with the checkout that wrote it"
+                    )
+            flush_adds()
+        obs_metrics.count("store.wal.replayed_records", n_records)
+        return graph
+
+    # ------------------------------------------------------------------
+    # compaction
+
+    def compact(
+        self, backend: str = "columnar", allow_partial: bool = False
+    ) -> Tuple[KnowledgeGraph, Dict[str, object]]:
+        """Fold all segments into ``base.rkgs``; returns (graph, stats).
+
+        Recovery runs first; the new base is written atomically; only
+        then are the folded segments deleted (a crash in between replays
+        idempotently).  A fresh empty segment is opened for new appends.
+        """
+        self.close()
+        segments = self.segment_paths()
+        graph = self.recover(backend=backend, allow_partial=allow_partial)
+        n_bytes = save_graph(graph, self.base_path)
+        for path in segments:
+            os.remove(path)
+        self._segment_index += 1
+        self._open_segment(self._segment_path(self._segment_index), create=True)
+        obs_metrics.count("store.wal.compactions")
+        obs_metrics.gauge("store.wal.segments", 1)
+        stats = {
+            "n_segments_folded": len(segments),
+            "base_path": self.base_path,
+            "base_bytes": n_bytes,
+            "n_triples": len(graph),
+            "n_entities": len(graph._entities),
+        }
+        return graph, stats
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters (sizes in bytes, segment count, base)."""
+        segments = self.segment_paths()
+        return {
+            "n_segments": len(segments),
+            "segment_bytes_limit": self.segment_bytes,
+            "wal_bytes": sum(os.path.getsize(path) for path in segments),
+            "base_exists": os.path.exists(self.base_path),
+            "base_bytes": (
+                os.path.getsize(self.base_path) if os.path.exists(self.base_path) else 0
+            ),
+        }

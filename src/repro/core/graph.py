@@ -15,10 +15,10 @@ Performance layer (the "as fast as the hardware allows" track):
   built once per mutation generation, so ``triples()`` / all-wildcard
   ``query()`` calls stop paying O(|T| log |T|) sorts on a read-mostly
   graph;
-* **interned id table** — subject/predicate strings are interned into one
-  canonical object per distinct string (``_interned``) and the canonical
-  objects key all three indexes, cutting index memory and letting dict
-  probes short-circuit on pointer identity;
+* **interned id table** — subject/predicate/entity-id strings go through
+  ``sys.intern``, so every graph in the process shares one canonical
+  object per distinct string and dict probes short-circuit on pointer
+  identity;
 * **index-backed merges** — ``merge_entities`` walks the SPO/OSP rows of
   the dropped entity (O(degree)) instead of scanning every triple, which
   is what entity linkage (Sec. 2.2) calls thousands of times;
@@ -28,6 +28,16 @@ Performance layer (the "as fast as the hardware allows" track):
   first index-backed read (``_ensure_indexes``), the bulk-load shape
   Knowledge Vault-style web-scale construction loads arrive in.
 
+Storage backends: ``backend="dict"`` (the default) keeps triples in a
+``set`` plus nested-dict indexes; ``backend="columnar"`` swaps in
+:class:`~repro.core.store.ColumnarTripleStore` — dictionary-encoded int
+ids over sorted ``array('q')`` permutation columns — behind the same
+API.  A graph may also log every mutation to an append-only WAL
+(:meth:`attach_wal`, see :class:`repro.core.codec.TripleWAL`) and be
+saved/loaded through the binary snapshot codec; snapshot loads defer
+provenance decoding until the first provenance-touching operation
+(``_materialize_provenance``), mirroring the ``_pending_index`` idiom.
+
 Every fast path preserves the exact results, provenance, and lineage
 records of the per-call API (guarded by the equivalence tests in
 ``tests/test_perf_equivalence.py``).
@@ -35,16 +45,36 @@ records of the per-call API (guarded by the equivalence tests in
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.ontology import Ontology
+from repro.core.store import ColumnarTripleStore
 from repro.core.triple import AttributedTriple, Provenance, Triple, Value
 from repro.obs import lineage as obs_lineage
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle: codec imports graph
+    from repro.core.codec import TripleWAL
+
 #: One item of a batch ingest: a bare triple or a (triple, provenance) pair.
 BatchItem = Union[Triple, Tuple[Triple, Optional[Provenance]]]
+
+_intern = sys.intern
+
+BACKENDS = ("dict", "columnar")
 
 
 @dataclass
@@ -68,23 +98,43 @@ class Entity:
 class KnowledgeGraph:
     """An indexed, provenance-aware entity-based KG."""
 
-    def __init__(self, ontology: Optional[Ontology] = None, name: str = "kg"):
+    def __init__(
+        self,
+        ontology: Optional[Ontology] = None,
+        name: str = "kg",
+        backend: str = "dict",
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.name = name
+        self.backend = backend
         self.ontology = ontology or Ontology()
         self._entities: Dict[str, Entity] = {}
-        self._triples: Set[Triple] = set()
         self._provenance: Dict[Triple, List[Provenance]] = defaultdict(list)
+        # Snapshot loads install a thaw hook here instead of decoding
+        # provenance eagerly; drained by ``_materialize_provenance``.
+        self._provenance_thaw: Optional[Callable[["KnowledgeGraph"], None]] = None
+        # Columnar backend: one store replaces the triple set and all
+        # three nested-dict indexes below.
+        self._store: Optional[ColumnarTripleStore] = (
+            ColumnarTripleStore() if backend == "columnar" else None
+        )
+        self._triples: Set[Triple] = set()
         # Indexes: subject -> predicate -> set(object), etc.  Keys are the
-        # canonical (interned) string objects from ``_interned``.
+        # canonical ``sys.intern``-ed string objects.
         self._spo: Dict[str, Dict[str, Set[Value]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[str, Dict[Value, Set[str]]] = defaultdict(lambda: defaultdict(set))
         self._osp: Dict[Value, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
         self._name_index: Dict[str, Set[str]] = defaultdict(set)
-        # Id table: one canonical object per distinct subject/predicate string.
-        self._interned: Dict[str, str] = {}
         # Triples ingested by ``add_triples_batch`` whose index rows have not
         # been built yet; drained by ``_ensure_indexes`` on first index read.
         self._pending_index: List[Triple] = []
+        # Optional write-ahead log (codec.TripleWAL); suspended while
+        # merge_entities rewrites triples so a merge logs one record.
+        self._wal: Optional["TripleWAL"] = None
+        self._wal_suspended = False
         # Mutation generation plus the generation-stamped cached views.
         self._generation = 0
         self._triples_view: List[Triple] = []
@@ -107,34 +157,50 @@ class KnowledgeGraph:
         wrap it in an iterator.
         """
         if self._triples_view_generation != self._generation:
-            self._triples_view = sorted(self._triples)
+            store = self._store
+            if store is not None:
+                self._triples_view = sorted(
+                    Triple(s, p, o) for s, p, o in store.iter_triples()
+                )
+            else:
+                self._triples_view = sorted(self._triples)
             self._triples_view_generation = self._generation
         return self._triples_view
 
     def _ensure_indexes(self) -> None:
-        """Materialize index rows for batch-ingested triples.
+        """Materialize index rows for batch-ingested triples (dict backend).
 
         ``add_triples_batch`` appends straight to the triple set and defers
         SPO/POS/OSP row construction here — the bulk-load pattern: writes
         pay only for primary storage, and the first index-backed read
         builds the rows in one tight pass.  Idempotent; a no-op when
-        nothing is pending.
+        nothing is pending (always, under the columnar backend, whose
+        store keeps its own permutations current).
         """
         pending = self._pending_index
         if not pending:
             return
         self._pending_index = []
         spo, pos, osp = self._spo, self._pos, self._osp
-        intern = self._interned.setdefault
         for triple in pending:
-            subject = triple.subject
-            predicate = triple.predicate
-            canonical_subject = intern(subject, subject)
-            canonical_predicate = intern(predicate, predicate)
+            canonical_subject = _intern(triple.subject)
+            canonical_predicate = _intern(triple.predicate)
             obj = triple.object
             spo[canonical_subject][canonical_predicate].add(obj)
             pos[canonical_predicate][obj].add(canonical_subject)
             osp[obj][canonical_subject].add(canonical_predicate)
+
+    def _materialize_provenance(self) -> None:
+        """Run a pending snapshot-provenance thaw (no-op otherwise).
+
+        Called by every provenance-touching operation, so a graph booted
+        from a snapshot pays for provenance decoding only if something
+        actually reads or mutates provenance.
+        """
+        thaw = self._provenance_thaw
+        if thaw is not None:
+            self._provenance_thaw = None
+            thaw(self)
 
     def _sorted_entities(self) -> List[Entity]:
         if self._entities_view_generation != self._generation:
@@ -143,6 +209,23 @@ class KnowledgeGraph:
             )
             self._entities_view_generation = self._generation
         return self._entities_view
+
+    # ------------------------------------------------------------------
+    # durability hooks
+
+    def attach_wal(self, wal: "TripleWAL") -> None:
+        """Log every subsequent mutation to ``wal``.
+
+        Attach before building: only mutations made while attached are
+        logged (recover pre-existing state from the WAL's base snapshot).
+        """
+        self._wal = wal
+
+    def detach_wal(self) -> Optional["TripleWAL"]:
+        """Stop logging; returns the previously attached WAL (if any)."""
+        wal = self._wal
+        self._wal = None
+        return wal
 
     # ------------------------------------------------------------------
     # entities
@@ -164,7 +247,7 @@ class KnowledgeGraph:
         if not self.ontology.has_class(entity_class):
             raise ValueError(f"unknown entity class: {entity_class!r}")
         entity = Entity(
-            entity_id=self._interned.setdefault(entity_id, entity_id),
+            entity_id=_intern(entity_id),
             name=name,
             entity_class=entity_class,
             aliases=set(aliases),
@@ -173,6 +256,16 @@ class KnowledgeGraph:
         for alias in entity.all_names():
             self._name_index[alias.lower()].add(entity_id)
         self._generation += 1
+        if self._wal is not None and not self._wal_suspended:
+            self._wal.append(
+                {
+                    "op": "entity",
+                    "id": entity.entity_id,
+                    "name": name,
+                    "class": entity_class,
+                    "aliases": sorted(entity.aliases),
+                }
+            )
         return entity
 
     def entity(self, entity_id: str) -> Entity:
@@ -207,6 +300,8 @@ class KnowledgeGraph:
         entity = self.entity(entity_id)
         entity.aliases.add(alias)
         self._name_index[alias.lower()].add(entity_id)
+        if self._wal is not None and not self._wal_suspended:
+            self._wal.append({"op": "alias", "id": entity_id, "alias": alias})
 
     # ------------------------------------------------------------------
     # triples
@@ -232,21 +327,26 @@ class KnowledgeGraph:
             problems = self.ontology.validate_triple(triple, subject_class)
             if problems:
                 raise ValueError(f"triple rejected: {'; '.join(problems)}")
-        triples = self._triples
-        before = len(triples)
-        triples.add(triple)
-        is_new = len(triples) != before
-        if is_new:
-            interned = self._interned
-            canonical_subject = interned.setdefault(subject, subject)
-            predicate = triple.predicate
-            canonical_predicate = interned.setdefault(predicate, predicate)
-            obj = triple.object
-            self._spo[canonical_subject][canonical_predicate].add(obj)
-            self._pos[canonical_predicate][obj].add(canonical_subject)
-            self._osp[obj][canonical_subject].add(canonical_predicate)
-            self._generation += 1
+        store = self._store
+        if store is not None:
+            is_new = store.add(subject, triple.predicate, triple.object)
+            if is_new:
+                self._generation += 1
+        else:
+            triples = self._triples
+            before = len(triples)
+            triples.add(triple)
+            is_new = len(triples) != before
+            if is_new:
+                canonical_subject = _intern(subject)
+                canonical_predicate = _intern(triple.predicate)
+                obj = triple.object
+                self._spo[canonical_subject][canonical_predicate].add(obj)
+                self._pos[canonical_predicate][obj].add(canonical_subject)
+                self._osp[obj][canonical_subject].add(canonical_predicate)
+                self._generation += 1
         if provenance is not None:
+            self._materialize_provenance()
             self._provenance[triple].append(provenance)
             obs_lineage.record_observation(
                 triple.subject,
@@ -257,6 +357,24 @@ class KnowledgeGraph:
                 confidence=provenance.confidence,
                 stage="graph.add_triple",
             )
+        if (
+            self._wal is not None
+            and not self._wal_suspended
+            and (is_new or provenance is not None)
+        ):
+            record: Dict[str, object] = {
+                "op": "add",
+                "s": subject,
+                "p": triple.predicate,
+                "o": triple.object,
+            }
+            if provenance is not None:
+                record["prov"] = [
+                    provenance.source,
+                    provenance.extractor,
+                    provenance.confidence,
+                ]
+            self._wal.append(record)
         return is_new
 
     def add(self, subject: str, predicate: str, obj: Value, **kwargs) -> bool:
@@ -272,11 +390,19 @@ class KnowledgeGraph:
         ``(triple, provenance)`` pairs.  Observably identical to calling
         :meth:`add_triple` per item — same query answers, provenance lists,
         and lineage events in the same order — but the loop touches only
-        primary storage: SPO/POS/OSP row construction is deferred to
-        :meth:`_ensure_indexes` (paid once by the first index-backed read),
-        and lineage recording is flushed to the ledger once, under a single
-        lock acquisition.
+        primary storage: on the dict backend SPO/POS/OSP row construction
+        is deferred to :meth:`_ensure_indexes` (paid once by the first
+        index-backed read), and lineage recording is flushed to the ledger
+        once, under a single lock acquisition.  With a WAL attached, the
+        dict path logs every item (it never probes per-item newness;
+        replaying a duplicate add is a no-op).  Either path logs the whole
+        batch as one ``add_batch`` WAL record — one frame, one checksum,
+        one JSON document — so replaying a large ingest decodes at C
+        speed instead of parsing one record per triple.
         """
+        self._materialize_provenance()
+        if self._store is not None:
+            return self._add_triples_batch_columnar(items, validate)
         entities = self._entities
         triples = self._triples
         triples_add = triples.add
@@ -285,6 +411,8 @@ class KnowledgeGraph:
         provenance_row = self._provenance.setdefault
         ontology = self.ontology
         lineage_on = obs_lineage.lineage_enabled()
+        wal = self._wal if not self._wal_suspended else None
+        wal_rows: List[List[object]] = []
         pending: List[Tuple[str, str, Value, str, Optional[str], float]] = []
         pending_append = pending.append
         # Duplicates are harmless in the deferred-index queue (row inserts
@@ -325,6 +453,21 @@ class KnowledgeGraph:
                                 provenance.confidence,
                             )
                         )
+                if wal is not None:
+                    wal_rows.append(
+                        [
+                            subject,
+                            triple.predicate,
+                            triple.object,
+                            None
+                            if provenance is None
+                            else [
+                                provenance.source,
+                                provenance.extractor,
+                                provenance.confidence,
+                            ],
+                        ]
+                    )
         finally:
             # One generation bump and one ledger flush per batch — also on
             # mid-batch errors, so partial state matches the per-call path.
@@ -333,6 +476,94 @@ class KnowledgeGraph:
                 self._generation += 1
             if pending:
                 obs_lineage.record_observation_batch(pending, stage="graph.add_triple")
+            if wal_rows:
+                wal.append({"op": "add_batch", "rows": wal_rows})
+        return n_new
+
+    def _add_triples_batch_columnar(
+        self, items: Iterable[BatchItem], validate: bool
+    ) -> int:
+        """The columnar-backend batch loop: same observable behavior as the
+        dict path; the store keeps its permutations current, so there is no
+        deferred index queue.  With a WAL attached, only state-changing
+        items (new triple or carried provenance) are logged, as one
+        ``add_batch`` record.  A batch landing in an *empty* store takes
+        the :meth:`~repro.core.store.ColumnarTripleStore.bulk_loader`
+        path: rows are staged in a set and the columns sorted once, which
+        is how snapshot loads and WAL replays skip the per-add delta
+        bookkeeping entirely."""
+        entities = self._entities
+        store = self._store
+        if store.n_base_rows or store.n_delta_rows:
+            loader = None
+            store_add = store.add
+        else:
+            loader = store.bulk_loader()
+            store_add = loader.add
+        provenance_row = self._provenance.setdefault
+        ontology = self.ontology
+        lineage_on = obs_lineage.lineage_enabled()
+        wal = self._wal if not self._wal_suspended else None
+        wal_rows: List[List[object]] = []
+        pending: List[Tuple[str, str, Value, str, Optional[str], float]] = []
+        pending_append = pending.append
+        n_new = 0
+        try:
+            for item in items:
+                if type(item) is tuple:
+                    triple, provenance = item
+                else:
+                    triple = item
+                    provenance = None
+                subject = triple.subject
+                if subject not in entities:
+                    raise ValueError(f"unknown subject entity: {subject!r}")
+                if validate:
+                    problems = ontology.validate_triple(
+                        triple, entities[subject].entity_class
+                    )
+                    if problems:
+                        raise ValueError(f"triple rejected: {'; '.join(problems)}")
+                is_new = store_add(subject, triple.predicate, triple.object)
+                if is_new:
+                    n_new += 1
+                if provenance is not None:
+                    provenance_row(triple, []).append(provenance)
+                    if lineage_on:
+                        pending_append(
+                            (
+                                subject,
+                                triple.predicate,
+                                triple.object,
+                                provenance.source,
+                                provenance.extractor,
+                                provenance.confidence,
+                            )
+                        )
+                if wal is not None and (is_new or provenance is not None):
+                    wal_rows.append(
+                        [
+                            subject,
+                            triple.predicate,
+                            triple.object,
+                            None
+                            if provenance is None
+                            else [
+                                provenance.source,
+                                provenance.extractor,
+                                provenance.confidence,
+                            ],
+                        ]
+                    )
+        finally:
+            if loader is not None:
+                loader.finish()
+            if n_new:
+                self._generation += 1
+            if pending:
+                obs_lineage.record_observation_batch(pending, stage="graph.add_triple")
+            if wal_rows:
+                wal.append({"op": "add_batch", "rows": wal_rows})
         return n_new
 
     def remove_triple(self, triple: Triple) -> bool:
@@ -341,10 +572,28 @@ class KnowledgeGraph:
         Emptied index rows are pruned so heavy merge/remove churn cannot
         grow ``_spo``/``_pos``/``_osp`` without bound.
         """
+        store = self._store
+        if store is not None:
+            if not store.remove(triple.subject, triple.predicate, triple.object):
+                return False
+            self._materialize_provenance()
+            self._provenance.pop(triple, None)
+            self._generation += 1
+            if self._wal is not None and not self._wal_suspended:
+                self._wal.append(
+                    {
+                        "op": "remove",
+                        "s": triple.subject,
+                        "p": triple.predicate,
+                        "o": triple.object,
+                    }
+                )
+            return True
         triples = self._triples
         if triple not in triples:
             return False
         self._ensure_indexes()
+        self._materialize_provenance()
         triples.discard(triple)
         self._provenance.pop(triple, None)
         subject, predicate, obj = triple.subject, triple.predicate, triple.object
@@ -370,12 +619,20 @@ class KnowledgeGraph:
             if not by_subject:
                 del self._osp[obj]
         self._generation += 1
+        if self._wal is not None and not self._wal_suspended:
+            self._wal.append({"op": "remove", "s": subject, "p": predicate, "o": obj})
         return True
 
     def __contains__(self, triple: Triple) -> bool:
+        store = self._store
+        if store is not None:
+            return store.contains(triple.subject, triple.predicate, triple.object)
         return triple in self._triples
 
     def __len__(self) -> int:
+        store = self._store
+        if store is not None:
+            return len(store)
         return len(self._triples)
 
     def triples(self) -> Iterator[Triple]:
@@ -384,11 +641,13 @@ class KnowledgeGraph:
 
     def provenance(self, triple: Triple) -> List[Provenance]:
         """All provenance records attached to a triple."""
+        self._materialize_provenance()
         return list(self._provenance.get(triple, []))
 
     def attributed_triples(self) -> Iterator[AttributedTriple]:
         """Iterate (triple, provenance) pairs; triples without provenance get
         a default record naming the graph itself."""
+        self._materialize_provenance()
         for triple in self.triples():
             records = self._provenance.get(triple)
             if not records:
@@ -414,6 +673,9 @@ class KnowledgeGraph:
         """
         if subject is None and predicate is None and obj is None:
             return list(self._sorted_triples())
+        store = self._store
+        if store is not None:
+            return self._query_columnar(store, subject, predicate, obj)
         self._ensure_indexes()
         if subject is not None and predicate is not None:
             objects = self._spo.get(subject, {}).get(predicate, set())
@@ -445,6 +707,43 @@ class KnowledgeGraph:
             return sorted(results)
         raise AssertionError("unreachable: all-wildcard handled above")  # pragma: no cover
 
+    def _query_columnar(
+        self,
+        store: ColumnarTripleStore,
+        subject: Optional[str],
+        predicate: Optional[str],
+        obj: Optional[Value],
+    ) -> List[Triple]:
+        """Pattern dispatch over the store's merged permutation reads;
+        result construction and ordering match the dict branches exactly."""
+        if subject is not None and predicate is not None:
+            objects = store.objects(subject, predicate)
+            if obj is not None:
+                objects = objects & {obj}
+            return sorted(Triple(subject, predicate, o) for o in objects)
+        if subject is not None:
+            results = []
+            for pred, objects in store.spo_row(subject).items():
+                for candidate in objects:
+                    if obj is None or candidate == obj:
+                        results.append(Triple(subject, pred, candidate))
+            return sorted(results)
+        if predicate is not None:
+            results = []
+            if obj is not None:
+                for subj in store.subjects(predicate, obj):
+                    results.append(Triple(subj, predicate, obj))
+            else:
+                for candidate, subjects in store.pos_row(predicate).items():
+                    for subj in subjects:
+                        results.append(Triple(subj, predicate, candidate))
+            return sorted(results)
+        results = []
+        for subj, predicates in store.osp_row(obj).items():
+            for pred in predicates:
+                results.append(Triple(subj, pred, obj))
+        return sorted(results)
+
     def pattern_cardinality(
         self,
         subject: Optional[str] = None,
@@ -453,10 +752,28 @@ class KnowledgeGraph:
     ) -> int:
         """Exact size of ``query(...)``'s answer from index row sizes alone.
 
-        Costs one or two dict probes (plus a row-length sum for single
-        bound components) and never materializes triples — the selectivity
+        Costs one or two dict probes — or, on the columnar backend, a
+        binary-searched row range — plus a row-length sum for single bound
+        components, and never materializes triples: the selectivity
         estimate join planning (``conjunctive_query``) orders patterns by.
         """
+        store = self._store
+        if store is not None:
+            if subject is None and predicate is None and obj is None:
+                return len(store)
+            if subject is not None and predicate is not None:
+                if obj is not None:
+                    return 1 if store.contains(subject, predicate, obj) else 0
+                return store.count_sp(subject, predicate)
+            if subject is not None:
+                if obj is not None:
+                    return store.count_os(obj, subject)
+                return store.count_s(subject)
+            if predicate is not None:
+                if obj is not None:
+                    return store.count_po(predicate, obj)
+                return store.count_p(predicate)
+            return store.count_o(obj)
         if subject is None and predicate is None and obj is None:
             return len(self._triples)
         self._ensure_indexes()
@@ -477,19 +794,29 @@ class KnowledgeGraph:
 
     def objects(self, subject: str, predicate: str) -> List[Value]:
         """All objects of (subject, predicate, ?)."""
+        store = self._store
+        if store is not None:
+            return sorted(store.objects(subject, predicate), key=str)
         self._ensure_indexes()
         return sorted(self._spo.get(subject, {}).get(predicate, set()), key=str)
 
     def one_object(self, subject: str, predicate: str) -> Optional[Value]:
         """A single object if exactly one exists, else None."""
-        self._ensure_indexes()
-        objects = self._spo.get(subject, {}).get(predicate, set())
+        store = self._store
+        if store is not None:
+            objects = store.objects(subject, predicate)
+        else:
+            self._ensure_indexes()
+            objects = self._spo.get(subject, {}).get(predicate, set())
         if len(objects) == 1:
             return next(iter(objects))
         return None
 
     def subjects(self, predicate: str, obj: Value) -> List[str]:
         """All subjects of (?, predicate, object)."""
+        store = self._store
+        if store is not None:
+            return sorted(store.subjects(predicate, obj))
         self._ensure_indexes()
         return sorted(self._pos.get(predicate, {}).get(obj, set()))
 
@@ -499,13 +826,20 @@ class KnowledgeGraph:
         Only object-valued edges whose object is itself an entity count —
         the "connected graph" structure of Fig. 1(a).
         """
-        self._ensure_indexes()
+        store = self._store
+        if store is not None:
+            spo_row = store.spo_row(entity_id)
+            osp_row = store.osp_row(entity_id)
+        else:
+            self._ensure_indexes()
+            spo_row = self._spo.get(entity_id, {})
+            osp_row = self._osp.get(entity_id, {})
         result: List[Tuple[str, str, bool]] = []
-        for predicate, objects in self._spo.get(entity_id, {}).items():
+        for predicate, objects in spo_row.items():
             for obj in objects:
                 if isinstance(obj, str) and obj in self._entities:
                     result.append((predicate, obj, True))
-        for subject, predicates in self._osp.get(entity_id, {}).items():
+        for subject, predicates in osp_row.items():
             for predicate in predicates:
                 if subject in self._entities:
                     result.append((predicate, subject, False))
@@ -524,37 +858,56 @@ class KnowledgeGraph:
         Walks the dropped entity's SPO row (outgoing triples) and OSP row
         (incoming references) instead of scanning the whole triple set, so
         one merge costs O(degree(drop)) — the linkage stage applies
-        thousands of these.
+        thousands of these.  With a WAL attached, the whole merge logs one
+        ``merge`` record (the constituent rewrites are suppressed; replay
+        re-runs the merge).
         """
         keep = self.entity(keep_id)
         drop = self.entity(drop_id)
         if keep_id == drop_id:
             raise ValueError(f"cannot merge entity {keep_id!r} into itself")
-        self._ensure_indexes()
+        store = self._store
+        if store is None:
+            self._ensure_indexes()
+        self._materialize_provenance()
         rewritten = 0
-        # Outgoing first, then incoming — the incoming row is re-read after
-        # the first pass so a (drop, p, drop) self-loop is rewritten twice,
-        # exactly like the scan-based algorithm.
-        outgoing = [
-            (predicate, obj)
-            for predicate, objects in self._spo.get(drop_id, {}).items()
-            for obj in objects
-        ]
-        for predicate, obj in outgoing:
-            self._rewrite_triple(
-                Triple(drop_id, predicate, obj), Triple(keep_id, predicate, obj)
-            )
-            rewritten += 1
-        incoming = [
-            (subject, predicate)
-            for subject, predicates in self._osp.get(drop_id, {}).items()
-            for predicate in predicates
-        ]
-        for subject, predicate in incoming:
-            self._rewrite_triple(
-                Triple(subject, predicate, drop_id), Triple(subject, predicate, keep_id)
-            )
-            rewritten += 1
+        wal_was_suspended = self._wal_suspended
+        self._wal_suspended = True
+        try:
+            # Outgoing first, then incoming — the incoming row is re-read
+            # after the first pass so a (drop, p, drop) self-loop is
+            # rewritten twice, exactly like the scan-based algorithm.
+            if store is not None:
+                outgoing_rows = store.spo_row(drop_id)
+            else:
+                outgoing_rows = self._spo.get(drop_id, {})
+            outgoing = [
+                (predicate, obj)
+                for predicate, objects in outgoing_rows.items()
+                for obj in objects
+            ]
+            for predicate, obj in outgoing:
+                self._rewrite_triple(
+                    Triple(drop_id, predicate, obj), Triple(keep_id, predicate, obj)
+                )
+                rewritten += 1
+            if store is not None:
+                incoming_rows = store.osp_row(drop_id)
+            else:
+                incoming_rows = self._osp.get(drop_id, {})
+            incoming = [
+                (subject, predicate)
+                for subject, predicates in incoming_rows.items()
+                for predicate in predicates
+            ]
+            for subject, predicate in incoming:
+                self._rewrite_triple(
+                    Triple(subject, predicate, drop_id),
+                    Triple(subject, predicate, keep_id),
+                )
+                rewritten += 1
+        finally:
+            self._wal_suspended = wal_was_suspended
         for alias in drop.all_names():
             keep.aliases.add(alias)
             self._name_index[alias.lower()].discard(drop_id)
@@ -565,6 +918,8 @@ class KnowledgeGraph:
         obs_lineage.record_merge(
             keep_id, drop_id, n_rewritten=rewritten, stage="graph.merge_entities"
         )
+        if self._wal is not None and not self._wal_suspended:
+            self._wal.append({"op": "merge", "keep": keep_id, "drop": drop_id})
         return rewritten
 
     def _rewrite_triple(self, old: Triple, new: Triple) -> None:
@@ -579,27 +934,55 @@ class KnowledgeGraph:
     # stats
 
     def stats(self) -> Dict[str, int]:
-        """Size statistics (the paper sizes KGs in triples — Sec. 2.4/2.5)."""
+        """Size statistics (the paper sizes KGs in triples — Sec. 2.4/2.5).
+
+        ``n_id_terms`` reports the id-table size: distinct dictionary-
+        encoded terms on the columnar backend, distinct index-key terms on
+        the dict backend.  Columnar ids are never recycled, so after
+        removals or merges the columnar count can exceed the dict
+        backend's live-term count.
+        """
+        store = self._store
+        entities = self._entities
         entity_object_edges = 0
-        for triple in self._triples:
-            if isinstance(triple.object, str) and triple.object in self._entities:
-                entity_object_edges += 1
+        if store is not None:
+            n_triples = len(store)
+            for _, _, obj in store.iter_triples():
+                if isinstance(obj, str) and obj in entities:
+                    entity_object_edges += 1
+            n_id_terms = store.n_terms
+        else:
+            n_triples = len(self._triples)
+            for triple in self._triples:
+                if isinstance(triple.object, str) and triple.object in entities:
+                    entity_object_edges += 1
+            self._ensure_indexes()
+            n_id_terms = len(
+                set(self._spo) | set(self._pos) | set(self._osp)
+            )
         return {
-            "n_entities": len(self._entities),
-            "n_triples": len(self._triples),
+            "n_entities": len(entities),
+            "n_triples": n_triples,
             "n_entity_edges": entity_object_edges,
-            "n_attribute_triples": len(self._triples) - entity_object_edges,
+            "n_attribute_triples": n_triples - entity_object_edges,
             "n_classes": self.ontology.stats()["n_classes"],
+            "n_id_terms": n_id_terms,
         }
 
     def copy(self) -> "KnowledgeGraph":
-        """Deep-enough copy: entities, triples, and provenance."""
-        clone = KnowledgeGraph(ontology=self.ontology, name=self.name)
+        """Deep-enough copy: entities, triples, and provenance (same backend)."""
+        clone = KnowledgeGraph(ontology=self.ontology, name=self.name, backend=self.backend)
         for entity in self._entities.values():
             clone.add_entity(
                 entity.entity_id, entity.name, entity.entity_class, aliases=entity.aliases
             )
-        clone.add_triples_batch(self._triples)
+        self._materialize_provenance()
+        if self._store is not None:
+            clone._store = self._store.clone()
+            if len(clone._store):
+                clone._generation += 1
+        else:
+            clone.add_triples_batch(self._triples)
         for triple, records in self._provenance.items():
             if records:
                 clone._provenance[triple].extend(records)

@@ -1,0 +1,702 @@
+"""Columnar, dictionary-encoded triple storage (the web-scale layout).
+
+The paper's trajectory from entity-based KGs to Knowledge Vault-style
+web-scale construction (Sec. 2-3) assumes graphs far larger than a
+Python ``Set[Triple]`` of string tuples can hold.  Production triple
+stores answer that with two ideas (Hogan et al., *Knowledge Graphs*):
+
+* **dictionary encoding** — every distinct term (entity id, predicate,
+  literal value) maps to one small integer; triples become ``(int, int,
+  int)`` rows and every string is stored exactly once;
+* **index-per-permutation** — the rows are kept sorted in SPO, POS, and
+  OSP orders as plain int columns, so any pattern with a bound prefix is
+  a binary search plus a contiguous slice instead of a hash-table walk.
+
+:class:`ColumnarTripleStore` implements both on ``array('q')`` columns
+(8 bytes per component, no per-row object headers), with an LSM-flavored
+**delta overlay** on top: mutations land in small dict-backed adds plus
+a tombstone set over the sorted base, and :meth:`compact` merges them
+back into the columns.  Reads merge base and delta, so the store
+supports the full read/write API of
+:class:`~repro.core.graph.KnowledgeGraph` — which swaps it in behind
+``backend="columnar"`` with byte-identical results to the dict paths
+(pinned by ``tests/test_perf_equivalence.py``).
+
+Term identity follows Python equality, exactly like the dict backend's
+sets: ``1``, ``1.0`` and ``True`` share one id, and decoding returns the
+first-seen representative — the same first-insert-wins semantics a
+``set`` gives the dict-backed graph.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.triple import Value
+from repro.obs import metrics as obs_metrics
+
+#: Delta rows + tombstones tolerated before :meth:`ColumnarTripleStore.add`
+#: / :meth:`~ColumnarTripleStore.remove` triggers an automatic compaction.
+#: The threshold scales with the base so steady bulk loads compact
+#: O(log n) times, not O(n).
+AUTO_COMPACT_MIN = 4096
+
+_intern = sys.intern
+
+
+class TermDict:
+    """Bidirectional term <-> int-id dictionary.
+
+    Ids are dense, assigned in first-seen order, and never recycled (a
+    removed triple's terms keep their ids — standard dictionary-encoding
+    practice, and what keeps snapshot/WAL references stable).  String
+    terms are passed through :func:`sys.intern` so every graph in the
+    process shares one canonical object per distinct string.
+    """
+
+    __slots__ = ("_id_of", "_terms")
+
+    def __init__(self) -> None:
+        self._id_of: Dict[Value, int] = {}
+        self._terms: List[Value] = []
+
+    def add(self, term: Value) -> int:
+        """The term's id, allocating one on first sight."""
+        term_id = self._id_of.get(term)
+        if term_id is None:
+            if type(term) is str:
+                term = _intern(term)
+            term_id = len(self._terms)
+            self._id_of[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def get(self, term: Value) -> Optional[int]:
+        """The term's id, or None when it was never seen."""
+        return self._id_of.get(term)
+
+    def decode(self, term_id: int) -> Value:
+        """The first-seen representative for an id."""
+        return self._terms[term_id]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Value) -> bool:
+        return term in self._id_of
+
+    def terms(self) -> List[Value]:
+        """All terms in id order (the snapshot dictionary section)."""
+        return list(self._terms)
+
+    def clone(self) -> "TermDict":
+        clone = TermDict()
+        clone._id_of = dict(self._id_of)
+        clone._terms = list(self._terms)
+        return clone
+
+    @classmethod
+    def _from_terms(cls, terms: List[Value]) -> "TermDict":
+        """Trusted bulk construction from an id-ordered term list.
+
+        Built with C-level ``dict(zip(...))`` instead of per-term adds —
+        the snapshot-load path.  Raises on duplicate (by equality) terms,
+        which a file written by :meth:`terms` can never contain.
+        """
+        interned = [_intern(term) if type(term) is str else term for term in terms]
+        term_dict = cls()
+        term_dict._terms = interned
+        term_dict._id_of = dict(zip(interned, range(len(interned))))
+        if len(term_dict._id_of) != len(interned):
+            raise ValueError(
+                f"term dictionary has "
+                f"{len(interned) - len(term_dict._id_of)} duplicate term(s)"
+            )
+        return term_dict
+
+    def memory_bytes(self) -> int:
+        """Approximate heap bytes: maps plus the term payloads themselves."""
+        total = sys.getsizeof(self._id_of) + sys.getsizeof(self._terms)
+        for term in self._terms:
+            total += sys.getsizeof(term)
+        return total
+
+
+def _build_from_rows(
+    terms: TermDict, rows: Iterable[Tuple[int, int, int]]
+) -> "ColumnarTripleStore":
+    store = ColumnarTripleStore()
+    store._terms = terms
+    ordered = sorted(rows)
+    store._load_sorted_unique(ordered)
+    return store
+
+
+class BulkLoader:
+    """Accumulates rows for an empty store, installing columns once.
+
+    Obtained from :meth:`ColumnarTripleStore.bulk_loader`; ``add`` returns
+    the same newness bool as :meth:`ColumnarTripleStore.add`, and
+    :meth:`finish` must be called (even after a partial batch) to land
+    the accumulated rows — callers do it in a ``finally`` block so an
+    interrupted batch keeps exactly the rows it processed.
+    """
+
+    __slots__ = ("_store", "_encode", "_rows", "_finished")
+
+    def __init__(self, store: ColumnarTripleStore) -> None:
+        self._store = store
+        self._encode = store._terms.add
+        self._rows: Set[Tuple[int, int, int]] = set()
+        self._finished = False
+
+    def add(self, subject: str, predicate: str, obj: Value) -> bool:
+        """Stage a triple; True when not already staged (i.e. new)."""
+        encode = self._encode
+        row = (encode(subject), encode(predicate), encode(obj))
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        return True
+
+    def finish(self) -> None:
+        """Sort the staged rows and install them as the store's base."""
+        if self._finished:
+            return
+        self._finished = True
+        self._store._load_sorted_unique(sorted(self._rows))
+        self._rows = set()
+
+
+class ColumnarTripleStore:
+    """Sorted int columns per permutation + a mutable delta overlay.
+
+    Base storage is nine ``array('q')`` columns — three per permutation,
+    each permutation's rows sorted by its own (first, second, third)
+    component order — holding one entry per triple.  Mutations never
+    touch the sorted arrays: adds land in nested int-keyed delta dicts
+    (mirroring the dict backend's index shape) and deletes of base rows
+    land in a tombstone set; :meth:`compact` folds both back into fresh
+    columns.  All read methods merge base − tombstones + delta.
+    """
+
+    def __init__(self) -> None:
+        self._terms = TermDict()
+        # Base permutations: column tuples in each permutation's own order.
+        self._spo = (array("q"), array("q"), array("q"))  # (s, p, o)
+        self._pos = (array("q"), array("q"), array("q"))  # (p, o, s)
+        self._osp = (array("q"), array("q"), array("q"))  # (o, s, p)
+        self._n_base = 0
+        # Delta overlay: adds not yet merged into the columns.
+        self._delta_spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._delta_pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._delta_osp: Dict[int, Dict[int, Set[int]]] = {}
+        self._n_delta = 0
+        # Base rows logically deleted, as (s, p, o) id tuples.
+        self._tombstones: Set[Tuple[int, int, int]] = set()
+        self.n_compactions = 0
+
+    # ------------------------------------------------------------------
+    # identity / size
+
+    @property
+    def n_terms(self) -> int:
+        """Distinct dictionary-encoded terms (the id-table size)."""
+        return len(self._terms)
+
+    @property
+    def n_base_rows(self) -> int:
+        return self._n_base
+
+    @property
+    def n_delta_rows(self) -> int:
+        return self._n_delta
+
+    def __len__(self) -> int:
+        return self._n_base - len(self._tombstones) + self._n_delta
+
+    # ------------------------------------------------------------------
+    # encoding helpers
+
+    def _encode_existing(
+        self, subject: Value, predicate: Value, obj: Value
+    ) -> Optional[Tuple[int, int, int]]:
+        """Id triple when every term is known, else None (triple absent)."""
+        get = self._terms.get
+        s = get(subject)
+        if s is None:
+            return None
+        p = get(predicate)
+        if p is None:
+            return None
+        o = get(obj)
+        if o is None:
+            return None
+        return (s, p, o)
+
+    def _base_contains(self, row: Tuple[int, int, int]) -> bool:
+        s_col, p_col, o_col = self._spo
+        lo = bisect_left(s_col, row[0])
+        hi = bisect_right(s_col, row[0], lo)
+        lo = bisect_left(p_col, row[1], lo, hi)
+        hi = bisect_right(p_col, row[1], lo, hi)
+        lo = bisect_left(o_col, row[2], lo, hi)
+        return lo < hi and o_col[lo] == row[2]
+
+    def _delta_contains(self, row: Tuple[int, int, int]) -> bool:
+        by_predicate = self._delta_spo.get(row[0])
+        if not by_predicate:
+            return False
+        objects = by_predicate.get(row[1])
+        return bool(objects) and row[2] in objects
+
+    # ------------------------------------------------------------------
+    # mutation
+
+    def add(self, subject: str, predicate: str, obj: Value) -> bool:
+        """Insert a triple; True when it was not already present."""
+        encode = self._terms.add
+        row = (encode(subject), encode(predicate), encode(obj))
+        if self._delta_contains(row):
+            return False
+        if self._base_contains(row):
+            # Resurrecting a tombstoned base row just clears the tombstone.
+            if row in self._tombstones:
+                self._tombstones.discard(row)
+                return True
+            return False
+        s, p, o = row
+        self._delta_spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._delta_pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._delta_osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._n_delta += 1
+        self._maybe_compact()
+        return True
+
+    def remove(self, subject: str, predicate: str, obj: Value) -> bool:
+        """Delete a triple; True when it existed."""
+        row = self._encode_existing(subject, predicate, obj)
+        if row is None:
+            return False
+        if self._delta_contains(row):
+            s, p, o = row
+            self._prune_delta(self._delta_spo, s, p, o)
+            self._prune_delta(self._delta_pos, p, o, s)
+            self._prune_delta(self._delta_osp, o, s, p)
+            self._n_delta -= 1
+            return True
+        if self._base_contains(row) and row not in self._tombstones:
+            self._tombstones.add(row)
+            self._maybe_compact()
+            return True
+        return False
+
+    @staticmethod
+    def _prune_delta(
+        index: Dict[int, Dict[int, Set[int]]], a: int, b: int, c: int
+    ) -> None:
+        by_b = index[a]
+        values = by_b[b]
+        values.discard(c)
+        if not values:
+            del by_b[b]
+            if not by_b:
+                del index[a]
+
+    def contains(self, subject: str, predicate: str, obj: Value) -> bool:
+        row = self._encode_existing(subject, predicate, obj)
+        if row is None:
+            return False
+        if self._delta_contains(row):
+            return True
+        return self._base_contains(row) and row not in self._tombstones
+
+    def bulk_loader(self) -> "BulkLoader":
+        """A fast row loader for an **empty** store.
+
+        Per-row work collapses to encode + one set probe — no delta
+        maintenance, no base bisects, no progressive auto-compactions —
+        and :meth:`BulkLoader.finish` sorts and installs the columns once.
+        Newness semantics match per-row :meth:`add` exactly (on an empty
+        store every first occurrence is new).
+        """
+        if self._n_base or self._n_delta or self._tombstones:
+            raise ValueError("bulk_loader requires an empty store")
+        return BulkLoader(self)
+
+    # ------------------------------------------------------------------
+    # compaction
+
+    def _maybe_compact(self) -> None:
+        churn = self._n_delta + len(self._tombstones)
+        if churn >= AUTO_COMPACT_MIN and churn >= self._n_base:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold delta adds and tombstones into fresh sorted base columns."""
+        if not self._n_delta and not self._tombstones:
+            return
+        rows = list(self._iter_base_rows())
+        for s, by_predicate in self._delta_spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    rows.append((s, p, o))
+        rows.sort()
+        self._load_sorted_unique(rows)
+        self._delta_spo = {}
+        self._delta_pos = {}
+        self._delta_osp = {}
+        self._n_delta = 0
+        self._tombstones = set()
+        self.n_compactions += 1
+        obs_metrics.count("store.columnar.compactions")
+        obs_metrics.gauge("store.columnar.base_rows", self._n_base)
+        obs_metrics.gauge("store.columnar.terms", self.n_terms)
+
+    def _load_sorted_unique(self, rows: List[Tuple[int, int, int]]) -> None:
+        """Install ``rows`` (sorted, unique, not tombstoned) as the base.
+
+        All transposes run at C speed: ``zip(*rows)`` splits the sorted
+        rows into columns, ``zip(col, col, col)`` re-pairs them for the
+        other permutations' sorts, and ``array('q', tuple)`` bulk-copies.
+        """
+        if not rows:
+            self._spo = (array("q"), array("q"), array("q"))
+            self._pos = (array("q"), array("q"), array("q"))
+            self._osp = (array("q"), array("q"), array("q"))
+            self._n_base = 0
+            return
+        s_vals, p_vals, o_vals = zip(*rows)
+        self._spo = (array("q", s_vals), array("q", p_vals), array("q", o_vals))
+        pos_p, pos_o, pos_s = zip(*sorted(zip(p_vals, o_vals, s_vals)))
+        self._pos = (array("q", pos_p), array("q", pos_o), array("q", pos_s))
+        osp_o, osp_s, osp_p = zip(*sorted(zip(o_vals, s_vals, p_vals)))
+        self._osp = (array("q", osp_o), array("q", osp_s), array("q", osp_p))
+        self._n_base = len(rows)
+
+    # ------------------------------------------------------------------
+    # iteration
+
+    def _iter_base_rows(self) -> Iterator[Tuple[int, int, int]]:
+        """Live base rows (tombstones skipped), in SPO order."""
+        s_col, p_col, o_col = self._spo
+        tombstones = self._tombstones
+        if tombstones:
+            for i in range(self._n_base):
+                row = (s_col[i], p_col[i], o_col[i])
+                if row not in tombstones:
+                    yield row
+        else:
+            for i in range(self._n_base):
+                yield (s_col[i], p_col[i], o_col[i])
+
+    def iter_triples(self) -> Iterator[Tuple[str, str, Value]]:
+        """All live triples as decoded terms (order unspecified)."""
+        decode = self._terms.decode
+        for s, p, o in self._iter_base_rows():
+            yield (decode(s), decode(p), decode(o))
+        for s, by_predicate in self._delta_spo.items():
+            subject = decode(s)
+            for p, objects in by_predicate.items():
+                predicate = decode(p)
+                for o in objects:
+                    yield (subject, predicate, decode(o))
+
+    # ------------------------------------------------------------------
+    # base range scans (binary search on the permutation columns)
+
+    @staticmethod
+    def _prefix_range(
+        cols: Tuple[array, array, array], a: int, b: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """The contiguous [lo, hi) row range matching a 1- or 2-term prefix."""
+        c0, c1, _ = cols
+        lo = bisect_left(c0, a)
+        hi = bisect_right(c0, a, lo)
+        if b is not None:
+            lo = bisect_left(c1, b, lo, hi)
+            hi = bisect_right(c1, b, lo, hi)
+        return lo, hi
+
+    def _scan(
+        self,
+        perm: str,
+        cols: Tuple[array, array, array],
+        a: int,
+        b: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Live base rows under a prefix, yielded in permutation order.
+
+        ``perm`` names the column order so tombstones (stored as SPO
+        tuples) can be checked.
+        """
+        lo, hi = self._prefix_range(cols, a, b)
+        if lo >= hi:
+            return
+        c0, c1, c2 = cols
+        tombstones = self._tombstones
+        for i in range(lo, hi):
+            row = (c0[i], c1[i], c2[i])
+            if tombstones:
+                if perm == "spo":
+                    key = row
+                elif perm == "pos":
+                    key = (row[2], row[0], row[1])
+                else:  # osp: (o, s, p) -> (s, p, o)
+                    key = (row[1], row[2], row[0])
+                if key in tombstones:
+                    continue
+            yield row
+
+    # ------------------------------------------------------------------
+    # merged row reads (what the graph's query paths consume)
+
+    def objects(self, subject: str, predicate: str) -> Set[Value]:
+        """All objects of (subject, predicate, ?)."""
+        get = self._terms.get
+        s = get(subject)
+        p = get(predicate)
+        if s is None or p is None:
+            return set()
+        decode = self._terms.decode
+        result = {decode(row[2]) for row in self._scan("spo", self._spo, s, p)}
+        by_predicate = self._delta_spo.get(s)
+        if by_predicate:
+            for o in by_predicate.get(p, ()):
+                result.add(decode(o))
+        return result
+
+    def subjects(self, predicate: str, obj: Value) -> Set[str]:
+        """All subjects of (?, predicate, object)."""
+        get = self._terms.get
+        p = get(predicate)
+        o = get(obj)
+        if p is None or o is None:
+            return set()
+        decode = self._terms.decode
+        result = {decode(row[2]) for row in self._scan("pos", self._pos, p, o)}
+        by_object = self._delta_pos.get(p)
+        if by_object:
+            for s in by_object.get(o, ()):
+                result.add(decode(s))
+        return result
+
+    def spo_row(self, subject: str) -> Dict[str, Set[Value]]:
+        """predicate -> objects for one subject (merged base + delta)."""
+        s = self._terms.get(subject)
+        if s is None:
+            return {}
+        decode = self._terms.decode
+        result: Dict[str, Set[Value]] = {}
+        for _, p, o in self._scan("spo", self._spo, s):
+            result.setdefault(decode(p), set()).add(decode(o))
+        for p, objects in self._delta_spo.get(s, {}).items():
+            if objects:
+                row = result.setdefault(decode(p), set())
+                for o in objects:
+                    row.add(decode(o))
+        return result
+
+    def pos_row(self, predicate: str) -> Dict[Value, Set[str]]:
+        """object -> subjects for one predicate (merged base + delta)."""
+        p = self._terms.get(predicate)
+        if p is None:
+            return {}
+        decode = self._terms.decode
+        result: Dict[Value, Set[str]] = {}
+        for _, o, s in self._scan("pos", self._pos, p):
+            result.setdefault(decode(o), set()).add(decode(s))
+        for o, subjects in self._delta_pos.get(p, {}).items():
+            if subjects:
+                row = result.setdefault(decode(o), set())
+                for s in subjects:
+                    row.add(decode(s))
+        return result
+
+    def osp_row(self, obj: Value) -> Dict[str, Set[str]]:
+        """subject -> predicates for one object (merged base + delta)."""
+        o = self._terms.get(obj)
+        if o is None:
+            return {}
+        decode = self._terms.decode
+        result: Dict[str, Set[str]] = {}
+        for _, s, p in self._scan("osp", self._osp, o):
+            result.setdefault(decode(s), set()).add(decode(p))
+        for s, predicates in self._delta_osp.get(o, {}).items():
+            if predicates:
+                row = result.setdefault(decode(s), set())
+                for p in predicates:
+                    row.add(decode(p))
+        return result
+
+    # ------------------------------------------------------------------
+    # cardinalities (index row sizes without materializing triples)
+
+    def _count(
+        self,
+        perm: str,
+        cols: Tuple[array, array, array],
+        delta: Dict[int, Dict[int, Set[int]]],
+        a: Optional[int],
+        b: Optional[int] = None,
+    ) -> int:
+        if a is None:
+            return 0
+        lo, hi = self._prefix_range(cols, a, b)
+        count = hi - lo
+        if count and self._tombstones:
+            count = sum(1 for _ in self._scan(perm, cols, a, b))
+        by_b = delta.get(a)
+        if by_b:
+            if b is None:
+                count += sum(len(values) for values in by_b.values())
+            else:
+                count += len(by_b.get(b, ()))
+        return count
+
+    def count_sp(self, subject: str, predicate: str) -> int:
+        get = self._terms.get
+        s, p = get(subject), get(predicate)
+        return 0 if s is None or p is None else self._count("spo", self._spo, self._delta_spo, s, p)
+
+    def count_s(self, subject: str) -> int:
+        return self._count("spo", self._spo, self._delta_spo, self._terms.get(subject))
+
+    def count_po(self, predicate: str, obj: Value) -> int:
+        get = self._terms.get
+        p, o = get(predicate), get(obj)
+        return 0 if p is None or o is None else self._count("pos", self._pos, self._delta_pos, p, o)
+
+    def count_p(self, predicate: str) -> int:
+        return self._count("pos", self._pos, self._delta_pos, self._terms.get(predicate))
+
+    def count_os(self, obj: Value, subject: str) -> int:
+        get = self._terms.get
+        o, s = get(obj), get(subject)
+        return 0 if o is None or s is None else self._count("osp", self._osp, self._delta_osp, o, s)
+
+    def count_o(self, obj: Value) -> int:
+        return self._count("osp", self._osp, self._delta_osp, self._terms.get(obj))
+
+    # ------------------------------------------------------------------
+    # bulk load / clone / accounting
+
+    @classmethod
+    def from_columns(
+        cls,
+        terms: List[Value],
+        s_col: Iterable[int],
+        p_col: Iterable[int],
+        o_col: Iterable[int],
+    ) -> "ColumnarTripleStore":
+        """Rebuild a store from a snapshot's dictionary and SPO columns.
+
+        The term list is trusted to be in id order; rows are re-sorted, so
+        column order in the file does not matter.
+        """
+        return _build_from_rows(TermDict._from_terms(terms), zip(s_col, p_col, o_col))
+
+    def columns(self) -> Tuple[List[Value], array, array, array]:
+        """(terms, s, p, o) with every live row folded in (for snapshots)."""
+        self.compact()
+        return (self._terms.terms(), self._spo[0], self._spo[1], self._spo[2])
+
+    def sorted_columns(
+        self,
+    ) -> Tuple[
+        List[Value],
+        Tuple[array, array, array],
+        Tuple[array, array, array],
+        Tuple[array, array, array],
+    ]:
+        """(terms, spo, pos, osp) fully compacted — all nine base columns.
+
+        Snapshots persist every permutation so loading is a straight
+        ``array.frombytes`` with no re-sorting or re-indexing.
+        """
+        self.compact()
+        return (self._terms.terms(), self._spo, self._pos, self._osp)
+
+    @classmethod
+    def from_sorted_columns(
+        cls,
+        terms: List[Value],
+        spo: Tuple[array, array, array],
+        pos: Tuple[array, array, array],
+        osp: Tuple[array, array, array],
+    ) -> "ColumnarTripleStore":
+        """Install snapshot columns directly, trusting their sort order.
+
+        The columns come from :meth:`sorted_columns` via the checksummed
+        snapshot codec, so they are sorted, unique, and untombstoned by
+        construction; only cheap shape invariants are re-checked here.
+        """
+        term_dict = TermDict._from_terms(terms)
+        n_rows = len(spo[0])
+        for perm in (spo, pos, osp):
+            if len(perm) != 3 or any(len(col) != n_rows for col in perm):
+                raise ValueError("permutation columns disagree on row count")
+        store = cls()
+        store._terms = term_dict
+        store._spo = spo
+        store._pos = pos
+        store._osp = osp
+        store._n_base = n_rows
+        return store
+
+    @classmethod
+    def _from_id_rows(
+        cls, terms: TermDict, rows: Iterable[Tuple[int, int, int]]
+    ) -> "ColumnarTripleStore":
+        """Build a store from already-encoded id rows (codec save path)."""
+        return _build_from_rows(terms, rows)
+
+    def clone(self) -> "ColumnarTripleStore":
+        clone = ColumnarTripleStore()
+        clone._terms = self._terms.clone()
+        clone._spo = tuple(array("q", col) for col in self._spo)  # type: ignore[assignment]
+        clone._pos = tuple(array("q", col) for col in self._pos)  # type: ignore[assignment]
+        clone._osp = tuple(array("q", col) for col in self._osp)  # type: ignore[assignment]
+        clone._n_base = self._n_base
+        clone._delta_spo = {
+            a: {b: set(c) for b, c in row.items()} for a, row in self._delta_spo.items()
+        }
+        clone._delta_pos = {
+            a: {b: set(c) for b, c in row.items()} for a, row in self._delta_pos.items()
+        }
+        clone._delta_osp = {
+            a: {b: set(c) for b, c in row.items()} for a, row in self._delta_osp.items()
+        }
+        clone._n_delta = self._n_delta
+        clone._tombstones = set(self._tombstones)
+        return clone
+
+    def memory_bytes(self) -> int:
+        """Approximate heap bytes of the triple storage (columns + delta +
+        tombstones + term dictionary) — what ``bench.bytes_per_triple``
+        compares against the dict backend's sets and nested indexes."""
+        total = self._terms.memory_bytes()
+        for perm in (self._spo, self._pos, self._osp):
+            for col in perm:
+                total += sys.getsizeof(col)
+        for delta in (self._delta_spo, self._delta_pos, self._delta_osp):
+            total += sys.getsizeof(delta)
+            for by_b in delta.values():
+                total += sys.getsizeof(by_b)
+                for values in by_b.values():
+                    total += sys.getsizeof(values)
+        total += sys.getsizeof(self._tombstones) + 64 * len(self._tombstones)
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """Operational counters (surfaced through ``kg.stats()`` and obs)."""
+        return {
+            "n_terms": self.n_terms,
+            "n_base_rows": self._n_base,
+            "n_delta_rows": self._n_delta,
+            "n_tombstones": len(self._tombstones),
+            "n_compactions": self.n_compactions,
+        }

@@ -94,17 +94,19 @@ class SnapshotStore:
         self._history: List[GraphSnapshot] = []
         self._next_version = 0
 
-    def publish(self, graph: KnowledgeGraph) -> GraphSnapshot:
+    def publish(self, graph: KnowledgeGraph, copy: bool = True) -> GraphSnapshot:
         """Copy ``graph``, build shards, and atomically install the result.
 
         The copy is taken eagerly, so construction code is free to keep
         mutating ``graph`` the moment this returns (or concurrently — the
-        caller must simply not mutate *during* the copy).
+        caller must simply not mutate *during* the copy).  ``copy=False``
+        adopts ``graph`` directly — only for graphs nothing else will
+        mutate, e.g. one freshly loaded from a snapshot file.
         """
         started = time.perf_counter()
         with obs_span("serve.snapshot.publish", n_shards=self.n_shards) as span_:
             source_generation = graph.generation
-            frozen = graph.copy()
+            frozen = graph.copy() if copy else graph
             with self._lock:
                 self._next_version += 1
                 version = self._next_version
@@ -128,6 +130,26 @@ class SnapshotStore:
             "serve.snapshot.publish_seconds", time.perf_counter() - started
         )
         return snapshot
+
+    def publish_from_file(
+        self, path: str, backend: str = "columnar"
+    ) -> GraphSnapshot:
+        """Boot the serving snapshot from a binary snapshot file.
+
+        This is the restart-free path: ``repro save`` persists a built
+        graph, and a fresh server process installs it here without
+        re-running construction.  The loaded graph is adopted without a
+        defensive copy (nothing else holds a reference to it).
+        """
+        from repro.core import codec  # local import: codec pulls in graph
+
+        started = time.perf_counter()
+        graph = codec.load_graph(path, backend=backend)
+        obs_metrics.observe(
+            "serve.snapshot.load_seconds", time.perf_counter() - started
+        )
+        obs_metrics.count("serve.snapshot.file_boots")
+        return self.publish(graph, copy=False)
 
     def current(self) -> Optional[GraphSnapshot]:
         """The live snapshot reference (None before the first publish).

@@ -341,3 +341,91 @@ class TestObservabilityFlags:
         assert args.trace_sample == 0.25
         assert args.access_log == "/tmp/a.jsonl"
         assert args.access_log_sample == 0.5
+
+
+class TestStorageCli:
+    """`repro save|load|compact` and `repro serve --snapshot`."""
+
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("storage") / "world.rkgs"
+        assert main(["save", "WORLD", "--quick", "-o", str(path)]) == 0
+        return path
+
+    def test_save_writes_snapshot(self, snapshot_path, capsys):
+        capsys.readouterr()  # drop the fixture's output
+        assert snapshot_path.exists()
+        assert snapshot_path.stat().st_size > 0
+
+    def test_save_unknown_fixture(self, tmp_path, capsys):
+        assert main(["save", "NOPE", "-o", str(tmp_path / "x.rkgs")]) == 2
+        assert "unknown serve fixture" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("backend", ["columnar", "dict"])
+    def test_load_round_trip(self, snapshot_path, backend, capsys):
+        assert main(["load", str(snapshot_path), "--backend", backend]) == 0
+        output = capsys.readouterr().out
+        assert f"({backend} backend)" in output
+        assert "triples" in output and "id terms" in output
+
+    def test_load_missing_file(self, tmp_path, capsys):
+        assert main(["load", str(tmp_path / "ghost.rkgs")]) == 2
+        err = capsys.readouterr().err
+        assert err.strip()
+        assert "\n" not in err.strip()  # one-line actionable error
+
+    def test_load_corrupt_file(self, snapshot_path, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.rkgs"
+        corrupt.write_bytes(snapshot_path.read_bytes()[:40])
+        assert main(["load", str(corrupt)]) == 2
+        assert "repro save" in capsys.readouterr().err
+
+    def test_compact_folds_wal(self, tmp_path, capsys):
+        from repro.core.codec import TripleWAL
+
+        wal_dir = tmp_path / "wal"
+        wal = TripleWAL(str(wal_dir))
+        wal.append(
+            {"op": "entity", "id": "e0", "name": "E0", "class": "Thing", "aliases": []}
+        )
+        for index in range(25):
+            wal.append({"op": "add", "s": "e0", "p": "p", "o": index})
+        wal.close()
+        assert main(["compact", str(wal_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "compacted" in output
+        assert "25 triples" in output
+        assert (wal_dir / "base.rkgs").exists()
+
+    def test_serve_snapshot_boots_and_exits(self, snapshot_path, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--snapshot",
+                    str(snapshot_path),
+                    "--port",
+                    "0",
+                    "--duration",
+                    "0",
+                    "--no-obs",
+                    "--no-lm",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert f"snapshot:{snapshot_path}" in output
+        assert "routes:" in output
+
+    def test_serve_rejects_fixture_plus_snapshot(self, snapshot_path, capsys):
+        assert main(["serve", "WORLD", "--snapshot", str(snapshot_path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_requires_fixture_or_snapshot(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--snapshot" in capsys.readouterr().err
+
+    def test_serve_bad_snapshot_path(self, tmp_path, capsys):
+        assert main(["serve", "--snapshot", str(tmp_path / "ghost.rkgs")]) == 2
+        assert capsys.readouterr().err.strip()

@@ -1,0 +1,345 @@
+"""Unit tests for binary snapshots and the append-only WAL."""
+
+import os
+
+import pytest
+
+from repro.core import codec
+from repro.core.codec import CodecError, TripleWAL
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.triple import Provenance, Triple
+from repro.obs import enabled_scope
+from repro.obs.lineage import get_ledger
+
+
+def _sample_graph(backend="columnar"):
+    ontology = Ontology(name="sample")
+    ontology.add_class("Thing")
+    ontology.add_class("Person", "Thing")
+    ontology.add_relation("knows", "Person", "Person")
+    graph = KnowledgeGraph(ontology=ontology, name="sample", backend=backend)
+    graph.add_entity("p1", "Ada", "Person", aliases=["A. Lovelace"])
+    graph.add_entity("p2", "Alan", "Person")
+    graph.add_entity("t1", "Thing One", "Thing")
+    graph.add_triple(
+        Triple("p1", "knows", "p2"),
+        provenance=Provenance(source="web", extractor="ex1", confidence=0.9),
+    )
+    graph.add_triple(Triple("p1", "born", 1815))
+    graph.add_triple(Triple("p2", "score", 0.75))
+    graph.add_triple(Triple("t1", "flag", True))
+    graph.add_triple(
+        Triple("p2", "knows", "p1"),
+        provenance=Provenance(source="kb", extractor=None, confidence=0.5),
+    )
+    return graph
+
+
+def _triples(graph):
+    return sorted(graph.query())
+
+
+def _provenance_map(graph):
+    graph._materialize_provenance()
+    return {
+        triple: [(p.source, p.extractor, p.confidence) for p in records]
+        for triple, records in graph._provenance.items()
+        if records
+    }
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("source_backend", ["dict", "columnar"])
+    @pytest.mark.parametrize("load_backend", ["dict", "columnar"])
+    def test_state_survives_round_trip(self, tmp_path, source_backend, load_backend):
+        graph = _sample_graph(backend=source_backend)
+        path = str(tmp_path / "g.rkgs")
+        n_bytes = codec.save_graph(graph, path, include_lineage=False)
+        assert n_bytes == os.path.getsize(path)
+        loaded = codec.load_graph(path, backend=load_backend)
+        assert loaded.backend == load_backend
+        assert loaded.name == "sample"
+        assert _triples(loaded) == _triples(graph)
+        assert _provenance_map(loaded) == _provenance_map(graph)
+        assert sorted(e.entity_id for e in loaded.entities()) == ["p1", "p2", "t1"]
+        assert loaded.entity("p1").aliases == {"A. Lovelace"}
+        assert loaded.ontology.parent("Person") == "Thing"
+        assert [e.entity_id for e in loaded.find_by_name("A. Lovelace")] == ["p1"]
+
+    def test_provenance_thaw_is_lazy(self, tmp_path):
+        graph = _sample_graph()
+        path = str(tmp_path / "g.rkgs")
+        codec.save_graph(graph, path)
+        loaded = codec.load_graph(path)
+        assert loaded._provenance_thaw is not None
+        assert not loaded._provenance  # nothing decoded yet
+        # Plain queries never thaw; provenance reads do.
+        loaded.query(subject="p1")
+        assert loaded._provenance_thaw is not None
+        records = loaded.provenance(Triple("p1", "knows", "p2"))
+        assert loaded._provenance_thaw is None
+        assert records == [Provenance(source="web", extractor="ex1", confidence=0.9)]
+
+    def test_loaded_graph_resaves_identically(self, tmp_path):
+        graph = _sample_graph()
+        first = str(tmp_path / "a.rkgs")
+        second = str(tmp_path / "b.rkgs")
+        codec.save_graph(graph, first, include_lineage=False)
+        codec.save_graph(codec.load_graph(first), second, include_lineage=False)
+        with open(first, "rb") as fa, open(second, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        ontology = Ontology()
+        ontology.add_class("Thing")
+        graph = KnowledgeGraph(ontology=ontology, backend="columnar")
+        path = str(tmp_path / "empty.rkgs")
+        codec.save_graph(graph, path)
+        loaded = codec.load_graph(path)
+        assert len(loaded) == 0
+        assert list(loaded.entities()) == []
+
+    def test_lineage_section_round_trip(self, tmp_path):
+        path = str(tmp_path / "g.rkgs")
+        with enabled_scope():
+            graph = _sample_graph()
+            codec.save_graph(graph, path, include_lineage=True)
+            saved_events = dict(get_ledger()._events)
+            assert saved_events
+        with enabled_scope():
+            codec.load_graph(path, restore_lineage=True)
+            restored = get_ledger()._events
+            assert set(restored) == set(saved_events)
+
+
+class TestSnapshotCorruption:
+    def _saved(self, tmp_path):
+        path = str(tmp_path / "g.rkgs")
+        codec.save_graph(_sample_graph(), path, include_lineage=False)
+        with open(path, "rb") as handle:
+            return path, bytearray(handle.read())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CodecError, match="not found"):
+            codec.load_graph(str(tmp_path / "nope.rkgs"))
+
+    def test_bad_magic(self, tmp_path):
+        path, blob = self._saved(tmp_path)
+        blob[0:4] = b"NOPE"
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(CodecError, match="not a repro snapshot"):
+            codec.load_graph(path)
+
+    def test_future_version(self, tmp_path):
+        path, blob = self._saved(tmp_path)
+        blob[4] = 99
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(CodecError, match="format v99"):
+            codec.load_graph(path)
+
+    def test_truncation(self, tmp_path):
+        path, blob = self._saved(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(CodecError, match="truncated"):
+            codec.load_graph(path)
+
+    def test_checksum_mismatch_names_section(self, tmp_path):
+        path, blob = self._saved(tmp_path)
+        blob[-3] ^= 0xFF  # flip a byte inside the final section's payload
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(CodecError, match="checksum mismatch"):
+            codec.load_graph(path)
+
+    def test_error_messages_are_one_line_and_actionable(self, tmp_path):
+        path, blob = self._saved(tmp_path)
+        blob[-3] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(CodecError) as excinfo:
+            codec.load_graph(path)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "repro save" in message
+
+
+class TestTripleWAL:
+    def _entity_records(self, graph):
+        return [
+            {
+                "op": "entity",
+                "id": entity.entity_id,
+                "name": entity.name,
+                "class": entity.entity_class,
+                "aliases": sorted(entity.aliases),
+            }
+            for entity in sorted(graph.entities(), key=lambda e: e.entity_id)
+        ]
+
+    def _logged_graph(self, wal_dir, segment_bytes=4096):
+        """An empty sample graph with the WAL attached before any triples,
+        then the sample triples added *through* the log."""
+        wal = TripleWAL(str(wal_dir), segment_bytes=segment_bytes)
+        reference = _sample_graph()
+        ontology = Ontology(name="sample")
+        ontology.add_class("Thing")
+        ontology.add_class("Person", "Thing")
+        ontology.add_relation("knows", "Person", "Person")
+        graph = KnowledgeGraph(ontology=ontology, name="sample", backend="columnar")
+        for entity in sorted(reference.entities(), key=lambda e: e.entity_id):
+            graph.add_entity(
+                entity.entity_id, entity.name, entity.entity_class, entity.aliases
+            )
+        for record in self._entity_records(graph):
+            wal.append(record)
+        graph.attach_wal(wal)
+        graph._materialize_provenance()
+        for triple, records in sorted(
+            _provenance_map(reference).items(), key=lambda kv: kv[0]
+        ):
+            for source, extractor, confidence in records:
+                graph.add_triple(
+                    triple,
+                    provenance=Provenance(
+                        source=source, extractor=extractor, confidence=confidence
+                    ),
+                )
+        for triple in _triples(reference):
+            graph.add_triple(triple)
+        return graph, wal
+
+    def test_recover_replays_all_ops(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal")
+        graph.add_triple(Triple("t1", "linked", "p1"))
+        graph.add_alias("p2", "A. Turing")
+        graph.remove_triple(Triple("p1", "born", 1815))
+        graph.merge_entities("p1", "p2")
+        wal.close()
+
+        recovered = TripleWAL(str(tmp_path / "wal")).recover()
+        assert _triples(recovered) == _triples(graph)
+        assert _provenance_map(recovered) == _provenance_map(graph)
+        assert not recovered.has_entity("p2")
+        assert "A. Turing" in recovered.entity("p1").aliases
+
+    def test_batch_ingest_logs_one_record_and_replays(self, tmp_path):
+        wal = TripleWAL(str(tmp_path / "wal"))
+        ontology = Ontology()
+        ontology.add_class("Thing")
+        graph = KnowledgeGraph(ontology=ontology, backend="columnar")
+        for index in range(5):
+            graph.add_entity(f"e{index}", f"E{index}", "Thing")
+        for record in self._entity_records(graph):
+            wal.append(record)
+        graph.attach_wal(wal)
+        items = [
+            (Triple("e0", "p", "x"), Provenance(source="s", confidence=0.7)),
+            Triple("e1", "p", "y"),
+            Triple("e1", "p", "y"),  # duplicate: replay must not resurrect it twice
+            (Triple("e2", "q", 5), None),
+        ]
+        graph.add_triples_batch(items)
+        wal.close()
+        recovered = TripleWAL(str(tmp_path / "wal")).recover()
+        assert _triples(recovered) == _triples(graph)
+        assert _provenance_map(recovered) == _provenance_map(graph)
+
+    def test_segment_rotation(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal", segment_bytes=4096)
+        for index in range(300):
+            graph.add_triple(Triple("p1", f"attr{index}", f"value-{index:04d}"))
+        wal.close()
+        segments = wal.segment_paths()
+        assert len(segments) > 1
+        recovered = TripleWAL(str(tmp_path / "wal")).recover()
+        assert _triples(recovered) == _triples(graph)
+
+    def test_truncated_tail_tolerated_on_last_segment(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal")
+        graph.add_triple(Triple("t1", "linked", "p1"))
+        graph.add_triple(Triple("t1", "linked2", "p2"))
+        wal.close()
+        last = wal.segment_paths()[-1]
+        with open(last, "rb") as handle:
+            blob = handle.read()
+        with open(last, "wb") as handle:
+            handle.write(blob[:-3])  # crash mid-append
+        recovered = TripleWAL(str(tmp_path / "wal")).recover()
+        assert Triple("t1", "linked", "p1") in recovered
+        assert Triple("t1", "linked2", "p2") not in recovered
+
+    def test_corrupt_record_raises_unless_allow_partial(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal")
+        graph.add_triple(Triple("t1", "linked", "p1"))
+        wal.close()
+        last = wal.segment_paths()[-1]
+        with open(last, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[-2] ^= 0xFF
+        with open(last, "wb") as handle:
+            handle.write(bytes(blob))
+        reopened = TripleWAL(str(tmp_path / "wal"))
+        with pytest.raises(CodecError, match="checksum mismatch"):
+            reopened.recover()
+        partial = reopened.recover(allow_partial=True)
+        assert partial.has_entity("p1")
+
+    def test_compact_folds_segments_into_base(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal", segment_bytes=4096)
+        for index in range(300):
+            graph.add_triple(Triple("p1", f"attr{index}", index))
+        before = len(wal.segment_paths())
+        assert before > 1
+        compacted, stats = wal.compact()
+        assert stats["n_segments_folded"] == before
+        assert os.path.exists(wal.base_path)
+        assert len(wal.segment_paths()) == 1  # one fresh empty segment
+        assert _triples(compacted) == _triples(graph)
+        # Recovery after compaction = base + empty segment.
+        wal.close()
+        recovered = TripleWAL(str(tmp_path / "wal")).recover()
+        assert _triples(recovered) == _triples(graph)
+        assert wal.stats()["base_bytes"] == stats["base_bytes"]
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = TripleWAL(str(tmp_path / "wal"))
+        wal.close()
+        with pytest.raises(ValueError, match="closed"):
+            wal.append({"op": "add", "s": "a", "p": "b", "o": "c"})
+
+    def test_rejects_tiny_segment_limit(self, tmp_path):
+        with pytest.raises(ValueError, match="4096"):
+            TripleWAL(str(tmp_path / "wal"), segment_bytes=10)
+
+    def test_unknown_op_raises(self, tmp_path):
+        wal = TripleWAL(str(tmp_path / "wal"))
+        wal.append({"op": "timewarp"})
+        wal.close()
+        with pytest.raises(CodecError, match="unknown WAL op"):
+            TripleWAL(str(tmp_path / "wal")).recover()
+
+    def test_wal_suspended_during_merge_logs_single_record(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal")
+        graph.merge_entities("p1", "p2")
+        wal.close()
+        reopened = TripleWAL(str(tmp_path / "wal"))
+        records = []
+        segments = reopened.segment_paths()
+        for position, path in enumerate(segments):
+            records.extend(
+                reopened._iter_segment(path, position == len(segments) - 1, False)
+            )
+        merges = [record for record in records if record["op"] == "merge"]
+        assert merges == [{"op": "merge", "keep": "p1", "drop": "p2"}]
+
+    def test_stats_reports_sizes(self, tmp_path):
+        graph, wal = self._logged_graph(tmp_path / "wal")
+        graph.add_triple(Triple("t1", "linked", "p1"))
+        stats = wal.stats()
+        assert stats["n_segments"] >= 1
+        assert stats["wal_bytes"] > 0
+        assert stats["base_exists"] is False

@@ -264,6 +264,197 @@ class TestQueryEquivalence:
         assert checked > 0
 
 
+def _public_state(graph):
+    """Backend-agnostic observable state, built only from public APIs.
+
+    ``_graph_state`` reaches into the dict backend's internals
+    (``_triples``, ``_spo``); the columnar backend has neither, so
+    cross-backend equivalence is pinned on what callers can actually
+    see: query answers, provenance, entities, aliases, and name lookups.
+    """
+    graph._materialize_provenance()
+    triples = sorted(graph.query(), key=lambda t: t._sort_key())
+    return {
+        "triples": triples,
+        "provenance": {
+            triple: records
+            for triple in triples
+            if (records := graph.provenance(triple))
+        },
+        "entities": sorted(e.entity_id for e in graph.entities()),
+        "aliases": {
+            e.entity_id: sorted(e.aliases) for e in graph.entities()
+        },
+        "names": {
+            e.name: sorted(m.entity_id for m in graph.find_by_name(e.name))
+            for e in graph.entities()
+        },
+    }
+
+
+class TestColumnarBackendEquivalence:
+    """The columnar store must be observably identical to the dict backend."""
+
+    def _pair(self, items):
+        graphs = []
+        for backend in ("dict", "columnar"):
+            graph = bench._empty_graph(60, backend=backend)
+            graph.add_triples_batch(items)
+            graphs.append(graph)
+        return graphs
+
+    def test_batch_ingest_state_identical(self, items):
+        dict_graph, columnar_graph = self._pair(items)
+        assert _public_state(dict_graph) == _public_state(columnar_graph)
+
+    def test_lineage_ledger_identical(self, items):
+        states = {}
+        for backend in ("dict", "columnar"):
+            with enabled_scope():
+                graph = bench._empty_graph(60, backend=backend)
+                graph.add_triples_batch(items)
+                states[backend] = (_ledger_events(), get_ledger()._sequence)
+        assert states["dict"] == states["columnar"]
+
+    def test_per_call_ingest_state_identical(self, items):
+        graphs = []
+        for backend in ("dict", "columnar"):
+            graph = bench._empty_graph(60, backend=backend)
+            for triple, provenance in items:
+                graph.add_triple(triple, provenance=provenance)
+            graphs.append(graph)
+        assert _public_state(graphs[0]) == _public_state(graphs[1])
+
+    def test_merge_and_remove_state_identical(self, items):
+        dict_graph, columnar_graph = self._pair(items)
+        victims = [items[3][0], items[11][0], items[40][0]]
+        merges = [("e0", "e1"), ("e2", "e3")]
+        results = []
+        for graph in (dict_graph, columnar_graph):
+            removed = [graph.remove_triple(t) for t in victims]
+            rewritten = [graph.merge_entities(k, d) for k, d in merges]
+            results.append((removed, rewritten))
+        assert results[0] == results[1]
+        assert _public_state(dict_graph) == _public_state(columnar_graph)
+
+    def test_query_answers_identical(self, items):
+        dict_graph, columnar_graph = self._pair(items)
+        probes = [
+            {"subject": "e0"},
+            {"predicate": "related_to"},
+            {"obj": "e1"},
+            {"subject": "e0", "predicate": "related_to"},
+            {"predicate": "related_to", "obj": "e1"},
+            {"subject": "ghost"},
+            {},
+        ]
+        for probe in probes:
+            assert sorted(
+                dict_graph.query(**probe), key=lambda t: t._sort_key()
+            ) == sorted(columnar_graph.query(**probe), key=lambda t: t._sort_key())
+            assert dict_graph.pattern_cardinality(
+                **probe
+            ) == columnar_graph.pattern_cardinality(**probe)
+        for entity_id in ("e0", "e7", "ghost"):
+            assert sorted(dict_graph.neighbors(entity_id)) == sorted(
+                columnar_graph.neighbors(entity_id)
+            )
+
+    def test_copy_preserves_backend_and_state(self, items):
+        _, columnar_graph = self._pair(items)
+        clone = columnar_graph.copy()
+        assert clone.backend == "columnar"
+        assert _public_state(clone) == _public_state(columnar_graph)
+        # Mutating the clone must not leak into the original.
+        sample = items[0][0]
+        clone.remove_triple(sample)
+        assert sample in columnar_graph
+
+    def test_stats_report_id_table(self, items):
+        dict_graph, columnar_graph = self._pair(items)
+        for graph in (dict_graph, columnar_graph):
+            stats = graph.stats()
+            assert stats["n_id_terms"] > 0
+            assert stats["n_triples"] == len(graph)
+
+
+class TestMutationBeforeFirstIndexRead:
+    """Satellite: mutations racing the deferred index build.
+
+    ``add_triples_batch`` defers index rows (``_pending_index`` on the
+    dict backend, the bulk-load column install on the columnar one).
+    A ``remove_triple`` or ``merge_entities`` issued *before* the first
+    index-backed read must neither resurrect removed rows nor leave
+    orphaned drop-id rows once the indexes materialize.
+    """
+
+    @pytest.mark.parametrize("backend", ["dict", "columnar"])
+    def test_remove_before_first_read_stays_removed(self, backend, items):
+        graph = bench._empty_graph(60, backend=backend)
+        graph.add_triples_batch(items)
+        victim = items[0][0]
+        assert graph.remove_triple(victim)  # no read has happened yet
+        assert victim not in graph
+        assert victim not in graph.query(subject=victim.subject)
+        assert victim.object not in graph.objects(victim.subject, victim.predicate)
+        if backend == "dict":
+            assert not graph._pending_index
+
+    @pytest.mark.parametrize("backend", ["dict", "columnar"])
+    def test_merge_before_first_read_leaves_no_orphans(self, backend):
+        graph = bench._empty_graph(4, backend=backend)
+        graph.add_triples_batch(
+            [
+                Triple("e0", "p", "e1"),
+                Triple("e1", "q", "x"),
+                Triple("e2", "r", "e1"),
+            ]
+        )
+        graph.merge_entities("e0", "e1")  # before any index-backed read
+        assert not graph.has_entity("e1")
+        assert graph.query(subject="e1") == []
+        assert graph.query(obj="e1") == []
+        assert set(graph.query()) == {
+            Triple("e0", "p", "e0"),
+            Triple("e0", "q", "x"),
+            Triple("e2", "r", "e0"),
+        }
+        if backend == "dict":
+            spo, pos, osp = _index_snapshot(graph)
+            assert "e1" not in spo
+            assert all("e1" not in row for row in pos.values())
+            assert "e1" not in osp
+
+    @pytest.mark.parametrize("backend", ["dict", "columnar"])
+    def test_remove_then_readd_before_first_read(self, backend, items):
+        graph = bench._empty_graph(60, backend=backend)
+        graph.add_triples_batch(items)
+        victim = items[5][0]
+        assert graph.remove_triple(victim)
+        assert graph.add_triple(victim)
+        assert victim in graph
+        assert victim in graph.query(subject=victim.subject)
+        assert len(graph.query(subject=victim.subject)) == len(
+            set(graph.query(subject=victim.subject))
+        )
+
+    @pytest.mark.parametrize("backend", ["dict", "columnar"])
+    def test_interleaved_mutations_match_per_call_reference(self, backend, items):
+        fast = bench._empty_graph(60, backend=backend)
+        fast.add_triples_batch(items)
+        fast.remove_triple(items[2][0])
+        fast.merge_entities("e4", "e5")
+
+        slow = bench._empty_graph(60, backend=backend)
+        for triple, provenance in items:
+            slow.add_triple(triple, provenance=provenance)
+        slow.query()  # force indexes live before mutating
+        slow.remove_triple(items[2][0])
+        slow.merge_entities("e4", "e5")
+
+        assert _public_state(fast) == _public_state(slow)
+
+
 class TestPmapPipelineEquivalence:
     """Whole pipeline stages give identical results in every pmap mode."""
 
