@@ -422,6 +422,168 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1
 
 
+def _graph_public_state(graph):
+    """Backend-agnostic observable graph state (query answers, provenance,
+    entities) — the same surface the equivalence tests pin."""
+    graph._materialize_provenance()
+    triples = sorted(graph.query(), key=lambda t: t._sort_key())
+    return {
+        "triples": triples,
+        "provenance": {
+            triple: records
+            for triple in triples
+            if (records := graph.provenance(triple))
+        },
+        "entities": sorted(
+            (e.entity_id, e.name, e.entity_class, tuple(sorted(e.aliases)))
+            for e in graph.entities()
+        ),
+    }
+
+
+def _run_partitioned_build(args: argparse.Namespace, partitions: int):
+    """One partitioned fixture build under a fresh observability scope.
+
+    Returns ``(pipeline, context, wall_s, ledger_state, n_records)`` —
+    everything ``cmd_build`` needs for reporting and the ``--check-equal``
+    comparison.  Each call resets global observability state so two builds
+    in one process (the N-shard run and its single-shard reference) record
+    independent, comparable ledgers.
+    """
+    import time
+
+    from repro.core.partition import (
+        build_context,
+        fixture_sources,
+        partitioned_pipeline,
+    )
+    from repro.obs import enabled_scope, reset_all
+    from repro.obs.lineage import get_ledger
+
+    sources = fixture_sources(
+        n_people=args.people, n_movies=args.movies, seed=args.seed
+    )
+    n_records = sum(len(source) for source in sources)
+    reset_all()
+    with enabled_scope():
+        pipeline, context = partitioned_pipeline(sources, name="build")
+        started = time.perf_counter()
+        context = pipeline.run(context, partitions=partitions)
+        wall_s = time.perf_counter() - started
+        ledger_state = get_ledger().export_state()
+    return pipeline, context, wall_s, ledger_state, n_records
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Partition-parallel fixture build; optionally prove it shard-invariant."""
+    from repro.evalx.tables import render_table
+
+    if args.partitions < 1:
+        print("--partitions must be a positive integer", file=sys.stderr)
+        return 2
+
+    pipeline, context, wall_s, ledger_state, n_records = _run_partitioned_build(
+        args, args.partitions
+    )
+    graph = context.artifacts["kg"]
+    outcome = context.artifacts["exchange"]
+
+    rows = []
+    for report in pipeline.reports:
+        rows.append([report.stage_name, f"{report.seconds:.4f}"])
+    print(
+        render_table(
+            title=f"build --partitions {args.partitions}",
+            columns=["stage", "seconds"],
+            rows=rows,
+            note=(
+                f"{n_records} records -> {outcome.stats['n_triples']} triples, "
+                f"{outcome.stats['n_entities']} entities in {wall_s:.3f}s "
+                f"({n_records / wall_s:.0f} records/s)"
+            ),
+        )
+    )
+
+    equal = None
+    if args.check_equal:
+        import tempfile
+
+        from repro.core import codec
+
+        _, reference, _, reference_ledger, _ = _run_partitioned_build(args, 1)
+        reference_graph = reference.artifacts["kg"]
+
+        def snapshot_bytes(g) -> bytes:
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "check.rkgs")
+                codec.save_graph(g, path, include_lineage=False)
+                with open(path, "rb") as handle:
+                    return handle.read()
+
+        checks = {
+            "state": _graph_public_state(graph)
+            == _graph_public_state(reference_graph),
+            "lineage": ledger_state == reference_ledger,
+            "snapshot_bytes": snapshot_bytes(graph)
+            == snapshot_bytes(reference_graph),
+        }
+        equal = all(checks.values())
+        for name, ok in checks.items():
+            print(f"check {name}: {'equal' if ok else 'DIFFERS'}")
+        if equal:
+            print(
+                f"partitions={args.partitions} is byte-identical to the "
+                "single-shard build"
+            )
+        else:
+            print(
+                f"partitions={args.partitions} DIVERGES from the single-shard "
+                "build",
+                file=sys.stderr,
+            )
+
+    if args.out:
+        from repro.core import codec
+
+        parent = os.path.dirname(os.path.abspath(args.out))
+        os.makedirs(parent, exist_ok=True)
+        size = codec.save_graph(graph, args.out, include_lineage=True)
+        print(f"snapshot -> {args.out} ({size} bytes)")
+
+    from repro.obs import profiling, runs
+
+    snapshot = context.artifacts.get("quality_snapshot")
+    metrics = {
+        f"exchange.{name}": float(value) for name, value in outcome.stats.items()
+    }
+    metrics["wall_s"] = round(wall_s, 6)
+    metrics["records_per_s"] = round(n_records / wall_s, 3)
+    _append_run_record(
+        args,
+        runs.RunRecord(
+            kind="build",
+            experiment_id=f"BUILD-P{args.partitions}",
+            config={
+                "partitions": args.partitions,
+                "people": args.people,
+                "movies": args.movies,
+                "seed": args.seed,
+                "check_equal": bool(args.check_equal),
+            },
+            stages=[
+                {"name": report.stage_name, "wall_s": round(report.seconds, 6)}
+                for report in pipeline.reports
+            ],
+            resources=profiling.rusage(),
+            quality=[snapshot.to_dict()] if snapshot is not None else [],
+            metrics=metrics,
+        ),
+    )
+    if equal is False:
+        return 1
+    return 0
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     """Query the persistent run registry: list, show, diff, drift."""
     import json
@@ -1148,6 +1310,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.set_defaults(func=cmd_bench)
 
+    build_parser = subparsers.add_parser(
+        "build",
+        help="partition-parallel fixture build (shard, link, fuse, stitch)",
+    )
+    build_parser.add_argument(
+        "-p",
+        "--partitions",
+        type=int,
+        default=1,
+        help="shard count for the partitioned build (default: 1)",
+    )
+    build_parser.add_argument(
+        "--check-equal",
+        action="store_true",
+        help="also run single-shard and verify state/lineage/bytes equality",
+    )
+    build_parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="write the built graph to this .rkgs snapshot path",
+    )
+    build_parser.add_argument(
+        "--people",
+        type=int,
+        default=120,
+        help="ground-truth people in the fixture world (default: 120)",
+    )
+    build_parser.add_argument(
+        "--movies",
+        type=int,
+        default=80,
+        help="ground-truth movies in the fixture world (default: 80)",
+    )
+    build_parser.add_argument(
+        "--seed", type=int, default=11, help="fixture world seed (default: 11)"
+    )
+    build_parser.add_argument(
+        "--no-runs",
+        action="store_true",
+        help="do not record this run in the persistent run registry",
+    )
+    build_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run-registry directory (default: results/runs/)",
+    )
+    build_parser.set_defaults(func=cmd_build)
+
     runs_parser = subparsers.add_parser(
         "runs", help="query the persistent run registry (results/runs/)"
     )
@@ -1428,6 +1639,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ValueError as exc:
+        # Configuration errors (bad env vars, unknown workloads, invalid
+        # flag combinations) exit with the one-line actionable message
+        # they carry — never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # `repro runs show ... | head` closing the pipe early is not an
         # error; detach stdout so the interpreter's flush-at-exit stays

@@ -35,6 +35,7 @@ observability is on) lineage events exactly.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import struct
 import zlib
@@ -262,11 +263,20 @@ def _thaw_provenance(payload: bytes, path: str):
     def thaw(graph: KnowledgeGraph) -> None:
         rows = _load_json_section(payload, "provenance", path)
         provenance = graph._provenance
-        for subject, predicate, obj, records in rows:  # type: ignore[union-attr]
-            provenance[Triple(subject, predicate, obj)] = [
-                Provenance(source=source, extractor=extractor, confidence=confidence)
-                for source, extractor, confidence in records
-            ]
+        try:
+            for subject, predicate, obj, records in rows:  # type: ignore[union-attr]
+                provenance[Triple(subject, predicate, obj)] = [
+                    Provenance(
+                        source=source, extractor=extractor, confidence=confidence
+                    )
+                    for source, extractor, confidence in records
+                ]
+        except (AttributeError, TypeError, ValueError) as exc:
+            provenance.clear()
+            raise CodecError(
+                f"{path}: malformed provenance section ({exc!r}); file is "
+                f"corrupt — re-create it with `repro save`"
+            ) from exc
 
     return thaw
 
@@ -293,13 +303,31 @@ def save_graph(
     if graph._store is not None:
         terms, spo, pos, osp = graph._store.sorted_columns()
     else:
-        term_dict = TermDict()
-        encode = term_dict.add
+        # Dictionary-encode with one id per *typed* term, iterating the
+        # triple set in sorted order.  Python conflates 0 == 0.0 == False
+        # as dict keys, but the dict backend's triple set stores
+        # heterogeneous object types that a load must reproduce exactly —
+        # and set iteration order is hash-seed-dependent, which would
+        # otherwise leak into which representative the snapshot keeps.
+        typed_id: Dict[Tuple[type, Value], int] = {}
+        typed_terms: List[Value] = []
+
+        def encode(term: Value) -> int:
+            key = (term.__class__, term)
+            term_id = typed_id.get(key)
+            if term_id is None:
+                term_id = len(typed_terms)
+                typed_id[key] = term_id
+                typed_terms.append(term)
+            return term_id
+
         rows = [
             (encode(t.subject), encode(t.predicate), encode(t.object))
-            for t in graph._triples
+            for t in sorted(graph._triples, key=Triple._sort_key)
         ]
-        store = ColumnarTripleStore._from_id_rows(term_dict, rows)
+        store = ColumnarTripleStore._from_id_rows(
+            TermDict._from_terms(typed_terms), rows
+        )
         terms, spo, pos, osp = store.sorted_columns()
 
     n_rows = len(spo[0])
@@ -347,7 +375,32 @@ def save_graph(
 # snapshot load
 
 
-def _read_sections(blob: bytes, path: str) -> Dict[int, bytes]:
+def _read_blob(path: str) -> Tuple[object, Optional[mmap.mmap]]:
+    """Open a snapshot as a buffer: ``(buffer, mapping)``.
+
+    Prefers a read-only ``mmap`` so section parsing and column loads run
+    zero-copy over the page cache (``memoryview`` slices of the mapping
+    feed ``zlib.crc32``/``array.frombytes`` directly, no intermediate
+    ``bytes`` blob of the whole file).  Falls back to ``handle.read()``
+    when the file cannot be mapped (empty file, exotic filesystem), in
+    which case ``mapping`` is ``None`` and the buffer is plain bytes.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        raise CodecError(
+            f"{path}: snapshot file not found; create it with `repro save`"
+        ) from None
+    with handle:
+        try:
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            return handle.read(), None
+    return mapping, mapping
+
+
+def _read_sections(blob, path: str) -> Dict[int, memoryview]:
+    blob = memoryview(blob)  # zero-copy slicing whether bytes or mmap
     if len(blob) < _HEADER.size:
         raise CodecError(
             f"{path}: truncated at byte {len(blob)} (needed an {_HEADER.size}-byte "
@@ -401,7 +454,9 @@ def _read_sections(blob: bytes, path: str) -> Dict[int, bytes]:
     return sections
 
 
-def _require(sections: Dict[int, bytes], section_id: int, path: str) -> bytes:
+def _require(
+    sections: Dict[int, memoryview], section_id: int, path: str
+) -> memoryview:
     payload = sections.get(section_id)
     if payload is None:
         raise CodecError(
@@ -422,14 +477,60 @@ def load_graph(
     lineage section (if present) into the process-global ledger.
     Provenance decoding is deferred to the first provenance-touching
     operation on the returned graph.
+
+    The file is read through a read-only ``mmap`` when possible: column
+    bytes flow straight from the page cache into the ``array('q')``
+    columns via ``memoryview`` slices, with no intermediate whole-file
+    ``bytes`` copy (``store.snapshot.mmap_loads`` counts the mapped
+    boots).  The mapping is closed before returning — the only section
+    that outlives the load (the lazy provenance thaw) is copied out.
     """
+    blob, mapping = _read_blob(path)
     try:
-        with open(path, "rb") as handle:
-            blob = handle.read()
-    except FileNotFoundError:
+        graph = _load_snapshot(blob, path, backend, restore_lineage)
+    except CodecError:
+        raise
+    except (
+        AttributeError,
+        IndexError,
+        KeyError,
+        TypeError,
+        ValueError,
+        struct.error,
+        zlib.error,
+        UnicodeDecodeError,
+    ) as exc:
+        # Checksums catch bit flips inside a section payload, but a flip
+        # in a section-id byte can hand structurally wrong (yet valid)
+        # JSON to a parser — surface that as corruption, never as a
+        # bare crash or a wrong graph.
         raise CodecError(
-            f"{path}: snapshot file not found; create it with `repro save`"
-        ) from None
+            f"{path}: malformed snapshot content ({exc!r}); file is "
+            f"corrupt — re-create it with `repro save`"
+        ) from exc
+    finally:
+        if mapping is not None:
+            try:
+                mapping.close()
+            except BufferError:  # pragma: no cover - exception path only
+                # A raised traceback still references a view of the
+                # mapping; dropping the close lets GC unmap it instead.
+                pass
+    obs_metrics.count("store.snapshot.loads")
+    if mapping is not None:
+        obs_metrics.count("store.snapshot.mmap_loads")
+    return graph
+
+
+def _load_snapshot(
+    blob, path: str, backend: str, restore_lineage: bool
+) -> KnowledgeGraph:
+    """Parse one snapshot buffer (bytes or mmap) into a fresh graph.
+
+    Split out of :func:`load_graph` so every ``memoryview`` of the buffer
+    is a local that dies when this frame returns, letting the caller
+    close the mapping immediately afterwards.
+    """
     sections = _read_sections(blob, path)
 
     meta = _load_json_section(_require(sections, SEC_META, path), "meta", path)
@@ -511,15 +612,16 @@ def load_graph(
             for i in range(n_rows)
         )
 
+    # The thaw closure outlives this frame (and the mmap), so it gets its
+    # own copy of the still-compressed section — small next to the columns.
     graph._provenance_thaw = _thaw_provenance(
-        _require(sections, SEC_PROVENANCE, path), path
+        bytes(_require(sections, SEC_PROVENANCE, path)), path
     )
 
     if restore_lineage and SEC_LINEAGE in sections:
         state = _load_json_section(sections[SEC_LINEAGE], "lineage", path)
         obs_lineage.get_ledger().merge_state(state)  # type: ignore[arg-type]
 
-    obs_metrics.count("store.snapshot.loads")
     return graph
 
 

@@ -118,7 +118,9 @@ def default_workers() -> int:
     ``REPRO_PMAP_WORKERS`` (a positive integer) wins; otherwise
     ``min(8, cpu_count)``.  The env override matters on single-core CI
     runners, where the cpu-count default collapses every parallel mode
-    back to serial before a worker ever forks.
+    back to serial before a worker ever forks — which is exactly why a
+    malformed value raises instead of being silently ignored: an operator
+    who set it wants the pool they asked for, not a quiet fallback.
     """
     raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
     if raw:
@@ -126,8 +128,12 @@ def default_workers() -> int:
             value = int(raw)
         except ValueError:
             value = 0
-        if value >= 1:
-            return value
+        if value < 1:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR}={raw!r} is not a positive integer; "
+                "set it to a whole number >= 1 (e.g. 4) or unset it"
+            )
+        return value
     return min(8, os.cpu_count() or 1)
 
 
@@ -207,6 +213,21 @@ def _apply_chunk_linked(
         )
 
 
+#: Target chunks per worker when a call site does not pass ``chunk_size``.
+#: >1 so an uneven workload can rebalance (a worker that drew cheap chunks
+#: picks up more); small enough that per-chunk dispatch overhead amortizes.
+CHUNKS_PER_WORKER = 4
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Chunk size adapted to the workload: ``len(items)`` split evenly
+    into ~:data:`CHUNKS_PER_WORKER` chunks per worker (ceiling division,
+    never below 1).  Scales with ``n_items / workers`` rather than a
+    fixed constant, so tiny inputs still spread across the pool and huge
+    inputs don't drown it in per-chunk dispatch."""
+    return max(1, (n_items + workers * CHUNKS_PER_WORKER - 1) // (workers * CHUNKS_PER_WORKER))
+
+
 def _chunked(items: Sequence[ItemT], chunk_size: int) -> List[Sequence[ItemT]]:
     return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
 
@@ -251,9 +272,10 @@ def pmap(
         Pool size; defaults to ``REPRO_PMAP_WORKERS`` or
         ``min(8, cpu_count)``.
     chunk_size:
-        Items handed to a worker at a time; defaults to an even split
-        across ~4 chunks per worker (amortizes task dispatch without
-        starving the pool).
+        Items handed to a worker at a time; defaults to
+        :func:`default_chunk_size` — an even split of ``len(items)``
+        across ~:data:`CHUNKS_PER_WORKER` chunks per worker (amortizes
+        task dispatch without starving the pool).
 
     Returns results in input order in every mode.
     """
@@ -275,7 +297,7 @@ def pmap(
         obs_metrics.count("pmap.degraded")
         return _serial_map(fn, materialized)
     if chunk_size is None:
-        chunk_size = max(1, (n_items + workers * 4 - 1) // (workers * 4))
+        chunk_size = default_chunk_size(n_items, workers)
     chunks = _chunked(materialized, chunk_size)
     pool_class = ThreadPoolExecutor if resolved_mode == "thread" else ProcessPoolExecutor
     obs_metrics.count(f"parallel.pmap.{resolved_mode}_calls")

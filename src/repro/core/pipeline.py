@@ -98,10 +98,16 @@ class FunctionStage(PipelineStage):
 
 @dataclass
 class ConstructionPipeline:
-    """An ordered chain of stages with execution reporting."""
+    """An ordered chain of stages with execution reporting.
+
+    ``partition_build`` (a :class:`repro.core.partition.PartitionedBuild`)
+    enables :meth:`run`'s ``partitions=N`` form — the partition-parallel
+    build path; it is duck-typed here to avoid an import cycle.
+    """
 
     name: str
     stages: List[PipelineStage] = field(default_factory=list)
+    partition_build: Optional[object] = None
     reports: List[StageReport] = field(default_factory=list, init=False)
 
     def add_stage(self, stage: PipelineStage) -> "ConstructionPipeline":
@@ -115,7 +121,11 @@ class ConstructionPipeline:
         """Append a callable as a stage; returns self for chaining."""
         return self.add_stage(FunctionStage(name, function))
 
-    def run(self, context: Optional[PipelineContext] = None) -> PipelineContext:
+    def run(
+        self,
+        context: Optional[PipelineContext] = None,
+        partitions: Optional[int] = None,
+    ) -> PipelineContext:
         """Execute every stage in order, collecting reports.
 
         Each stage runs inside a tracing span (``stage.<name>``, nested
@@ -123,7 +133,28 @@ class ConstructionPipeline:
         folded into the global metrics registry.  A stage that raises
         still leaves a partial report — timed, with whatever metrics it
         recorded and an ``error`` — before the exception propagates.
+
+        With ``partitions=N`` the pipeline instead runs the attached
+        ``partition_build``'s partition → build → exchange stage chain
+        for that shard count; ``partitions=1`` takes the same code path
+        (it *is* the single-shard reference the equivalence tests pin
+        ``partitions=N`` against).
         """
+        if partitions is not None:
+            if self.partition_build is None:
+                raise ValueError(
+                    f"pipeline {self.name!r} has no partition_build attached; "
+                    "construct it with ConstructionPipeline(..., "
+                    "partition_build=PartitionedBuild(...)) to run partitioned"
+                )
+            sharded = ConstructionPipeline(
+                name=self.name,
+                stages=self.partition_build.stages(partitions),
+                partition_build=self.partition_build,
+            )
+            context = sharded.run(context)
+            self.reports = sharded.reports
+            return context
         context = context or PipelineContext()
         self.reports = []
         obs_progress.begin_pipeline(self.name, len(self.stages))

@@ -103,18 +103,28 @@ class TermDict:
         """Trusted bulk construction from an id-ordered term list.
 
         Built with C-level ``dict(zip(...))`` instead of per-term adds —
-        the snapshot-load path.  Raises on duplicate (by equality) terms,
-        which a file written by :meth:`terms` can never contain.
+        the snapshot-load path.  Raises on exact (same type, same value)
+        duplicate terms, which a well-formed snapshot can never contain.
+        Equality-only duplicates (``0`` next to ``0.0``) are legitimate:
+        a dict-backend save keeps one id per *typed* term so a load
+        reproduces every object's exact type.  For those, the first
+        occurrence wins value lookups — matching runtime :meth:`add`
+        semantics — while :meth:`decode` stays exact per id.
         """
         interned = [_intern(term) if type(term) is str else term for term in terms]
         term_dict = cls()
         term_dict._terms = interned
         term_dict._id_of = dict(zip(interned, range(len(interned))))
         if len(term_dict._id_of) != len(interned):
-            raise ValueError(
-                f"term dictionary has "
-                f"{len(interned) - len(term_dict._id_of)} duplicate term(s)"
-            )
+            id_of: Dict[Value, int] = {}
+            for term_id, term in enumerate(interned):
+                first_id = id_of.setdefault(term, term_id)
+                if first_id != term_id and type(term) is type(interned[first_id]):
+                    raise ValueError(
+                        f"term dictionary has duplicate term {term!r} "
+                        f"(ids {first_id} and {term_id})"
+                    )
+            term_dict._id_of = id_of
         return term_dict
 
     def memory_bytes(self) -> int:

@@ -223,6 +223,9 @@ class WorkloadResult:
     wall_s: float
     n_ops: int
     naive_wall_s: Optional[float] = None
+    #: Workload-specific detail merged into the trajectory entry (e.g.
+    #: the full partition-count scaling curve for ``build_scaling``).
+    extra: Optional[Dict[str, object]] = None
 
     @property
     def ops_per_s(self) -> float:
@@ -243,6 +246,8 @@ class WorkloadResult:
         if self.naive_wall_s is not None:
             record["naive_wall_s"] = round(self.naive_wall_s, 6)
             record["speedup_vs_naive"] = round(self.speedup_vs_naive, 3)
+        if self.extra:
+            record.update(self.extra)
         return record
 
 
@@ -496,6 +501,61 @@ def _bench_wal_replay(scale: WorkloadScale) -> WorkloadResult:
     )
 
 
+def _bench_build_scaling(scale: WorkloadScale) -> WorkloadResult:
+    """Partition-parallel construction throughput at 1, 2, 4, and 8 shards.
+
+    ``wall_s`` is the 4-partition build, ``naive_wall_s`` the single-shard
+    reference, so ``speedup_vs_naive`` reads directly as the scaling
+    factor at 4 partitions (the ISSUE target: >=2.5x on a 4-core runner).
+    The full curve — wall and records/s per partition count — plus the
+    machine's core count lands in the entry via ``extra``, so a curve
+    measured on a 1-core CI box is never mistaken for a scaling failure.
+    Every curve point is checked observably identical to the single-shard
+    build before its timing counts.
+    """
+    from repro.core.partition import fixture_sources, partitioned_pipeline
+
+    n_people = max(20, scale.n_entities // 10)
+    n_movies = max(15, scale.n_entities // 15)
+    sources = fixture_sources(n_people=n_people, n_movies=n_movies, seed=11)
+    n_records = sum(len(source) for source in sources)
+
+    curve: Dict[str, object] = {}
+    walls: Dict[int, float] = {}
+    reference_state: Optional[Tuple[int, List[Triple]]] = None
+    for partitions in (1, 2, 4, 8):
+        pipeline, context = partitioned_pipeline(sources, name="build_scaling")
+        start = time.perf_counter()
+        context = pipeline.run(context, partitions=partitions)
+        wall = time.perf_counter() - start
+        walls[partitions] = wall
+
+        graph = context.artifacts["kg"]
+        state = (len(graph), sorted(graph.query(), key=lambda t: t._sort_key()))
+        if reference_state is None:
+            reference_state = state
+        elif state != reference_state:  # pragma: no cover - equivalence guard
+            raise RuntimeError(
+                f"{partitions}-partition build diverges from single-shard"
+            )
+        curve[str(partitions)] = {
+            "wall_s": round(wall, 6),
+            "records_per_s": round(n_records / wall, 3) if wall > 0 else 0.0,
+        }
+
+    return WorkloadResult(
+        "build_scaling",
+        walls[4],
+        n_ops=n_records,
+        naive_wall_s=walls[1],
+        extra={
+            "scaling_curve": curve,
+            "cpu_count": os.cpu_count() or 1,
+            "n_records": n_records,
+        },
+    )
+
+
 WORKLOADS: Dict[str, Callable[[WorkloadScale], WorkloadResult]] = {
     "ingest_batch": _bench_ingest,
     "linkage_merge": _bench_linkage_merge,
@@ -504,6 +564,7 @@ WORKLOADS: Dict[str, Callable[[WorkloadScale], WorkloadResult]] = {
     "load_snapshot": _bench_load_snapshot,
     "bytes_per_triple": _bench_bytes_per_triple,
     "wal_replay": _bench_wal_replay,
+    "build_scaling": _bench_build_scaling,
 }
 
 

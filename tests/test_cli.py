@@ -429,3 +429,33 @@ class TestStorageCli:
     def test_serve_bad_snapshot_path(self, tmp_path, capsys):
         assert main(["serve", "--snapshot", str(tmp_path / "ghost.rkgs")]) == 2
         assert capsys.readouterr().err.strip()
+
+
+class TestBuildCli:
+    _ARGS = ["--people", "30", "--movies", "20", "--no-runs"]
+
+    def test_build_check_equal_passes(self, capsys):
+        assert main(["build", "--partitions", "2", "--check-equal", *self._ARGS]) == 0
+        output = capsys.readouterr().out
+        assert "byte-identical" in output
+        assert "check state: equal" in output
+
+    def test_build_records_run_config(self, tmp_path, capsys):
+        assert (
+            main(
+                ["build", "--partitions", "3", "--runs-dir", str(tmp_path)]
+                + self._ARGS[:-1]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["runs", "show", "r0001", "--runs-dir", str(tmp_path)]) == 0
+        shown = capsys.readouterr().out
+        assert '"partitions": 3' in shown
+
+    def test_bad_workers_env_is_one_line_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_PMAP_WORKERS", "banana")
+        assert main(["build", "--partitions", "2", *self._ARGS]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_PMAP_WORKERS" in err
+        assert "Traceback" not in err

@@ -113,6 +113,107 @@ class TestSnapshotRoundTrip:
             assert set(restored) == set(saved_events)
 
 
+class TestMmapLoad:
+    """Snapshot loads map the file and slice columns zero-copy."""
+
+    def test_mmap_path_counts_and_matches(self, tmp_path):
+        from repro.obs import get_registry
+
+        graph = _sample_graph()
+        file_path = str(tmp_path / "g.rkgs")
+        codec.save_graph(graph, file_path, include_lineage=False)
+        with enabled_scope():
+            loaded = codec.load_graph(file_path)
+            counters = get_registry().snapshot()["counters"]
+        assert counters.get("store.snapshot.loads") == 1.0
+        assert counters.get("store.snapshot.mmap_loads") == 1.0
+        assert _triples(loaded) == _triples(graph)
+        assert _provenance_map(loaded) == _provenance_map(graph)
+
+    def test_read_fallback_matches_mmap(self, tmp_path, monkeypatch):
+        """With mmap unavailable the plain-read path loads identically."""
+        import mmap as mmap_module
+
+        graph = _sample_graph()
+        file_path = str(tmp_path / "g.rkgs")
+        codec.save_graph(graph, file_path, include_lineage=False)
+        mapped = codec.load_graph(file_path)
+
+        def refuse(*_args, **_kwargs):
+            raise OSError("mmap unavailable")
+
+        monkeypatch.setattr(mmap_module, "mmap", refuse)
+        with enabled_scope():
+            from repro.obs import get_registry
+
+            fallback = codec.load_graph(file_path)
+            counters = get_registry().snapshot()["counters"]
+        assert "store.snapshot.mmap_loads" not in counters
+        assert counters.get("store.snapshot.loads") == 1.0
+        assert _triples(fallback) == _triples(mapped)
+        assert _provenance_map(fallback) == _provenance_map(mapped)
+
+    def test_file_handle_released_after_load(self, tmp_path):
+        """The mapping is closed on load; the file can be replaced in place."""
+        graph = _sample_graph()
+        file_path = str(tmp_path / "g.rkgs")
+        codec.save_graph(graph, file_path, include_lineage=False)
+        loaded = codec.load_graph(file_path)
+        os.remove(file_path)  # would fail on Windows with a live handle
+        codec.save_graph(loaded, file_path, include_lineage=False)
+        assert _triples(codec.load_graph(file_path)) == _triples(graph)
+
+
+class TestTypedTermRoundTrip:
+    """Numerically equal terms of different types survive a snapshot.
+
+    Python conflates ``0 == 0.0 == False`` as dict keys, but the dict
+    backend stores exact object types; the save path keeps one term id
+    per *typed* term (and iterates triples in sorted order, so the bytes
+    do not depend on the process hash seed)."""
+
+    def _mixed_graph(self):
+        ontology = Ontology()
+        ontology.add_class("Thing")
+        graph = KnowledgeGraph(ontology=ontology, name="mixed", backend="dict")
+        for entity_id in ("e1", "e2", "e3", "e4", "e5"):
+            graph.add_entity(entity_id, entity_id.upper(), "Thing")
+        for triple in (
+            Triple("e1", "p", 0),
+            Triple("e2", "p", 0.0),
+            Triple("e3", "p", False),
+            Triple("e4", "p", True),
+            Triple("e5", "p", 1),
+        ):
+            graph.add_triple(triple)
+        return graph
+
+    @pytest.mark.parametrize("load_backend", ["dict", "columnar"])
+    def test_types_preserved_exactly(self, tmp_path, load_backend):
+        graph = self._mixed_graph()
+        file_path = str(tmp_path / "mixed.rkgs")
+        codec.save_graph(graph, file_path, include_lineage=False)
+        loaded = codec.load_graph(file_path, backend=load_backend)
+        key = lambda t: t._sort_key()  # noqa: E731
+        original = sorted(graph.query(), key=key)
+        restored = sorted(loaded.query(), key=key)
+        assert restored == original
+        assert [type(t.object) for t in restored] == [
+            type(t.object) for t in original
+        ]
+
+    def test_resave_is_byte_stable(self, tmp_path):
+        graph = self._mixed_graph()
+        first = str(tmp_path / "first.rkgs")
+        second = str(tmp_path / "second.rkgs")
+        codec.save_graph(graph, first, include_lineage=False)
+        codec.save_graph(
+            codec.load_graph(first, backend="dict"), second, include_lineage=False
+        )
+        with open(first, "rb") as a, open(second, "rb") as b:
+            assert a.read() == b.read()
+
+
 class TestSnapshotCorruption:
     def _saved(self, tmp_path):
         path = str(tmp_path / "g.rkgs")

@@ -87,12 +87,20 @@ class TestModes:
     def test_workers_env_overrides_cpu_default(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "6")
         assert default_workers() == 6
-        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
-        assert default_workers() >= 1  # nonsense values fall back
-        monkeypatch.setenv(WORKERS_ENV_VAR, "banana")
-        assert default_workers() >= 1
         monkeypatch.delenv(WORKERS_ENV_VAR)
         assert 1 <= default_workers() <= 8
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "banana", "4.5", "2x"])
+    def test_workers_env_invalid_values_raise_actionable_error(
+        self, monkeypatch, raw
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        with pytest.raises(ValueError) as excinfo:
+            default_workers()
+        message = str(excinfo.value)
+        assert WORKERS_ENV_VAR in message
+        assert raw in message
+        assert "unset" in message  # tells the operator how to fix it
 
 
 class TestOrderingAndChunking:

@@ -1,0 +1,257 @@
+"""Unit tests for the partition-parallel build: routing, the per-partition
+pipeline, the exchange phase, and the sharded-EM fusion invariants."""
+
+import pytest
+
+from repro.core.partition import (
+    CanonicalRecord,
+    PartitionedBuild,
+    clean_reason,
+    fixture_sources,
+    home_partition,
+    ordered_pair,
+    pair_score,
+    partitioned_pipeline,
+    run_partition,
+    transform_record,
+)
+from repro.datagen.sources import SourceRecord
+from repro.integrate.blocking import BlockingStrategy
+from repro.integrate.exchange import fuse_sharded
+from repro.integrate.fusion import AccuFusion, ValueClaim
+from repro.obs import enabled_scope
+
+
+def _record(record_id="r1", source="s", entity_class="Person", **fields):
+    return CanonicalRecord(
+        record_id=record_id, source=source, entity_class=entity_class, fields=fields
+    )
+
+
+class TestTransform:
+    def test_field_map_reversed(self):
+        record = SourceRecord(
+            record_id="a",
+            source="imdb",
+            entity_class="Movie",
+            fields={"primaryTitle": "Heat", "startYear": 1995},
+            world_id="w1",
+        )
+        canonical = transform_record(
+            record, {"name": "primaryTitle", "release_year": "startYear"}
+        )
+        assert canonical.fields == {"name": "Heat", "release_year": 1995}
+
+    def test_split_names_rejoined(self):
+        record = SourceRecord(
+            record_id="a",
+            source="fb",
+            entity_class="Person",
+            fields={"first_name": "Ada", "last_name": "Lovelace"},
+            world_id="w1",
+        )
+        assert transform_record(record, {}).name == "Ada Lovelace"
+
+    def test_single_token_name_not_duplicated(self):
+        record = SourceRecord(
+            record_id="a",
+            source="fb",
+            entity_class="Person",
+            fields={"first_name": "Cher", "last_name": "Cher"},
+            world_id="w1",
+        )
+        assert transform_record(record, {}).name == "Cher"
+
+
+class TestCleanReason:
+    @pytest.mark.parametrize(
+        "attribute,value,expected",
+        [
+            ("name", "", "empty value"),
+            ("runtime", None, "empty value"),
+            ("birth_year", "soon", "non-numeric year"),
+            ("release_year", 1200, "implausible year"),
+            ("release_year", 1995, None),
+            ("runtime", "long", "non-numeric runtime"),
+            ("runtime", 0, "implausible runtime"),
+            ("runtime", 136, None),
+            ("genre", "Drama", None),
+        ],
+    )
+    def test_reasons(self, attribute, value, expected):
+        assert clean_reason(attribute, value) == expected
+
+
+class TestPairScore:
+    def test_cross_class_is_zero(self):
+        left = _record("a", entity_class="Person", name="Heat")
+        right = _record("b", entity_class="Movie", name="Heat")
+        assert pair_score(left, right) == 0.0
+
+    def test_identical_records_score_high(self):
+        left = _record("a", name="Michael Mann", birth_year=1943)
+        right = _record("b", name="Michael Mann", birth_year=1943)
+        assert pair_score(left, right) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        left = _record("a", name="Robert De Niro", birth_year=1943)
+        right = _record("b", name="R. De Niro", birth_year=1944)
+        assert pair_score(left, right) == pair_score(right, left)
+
+    def test_ordered_pair(self):
+        assert ordered_pair("b", "a") == ("a", "b")
+        assert ordered_pair("a", "b") == ("a", "b")
+
+
+class TestRouting:
+    def test_partition_stable_and_in_range(self):
+        strategy = BlockingStrategy()
+        record = _record("a", name="Al Pacino", birth_year=1940)
+        for n in (1, 2, 4, 8):
+            home = home_partition(record, strategy, n)
+            assert 0 <= home < n
+            assert home == home_partition(record, strategy, n)
+
+    def test_single_partition_takes_everything(self):
+        strategy = BlockingStrategy()
+        assert home_partition(_record("a", name="X"), strategy, 1) == 0
+
+    def test_keyless_record_falls_back_to_id(self):
+        strategy = BlockingStrategy()
+        record = _record("only-id")  # no name, no keys
+        assert 0 <= home_partition(record, strategy, 4) < 4
+
+
+class TestRunPartition:
+    def _task(self):
+        source = fixture_sources(n_people=12, n_movies=8, seed=3)[0]
+        build = PartitionedBuild()
+        return build, source
+
+    def test_worker_is_pure_and_deterministic(self):
+        from repro.core.partition import PartitionTask
+
+        build, source = self._task()
+        task = PartitionTask(
+            index=0,
+            n_partitions=1,
+            records=sorted(source.records, key=lambda r: r.record_id),
+            field_maps={source.name: dict(source.field_map)},
+            strategy=build.strategy,
+        )
+        first, second = run_partition(task), run_partition(task)
+        assert first.scores == second.scores
+        assert first.claims == second.claims
+        assert first.fragment_terms == second.fragment_terms
+
+    def test_worker_records_no_lineage(self):
+        from repro.core.partition import PartitionTask
+        from repro.obs.lineage import get_ledger
+
+        build, source = self._task()
+        task = PartitionTask(
+            index=0,
+            n_partitions=1,
+            records=sorted(source.records, key=lambda r: r.record_id),
+            field_maps={source.name: dict(source.field_map)},
+            strategy=build.strategy,
+        )
+        with enabled_scope():
+            run_partition(task)
+            assert get_ledger().export_state()["events"] == []
+
+
+class TestStageValidation:
+    def test_partitions_must_be_positive_int(self):
+        build = PartitionedBuild()
+        for bad in (0, -1, 1.5, "2"):
+            with pytest.raises(ValueError, match="positive integer"):
+                build.stages(bad)
+
+    def test_pipeline_without_build_rejects_partitions(self):
+        from repro.core.pipeline import ConstructionPipeline
+
+        pipeline = ConstructionPipeline(name="plain")
+        with pytest.raises(ValueError, match="no partition_build attached"):
+            pipeline.run(partitions=2)
+
+
+class TestFuseSharded:
+    def _claims(self):
+        claims = []
+        for i in range(40):
+            subject = f"e{i}"
+            truth = f"v{i}"
+            claims.append(
+                ValueClaim(subject=subject, attribute="a", value=truth, source="good")
+            )
+            # A corroborating source breaks the 1-vs-1 symmetry so EM can
+            # actually learn that "noisy" deserves less trust.
+            claims.append(
+                ValueClaim(subject=subject, attribute="a", value=truth, source="ok")
+            )
+            claims.append(
+                ValueClaim(
+                    subject=subject,
+                    attribute="a",
+                    value=truth if i % 4 else "wrong",
+                    source="noisy",
+                )
+            )
+        return claims
+
+    def test_shard_count_invariant(self):
+        claims = self._claims()
+        reference = fuse_sharded(claims, 1)
+        for n_shards in (2, 3, 8):
+            assert fuse_sharded(claims, n_shards) == reference
+
+    def test_claim_order_invariant(self):
+        claims = self._claims()
+        assert fuse_sharded(list(reversed(claims)), 4) == fuse_sharded(claims, 4)
+
+    def test_matches_accu_fusion(self):
+        """Sharded EM must reproduce the reference AccuFusion verdicts."""
+        claims = self._claims()
+        results, accuracy = fuse_sharded(claims, 4)
+        fusion = AccuFusion()
+        reference = fusion.fuse(claims)
+        assert [(r.subject, r.attribute, r.value) for r in results] == sorted(
+            (r.subject, r.attribute, r.value) for r in reference
+        )
+        assert accuracy == pytest.approx(fusion.source_accuracy_)
+        assert accuracy["good"] > accuracy["noisy"]
+
+
+class TestExchangeOutcome:
+    def test_run_config_surfaces_in_reports_and_stats(self):
+        sources = fixture_sources(n_people=20, n_movies=15, seed=5)
+        pipeline, context = partitioned_pipeline(sources, name="unit")
+        context = pipeline.run(context, partitions=3)
+        outcome = context.artifacts["exchange"]
+        assert outcome.stats["n_partitions"] == 3
+        assert outcome.stats["n_triples"] == len(context.artifacts["kg"])
+        assert outcome.stats["n_entities"] == len(
+            list(context.artifacts["kg"].entities())
+        )
+        stage_names = [report.stage_name for report in pipeline.reports]
+        assert stage_names == ["partition", "build_partitions", "exchange"]
+
+    def test_every_triple_has_provenance(self):
+        sources = fixture_sources(n_people=15, n_movies=10, seed=5)
+        pipeline, context = partitioned_pipeline(sources, name="unit")
+        context = pipeline.run(context, partitions=2)
+        graph = context.artifacts["kg"]
+        graph._materialize_provenance()
+        for triple in graph.query():
+            records = graph.provenance(triple)
+            assert records
+            assert all(p.extractor == "partition" for p in records)
+
+    def test_source_accuracy_orders_by_injected_noise(self):
+        """The noisier wiki source must earn lower learned trust."""
+        sources = fixture_sources(n_people=40, n_movies=30, seed=11)
+        pipeline, context = partitioned_pipeline(sources, name="unit")
+        context = pipeline.run(context, partitions=4)
+        accuracy = context.artifacts["exchange"].source_accuracy
+        assert accuracy["wiki"] < accuracy["freebase"]

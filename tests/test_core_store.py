@@ -63,13 +63,24 @@ class TestTermDict:
         assert rebuilt.get("p") == original.get("p")
         assert rebuilt.get(42) == original.get(42)
 
-    def test_from_terms_rejects_duplicates(self):
+    def test_from_terms_rejects_exact_duplicates(self):
         with pytest.raises(ValueError, match="duplicate"):
             TermDict._from_terms(["a", "b", "a"])
-        # Equality duplicates (1 == True) can never appear in a dictionary
-        # written by terms(), so they are rejected too.
-        with pytest.raises(ValueError, match="duplicate"):
-            TermDict._from_terms([1, True])
+
+    def test_from_terms_keeps_typed_equality_duplicates(self):
+        # A dict-backend snapshot stores one id per *typed* term, so 1 and
+        # True may legitimately sit side by side.  Lookups conflate to the
+        # first occurrence (matching runtime add semantics); decode stays
+        # exact per id so loads reproduce the saved object types.
+        terms = TermDict._from_terms([1, True, 0.0, 0])
+        assert terms.decode(0) == 1 and type(terms.decode(0)) is int
+        assert terms.decode(1) is True
+        assert terms.decode(2) == 0.0 and type(terms.decode(2)) is float
+        assert terms.decode(3) == 0 and type(terms.decode(3)) is int
+        assert terms.get(1) == 0
+        assert terms.get(True) == 0
+        assert terms.get(0.0) == 2
+        assert terms.get(0) == 2
 
     def test_memory_bytes_positive_and_grows(self):
         terms = TermDict()

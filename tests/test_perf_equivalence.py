@@ -500,3 +500,76 @@ class TestPmapPipelineEquivalence:
         assert serial  # blocking actually produced candidates
         assert modes("thread", run) == serial
         assert modes("process", run) == serial
+
+
+class TestPartitionedBuildEquivalence:
+    """The tentpole contract: ``partitions=N`` is byte-identical to ``=1``.
+
+    Graph state, provenance, lineage ledger, quality snapshot, and the
+    ``.rkgs`` snapshot bytes must all be invariant in the partition count
+    — sharding the build may only change speed, never output.
+    """
+
+    @staticmethod
+    def _build(partitions):
+        from repro.core.partition import fixture_sources, partitioned_pipeline
+        from repro.obs import reset_all
+
+        sources = fixture_sources(n_people=40, n_movies=30, seed=11)
+        reset_all()
+        with enabled_scope():
+            pipeline, context = partitioned_pipeline(sources, name="equiv")
+            context = pipeline.run(context, partitions=partitions)
+            ledger_state = get_ledger().export_state()
+            snapshot = context.artifacts["quality_snapshot"].to_dict()
+        reset_all()
+        return context.artifacts["kg"], ledger_state, snapshot
+
+    @staticmethod
+    def _snapshot_bytes(graph, tmp_path, tag):
+        from repro.core import codec
+
+        path = str(tmp_path / f"{tag}.rkgs")
+        codec.save_graph(graph, path, include_lineage=False)
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def test_state_and_provenance_identical(self):
+        reference, _, _ = self._build(1)
+        sharded, _, _ = self._build(4)
+        assert _public_state(sharded) == _public_state(reference)
+
+    def test_lineage_ledger_identical(self):
+        _, reference_ledger, _ = self._build(1)
+        _, sharded_ledger, _ = self._build(4)
+        assert sharded_ledger == reference_ledger
+
+    def test_quality_snapshot_identical(self):
+        _, _, reference_snapshot = self._build(1)
+        _, _, sharded_snapshot = self._build(4)
+        # Timing fields differ run to run; everything observable must not.
+        for snapshot in (reference_snapshot, sharded_snapshot):
+            snapshot.pop("captured_unix", None)
+            snapshot.pop("capture_seconds", None)
+        assert sharded_snapshot == reference_snapshot
+
+    def test_snapshot_bytes_identical_across_counts(self, tmp_path):
+        blobs = [
+            self._snapshot_bytes(self._build(n)[0], tmp_path, f"p{n}")
+            for n in (1, 4, 8)
+        ]
+        assert blobs[0] == blobs[1] == blobs[2]
+
+    def test_process_mode_workers_identical(self, monkeypatch, tmp_path):
+        """Real multiprocess fan-out must not change a byte either."""
+        reference, reference_ledger, _ = self._build(1)
+        monkeypatch.setenv("REPRO_PMAP_MODE", "process")
+        monkeypatch.setenv("REPRO_PMAP_WORKERS", "2")
+        sharded, sharded_ledger, _ = self._build(4)
+        monkeypatch.delenv("REPRO_PMAP_MODE")
+        monkeypatch.delenv("REPRO_PMAP_WORKERS")
+        assert _public_state(sharded) == _public_state(reference)
+        assert sharded_ledger == reference_ledger
+        assert self._snapshot_bytes(sharded, tmp_path, "proc") == (
+            self._snapshot_bytes(reference, tmp_path, "ref")
+        )
