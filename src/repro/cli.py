@@ -584,6 +584,215 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Continuous construction: drain fixture deltas, publish live, finalize."""
+    import tempfile
+    import time
+
+    from repro.evalx.tables import render_table
+
+    if args.batch_size < 1:
+        print("--batch-size must be a positive integer", file=sys.stderr)
+        return 2
+    if args.cadence < 1:
+        print("--cadence must be a positive integer", file=sys.stderr)
+        return 2
+    fixture_id = (args.fixture_id or "WORLD").upper()
+    if fixture_id != "WORLD":
+        print(
+            f"unknown stream fixture {args.fixture_id!r}; streaming drains the "
+            "WORLD fixture sources (size via --people/--movies/--seed)",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.core.codec import TripleWAL
+    from repro.core.partition import fixture_sources
+    from repro.obs import enabled_scope, profiling, reset_all, runs
+    from repro.obs.lineage import get_ledger
+    from repro.serve.snapshot import SnapshotStore
+    from repro.stream import (
+        DeltaQueue,
+        StreamIngestor,
+        StreamPublisher,
+        WALFollower,
+        enqueue_all,
+        micro_batches,
+    )
+
+    sources = fixture_sources(
+        n_people=args.people, n_movies=args.movies, seed=args.seed
+    )
+    n_records = sum(len(source) for source in sources)
+    wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="repro-stream-wal-")
+
+    server = None
+    service = None
+    if args.serve:
+        from repro.serve.server import start_server
+        from repro.serve.service import KGService
+
+        service = KGService(n_shards=args.shards, name="stream")
+        server, _thread = start_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"serving the live stream on http://{host}:{port}")
+    store = service.store if service is not None else SnapshotStore(
+        n_shards=args.shards
+    )
+
+    reports = []
+    reset_all()
+    with enabled_scope():
+        profiling.enable()
+        wal = TripleWAL(wal_dir)
+        ingestor = StreamIngestor(wal=wal)
+        follower = WALFollower(wal_dir)
+        publisher = StreamPublisher(store, follower, snapshot_path=args.out)
+        queue = DeltaQueue()
+        enqueue_all(queue, micro_batches(sources, args.batch_size, order_seed=args.order_seed))
+        # Publish the (empty) WAL head immediately so every serving route
+        # is live before the first delta lands.
+        publisher.publish(queue_records=queue.pending_records())
+        started = time.perf_counter()
+        while True:
+            delta = queue.get()
+            if delta is None:
+                break
+            reports.append(ingestor.ingest(delta))
+            if len(reports) % args.cadence == 0:
+                publisher.publish(queue_records=queue.pending_records())
+            if args.delta_interval:
+                time.sleep(args.delta_interval)
+        publisher.publish(queue_records=queue.pending_records())
+        stream_wall_s = time.perf_counter() - started
+
+    # Finalize under a fresh observability scope: the canonical exchange
+    # over the drained union records the batch build's exact ledger.
+    reset_all()
+    with enabled_scope():
+        profiling.enable()
+        finalize_started = time.perf_counter()
+        outcome = ingestor.finalize()
+        ledger_state = get_ledger().export_state()
+        stats = wal.checkpoint(outcome.graph)
+        publisher.publish()  # base changed -> follower re-bootstraps canonical
+        finalize_wall_s = time.perf_counter() - finalize_started
+
+        freshness = publisher.freshness()
+        rows = [
+            ["records", n_records],
+            ["deltas", len(reports)],
+            ["relinks", ingestor.n_relinks],
+            ["fused groups (total)", reports[-1].n_groups_total if reports else 0],
+            ["publishes", publisher.n_publishes],
+            ["staleness p50/p95 (s)",
+             f"{freshness['staleness_p50_s']:.4f} / {freshness['staleness_p95_s']:.4f}"],
+            ["catch-up p50/p95 (records)",
+             f"{freshness['catchup_p50_records']:.0f} / {freshness['catchup_p95_records']:.0f}"],
+            ["stream wall (s)", f"{stream_wall_s:.3f}"],
+            ["finalize wall (s)", f"{finalize_wall_s:.3f}"],
+        ]
+        print(
+            render_table(
+                title=f"stream --batch-size {args.batch_size} --cadence {args.cadence}",
+                columns=["metric", "value"],
+                rows=rows,
+                note=(
+                    f"{n_records} records -> {stats['n_triples']} triples, "
+                    f"{stats['n_entities']} entities; canonical base "
+                    f"{stats['base_path']} ({stats['base_bytes']} bytes)"
+                ),
+            )
+        )
+        if args.out:
+            print(f"snapshot -> {args.out}")
+
+        equal = None
+        if args.check_equal:
+            from repro.core import codec
+
+            _, reference, _, reference_ledger, _ = _run_partitioned_build(args, 1)
+            reference_graph = reference.artifacts["kg"]
+
+            def snapshot_bytes(g) -> bytes:
+                with tempfile.TemporaryDirectory() as tmp:
+                    path = os.path.join(tmp, "check.rkgs")
+                    codec.save_graph(g, path, include_lineage=False)
+                    with open(path, "rb") as handle:
+                        return handle.read()
+
+            checks = {
+                "state": _graph_public_state(outcome.graph)
+                == _graph_public_state(reference_graph),
+                "lineage": ledger_state == reference_ledger,
+                "snapshot_bytes": snapshot_bytes(outcome.graph)
+                == snapshot_bytes(reference_graph),
+            }
+            equal = all(checks.values())
+            for name, ok in checks.items():
+                print(f"check {name}: {'equal' if ok else 'DIFFERS'}")
+            if equal:
+                print(
+                    f"streamed build (batch-size {args.batch_size}) is "
+                    "byte-identical to the one-shot batch build"
+                )
+            else:
+                print(
+                    f"streamed build (batch-size {args.batch_size}) DIVERGES "
+                    "from the one-shot batch build",
+                    file=sys.stderr,
+                )
+
+        metrics = {
+            "wall_s": round(stream_wall_s, 6),
+            "finalize_wall_s": round(finalize_wall_s, 6),
+            "records_per_s": round(n_records / stream_wall_s, 3)
+            if stream_wall_s
+            else 0.0,
+            "n_deltas": float(len(reports)),
+            "n_relinks": float(ingestor.n_relinks),
+            "n_publishes": float(publisher.n_publishes),
+        }
+        for name, value in freshness.items():
+            metrics[f"stream.{name}"] = round(value, 6)
+        _append_run_record(
+            args,
+            runs.RunRecord(
+                kind="stream",
+                experiment_id=f"STREAM-B{args.batch_size}",
+                config={
+                    "batch_size": args.batch_size,
+                    "cadence": args.cadence,
+                    "order_seed": args.order_seed,
+                    "people": args.people,
+                    "movies": args.movies,
+                    "seed": args.seed,
+                    "serve": bool(args.serve),
+                    "check_equal": bool(args.check_equal),
+                },
+                stages=[
+                    {"name": "stream", "wall_s": round(stream_wall_s, 6)},
+                    {"name": "finalize", "wall_s": round(finalize_wall_s, 6)},
+                ],
+                resources=profiling.rusage(),
+                quality=[],
+                metrics=metrics,
+            ),
+        )
+
+        if server is not None:
+            if args.linger:
+                print(f"lingering for {args.linger:.0f}s (canonical snapshot live)...")
+                try:
+                    time.sleep(args.linger)
+                except KeyboardInterrupt:
+                    pass
+            server.shutdown()
+    if equal is False:
+        return 1
+    return 0
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     """Query the persistent run registry: list, show, diff, drift."""
     import json
@@ -713,7 +922,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
         build_fixture_service,
     )
 
-    if args.snapshot is not None:
+    follow_publisher = None
+    if args.follow_wal is not None:
+        if args.fixture_id is not None:
+            print(
+                "pass a fixture id or --follow-wal, not both "
+                "(the WAL directory already holds its graph)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.stream import StreamPublisher, WALFollower
+
+        # Enable observability before the boot publish so the follower's
+        # staleness/catch-up metrics land on /metrics from version 1.
+        if not args.no_obs:
+            profiling.enable()
+        service = KGService(n_shards=args.shards, name="serve.follow")
+        if args.snapshot is not None:
+            # Boot instantly from the snapshot; the follower's first
+            # publish below replaces it with the WAL head.
+            print(f"loading snapshot {args.snapshot} ({args.backend} backend)...")
+            try:
+                service.publish_from_file(args.snapshot, backend=args.backend)
+            except CodecError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        print(f"following WAL {args.follow_wal} ({args.backend} backend)...")
+        follower = WALFollower(args.follow_wal, backend=args.backend)
+        follow_publisher = StreamPublisher(service.store, follower)
+        follow_publisher.publish()
+        fixture_id = f"wal:{args.follow_wal}"
+    elif args.snapshot is not None:
         if args.fixture_id is not None:
             print(
                 "pass a fixture id or --snapshot, not both "
@@ -772,6 +1011,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "routes: /lookup /paths /query /ask /stats /statusz /buildz /metrics "
         "/healthz  (Ctrl-C to stop)"
     )
+    stop_republish = None
+    if follow_publisher is not None:
+        import threading
+
+        stop_republish = threading.Event()
+
+        def _republish_loop() -> None:
+            while not stop_republish.wait(args.publish_cadence):
+                try:
+                    follow_publisher.publish_if_changed()
+                except Exception as exc:  # keep serving on a torn poll
+                    print(f"wal republish error: {exc}", file=sys.stderr)
+
+        threading.Thread(
+            target=_republish_loop, name="wal-republish", daemon=True
+        ).start()
+        print(
+            f"republishing from WAL every {args.publish_cadence:g}s "
+            "(on change)"
+        )
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -781,6 +1040,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if stop_republish is not None:
+            stop_republish.set()
         server.shutdown()
         if service.access_log is not None:
             service.access_log.close()
@@ -1359,6 +1620,110 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_parser.set_defaults(func=cmd_build)
 
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="continuous construction: drain deltas, publish live snapshots",
+    )
+    stream_parser.add_argument(
+        "fixture_id",
+        nargs="?",
+        default=None,
+        help="stream fixture id (WORLD; sized via --people/--movies/--seed)",
+    )
+    stream_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=25,
+        help="records per delta micro-batch (default: 25)",
+    )
+    stream_parser.add_argument(
+        "--cadence",
+        type=int,
+        default=2,
+        help="publish a fresh serving snapshot every N deltas (default: 2)",
+    )
+    stream_parser.add_argument(
+        "--order-seed",
+        type=int,
+        default=None,
+        help="shuffle delta record order with this seed (default: source order)",
+    )
+    stream_parser.add_argument(
+        "--delta-interval",
+        type=float,
+        default=0.0,
+        help="sleep this many seconds between deltas (pacing for live demos/CI)",
+    )
+    stream_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve the live snapshots over HTTP while streaming",
+    )
+    stream_parser.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="with --serve: keep serving this many seconds after the drain",
+    )
+    stream_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    stream_parser.add_argument(
+        "-p",
+        "--port",
+        type=int,
+        default=8902,
+        help="port for --serve (0 = OS-assigned; default: 8902)",
+    )
+    stream_parser.add_argument(
+        "--shards", type=int, default=1, help="serving shard count (default: 1)"
+    )
+    stream_parser.add_argument(
+        "--wal-dir",
+        default=None,
+        help="WAL directory (default: a fresh temp dir); followable by "
+        "`repro serve --follow-wal`",
+    )
+    stream_parser.add_argument(
+        "--check-equal",
+        action="store_true",
+        help="also run the one-shot batch build and verify "
+        "state/lineage/bytes equality",
+    )
+    stream_parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="write each published snapshot (and the canonical final one) "
+        "to this .rkgs path",
+    )
+    stream_parser.add_argument(
+        "--people",
+        type=int,
+        default=120,
+        help="ground-truth people in the fixture world (default: 120)",
+    )
+    stream_parser.add_argument(
+        "--movies",
+        type=int,
+        default=80,
+        help="ground-truth movies in the fixture world (default: 80)",
+    )
+    stream_parser.add_argument(
+        "--seed", type=int, default=11, help="fixture world seed (default: 11)"
+    )
+    stream_parser.add_argument(
+        "--no-runs",
+        action="store_true",
+        help="do not record this run in the persistent run registry",
+    )
+    stream_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run-registry directory (default: results/runs/)",
+    )
+    stream_parser.set_defaults(func=cmd_stream)
+
     runs_parser = subparsers.add_parser(
         "runs", help="query the persistent run registry (results/runs/)"
     )
@@ -1441,6 +1806,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("columnar", "dict"),
         default="columnar",
         help="storage backend for --snapshot boots (default: columnar)",
+    )
+    serve_parser.add_argument(
+        "--follow-wal",
+        default=None,
+        metavar="DIR",
+        help="tail this WAL directory and republish on change "
+        "(combines with --snapshot for an instant boot view)",
+    )
+    serve_parser.add_argument(
+        "--publish-cadence",
+        type=float,
+        default=1.0,
+        help="with --follow-wal: poll/republish interval in seconds (default: 1.0)",
     )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"

@@ -38,9 +38,10 @@ import json
 import mmap
 import os
 import struct
+import threading
 import zlib
 from array import array
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.graph import Entity, KnowledgeGraph
 from repro.core.ontology import Ontology
@@ -649,6 +650,11 @@ class TripleWAL:
         self.segment_bytes = segment_bytes
         os.makedirs(directory, exist_ok=True)
         self._handle = None
+        # One reentrant lock serializes appends, rotation, recovery, and
+        # compaction/checkpointing: a compact that deletes segments while
+        # another thread appends (or replays) would otherwise race the
+        # segment list against the files on disk.
+        self._lock = threading.RLock()
         existing = self.segment_paths()
         if existing:
             self._segment_index = self._index_of(existing[-1])
@@ -702,18 +708,19 @@ class TripleWAL:
         """Append a batch of records under one write + flush."""
         if not records:
             return
-        if self._handle is None:
-            raise ValueError("WAL is closed")
         chunks = []
         for record in records:
             payload = json.dumps(record, sort_keys=True).encode("utf-8")
             chunks.append(_WAL_FRAME.pack(len(payload), zlib.crc32(payload)))
             chunks.append(payload)
-        self._handle.write(b"".join(chunks))
-        self._handle.flush()
-        obs_metrics.count("store.wal.records", len(records))
-        if self._handle.tell() >= self.segment_bytes:
-            self._rotate()
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("WAL is closed")
+            self._handle.write(b"".join(chunks))
+            self._handle.flush()
+            obs_metrics.count("store.wal.records", len(records))
+            if self._handle.tell() >= self.segment_bytes:
+                self._rotate()
 
     def _rotate(self) -> None:
         self._handle.close()
@@ -725,9 +732,10 @@ class TripleWAL:
     def close(self) -> None:
         """Close the write handle (the WAL can be reopened by constructing
         a new :class:`TripleWAL` on the same directory)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     # ------------------------------------------------------------------
     # reading
@@ -813,79 +821,19 @@ class TripleWAL:
         ``add_triples_batch`` call, which on an empty columnar graph hits
         the store's bulk-load path.
         """
-        if os.path.exists(self.base_path):
-            graph = load_graph(self.base_path, backend=backend)
-        else:
-            ontology = Ontology()
-            graph = KnowledgeGraph(ontology=ontology, name="wal", backend=backend)
-        segments = self.segment_paths()
-        n_records = 0
-        for position, path in enumerate(segments):
-            is_last = position == len(segments) - 1
-            pending_adds: List[Tuple[Triple, Optional[Provenance]]] = []
-
-            def flush_adds() -> None:
-                if pending_adds:
-                    graph.add_triples_batch(pending_adds)
-                    pending_adds.clear()
-
-            for record in self._iter_segment(path, is_last, allow_partial):
-                n_records += 1
-                op = record.get("op")
-                if op == "add":
-                    prov = record.get("prov")
-                    pending_adds.append(
-                        (
-                            Triple(record["s"], record["p"], record["o"]),
-                            None
-                            if prov is None
-                            else Provenance(
-                                source=prov[0], extractor=prov[1], confidence=prov[2]
-                            ),
-                        )
-                    )
-                    continue
-                if op == "add_batch":
-                    pending_adds.extend(
-                        (
-                            Triple(s, p, o),
-                            None
-                            if prov is None
-                            else Provenance(
-                                source=prov[0], extractor=prov[1], confidence=prov[2]
-                            ),
-                        )
-                        for s, p, o, prov in record["rows"]
-                    )
-                    continue
-                flush_adds()
-                if op == "entity":
-                    entity_class = record["class"]
-                    if not graph.ontology.has_class(entity_class):
-                        graph.ontology.add_class(entity_class)
-                    # Idempotent: re-replay after a partially-complete
-                    # compaction may revisit entities already in the base.
-                    if not graph.has_entity(record["id"]):
-                        graph.add_entity(
-                            record["id"],
-                            record["name"],
-                            entity_class,
-                            aliases=record.get("aliases", ()),
-                        )
-                elif op == "alias":
-                    if graph.has_entity(record["id"]):
-                        graph.add_alias(record["id"], record["alias"])
-                elif op == "remove":
-                    graph.remove_triple(Triple(record["s"], record["p"], record["o"]))
-                elif op == "merge":
-                    if graph.has_entity(record["drop"]):
-                        graph.merge_entities(record["keep"], record["drop"])
-                else:
-                    raise CodecError(
-                        f"{path}: unknown WAL op {op!r}; the log was written by "
-                        f"a newer layout — compact with the checkout that wrote it"
-                    )
-            flush_adds()
+        with self._lock:
+            if os.path.exists(self.base_path):
+                graph = load_graph(self.base_path, backend=backend)
+            else:
+                ontology = Ontology()
+                graph = KnowledgeGraph(ontology=ontology, name="wal", backend=backend)
+            segments = self.segment_paths()
+            n_records = 0
+            for position, path in enumerate(segments):
+                is_last = position == len(segments) - 1
+                n_records += apply_wal_records(
+                    graph, self._iter_segment(path, is_last, allow_partial), path
+                )
         obs_metrics.count("store.wal.replayed_records", n_records)
         return graph
 
@@ -900,10 +848,37 @@ class TripleWAL:
         Recovery runs first; the new base is written atomically; only
         then are the folded segments deleted (a crash in between replays
         idempotently).  A fresh empty segment is opened for new appends.
+        The whole fold happens under the WAL lock, so concurrent appends
+        and in-process replays serialize against it instead of racing the
+        segment deletions.
         """
-        self.close()
-        segments = self.segment_paths()
-        graph = self.recover(backend=backend, allow_partial=allow_partial)
+        with self._lock:
+            self.close()
+            segments = self.segment_paths()
+            graph = self.recover(backend=backend, allow_partial=allow_partial)
+            stats = self._install_base(graph, segments)
+        return graph, stats
+
+    def checkpoint(self, graph: KnowledgeGraph) -> Dict[str, object]:
+        """Install ``graph`` as the new ``base.rkgs`` and drop all segments.
+
+        Like :meth:`compact`, but the caller supplies the authoritative
+        graph instead of replaying the log — the streaming finalize path
+        uses this to persist the canonical (batch-equivalent) graph after
+        a drain, discarding the incremental mutation history the segments
+        hold.  Only correct when ``graph`` already reflects (or
+        supersedes) every logged mutation.
+        """
+        with self._lock:
+            self.close()
+            segments = self.segment_paths()
+            stats = self._install_base(graph, segments)
+        return stats
+
+    def _install_base(
+        self, graph: KnowledgeGraph, segments: List[str]
+    ) -> Dict[str, object]:
+        """Write ``base.rkgs`` atomically, drop ``segments``, reopen fresh."""
         n_bytes = save_graph(graph, self.base_path)
         for path in segments:
             os.remove(path)
@@ -911,14 +886,13 @@ class TripleWAL:
         self._open_segment(self._segment_path(self._segment_index), create=True)
         obs_metrics.count("store.wal.compactions")
         obs_metrics.gauge("store.wal.segments", 1)
-        stats = {
+        return {
             "n_segments_folded": len(segments),
             "base_path": self.base_path,
             "base_bytes": n_bytes,
             "n_triples": len(graph),
             "n_entities": len(graph._entities),
         }
-        return graph, stats
 
     # ------------------------------------------------------------------
 
@@ -934,3 +908,155 @@ class TripleWAL:
                 os.path.getsize(self.base_path) if os.path.exists(self.base_path) else 0
             ),
         }
+
+
+# ---------------------------------------------------------------------------
+# shared WAL replay (recovery + live followers)
+
+
+def apply_wal_records(
+    graph: KnowledgeGraph,
+    records: Iterable[Dict[str, object]],
+    path: str = "<wal>",
+) -> int:
+    """Apply decoded WAL records to ``graph`` via the public API.
+
+    Consecutive ``add``/``add_batch`` records coalesce into one
+    ``add_triples_batch`` call (the bulk-load fast path on an empty
+    columnar graph).  Entity/merge application is idempotent, so
+    re-replaying a prefix after a partially-complete compaction — or a
+    follower restarting mid-stream — converges on the same state.
+    Returns the number of records applied.  Shared by
+    :meth:`TripleWAL.recover` and the live :class:`repro.stream.publish.
+    WALFollower`.
+    """
+    n_records = 0
+    pending_adds: List[Tuple[Triple, Optional[Provenance]]] = []
+
+    def flush_adds() -> None:
+        if pending_adds:
+            graph.add_triples_batch(pending_adds)
+            pending_adds.clear()
+
+    for record in records:
+        n_records += 1
+        op = record.get("op")
+        if op == "add":
+            prov = record.get("prov")
+            pending_adds.append(
+                (
+                    Triple(record["s"], record["p"], record["o"]),
+                    None
+                    if prov is None
+                    else Provenance(
+                        source=prov[0], extractor=prov[1], confidence=prov[2]
+                    ),
+                )
+            )
+            continue
+        if op == "add_batch":
+            pending_adds.extend(
+                (
+                    Triple(s, p, o),
+                    None
+                    if prov is None
+                    else Provenance(
+                        source=prov[0], extractor=prov[1], confidence=prov[2]
+                    ),
+                )
+                for s, p, o, prov in record["rows"]
+            )
+            continue
+        flush_adds()
+        if op == "entity":
+            entity_class = record["class"]
+            if not graph.ontology.has_class(entity_class):
+                graph.ontology.add_class(entity_class)
+            # Idempotent: re-replay after a partially-complete
+            # compaction may revisit entities already in the base.
+            if not graph.has_entity(record["id"]):
+                graph.add_entity(
+                    record["id"],
+                    record["name"],
+                    entity_class,
+                    aliases=record.get("aliases", ()),
+                )
+        elif op == "alias":
+            if graph.has_entity(record["id"]):
+                graph.add_alias(record["id"], record["alias"])
+        elif op == "remove":
+            graph.remove_triple(Triple(record["s"], record["p"], record["o"]))
+        elif op == "merge":
+            if graph.has_entity(record["drop"]):
+                graph.merge_entities(record["keep"], record["drop"])
+        else:
+            raise CodecError(
+                f"{path}: unknown WAL op {op!r}; the log was written by "
+                f"a newer layout — compact with the checkout that wrote it"
+            )
+    flush_adds()
+    return n_records
+
+
+def read_segment_records(
+    path: str, offset: int = 0
+) -> Tuple[List[Dict[str, object]], int]:
+    """Incrementally read complete records from one WAL segment.
+
+    Returns ``(records, next_offset)``: every fully-framed record found
+    at or after ``offset`` (0 means "start of records", just past the
+    header) plus the offset where the *next* read should resume.  A torn
+    tail — a frame or payload the writer has not finished flushing — is
+    not an error; the read simply stops before it, and a later call with
+    the returned offset picks it up once complete.  A checksum mismatch
+    on a complete frame is real corruption and raises :class:`CodecError`.
+    This is the tail-read primitive for live WAL followers; unlike
+    :meth:`TripleWAL._iter_segment` it never buffers more than the new
+    suffix and never treats incompleteness as damage.
+    """
+    with open(path, "rb") as handle:
+        if offset <= _HEADER.size:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return [], 0
+            magic, version, _flags = _HEADER.unpack(header)
+            if magic != WAL_MAGIC:
+                raise CodecError(
+                    f"{path}: not a repro WAL segment (magic {magic!r}, expected "
+                    f"{WAL_MAGIC!r}); remove foreign files from the WAL directory"
+                )
+            if version != FORMAT_VERSION:
+                raise CodecError(
+                    f"{path}: WAL format v{version} is not the supported "
+                    f"v{FORMAT_VERSION}; compact it with the checkout that wrote it"
+                )
+            offset = _HEADER.size
+        else:
+            handle.seek(offset)
+        blob = handle.read()
+    records: List[Dict[str, object]] = []
+    position = 0
+    total = len(blob)
+    while position < total:
+        if total - position < _WAL_FRAME.size:
+            break  # torn frame header — wait for the writer
+        length, crc = _WAL_FRAME.unpack_from(blob, position)
+        if position + _WAL_FRAME.size + length > total:
+            break  # torn payload — wait for the writer
+        payload = blob[position + _WAL_FRAME.size : position + _WAL_FRAME.size + length]
+        actual = zlib.crc32(payload)
+        if actual != crc:
+            raise CodecError(
+                f"{path}: record checksum mismatch at byte {offset + position} "
+                f"(stored {crc:#010x}, computed {actual:#010x}); the WAL is "
+                f"corrupt — replay with allow_partial=True to keep the prefix"
+            )
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except ValueError as exc:
+            raise CodecError(
+                f"{path}: record at byte {offset + position} passed its "
+                f"checksum but is not JSON; the WAL is corrupt"
+            ) from exc
+        position += _WAL_FRAME.size + length
+    return records, offset + position

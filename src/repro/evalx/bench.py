@@ -556,6 +556,165 @@ def _bench_build_scaling(scale: WorkloadScale) -> WorkloadResult:
     )
 
 
+def _bench_stream_ingest(scale: WorkloadScale) -> WorkloadResult:
+    """Streaming construction vs the one-shot batch build over the same
+    sources.
+
+    ``wall_s`` is the full delta drain including cadenced live snapshot
+    publishes, ``naive_wall_s`` the batch build, and the staleness /
+    catch-up-lag percentiles land in ``extra`` — the freshness numbers the
+    ISSUE pins into BENCH_core.json.  After timing, the stream finalizes
+    and its canonical state must match the batch build (equivalence
+    guard), so a regression here can never hide behind a wrong answer.
+    """
+    import tempfile
+
+    from repro.core.codec import TripleWAL
+    from repro.core.partition import fixture_sources, partitioned_pipeline
+    from repro.serve.snapshot import SnapshotStore
+    from repro.stream import (
+        StreamIngestor,
+        StreamPublisher,
+        WALFollower,
+        micro_batches,
+    )
+
+    n_people = max(20, scale.n_entities // 10)
+    n_movies = max(15, scale.n_entities // 15)
+    sources = fixture_sources(n_people=n_people, n_movies=n_movies, seed=11)
+    n_records = sum(len(source) for source in sources)
+
+    pipeline, context = partitioned_pipeline(sources, name="stream_ingest")
+    start = time.perf_counter()
+    context = pipeline.run(context, partitions=1)
+    naive_wall = time.perf_counter() - start
+    batch_graph = context.artifacts["kg"]
+    reference = (
+        len(batch_graph),
+        sorted(batch_graph.query(), key=lambda t: t._sort_key()),
+    )
+
+    deltas = micro_batches(sources, max(1, n_records // 12))
+    with tempfile.TemporaryDirectory() as wal_dir:
+        wal = TripleWAL(wal_dir)
+        ingestor = StreamIngestor(wal=wal)
+        publisher = StreamPublisher(SnapshotStore(), WALFollower(wal_dir))
+        pending = n_records
+        start = time.perf_counter()
+        for position, delta in enumerate(deltas):
+            ingestor.ingest(delta)
+            pending -= len(delta)
+            if position % 2 == 1:
+                publisher.publish(queue_records=pending)
+        publisher.publish(queue_records=0)
+        wall = time.perf_counter() - start
+
+        outcome = ingestor.finalize()
+    graph = outcome.graph
+    state = (len(graph), sorted(graph.query(), key=lambda t: t._sort_key()))
+    if state != reference:  # pragma: no cover - equivalence guard
+        raise RuntimeError("streamed build diverges from the batch build")
+
+    freshness = publisher.freshness()
+    return WorkloadResult(
+        "stream_ingest",
+        wall,
+        n_ops=n_records,
+        naive_wall_s=naive_wall,
+        extra={
+            "n_deltas": len(deltas),
+            "n_relinks": ingestor.n_relinks,
+            "n_publishes": publisher.n_publishes,
+            "staleness_p50_s": round(freshness["staleness_p50_s"], 6),
+            "staleness_p95_s": round(freshness["staleness_p95_s"], 6),
+            "catchup_p50_records": freshness["catchup_p50_records"],
+            "catchup_p95_records": freshness["catchup_p95_records"],
+        },
+    )
+
+
+def _bench_stream_scale(scale: WorkloadScale) -> WorkloadResult:
+    """Large synthetic stream: records/s and peak RSS at >=100k entities.
+
+    Names use per-entity unique tokens so blocking stays bounded (the
+    real-world analogue: a well-chosen blocking key); every tenth entity
+    arrives twice from a second source, so linkage, fusion conflicts, and
+    WAL-logged merges all run at scale rather than being optimized away.
+    """
+    import tempfile
+
+    from repro.datagen.sources import SourceRecord, StructuredSource
+    from repro.serve.snapshot import SnapshotStore
+    from repro.core.codec import TripleWAL
+    from repro.stream import (
+        StreamIngestor,
+        StreamPublisher,
+        WALFollower,
+        micro_batches,
+    )
+
+    n_entities = 100_000 if scale.n_entities >= 1000 else 4_000
+    primary = StructuredSource(name="feed-a")
+    secondary = StructuredSource(name="feed-b")
+    for index in range(n_entities):
+        fields = {
+            "name": f"stream{index} uniq{index}",
+            "birth_year": 1900 + index % 120,
+            "city": f"city {index % 500}",
+        }
+        primary.records.append(
+            SourceRecord(
+                record_id=f"a:{index}",
+                source="feed-a",
+                entity_class="Person",
+                fields=dict(fields),
+                world_id=f"w{index}",
+            )
+        )
+        if index % 10 == 0:
+            conflicting = dict(fields)
+            conflicting["birth_year"] = fields["birth_year"] + 1
+            secondary.records.append(
+                SourceRecord(
+                    record_id=f"b:{index}",
+                    source="feed-b",
+                    entity_class="Person",
+                    fields=conflicting,
+                    world_id=f"w{index}",
+                )
+            )
+    sources = [primary, secondary]
+    n_records = len(primary) + len(secondary)
+
+    deltas = micro_batches(sources, max(1, n_records // 20), order_seed=3)
+    publish_every = max(1, len(deltas) // 4)
+    with tempfile.TemporaryDirectory() as wal_dir:
+        wal = TripleWAL(wal_dir)
+        ingestor = StreamIngestor(wal=wal)
+        publisher = StreamPublisher(SnapshotStore(), WALFollower(wal_dir))
+        start = time.perf_counter()
+        for position, delta in enumerate(deltas):
+            ingestor.ingest(delta)
+            if (position + 1) % publish_every == 0:
+                publisher.publish()
+        wall = time.perf_counter() - start
+
+    return WorkloadResult(
+        "stream_scale",
+        wall,
+        n_ops=n_records,
+        extra={
+            "n_stream_records": n_records,
+            "n_entities": n_entities,
+            "n_deltas": len(deltas),
+            "n_relinks": ingestor.n_relinks,
+            "n_publishes": publisher.n_publishes,
+            "records_per_s": round(n_records / wall, 3) if wall > 0 else 0.0,
+            "peak_rss_mb": round(profiling.rusage()["peak_rss_kb"] / 1024, 1),
+        },
+    )
+
+
 WORKLOADS: Dict[str, Callable[[WorkloadScale], WorkloadResult]] = {
     "ingest_batch": _bench_ingest,
     "linkage_merge": _bench_linkage_merge,
@@ -565,6 +724,8 @@ WORKLOADS: Dict[str, Callable[[WorkloadScale], WorkloadResult]] = {
     "bytes_per_triple": _bench_bytes_per_triple,
     "wal_replay": _bench_wal_replay,
     "build_scaling": _bench_build_scaling,
+    "stream_ingest": _bench_stream_ingest,
+    "stream_scale": _bench_stream_scale,
 }
 
 

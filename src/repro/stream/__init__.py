@@ -1,0 +1,24 @@
+"""Streaming incremental construction (continuous delta ingestion).
+
+The batch pipeline rebuilds the world from scratch; this package turns
+it into a continuous loop — deltas in, live WAL-backed graph mutations
+out, fresh snapshots hot-swapped into serving on a cadence — while
+guaranteeing that draining every delta and finalizing reproduces the
+batch build byte-for-byte (state, provenance, lineage, ``.rkgs``).
+"""
+
+from repro.stream.ingest import DeltaReport, StreamIngestor
+from repro.stream.publish import StreamPublisher, WALFollower, percentiles
+from repro.stream.source import Delta, DeltaQueue, enqueue_all, micro_batches
+
+__all__ = [
+    "Delta",
+    "DeltaQueue",
+    "DeltaReport",
+    "StreamIngestor",
+    "StreamPublisher",
+    "WALFollower",
+    "enqueue_all",
+    "micro_batches",
+    "percentiles",
+]

@@ -1,0 +1,606 @@
+"""Incremental construction: per-delta linkage, trust, and re-fusion.
+
+The :class:`StreamIngestor` maintains the same decision inputs a batch
+build accumulates — canonical records, blocking keys, pure pair scores,
+claims, rejections — but updates them one :class:`~repro.stream.source.
+Delta` at a time, mutating a *live* :class:`~repro.core.graph.
+KnowledgeGraph` (WAL-attached, so followers and publishers can tail it)
+after every micro-batch:
+
+* **incremental linkage** — only the blocking keys touched by the delta
+  are re-blocked; new candidate pairs are scored with the identical pure
+  :func:`~repro.core.partition.pair_score` the partitions use, and match
+  edges feed an incremental union-find.  When a delta pushes a block
+  over the ``max_block_size`` cap (or replaces a record), pair
+  eligibility can shrink, so the ingestor falls back to a full re-link —
+  counted in ``stream.relinks`` so the (rare) O(pairs) events are
+  visible;
+* **online Accu EM** — per-source sufficient statistics (posterior mass
+  + claim counts, the same quantities :func:`repro.integrate.exchange.
+  fuse_sharded` merges with ``fsum``) are updated by subtracting each
+  re-fused group's previous contribution and adding its new one, so
+  source accuracies track the stream without re-running EM over the
+  world;
+* **ledger-consulted re-fusion** — only the ``(subject, predicate)``
+  groups touched by the delta are re-fused: the groups the delta's
+  claims land in, plus — when a cluster merge re-roots records — the
+  groups the lineage ledger has fusion verdicts for under the old roots
+  (:meth:`~repro.obs.lineage.LineageLedger.fused_attributes`).  Fused
+  groups per delta is the sub-linearity contract the tests assert.
+
+The live graph is an *approximation*: accuracies lag full EM, and block
+overflows can transiently merge entities a batch build would keep apart.
+The contract is :meth:`StreamIngestor.finalize` — build one
+:class:`~repro.core.partition.PartitionResult` from the accumulated
+union and run it through the identical :func:`~repro.integrate.exchange.
+exchange` a ``partitions=1`` batch build uses, so after draining all
+deltas the canonical graph state, provenance, lineage ledger, and
+``.rkgs`` bytes are byte-identical to the batch build over the same
+source union, for any micro-batch split and delta order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.graph import KnowledgeGraph
+from repro.core.ontology import Ontology
+from repro.core.partition import (
+    CanonicalRecord,
+    PartitionedBuild,
+    PartitionResult,
+    clean_reason,
+    ordered_pair,
+    pair_score,
+    transform_record,
+)
+from repro.core.store import ColumnarTripleStore
+from repro.core.triple import Provenance, Triple, Value
+from repro.integrate.exchange import EXTRACTOR, ExchangeOutcome, _UnionFind, exchange
+from repro.integrate.fusion import ValueClaim, _accu_item_posterior
+from repro.obs import lineage as obs_lineage
+from repro.obs import metrics as obs_metrics
+from repro.stream.source import Delta
+
+Pair = Tuple[str, str]
+GroupKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one micro-batch cost — the sub-linearity evidence."""
+
+    seqno: int
+    n_records: int
+    n_pairs_scored: int
+    n_cluster_merges: int
+    n_fused_groups: int
+    n_groups_total: int
+    relinked: bool
+    wall_s: float
+
+
+class StreamIngestor:
+    """Continuous construction over a live, WAL-attached graph."""
+
+    def __init__(
+        self,
+        build: Optional[PartitionedBuild] = None,
+        wal=None,
+    ) -> None:
+        self.build = build or PartitionedBuild()
+        ontology = Ontology(name="sources")
+        self.graph = KnowledgeGraph(
+            ontology=ontology,
+            name=self.build.graph_name,
+            backend=self.build.backend,
+        )
+        if wal is not None:
+            self.graph.attach_wal(wal)
+        self.wal = wal
+        # The batch build's decision inputs, maintained incrementally.
+        self.records: Dict[str, CanonicalRecord] = {}
+        self.keys: Dict[str, Tuple[str, ...]] = {}
+        self.claims: Dict[str, List[ValueClaim]] = {}
+        self.rejections: Dict[str, List[Tuple[str, str, Value, str]]] = {}
+        self.scores: Dict[Pair, float] = {}
+        self._blocks: Dict[str, Set[str]] = {}
+        self._pair_index: Dict[str, Set[Pair]] = {}
+        self._matches: Set[Pair] = set()
+        self._root_of: Dict[str, str] = {}
+        self._members: Dict[str, Set[str]] = {}
+        self._dirty = False
+        # Online EM state: global per-source sufficient statistics plus the
+        # cached per-group contribution that gets retracted on re-fusion.
+        self._em_mass: Dict[str, float] = {}
+        self._em_count: Dict[str, int] = {}
+        self._accuracy: Dict[str, float] = {}
+        self._group_mass: Dict[GroupKey, Dict[str, float]] = {}
+        self._group_count: Dict[GroupKey, Dict[str, int]] = {}
+        # Fallback re-fusion index for when lineage recording is off.
+        self._fused: Dict[str, Set[str]] = {}
+        self.n_deltas = 0
+        self.n_relinks = 0
+
+    # ------------------------------------------------------------------
+    # per-delta ingest
+
+    def ingest(self, delta: Delta) -> DeltaReport:
+        """Apply one micro-batch; returns the incremental-work report."""
+        started = time.perf_counter()
+        strategy = self.build.strategy
+        arrived: List[CanonicalRecord] = []
+        for record in delta.records:
+            canonical = transform_record(
+                record, delta.field_maps.get(record.source, {})
+            )
+            self._upsert(canonical)
+            arrived.append(canonical)
+
+        merge_events: List[Tuple[str, str]] = []
+        moved: Dict[str, Tuple[str, str]] = {}
+        n_pairs_scored = 0
+        relinked = False
+        if self._dirty:
+            n_pairs_scored, merge_events, moved = self._relink()
+            relinked = True
+            self.n_relinks += 1
+        else:
+            for canonical in arrived:
+                n_pairs_scored += self._link_record(
+                    canonical, strategy.max_block_size, merge_events
+                )
+
+        touched = self._apply_cluster_changes(merge_events, moved)
+        for canonical in arrived:
+            root = self._root_of[canonical.record_id]
+            self._ensure_entity(root)
+            if canonical.record_id != root:
+                self._add_member_alias(root, canonical)
+            for claim in self.claims[canonical.record_id]:
+                touched.add((root, claim.attribute))
+
+        adds: List[Tuple[Triple, Provenance]] = []
+        for group in sorted(touched):
+            self._refuse_group(group, adds)
+        if adds:
+            self.graph.add_triples_batch(adds)
+
+        self.n_deltas += 1
+        wall_s = time.perf_counter() - started
+        obs_metrics.count("stream.deltas")
+        obs_metrics.count("stream.records", len(delta))
+        obs_metrics.count("stream.pairs_scored", n_pairs_scored)
+        obs_metrics.count("stream.cluster_merges", len(merge_events))
+        obs_metrics.count("stream.fused_groups", len(touched))
+        if relinked:
+            obs_metrics.count("stream.relinks")
+        obs_metrics.gauge("stream.n_records", len(self.records))
+        obs_metrics.gauge("stream.n_groups", len(self._group_mass))
+        obs_metrics.observe("stream.delta_seconds", wall_s)
+        return DeltaReport(
+            seqno=delta.seqno,
+            n_records=len(delta),
+            n_pairs_scored=n_pairs_scored,
+            n_cluster_merges=len(merge_events),
+            n_fused_groups=len(touched),
+            n_groups_total=len(self._group_mass),
+            relinked=relinked,
+            wall_s=wall_s,
+        )
+
+    # ------------------------------------------------------------------
+    # state maintenance
+
+    def _upsert(self, canonical: CanonicalRecord) -> None:
+        record_id = canonical.record_id
+        if record_id in self.records:
+            self._retract(record_id)
+        self.records[record_id] = canonical
+        keys = tuple(sorted(set(self.build.strategy.keys(canonical.fields))))
+        self.keys[record_id] = keys
+        cap = self.build.strategy.max_block_size
+        for key in keys:
+            block = self._blocks.setdefault(key, set())
+            if len(block) == cap:
+                # This insert pushes the block over the cap: pairs that
+                # relied on it stop being eligible, so re-link globally.
+                self._dirty = True
+            block.add(record_id)
+        self._root_of.setdefault(record_id, record_id)
+        self._members.setdefault(record_id, {record_id})
+        claims: List[ValueClaim] = []
+        rejections: List[Tuple[str, str, Value, str]] = []
+        for attribute in sorted(canonical.fields):
+            if attribute == "name":
+                continue
+            value = canonical.fields[attribute]
+            if isinstance(value, (list, tuple, set, dict)):
+                continue  # multi-valued extras are not claimable scalars
+            reason = clean_reason(attribute, value)
+            if reason is not None:
+                rejections.append((record_id, attribute, value, reason))
+                obs_lineage.record_rejection(
+                    record_id, attribute, value, reason=reason, stage="stream.clean"
+                )
+            else:
+                claims.append(
+                    ValueClaim(
+                        subject=record_id,
+                        attribute=attribute,
+                        value=value,
+                        source=canonical.source,
+                    )
+                )
+        self.claims[record_id] = claims
+        self.rejections[record_id] = rejections
+
+    def _retract(self, record_id: str) -> None:
+        """Drop a replaced record's derived state; forces a re-link."""
+        for key in self.keys.pop(record_id, ()):
+            block = self._blocks.get(key)
+            if block is not None:
+                block.discard(record_id)
+                if not block:
+                    del self._blocks[key]
+        for pair in self._pair_index.pop(record_id, set()):
+            self.scores.pop(pair, None)
+            self._matches.discard(pair)
+            other = pair[0] if pair[1] == record_id else pair[1]
+            other_pairs = self._pair_index.get(other)
+            if other_pairs is not None:
+                other_pairs.discard(pair)
+        del self.records[record_id]
+        self.claims.pop(record_id, None)
+        self.rejections.pop(record_id, None)
+        # Replacement can change keys, scores, and hence clusters in both
+        # directions — rebuild linkage from the cached pure scores.
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # linkage
+
+    def _score(self, pair: Pair) -> float:
+        score = self.scores.get(pair)
+        if score is None:
+            score = pair_score(self.records[pair[0]], self.records[pair[1]])
+            self.scores[pair] = score
+            self._pair_index.setdefault(pair[0], set()).add(pair)
+            self._pair_index.setdefault(pair[1], set()).add(pair)
+        return score
+
+    def _link_record(
+        self,
+        canonical: CanonicalRecord,
+        cap: int,
+        merge_events: List[Tuple[str, str]],
+    ) -> int:
+        """Score the delta record against co-blocked candidates; union matches."""
+        record_id = canonical.record_id
+        n_scored = 0
+        for key in self.keys[record_id]:
+            block = self._blocks[key]
+            if len(block) > cap:
+                continue
+            for other_id in block:
+                if other_id == record_id:
+                    continue
+                other = self.records[other_id]
+                if other.entity_class != canonical.entity_class:
+                    continue
+                pair = ordered_pair(record_id, other_id)
+                if pair not in self.scores:
+                    n_scored += 1
+                if (
+                    self._score(pair) >= self.build.match_threshold
+                    and pair not in self._matches
+                ):
+                    self._matches.add(pair)
+                    self._union(pair[0], pair[1], merge_events)
+        return n_scored
+
+    def _union(
+        self, left: str, right: str, merge_events: List[Tuple[str, str]]
+    ) -> None:
+        left_root = self._root_of[left]
+        right_root = self._root_of[right]
+        if left_root == right_root:
+            return
+        keep, drop = sorted((left_root, right_root))
+        for member in self._members[drop]:
+            self._root_of[member] = keep
+        self._members[keep] |= self._members.pop(drop)
+        merge_events.append((keep, drop))
+
+    def _relink(self):
+        """Full linkage rebuild from cached scores + current eligibility.
+
+        Needed when eligibility shrank (block overflow, record
+        replacement): incremental unions can only grow clusters, but the
+        batch contract says a pair is linked iff it shares a key whose
+        *global* block is within the cap and its pure score clears the
+        threshold — so recompute exactly that, then diff the root map.
+        """
+        cap = self.build.strategy.max_block_size
+        n_scored = 0
+        matches: Set[Pair] = set()
+        for key in self._blocks:
+            block = self._blocks[key]
+            if len(block) > cap:
+                continue
+            members = sorted(block)
+            for i, left_id in enumerate(members):
+                left = self.records[left_id]
+                for right_id in members[i + 1 :]:
+                    if self.records[right_id].entity_class != left.entity_class:
+                        continue
+                    pair = ordered_pair(left_id, right_id)
+                    if pair not in self.scores:
+                        n_scored += 1
+                    if self._score(pair) >= self.build.match_threshold:
+                        matches.add(pair)
+        union_find = _UnionFind()
+        for pair in sorted(matches):
+            union_find.union(*pair)
+        old_root_of = self._root_of
+        self._matches = matches
+        self._root_of = {
+            record_id: union_find.find(record_id) for record_id in self.records
+        }
+        self._members = {}
+        for record_id, root in self._root_of.items():
+            self._members.setdefault(root, set()).add(record_id)
+        moved = {
+            record_id: (old_root_of.get(record_id, record_id), root)
+            for record_id, root in self._root_of.items()
+            if old_root_of.get(record_id, record_id) != root
+        }
+        merge_events = sorted(
+            {
+                (self._root_of[old_root], old_root)
+                for old_root, _ in moved.values()
+                if old_root in self._root_of
+                and self._root_of[old_root] != old_root
+            }
+        )
+        self._dirty = False
+        return n_scored, merge_events, moved
+
+    # ------------------------------------------------------------------
+    # live-graph reconciliation
+
+    def _fused_attributes(self, root: str) -> List[str]:
+        """The groups previously fused under ``root`` — ledger first.
+
+        When lineage recording is on, the ledger's fusion verdicts are the
+        authoritative index of which ``(s, p)`` groups exist; the internal
+        set is the always-on fallback so correctness never depends on
+        observability being enabled.
+        """
+        if obs_lineage.lineage_enabled():
+            from_ledger = obs_lineage.get_ledger().fused_attributes(root)
+            if from_ledger:
+                return from_ledger
+        return sorted(self._fused.get(root, ()))
+
+    def _apply_cluster_changes(
+        self,
+        merge_events: List[Tuple[str, str]],
+        moved: Dict[str, Tuple[str, str]],
+    ) -> Set[GroupKey]:
+        touched: Set[GroupKey] = set()
+        graph = self.graph
+        for keep, drop in sorted(merge_events):
+            for attribute in self._fused_attributes(drop):
+                touched.add((drop, attribute))
+                touched.add((keep, attribute))
+            for attribute in self._fused_attributes(keep):
+                touched.add((keep, attribute))
+            self._ensure_entity(keep)
+            if graph.has_entity(drop):
+                graph.merge_entities(keep, drop)
+            elif drop in self.records:
+                self._add_member_alias(keep, self.records[drop])
+            obs_lineage.record_merge(
+                keep,
+                drop,
+                n_rewritten=len(self._fused.get(drop, ())),
+                stage="stream.link",
+            )
+            self._fused[keep] = self._fused.get(keep, set()) | self._fused.pop(
+                drop, set()
+            )
+        # Relink moves that are not whole-cluster merges are splits: touch
+        # the departed groups on both sides so stale fusions re-settle.
+        for record_id, (old_root, new_root) in sorted(moved.items()):
+            self._ensure_entity(new_root)
+            if record_id != new_root and record_id in self.records:
+                self._add_member_alias(new_root, self.records[record_id])
+            for attribute in self._fused_attributes(old_root):
+                touched.add((old_root, attribute))
+            for claim in self.claims.get(record_id, ()):
+                touched.add((old_root, claim.attribute))
+                touched.add((new_root, claim.attribute))
+        return touched
+
+    def _ensure_entity(self, root: str) -> None:
+        graph = self.graph
+        if graph.has_entity(root):
+            return
+        record = self.records[root]
+        if not graph.ontology.has_class(record.entity_class):
+            graph.ontology.add_class(record.entity_class)
+        graph.add_entity(root, record.name or root, record.entity_class)
+
+    def _add_member_alias(self, root: str, member: CanonicalRecord) -> None:
+        if not self.graph.has_entity(root):
+            return
+        entity = self.graph.entity(root)
+        name = member.name
+        if name and name != entity.name and name not in entity.aliases:
+            self.graph.add_alias(root, name)
+
+    # ------------------------------------------------------------------
+    # online EM + re-fusion
+
+    def _retract_group_stats(self, group: GroupKey) -> None:
+        mass = self._group_mass.pop(group, None)
+        if mass is None:
+            return
+        counts = self._group_count.pop(group)
+        for source, value in mass.items():
+            self._em_mass[source] -= value
+        for source, value in counts.items():
+            self._em_count[source] -= value
+
+    def _update_accuracy(self, sources) -> None:
+        build = self.build
+        for source in sources:
+            count = self._em_count.get(source, 0)
+            if count <= 0:
+                self._accuracy[source] = build.initial_accuracy
+            else:
+                estimate = self._em_mass.get(source, 0.0) / count
+                self._accuracy[source] = float(
+                    np.clip(estimate, build.min_accuracy, build.max_accuracy)
+                )
+
+    def _refuse_group(
+        self, group: GroupKey, adds: List[Tuple[Triple, Provenance]]
+    ) -> None:
+        root, attribute = group
+        graph = self.graph
+        self._retract_group_stats(group)
+        group_claims = [
+            claim
+            for member in sorted(self._members.get(root, ()))
+            for claim in self.claims.get(member, ())
+            if claim.attribute == attribute
+        ]
+        if not group_claims:
+            # The group dissolved (merge rewrote it, or a split moved every
+            # claimant away): retire its triples and its fusion index entry.
+            for triple in list(graph.query(subject=root, predicate=attribute)):
+                graph.remove_triple(triple)
+            fused = self._fused.get(root)
+            if fused is not None:
+                fused.discard(attribute)
+            return
+        for claim in group_claims:
+            if claim.source not in self._accuracy:
+                self._accuracy[claim.source] = self.build.initial_accuracy
+        posterior = _accu_item_posterior(
+            self.build.n_distractors, self._accuracy, group_claims
+        )
+        winner, probability = max(
+            posterior.items(), key=lambda entry: (entry[1], str(entry[0]))
+        )
+        # Fold this group's fresh sufficient statistics into the global
+        # per-source totals (previous contribution already retracted).
+        mass: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for claim in group_claims:
+            mass[claim.source] = mass.get(claim.source, 0.0) + posterior.get(
+                claim.value, 0.0
+            )
+            counts[claim.source] = counts.get(claim.source, 0) + 1
+        self._group_mass[group] = mass
+        self._group_count[group] = counts
+        for source in mass:
+            self._em_mass[source] = self._em_mass.get(source, 0.0) + mass[source]
+            self._em_count[source] = self._em_count.get(source, 0) + counts[source]
+        self._update_accuracy(sorted(mass))
+        if obs_lineage.lineage_enabled():
+            source_trust = {
+                claim.source: self._accuracy[claim.source] for claim in group_claims
+            }
+            for candidate, candidate_probability in sorted(
+                posterior.items(), key=lambda kv: str(kv[0])
+            ):
+                obs_lineage.record_fusion(
+                    root,
+                    attribute,
+                    candidate,
+                    verdict="accepted" if candidate == winner else "rejected",
+                    confidence=float(candidate_probability),
+                    source_trust=source_trust,
+                    stage="stream.fusion",
+                )
+        self._ensure_entity(root)
+        winner_triple = Triple(root, attribute, winner)
+        supporters = sorted(
+            (claim for claim in group_claims if claim.value == winner),
+            key=lambda claim: claim.source,
+        )
+        desired = [
+            Provenance(source=claim.source, extractor=EXTRACTOR)
+            for claim in supporters
+        ]
+        existing = list(graph.query(subject=root, predicate=attribute))
+        if existing == [winner_triple] and graph.provenance(winner_triple) == desired:
+            self._fused.setdefault(root, set()).add(attribute)
+            return
+        for triple in existing:
+            graph.remove_triple(triple)
+        adds.extend((winner_triple, provenance) for provenance in desired)
+        self._fused.setdefault(root, set()).add(attribute)
+
+    # ------------------------------------------------------------------
+    # canonical finalize (the batch-equivalence keystone)
+
+    def to_partition_result(self) -> PartitionResult:
+        """The accumulated union, shaped exactly like one partition worker's
+        output — so :func:`~repro.integrate.exchange.exchange` treats a
+        drained stream identically to a ``partitions=1`` batch build."""
+        ordered = sorted(self.records)
+        records = [self.records[record_id] for record_id in ordered]
+        keys = {record_id: self.keys[record_id] for record_id in ordered}
+        claims = [
+            claim for record_id in ordered for claim in self.claims[record_id]
+        ]
+        rejections = [
+            rejection
+            for record_id in ordered
+            for rejection in self.rejections[record_id]
+        ]
+        store = ColumnarTripleStore()
+        loader = store.bulk_loader()
+        try:
+            for claim in claims:
+                loader.add(claim.subject, claim.attribute, claim.value)
+        finally:
+            loader.finish()
+        terms, spo, _, _ = store.sorted_columns()
+        return PartitionResult(
+            index=0,
+            records=records,
+            keys=keys,
+            scores=dict(self.scores),
+            claims=claims,
+            rejections=rejections,
+            fragment_terms=terms,
+            fragment_columns=spo,
+        )
+
+    def finalize(self) -> ExchangeOutcome:
+        """Canonicalize: run the accumulated union through the batch
+        exchange.  The caller owns observability scope (reset + enable)
+        and what to do with the result (checkpoint the WAL, republish).
+        """
+        build = self.build
+        return exchange(
+            [self.to_partition_result()],
+            strategy=build.strategy,
+            match_threshold=build.match_threshold,
+            backend=build.backend,
+            graph_name=build.graph_name,
+            n_distractors=build.n_distractors,
+            n_iterations=build.n_iterations,
+            initial_accuracy=build.initial_accuracy,
+            min_accuracy=build.min_accuracy,
+            max_accuracy=build.max_accuracy,
+        )

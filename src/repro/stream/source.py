@@ -1,0 +1,144 @@
+"""Delta sources for streaming construction: micro-batches + a queue.
+
+The batch pipeline consumes whole :class:`~repro.datagen.sources.
+StructuredSource` bags at once; the streaming loop consumes the same
+records as a sequence of :class:`Delta` micro-batches pulled from a
+:class:`DeltaQueue`.  A delta carries new *or changed* records — a
+record id already ingested replaces its previous version — plus the
+field maps of every source appearing in it, so the ingestor can run the
+same pure ``transform_record`` the partition workers use.
+
+The keystone equivalence property (drain + compact == batch build)
+depends only on the *union* of delivered records, never on how they were
+split into deltas or ordered — :func:`micro_batches` therefore takes an
+optional shuffle seed, and the Hypothesis property in
+``tests/test_stream_property.py`` drives arbitrary splits/permutations
+through it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Sequence
+
+from repro.datagen.sources import SourceRecord, StructuredSource
+from repro.obs import metrics as obs_metrics
+
+
+@dataclass
+class Delta:
+    """One micro-batch of new/changed source records."""
+
+    seqno: int
+    records: List[SourceRecord]
+    #: source name -> canonical-to-source field map (transform input).
+    field_maps: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class DeltaQueue:
+    """A bounded-unbounded FIFO of deltas with ingest-debt accounting.
+
+    Thread-safe: the producer side (a feed, a test, the CLI) calls
+    :meth:`put`; the consumer (the ingest loop) calls :meth:`get`.
+    :meth:`pending_records` is the *catch-up lag* numerator — how many
+    source records are enqueued but not yet ingested — exported as the
+    ``stream.queue.records`` gauge on every transition.
+    """
+
+    def __init__(self) -> None:
+        self._deltas: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._n_pending_records = 0
+
+    def put(self, delta: Delta) -> None:
+        with self._not_empty:
+            if self._closed:
+                raise ValueError("queue is closed")
+            self._deltas.append(delta)
+            self._n_pending_records += len(delta)
+            self._not_empty.notify()
+            self._export()
+        obs_metrics.count("stream.queue.enqueued_records", len(delta))
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Delta]:
+        """Next delta, or ``None`` when the queue is closed and drained."""
+        with self._not_empty:
+            while not self._deltas:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            delta = self._deltas.popleft()
+            self._n_pending_records -= len(delta)
+            self._export()
+            return delta
+
+    def close(self) -> None:
+        """No more puts; pending deltas still drain through :meth:`get`."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def depth(self) -> int:
+        """Deltas currently enqueued."""
+        with self._lock:
+            return len(self._deltas)
+
+    def pending_records(self) -> int:
+        """Source records enqueued but not yet handed to the ingestor."""
+        with self._lock:
+            return self._n_pending_records
+
+    def _export(self) -> None:
+        obs_metrics.gauge("stream.queue.depth", len(self._deltas))
+        obs_metrics.gauge("stream.queue.records", self._n_pending_records)
+
+
+def micro_batches(
+    sources: Sequence[StructuredSource],
+    batch_size: int,
+    *,
+    order_seed: Optional[int] = None,
+) -> List[Delta]:
+    """Split structured sources into delta micro-batches.
+
+    Records keep their source order unless ``order_seed`` shuffles them
+    (equivalence must hold either way).  Every delta carries the field
+    maps of the sources its records came from.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be a positive integer, got {batch_size!r}")
+    field_maps = {source.name: dict(source.field_map) for source in sources}
+    records = [record for source in sources for record in source.records]
+    if order_seed is not None:
+        Random(order_seed).shuffle(records)
+    deltas = []
+    for start in range(0, len(records), batch_size):
+        chunk = records[start : start + batch_size]
+        deltas.append(
+            Delta(
+                seqno=len(deltas),
+                records=chunk,
+                field_maps={
+                    name: field_maps[name]
+                    for name in sorted({record.source for record in chunk})
+                },
+            )
+        )
+    return deltas
+
+
+def enqueue_all(queue: DeltaQueue, deltas: Sequence[Delta], close: bool = True) -> None:
+    """Convenience feed: put every delta, then (by default) close."""
+    for delta in deltas:
+        queue.put(delta)
+    if close:
+        queue.close()

@@ -1,0 +1,358 @@
+"""Streaming construction: sources, ingest, publishing, and equivalence.
+
+The keystone contract (ISSUE 10): draining every delta and finalizing
+must reproduce the one-shot batch build *byte-for-byte* — graph state,
+provenance, lineage ledger, and ``.rkgs`` snapshot bytes — for any
+micro-batch split and delta order.  Alongside it, the operational
+properties: per-delta work stays sub-linear in graph size, the WAL
+follower's replica tracks the live graph, and the publisher records
+staleness / catch-up-lag on every hot swap.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core import codec
+from repro.core.codec import TripleWAL
+from repro.core.partition import fixture_sources, partitioned_pipeline
+from repro.datagen.sources import SourceRecord, StructuredSource
+from repro.obs import enabled_scope, reset_all
+from repro.obs.lineage import get_ledger
+from repro.serve.snapshot import SnapshotStore
+from repro.stream import (
+    Delta,
+    DeltaQueue,
+    StreamIngestor,
+    StreamPublisher,
+    WALFollower,
+    enqueue_all,
+    micro_batches,
+    percentiles,
+)
+
+SOURCES = fixture_sources(n_people=25, n_movies=15, seed=11)
+N_RECORDS = sum(len(source) for source in SOURCES)
+
+
+def _public_state(graph):
+    graph._materialize_provenance()
+    triples = sorted(graph.query(), key=lambda t: t._sort_key())
+    return {
+        "triples": triples,
+        "provenance": {t: graph.provenance(t) for t in triples},
+        "entities": sorted(
+            (e.entity_id, e.name, e.entity_class, tuple(sorted(e.aliases)))
+            for e in graph.entities()
+        ),
+    }
+
+
+def _snapshot_bytes(graph, tmp_path, tag):
+    path = str(tmp_path / f"{tag}.rkgs")
+    codec.save_graph(graph, path, include_lineage=False)
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _batch_reference(sources):
+    reset_all()
+    with enabled_scope():
+        pipeline, context = partitioned_pipeline(sources, name="stream-ref")
+        context = pipeline.run(context, partitions=1)
+        ledger_state = get_ledger().export_state()
+    reset_all()
+    return context.artifacts["kg"], ledger_state
+
+
+def _stream(sources, batch_size, tmp_path, order_seed=None, tag="s"):
+    """Drain the sources through the ingestor; returns (outcome, ledger,
+    per-delta reports, ingestor, wal)."""
+    reset_all()
+    with enabled_scope():
+        wal = TripleWAL(str(tmp_path / f"wal-{tag}"))
+        ingestor = StreamIngestor(wal=wal)
+        reports = [
+            ingestor.ingest(delta)
+            for delta in micro_batches(sources, batch_size, order_seed=order_seed)
+        ]
+    reset_all()
+    with enabled_scope():
+        outcome = ingestor.finalize()
+        ledger_state = get_ledger().export_state()
+    reset_all()
+    return outcome, ledger_state, reports, ingestor, wal
+
+
+class TestDeltaSources:
+    def test_micro_batches_partition_the_records(self):
+        deltas = micro_batches(SOURCES, 7)
+        assert [delta.seqno for delta in deltas] == list(range(len(deltas)))
+        flattened = [record for delta in deltas for record in delta.records]
+        original = [record for source in SOURCES for record in source.records]
+        assert flattened == original
+        assert all(len(delta) <= 7 for delta in deltas)
+
+    def test_micro_batches_carry_only_present_field_maps(self):
+        deltas = micro_batches(SOURCES, 3)
+        for delta in deltas:
+            assert set(delta.field_maps) == {r.source for r in delta.records}
+
+    def test_micro_batches_reject_nonpositive_batch_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            micro_batches(SOURCES, 0)
+
+    def test_queue_fifo_close_and_pending_records(self):
+        queue = DeltaQueue()
+        deltas = micro_batches(SOURCES, 10)
+        enqueue_all(queue, deltas)
+        assert queue.depth() == len(deltas)
+        assert queue.pending_records() == N_RECORDS
+        with pytest.raises(ValueError, match="closed"):
+            queue.put(deltas[0])
+        drained = []
+        while (delta := queue.get()) is not None:
+            drained.append(delta)
+        assert drained == deltas
+        assert queue.pending_records() == 0
+        assert queue.get(timeout=0.01) is None  # closed and empty
+
+    def test_queue_get_timeout_on_open_empty_queue(self):
+        queue = DeltaQueue()
+        assert queue.get(timeout=0.01) is None
+
+    def test_queue_is_thread_safe_across_producer_consumer(self):
+        queue = DeltaQueue()
+        deltas = micro_batches(SOURCES, 5)
+        consumed = []
+
+        def consume():
+            while (delta := queue.get(timeout=5)) is not None:
+                consumed.append(delta)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        enqueue_all(queue, deltas)
+        consumer.join(timeout=10)
+        assert not consumer.is_alive()
+        assert [d.seqno for d in consumed] == [d.seqno for d in deltas]
+
+
+class TestStreamedBatchEquivalence:
+    def test_streamed_equals_batch_on_all_surfaces(self, tmp_path):
+        batch_graph, batch_ledger = _batch_reference(SOURCES)
+        outcome, ledger, _, _, _ = _stream(SOURCES, 9, tmp_path)
+        assert _public_state(outcome.graph) == _public_state(batch_graph)
+        assert ledger == batch_ledger
+        assert _snapshot_bytes(outcome.graph, tmp_path, "stream") == _snapshot_bytes(
+            batch_graph, tmp_path, "batch"
+        )
+
+    def test_shuffled_delta_order_is_identical(self, tmp_path):
+        batch_graph, batch_ledger = _batch_reference(SOURCES)
+        outcome, ledger, _, _, _ = _stream(
+            SOURCES, 4, tmp_path, order_seed=99, tag="shuffled"
+        )
+        assert _public_state(outcome.graph) == _public_state(batch_graph)
+        assert ledger == batch_ledger
+
+    def test_single_delta_stream_is_identical(self, tmp_path):
+        batch_graph, _ = _batch_reference(SOURCES)
+        outcome, _, reports, _, _ = _stream(
+            SOURCES, N_RECORDS, tmp_path, tag="one"
+        )
+        assert len(reports) == 1
+        assert _public_state(outcome.graph) == _public_state(batch_graph)
+
+    def test_changed_record_redelivery_wins(self, tmp_path):
+        """A re-delivered record id replaces its earlier version, and the
+        finalized stream matches a batch build over the *final* records."""
+        changed = []
+        for source in SOURCES:
+            records = list(source.records)
+            changed.append(
+                StructuredSource(
+                    name=source.name,
+                    field_map=dict(source.field_map),
+                    records=records,
+                )
+            )
+        victim = changed[0].records[0]
+        updated = SourceRecord(
+            record_id=victim.record_id,
+            source=victim.source,
+            entity_class=victim.entity_class,
+            fields={**victim.fields, "birth_year": 1999},
+            world_id=victim.world_id,
+        )
+        changed[0].records[0] = updated
+        batch_graph, batch_ledger = _batch_reference(changed)
+
+        # Stream the ORIGINAL records, then re-deliver the updated one.
+        reset_all()
+        with enabled_scope():
+            wal = TripleWAL(str(tmp_path / "wal-redelivery"))
+            ingestor = StreamIngestor(wal=wal)
+            for delta in micro_batches(SOURCES, 11):
+                ingestor.ingest(delta)
+            ingestor.ingest(
+                Delta(
+                    seqno=10_000,
+                    records=[updated],
+                    field_maps={changed[0].name: dict(changed[0].field_map)},
+                )
+            )
+        reset_all()
+        with enabled_scope():
+            outcome = ingestor.finalize()
+            ledger = get_ledger().export_state()
+        reset_all()
+        assert _public_state(outcome.graph) == _public_state(batch_graph)
+        assert ledger == batch_ledger
+
+    def test_checkpoint_persists_canonical_bytes(self, tmp_path):
+        batch_graph, _ = _batch_reference(SOURCES)
+        outcome, _, _, _, wal = _stream(SOURCES, 8, tmp_path, tag="ckpt")
+        wal.checkpoint(outcome.graph)
+        recovered = TripleWAL(wal.directory).recover()
+        assert _public_state(recovered) == _public_state(batch_graph)
+
+
+class TestIncrementalWork:
+    def test_per_delta_fused_groups_are_sublinear(self, tmp_path):
+        """After warm-up, one small delta re-fuses only the ``(s, p)``
+        groups it touches — a small fraction of all fused groups."""
+        sources = fixture_sources(n_people=60, n_movies=40, seed=11)
+        reset_all()
+        with enabled_scope():
+            ingestor = StreamIngestor()
+            deltas = micro_batches(sources, 5)
+            warm_reports = [ingestor.ingest(delta) for delta in deltas[:-1]]
+            tail_report = ingestor.ingest(deltas[-1])
+        reset_all()
+        total_groups = tail_report.n_groups_total
+        assert total_groups > 100
+        assert warm_reports  # the fixture produced more than one delta
+        # The last delta touches far fewer groups than exist overall.
+        assert tail_report.n_fused_groups < total_groups / 4
+        assert tail_report.n_fused_groups <= 6 * len(deltas[-1].records)
+
+    def test_ledger_identifies_refused_groups(self):
+        """With lineage on, re-fusion consults the ledger's fusion
+        verdicts for merged-away roots (fused_attributes)."""
+        reset_all()
+        with enabled_scope():
+            ingestor = StreamIngestor()
+            for delta in micro_batches(SOURCES, 12):
+                ingestor.ingest(delta)
+            ledger = get_ledger()
+            roots = {root for root, _ in ingestor._group_mass}
+            some_root = sorted(roots)[0]
+            assert ledger.fused_attributes(some_root) == sorted(
+                ingestor._fused[some_root]
+            )
+        reset_all()
+
+    def test_relink_on_block_overflow_keeps_equivalence(self, tmp_path):
+        """Push one blocking key over the cap mid-stream: the ingestor
+        falls back to a full re-link and equivalence still holds."""
+        crowd = StructuredSource(name="crowd")
+        cap = StreamIngestor().build.strategy.max_block_size
+        for index in range(cap + 20):
+            crowd.records.append(
+                SourceRecord(
+                    record_id=f"c:{index}",
+                    source="crowd",
+                    entity_class="Person",
+                    fields={
+                        "name": f"sharedtoken only{index}",
+                        "birth_year": 1900 + index,
+                    },
+                    world_id=f"w{index}",
+                )
+            )
+        batch_graph, batch_ledger = _batch_reference([crowd])
+        outcome, ledger, reports, ingestor, _ = _stream(
+            [crowd], 30, tmp_path, tag="overflow"
+        )
+        assert ingestor.n_relinks >= 1
+        assert any(report.relinked for report in reports)
+        assert _public_state(outcome.graph) == _public_state(batch_graph)
+        assert ledger == batch_ledger
+
+
+class TestFollowerAndPublisher:
+    def test_follower_replica_tracks_live_graph(self, tmp_path):
+        reset_all()
+        with enabled_scope():
+            wal = TripleWAL(str(tmp_path / "wal-follow"))
+            ingestor = StreamIngestor(wal=wal)
+            follower = WALFollower(str(tmp_path / "wal-follow"))
+            for delta in micro_batches(SOURCES, 10):
+                ingestor.ingest(delta)
+                follower.poll()
+                assert _public_state(follower.graph) == _public_state(
+                    ingestor.graph
+                )
+        reset_all()
+
+    def test_follower_rebootstraps_after_checkpoint(self, tmp_path):
+        outcome, _, _, ingestor, wal = _stream(SOURCES, 10, tmp_path, tag="boot")
+        follower = WALFollower(wal.directory)
+        assert _public_state(follower.graph) == _public_state(ingestor.graph)
+        bootstraps_before = follower.n_bootstraps
+        wal.checkpoint(outcome.graph)
+        assert follower.poll() > 0
+        assert follower.n_bootstraps == bootstraps_before + 1
+        assert _public_state(follower.graph) == _public_state(outcome.graph)
+
+    def test_publisher_hot_swaps_and_records_freshness(self, tmp_path):
+        reset_all()
+        with enabled_scope():
+            wal = TripleWAL(str(tmp_path / "wal-pub"))
+            ingestor = StreamIngestor(wal=wal)
+            store = SnapshotStore(n_shards=2)
+            publisher = StreamPublisher(store, WALFollower(str(tmp_path / "wal-pub")))
+            versions = []
+            deltas = micro_batches(SOURCES, 15)
+            remaining = N_RECORDS
+            for delta in deltas:
+                ingestor.ingest(delta)
+                remaining -= len(delta)
+                info = publisher.publish(queue_records=remaining)
+                versions.append(info["version"])
+            from repro.obs.metrics import get_registry
+
+            snapshot = get_registry().snapshot()
+        reset_all()
+        assert versions == list(range(1, len(deltas) + 1))
+        current = store.current()
+        assert current is not None and current.version == versions[-1]
+        assert _public_state(current.graph) == _public_state(ingestor.graph)
+        assert publisher.n_publishes == len(deltas)
+        assert len(publisher.staleness_samples) == len(deltas)
+        # Catch-up lag decays to zero as the queue drains.
+        assert publisher.catchup_samples[0] > publisher.catchup_samples[-1] == 0
+        freshness = publisher.freshness()
+        assert freshness["staleness_p95_s"] >= freshness["staleness_p50_s"] >= 0
+        histograms = snapshot.get("histograms", snapshot)
+        assert any("stream.staleness_seconds" in key for key in histograms)
+
+    def test_publish_if_changed_skips_quiet_polls(self, tmp_path):
+        reset_all()
+        with enabled_scope():
+            wal = TripleWAL(str(tmp_path / "wal-quiet"))
+            ingestor = StreamIngestor(wal=wal)
+            publisher = StreamPublisher(
+                SnapshotStore(), WALFollower(str(tmp_path / "wal-quiet"))
+            )
+            assert publisher.publish_if_changed() is not None  # first boot
+            assert publisher.publish_if_changed() is None  # nothing new
+            ingestor.ingest(micro_batches(SOURCES, N_RECORDS)[0])
+            assert publisher.publish_if_changed() is not None
+        reset_all()
+
+    def test_percentiles_empty_and_single(self):
+        assert percentiles([]) == {"p50": 0.0, "p95": 0.0}
+        assert percentiles([3.0]) == {"p50": 3.0, "p95": 3.0}
